@@ -1,0 +1,94 @@
+//! Model-fitting cost benchmarks: the baselines and extensions that
+//! compete with the MLP in `baseline_vs_nn` and `auto_tune`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wlc_data::design::ParamRange;
+use wlc_data::{Dataset, Sample};
+use wlc_model::baseline::{LinearFeatures, LinearModel, PolynomialModel, RbfModel};
+use wlc_model::sensitivity::first_order_indices;
+use wlc_model::{EnsembleModel, WorkloadModelBuilder};
+
+fn dataset() -> Dataset {
+    let mut ds = Dataset::new(
+        vec!["rate".into(), "d".into(), "m".into(), "w".into()],
+        vec![
+            "rt0".into(),
+            "rt1".into(),
+            "rt2".into(),
+            "rt3".into(),
+            "tput".into(),
+        ],
+    )
+    .expect("valid names");
+    for i in 0..50 {
+        let x = vec![
+            350.0 + (i % 10) as f64 * 30.0,
+            5.0 + (i % 8) as f64 * 2.0,
+            16.0,
+            5.0 + (i / 8) as f64 * 2.0,
+        ];
+        let y = vec![
+            0.03 + 0.3 / x[3],
+            0.03 + 0.3 / x[1] + 0.2 / x[3],
+            0.025 + 0.25 / x[1],
+            0.025 + 0.2 / x[1],
+            x[0] * (1.0 - 1.0 / x[1]),
+        ];
+        ds.push(Sample::new(x, y)).expect("widths match");
+    }
+    ds
+}
+
+fn bench_baseline_fits(c: &mut Criterion) {
+    let ds = dataset();
+    c.bench_function("models/linear_quadratic_fit_50", |b| {
+        b.iter(|| {
+            black_box(
+                LinearModel::fit(black_box(&ds), LinearFeatures::Quadratic)
+                    .expect("fit succeeds"),
+            )
+        })
+    });
+    c.bench_function("models/polynomial_deg3_fit_50", |b| {
+        b.iter(|| black_box(PolynomialModel::fit(black_box(&ds), 3).expect("fit succeeds")))
+    });
+    c.bench_function("models/rbf_20_centers_fit_50", |b| {
+        b.iter(|| black_box(RbfModel::fit(black_box(&ds), 20, 1).expect("fit succeeds")))
+    });
+}
+
+fn bench_ensemble_and_sensitivity(c: &mut Criterion) {
+    let ds = dataset();
+    let builder = WorkloadModelBuilder::new()
+        .no_hidden_layers()
+        .hidden_layer(8)
+        .max_epochs(100);
+    let mut group = c.benchmark_group("models");
+    group.sample_size(10);
+    group.bench_function("ensemble_3_members_100_epochs", |b| {
+        b.iter(|| {
+            black_box(EnsembleModel::train(&builder, black_box(&ds), 3, 1).expect("trains"))
+        })
+    });
+    group.finish();
+
+    let model = builder.train(&ds).expect("trains").model;
+    let ranges = [
+        ParamRange::new(350.0, 620.0).expect("valid"),
+        ParamRange::new(5.0, 20.0).expect("valid"),
+        ParamRange::new(16.0, 16.0).expect("valid"),
+        ParamRange::new(5.0, 20.0).expect("valid"),
+    ];
+    c.bench_function("models/sensitivity_32x32_samples", |b| {
+        b.iter(|| {
+            black_box(
+                first_order_indices(&model, 4, black_box(&ranges), 32, 32, 1)
+                    .expect("indices computable"),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_baseline_fits, bench_ensemble_and_sensitivity);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Prediction-latency benchmarks: the tuning advisor evaluates thousands
+//! of candidate configurations through the model, so single-prediction
+//! latency bounds how large a configuration grid is practical.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wlc_data::{Dataset, Sample};
+use wlc_math::Matrix;
+use wlc_model::{PerformanceModel, WorkloadModelBuilder};
+use wlc_nn::{Activation, MlpBuilder};
+
+fn trained_workload_model() -> wlc_model::WorkloadModel {
+    let mut ds = Dataset::new(
+        vec!["a".into(), "b".into(), "c".into(), "d".into()],
+        vec![
+            "y0".into(),
+            "y1".into(),
+            "y2".into(),
+            "y3".into(),
+            "y4".into(),
+        ],
+    )
+    .expect("valid names");
+    for i in 0..40 {
+        let x: Vec<f64> = (0..4).map(|c| ((i * 3 + c * 7) % 11) as f64).collect();
+        let y: Vec<f64> = (0..5)
+            .map(|c| x[0] * 0.5 + x[1] * x[2] * 0.01 + c as f64)
+            .collect();
+        ds.push(Sample::new(x, y)).expect("widths match");
+    }
+    WorkloadModelBuilder::new()
+        .max_epochs(50)
+        .train(&ds)
+        .expect("training succeeds")
+        .model
+}
+
+fn bench_raw_mlp_forward(c: &mut Criterion) {
+    let mlp = MlpBuilder::new(4)
+        .hidden(16, Activation::logistic())
+        .hidden(12, Activation::logistic())
+        .output(5, Activation::identity())
+        .seed(1)
+        .build()
+        .expect("valid topology");
+    let x = [0.1, -0.3, 0.8, 0.0];
+    c.bench_function("nn_predict/raw_forward_4_16_12_5", |b| {
+        b.iter(|| black_box(mlp.forward(black_box(&x)).expect("forward succeeds")))
+    });
+}
+
+fn bench_model_predict(c: &mut Criterion) {
+    let model = trained_workload_model();
+    let x = [5.0, 3.0, 7.0, 2.0];
+    c.bench_function("nn_predict/workload_model_predict", |b| {
+        b.iter(|| black_box(model.predict(black_box(&x)).expect("predict succeeds")))
+    });
+}
+
+fn bench_batch_predict(c: &mut Criterion) {
+    let model = trained_workload_model();
+    let xs = Matrix::from_fn(1000, 4, |r, col| ((r + col * 13) % 10) as f64);
+    c.bench_function("nn_predict/batch_1000", |b| {
+        b.iter(|| black_box(model.predict_batch(black_box(&xs)).expect("batch succeeds")))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_raw_mlp_forward,
+    bench_model_predict,
+    bench_batch_predict
+);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Response-surface generation benchmarks: the cost of the paper's 3-D
+//! diagrams (Figures 4/7/8) and of the tuning advisor's full-factorial
+//! configuration search.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wlc_data::{Dataset, Sample};
+use wlc_model::classify::classify;
+use wlc_model::{ResponseSurface, ScoringFunction, TuningAdvisor, WorkloadModelBuilder};
+
+fn trained_model() -> wlc_model::WorkloadModel {
+    let mut ds = Dataset::new(
+        vec!["rate".into(), "d".into(), "m".into(), "w".into()],
+        vec![
+            "rt0".into(),
+            "rt1".into(),
+            "rt2".into(),
+            "rt3".into(),
+            "tput".into(),
+        ],
+    )
+    .expect("valid names");
+    for i in 0..40 {
+        let x: Vec<f64> = vec![
+            400.0 + (i % 5) as f64 * 50.0,
+            4.0 + (i % 8) as f64 * 2.0,
+            16.0,
+            4.0 + (i / 8) as f64 * 3.0,
+        ];
+        let y: Vec<f64> = vec![
+            0.03 + 0.3 / x[3],
+            0.03 + 0.3 / x[1] + 0.2 / x[3],
+            0.025 + 0.25 / x[1],
+            0.025 + 0.2 / x[1],
+            x[0] * (1.0 - 1.0 / x[1]),
+        ];
+        ds.push(Sample::new(x, y)).expect("widths match");
+    }
+    WorkloadModelBuilder::new()
+        .max_epochs(200)
+        .train(&ds)
+        .expect("training succeeds")
+        .model
+}
+
+fn bench_surface_eval(c: &mut Criterion) {
+    let model = trained_model();
+    let mut group = c.benchmark_group("surface/evaluate");
+    for n in [9usize, 17, 33] {
+        let axis: Vec<f64> = (0..n).map(|i| 4.0 + i as f64).collect();
+        let surface =
+            ResponseSurface::new(vec![560.0, 10.0, 16.0, 10.0], 1, axis.clone(), 3, axis, 1)
+                .expect("valid surface");
+        group.bench_with_input(BenchmarkId::from_parameter(n * n), &surface, |b, s| {
+            b.iter(|| black_box(s.evaluate(black_box(&model)).expect("evaluate succeeds")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_classify(c: &mut Criterion) {
+    let model = trained_model();
+    let axis: Vec<f64> = (0..17).map(|i| 4.0 + i as f64).collect();
+    let grid = ResponseSurface::new(vec![560.0, 10.0, 16.0, 10.0], 1, axis.clone(), 3, axis, 1)
+        .expect("valid surface")
+        .evaluate(&model)
+        .expect("evaluate succeeds");
+    c.bench_function("surface/classify_17x17", |b| {
+        b.iter(|| black_box(classify(black_box(&grid))))
+    });
+}
+
+fn bench_tuning_search(c: &mut Criterion) {
+    let model = trained_model();
+    let scoring =
+        ScoringFunction::new(vec![0.05, 0.05, 0.04, 0.04], 1000.0).expect("valid scoring");
+    let advisor = TuningAdvisor::new(&model, scoring);
+    let levels: Vec<Vec<f64>> = vec![
+        (0..6).map(|i| 400.0 + i as f64 * 40.0).collect(),
+        (0..9).map(|i| 4.0 + i as f64 * 2.0).collect(),
+        vec![16.0],
+        (0..9).map(|i| 4.0 + i as f64 * 2.0).collect(),
+    ];
+    c.bench_function("surface/tuning_search_486_candidates", |b| {
+        b.iter(|| {
+            black_box(
+                advisor
+                    .recommend(black_box(&levels))
+                    .expect("search succeeds"),
+            )
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_surface_eval,
+    bench_classify,
+    bench_tuning_search
+);
+criterion_main!(benches);

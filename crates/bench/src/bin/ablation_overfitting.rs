@@ -1,0 +1,66 @@
+//! Ablation for the paper's §3.3 flexibility argument: "it is better to
+//! loosely fit the training sample to maintain the flexibility of a
+//! model. A threshold value is needed to indicate when to stop training."
+//!
+//! Sweeps the termination threshold from very loose to effectively off
+//! and reports training vs held-out error: the loose fit generalizes as
+//! well or better while training far faster, and overfitting shows up as
+//! a growing gap.
+
+use wlc_bench::{paper_dataset, paper_model_builder};
+use wlc_data::metrics::ErrorReport;
+use wlc_data::train_test_split;
+use wlc_math::rng::Seed;
+use wlc_model::report::format_table;
+use wlc_model::PerformanceModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    eprintln!("collecting 60 simulated samples...");
+    let dataset = paper_dataset(60, 42)?;
+    let (train_idx, val_idx) = train_test_split(dataset.len(), 0.25, Seed::new(8))?;
+    let train = dataset.subset(&train_idx)?;
+    let val = dataset.subset(&val_idx)?;
+    let (vx, vy) = val.to_matrices();
+
+    let mut rows = Vec::new();
+    for &threshold in &[1e-1, 1e-2, 3e-3, 1e-3, 1e-4, 1e-5, 0.0] {
+        let mut builder = paper_model_builder().max_epochs(30_000);
+        builder = if threshold > 0.0 {
+            builder.termination_threshold(threshold)
+        } else {
+            builder.no_termination_threshold()
+        };
+        let outcome = builder.train(&train)?;
+        let predicted = outcome.model.predict_batch(&vx)?;
+        let held_out = ErrorReport::compare(val.output_names(), &vy, &predicted)?;
+        let train_err = outcome.model.evaluate(&train)?;
+        rows.push(vec![
+            if threshold > 0.0 {
+                format!("{threshold:.0e}")
+            } else {
+                "none (30k epochs)".into()
+            },
+            format!("{}", outcome.report.epochs_run),
+            format!("{:.1} %", train_err.overall_error() * 100.0),
+            format!("{:.1} %", held_out.overall_error() * 100.0),
+        ]);
+    }
+
+    println!("Ablation: termination threshold / loose fitting (paper §3.3)");
+    println!(
+        "{}",
+        format_table(
+            &[
+                "threshold (scaled MSE)".into(),
+                "epochs run".into(),
+                "train error".into(),
+                "held-out error".into(),
+            ],
+            &rows,
+        )
+    );
+    println!("=> very loose thresholds underfit; beyond the sweet spot, extra epochs");
+    println!("   only chase the simulator's measurement noise — the held-out error");
+    println!("   stops improving while training cost multiplies (paper §3.3).");
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Cross-validation of the two substrates: the closed-form queueing
+//! approximation vs the discrete-event simulator, across injection rates.
+//!
+//! At light load the two must agree (both are "the truth" there); as load
+//! approaches saturation the analytic model — which ignores the dynamic
+//! CPU-contention coupling — under-predicts, showing exactly where the
+//! simulator's extra physics (and hence the paper's non-linear modelling
+//! problem) begins.
+
+use wlc_model::report::format_table;
+use wlc_sim::analytic::approximate_response_times;
+use wlc_sim::{DbModel, HardwareModel, ServerConfig, Simulation, TransactionKind, WorkloadSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = WorkloadSpec::default();
+    let hardware = HardwareModel::default();
+    let db = DbModel::default();
+
+    let mut rows = Vec::new();
+    for &rate in &[100.0, 200.0, 300.0, 400.0, 500.0, 560.0] {
+        let config = ServerConfig::builder()
+            .injection_rate(rate)
+            .default_threads(10)
+            .mfg_threads(16)
+            .web_threads(10)
+            .build()?;
+        let analytic = approximate_response_times(&config, &workload, &hardware, &db)?;
+        let sim = Simulation::new(config)
+            .seed(17)
+            .duration_secs(30.0)
+            .warmup_secs(5.0)
+            .run()?;
+        let kind = TransactionKind::DealerPurchase;
+        let a = analytic[kind.index()] * 1e3;
+        let s = sim.mean_response_time(kind) * 1e3;
+        rows.push(vec![
+            format!("{rate}"),
+            format!("{a:.1} ms"),
+            format!("{s:.1} ms"),
+            format!("{:+.0} %", (a - s) / s * 100.0),
+        ]);
+    }
+
+    println!("Analytic M/M/c network vs discrete-event simulation");
+    println!("(dealer purchase mean response time at (x, 10, 16, 10))");
+    println!(
+        "{}",
+        format_table(
+            &[
+                "rate/s".into(),
+                "analytic".into(),
+                "simulated".into(),
+                "gap".into(),
+            ],
+            &rows,
+        )
+    );
+    println!("=> close agreement at light load validates both substrates; the growing");
+    println!("   gap near saturation is the CPU-contention coupling only the simulator");
+    println!("   models — the non-linearity the paper's MLP exists to capture.");
+    Ok(())
+}

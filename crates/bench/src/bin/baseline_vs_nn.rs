@@ -1,0 +1,83 @@
+//! Supports the paper's motivating claim (§1, §6): linear models — the
+//! prior-work approach of Chow et al. — cannot capture the non-linear
+//! configuration→performance mapping that the MLP model fits.
+//!
+//! Compares held-out prediction error of the first-order linear model,
+//! the interaction/quadratic DOE variants, a log-space linear model, and
+//! the paper's MLP, all on the same train/validation split.
+
+use wlc_bench::{paper_dataset, paper_model_builder};
+use wlc_data::metrics::ErrorReport;
+use wlc_data::train_test_split;
+use wlc_data::Dataset;
+use wlc_math::rng::Seed;
+use wlc_model::baseline::{
+    LinearFeatures, LinearModel, LogarithmicModel, PolynomialModel, RbfModel,
+};
+use wlc_model::report::format_table;
+use wlc_model::{ModelError, PerformanceModel};
+
+fn holdout_error(model: &dyn PerformanceModel, val: &Dataset) -> Result<ErrorReport, ModelError> {
+    let (xs, ys) = val.to_matrices();
+    let predicted = model.predict_batch(&xs)?;
+    Ok(ErrorReport::compare(val.output_names(), &ys, &predicted)?)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    eprintln!("collecting 80 simulated samples...");
+    let dataset = paper_dataset(80, 42)?;
+    let (train_idx, val_idx) = train_test_split(dataset.len(), 0.25, Seed::new(9))?;
+    let train = dataset.subset(&train_idx)?;
+    let val = dataset.subset(&val_idx)?;
+
+    eprintln!("fitting the baselines and the MLP...");
+    let linear = LinearModel::fit(&train, LinearFeatures::FirstOrder)?;
+    let interactions = LinearModel::fit(&train, LinearFeatures::Interactions)?;
+    let quadratic = LinearModel::fit(&train, LinearFeatures::Quadratic)?;
+    let logarithmic = LogarithmicModel::fit(&train)?;
+    let polynomial = PolynomialModel::fit(&train, 3)?;
+    let rbf = RbfModel::fit(&train, 20, 5)?;
+    let mlp = paper_model_builder().train(&train)?.model;
+
+    let entries: Vec<(&str, &dyn PerformanceModel)> = vec![
+        ("linear (first order)", &linear),
+        ("linear + interactions", &interactions),
+        ("linear + quadratic", &quadratic),
+        ("logarithmic (log-space linear)", &logarithmic),
+        ("polynomial (degree 3)", &polynomial),
+        ("RBF network (20 centers)", &rbf),
+        ("MLP workload model (this paper)", &mlp),
+    ];
+
+    let mut headers = vec!["model".to_string()];
+    headers.extend(val.output_names().iter().cloned());
+    headers.push("overall".into());
+    let mut rows = Vec::new();
+    let mut overall: Vec<(String, f64)> = Vec::new();
+    for (name, model) in entries {
+        let report = holdout_error(model, &val)?;
+        let mut row = vec![name.to_string()];
+        for out in report.outputs() {
+            row.push(format!("{:.1} %", out.harmonic_mean_error * 100.0));
+        }
+        row.push(format!("{:.1} %", report.overall_error() * 100.0));
+        rows.push(row);
+        overall.push((name.to_string(), report.overall_error()));
+    }
+
+    println!("Held-out prediction error (harmonic-mean relative error), 60 train / 20 validation:");
+    println!("{}", format_table(&headers, &rows));
+
+    let (best, best_err) = overall
+        .iter()
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("non-empty");
+    let (lin_name, lin_err) = &overall[0];
+    println!("best model: {best} ({:.1} %)", best_err * 100.0);
+    println!(
+        "vs {lin_name}: {:.1} % ({:.1}x higher error)",
+        lin_err * 100.0,
+        lin_err / best_err
+    );
+    Ok(())
+}

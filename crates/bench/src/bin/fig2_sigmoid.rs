@@ -1,0 +1,43 @@
+//! Reproduces the paper's **Figure 2**: the logistic sigmoid activation
+//! `f(x) = 1 / (1 + exp(−a·x))` over x ∈ [−10, 10], and the §2.1 claim
+//! that "the function approaches a hard limiter as the absolute value of
+//! the slope parameter increases".
+
+use wlc_nn::Activation;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let slopes = [0.25, 0.5, 1.0, 2.0, 8.0];
+    let activations: Vec<Activation> = slopes
+        .iter()
+        .map(|&a| Activation::logistic_with_slope(a))
+        .collect::<Result<_, _>>()?;
+    let hard = Activation::HardLimiter;
+
+    println!("Figure 2: A Sigmoid Function  f(x) = 1 / (1 + exp(-a x))");
+    print!("{:>6}", "x");
+    for a in slopes {
+        print!("{:>9}", format!("a={a}"));
+    }
+    println!("{:>9}", "limiter");
+    let mut max_gap_steepest = 0.0_f64;
+    for i in 0..=40 {
+        let x = -10.0 + i as f64 * 0.5;
+        print!("{x:>6.1}");
+        for act in &activations {
+            print!("{:>9.4}", act.apply(x));
+        }
+        println!("{:>9.1}", hard.apply(x));
+        // At x = 0 every sigmoid is exactly 0.5 and the comparison is
+        // meaningless; measure convergence away from the threshold.
+        if x.abs() >= 0.5 {
+            max_gap_steepest = max_gap_steepest
+                .max((activations[slopes.len() - 1].apply(x) - hard.apply(x)).abs());
+        }
+    }
+    println!();
+    println!(
+        "steepest sigmoid (a=8) vs hard limiter: max |difference| for |x| >= 0.5 is {max_gap_steepest:.4}"
+    );
+    println!("=> larger slope parameters approach the hard limiter, as in the paper's Figure 2");
+    Ok(())
+}

@@ -1,0 +1,27 @@
+//! Reproduces the paper's **Figure 4** (§5.1, *parallel slopes*): the
+//! predicted manufacturing response time over the (default queue, web
+//! queue) plane at `(560, x, 16, y)`.
+//!
+//! Expected shape: the default queue is inert — "it will be of no use if
+//! one attempts to tune the default queue to achieve a better
+//! manufacturing response time" — while the web queue moves the response
+//! time strongly.
+
+use wlc_bench::run_figure_experiment;
+use wlc_model::classify::{Axis, SurfaceShape};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let analysis = run_figure_experiment(
+        0,
+        "Figure 4: Case of Parallel Slopes (manufacturing response time)",
+    )?;
+    match analysis.shape {
+        SurfaceShape::ParallelSlopes {
+            inert_axis: Axis::First,
+        } => println!("=> matches the paper: the default queue is a futile tuning knob here"),
+        other => {
+            println!("=> NOTE: expected parallel slopes w.r.t. the default queue, got {other:?}")
+        }
+    }
+    Ok(())
+}

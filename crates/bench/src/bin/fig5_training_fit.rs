@@ -1,0 +1,51 @@
+//! Reproduces the paper's **Figure 5**: actual (`o`) vs predicted (`x`)
+//! values over the *training set* for one trial of the 5-fold cross
+//! validation — all five performance indicators.
+//!
+//! The paper's point: "the MLP is loosely fit to the training set on
+//! purpose to avoid overfitting" — predictions track the data without
+//! pinning every point.
+
+use wlc_bench::{paper_dataset, paper_model_builder};
+use wlc_data::KFold;
+use wlc_math::rng::Seed;
+use wlc_model::report::ascii_scatter;
+use wlc_model::PerformanceModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    eprintln!("collecting 50 simulated samples...");
+    let dataset = paper_dataset(50, 42)?;
+
+    // First fold of the 5-fold split, exactly as Table 2's trial 1.
+    let kf = KFold::new(dataset.len(), 5, Seed::new(7))?;
+    let (train_idx, _) = kf.fold(0);
+    let train = dataset.subset(&train_idx)?;
+
+    eprintln!("training the workload model on fold 1's training set...");
+    let outcome = paper_model_builder().train(&train)?;
+    let (xs, ys) = train.to_matrices();
+    let predicted = outcome.model.predict_batch(&xs)?;
+
+    println!("Figure 5: Actual (o) and Predicted (x) Values for the Training Set");
+    for (c, name) in train.output_names().iter().enumerate() {
+        let actual = ys.col_to_vec(c);
+        let pred = predicted.col_to_vec(c);
+        println!("\n--- {name} ---");
+        print!("{}", ascii_scatter(&actual, &pred, 14));
+    }
+    let report = outcome.model.evaluate(&train)?;
+    println!(
+        "\ntraining-set error per indicator: {}",
+        report
+            .outputs()
+            .iter()
+            .map(|o| format!("{} {:.1} %", o.name, o.harmonic_mean_error * 100.0))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!(
+        "(loose fit by design: training stopped after {} epochs, reason: {})",
+        outcome.report.epochs_run, outcome.report.stop_reason
+    );
+    Ok(())
+}

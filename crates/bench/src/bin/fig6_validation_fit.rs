@@ -1,0 +1,47 @@
+//! Reproduces the paper's **Figure 6**: actual (`o`) vs predicted (`x`)
+//! values over the *validation set* — the 10 held-out samples of one
+//! 5-fold cross-validation trial, all five performance indicators.
+
+use wlc_bench::{paper_dataset, paper_model_builder};
+use wlc_data::KFold;
+use wlc_math::rng::Seed;
+use wlc_model::report::ascii_scatter;
+use wlc_model::PerformanceModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    eprintln!("collecting 50 simulated samples...");
+    let dataset = paper_dataset(50, 42)?;
+
+    let kf = KFold::new(dataset.len(), 5, Seed::new(7))?;
+    let (train_idx, val_idx) = kf.fold(0);
+    let train = dataset.subset(&train_idx)?;
+    let val = dataset.subset(&val_idx)?;
+
+    eprintln!("training the workload model on fold 1's training set...");
+    let outcome = paper_model_builder().train(&train)?;
+    let (vx, vy) = val.to_matrices();
+    let predicted = outcome.model.predict_batch(&vx)?;
+
+    println!("Figure 6: Actual (o) and Predicted (x) Values for the Validation Set");
+    for (c, name) in val.output_names().iter().enumerate() {
+        let actual = vy.col_to_vec(c);
+        let pred = predicted.col_to_vec(c);
+        println!("\n--- {name} ---");
+        print!("{}", ascii_scatter(&actual, &pred, 12));
+    }
+    let report = outcome.model.evaluate(&val)?;
+    println!(
+        "\nvalidation-set error per indicator: {}",
+        report
+            .outputs()
+            .iter()
+            .map(|o| format!("{} {:.1} %", o.name, o.harmonic_mean_error * 100.0))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!(
+        "overall validation accuracy for this trial: {:.1} %",
+        report.overall_accuracy() * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,24 @@
+//! Reproduces the paper's **Figure 7** (§5.2, *valleys*): the predicted
+//! dealer purchase response time over the (default queue, web queue)
+//! plane at `(560, x, 16, y)`.
+//!
+//! Expected shape: a valley — "the minimum dealer purchase response time
+//! could be obtained when we adjust two configuration parameters
+//! concurrently to stay in the valley".
+
+use wlc_bench::run_figure_experiment;
+use wlc_model::classify::SurfaceShape;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let analysis = run_figure_experiment(
+        1,
+        "Figure 7: Case of Valleys (dealer purchase response time)",
+    )?;
+    match analysis.shape {
+        SurfaceShape::Valley => {
+            println!("=> matches the paper: response-time minimum requires coordinated tuning")
+        }
+        other => println!("=> NOTE: expected a valley, got {other:?}"),
+    }
+    Ok(())
+}

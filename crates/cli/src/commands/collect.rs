@@ -1,0 +1,75 @@
+//! `wlc collect` — simulate a Latin-hypercube design and save a CSV
+//! dataset.
+
+use wlc_data::design::{latin_hypercube, round_to_integers, ParamRange};
+use wlc_math::rng::Seed;
+use wlc_sim::{run_design_replicated, ServerConfig};
+
+use crate::args::Flags;
+
+use super::{usage, CmdResult};
+
+const USAGE: &str = "\
+wlc collect — simulate a Latin-hypercube design, write a CSV dataset
+
+FLAGS:
+    --samples <usize>  number of configurations           (required)
+    --out <path>       output CSV file                    (required)
+    --seed <u64>       design + simulation seed           [default: 0]
+    --rate <lo:hi>     injection-rate range               [default: 350:620]
+    --default <lo:hi>  default-thread range               [default: 5:20]
+    --mfg <lo:hi>      mfg-thread range                   [default: 10:24]
+    --web <lo:hi>      web-thread range                   [default: 5:20]
+    --duration <f64>   simulated seconds per run          [default: 20]
+    --warmup <f64>     warmup seconds per run             [default: 4]
+    --replications <u32>  runs averaged per configuration [default: 1]";
+
+pub fn run(raw: &[String]) -> CmdResult {
+    if raw.is_empty() {
+        return usage(USAGE);
+    }
+    let flags = Flags::parse(raw, &[])?;
+    let samples: usize = flags.get_required("samples")?;
+    let out = flags.required("out")?.to_string();
+    let seed: u64 = flags.get_or("seed", 0)?;
+
+    let (rate_lo, rate_hi) = flags.get_range("rate", (350.0, 620.0))?;
+    let (def_lo, def_hi) = flags.get_range("default", (5.0, 20.0))?;
+    let (mfg_lo, mfg_hi) = flags.get_range("mfg", (10.0, 24.0))?;
+    let (web_lo, web_hi) = flags.get_range("web", (5.0, 20.0))?;
+
+    let ranges = [
+        ParamRange::new(rate_lo, rate_hi)?,
+        ParamRange::new(def_lo, def_hi)?,
+        ParamRange::new(mfg_lo, mfg_hi)?,
+        ParamRange::new(web_lo, web_hi)?,
+    ];
+    let mut points = latin_hypercube(&ranges, samples, Seed::new(seed))?;
+    for p in &mut points {
+        let rate = p[0];
+        round_to_integers(std::slice::from_mut(p));
+        p[0] = rate;
+    }
+    let configs: Vec<ServerConfig> = points
+        .iter()
+        .map(|p| ServerConfig::from_vector(p))
+        .collect::<Result<_, _>>()?;
+
+    eprintln!("simulating {samples} configurations...");
+    let dataset = run_design_replicated(
+        &configs,
+        seed.wrapping_add(1),
+        flags.get_or("duration", 20.0)?,
+        flags.get_or("warmup", 4.0)?,
+        flags.get_or("replications", 1u32)?,
+    )?;
+    dataset.save_csv(&out)?;
+    println!("wrote {} samples to {out}", dataset.len());
+    for summary in dataset.column_summaries() {
+        println!(
+            "  {:<24} min {:>10.4}  mean {:>10.4}  max {:>10.4}  std {:>9.4}",
+            summary.name, summary.min, summary.mean, summary.max, summary.std_dev
+        );
+    }
+    Ok(())
+}

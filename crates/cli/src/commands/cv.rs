@@ -1,0 +1,54 @@
+//! `wlc cv` — k-fold cross validation on a CSV dataset (the paper's
+//! Table 2 protocol).
+
+use wlc_data::Dataset;
+use wlc_model::{CrossValidator, WorkloadModelBuilder};
+
+use crate::args::Flags;
+
+use super::{usage, CmdResult};
+
+const USAGE: &str = "\
+wlc cv — k-fold cross validation (paper Table 2 protocol)
+
+FLAGS:
+    --data <path>       input CSV (from `wlc collect`)     (required)
+    --k <usize>         number of folds                    [default: 5]
+    --hidden <list>     hidden widths, e.g. 16,12          [default: 16,12]
+    --epochs <usize>    epoch budget per fold              [default: 6000]
+    --lr <f64>          learning rate                      [default: 0.02]
+    --threshold <f64>   termination threshold              [default: 1e-3]
+    --seed <u64>        fold-assignment / weight seed      [default: 7]";
+
+pub fn run(raw: &[String]) -> CmdResult {
+    if raw.is_empty() {
+        return usage(USAGE);
+    }
+    let flags = Flags::parse(raw, &[])?;
+    let dataset = Dataset::load_csv(flags.required("data")?)?;
+    eprintln!("loaded {dataset}");
+
+    let mut builder = WorkloadModelBuilder::new()
+        .max_epochs(flags.get_or("epochs", 6000)?)
+        .learning_rate(flags.get_or("lr", 0.02)?)
+        .optimizer(wlc_nn::OptimizerKind::adam())
+        .termination_threshold(flags.get_or("threshold", 1e-3)?);
+    if let Some(hidden) = flags.get_list::<usize>("hidden")? {
+        builder = builder.no_hidden_layers();
+        for w in hidden {
+            builder = builder.hidden_layer(w);
+        }
+    }
+
+    let report = CrossValidator::new(builder)
+        .k(flags.get_or("k", 5)?)
+        .seed(flags.get_or("seed", 7)?)
+        .run(&dataset)?;
+
+    println!("{}", report.to_table());
+    println!(
+        "overall average prediction accuracy: {:.1} %",
+        report.overall_accuracy() * 100.0
+    );
+    Ok(())
+}

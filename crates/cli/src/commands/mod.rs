@@ -1,0 +1,19 @@
+//! Subcommand implementations.
+
+pub mod collect;
+pub mod cv;
+pub mod predict;
+pub mod simulate;
+pub mod surface;
+pub mod train;
+
+use std::error::Error;
+
+/// Shared result alias for subcommands.
+pub type CmdResult = Result<(), Box<dyn Error>>;
+
+/// Prints a usage block and returns an error asking the user to retry.
+pub fn usage(text: &str) -> CmdResult {
+    eprintln!("{text}");
+    Err("missing required flags (usage above)".into())
+}

@@ -1,0 +1,37 @@
+//! `wlc predict` — predict indicators for a configuration with a saved
+//! model.
+
+use wlc_model::{PerformanceModel, WorkloadModel};
+
+use crate::args::Flags;
+
+use super::{usage, CmdResult};
+
+const USAGE: &str = "\
+wlc predict — predict performance indicators with a saved model
+
+FLAGS:
+    --model <path>     model file (from `wlc train`)               (required)
+    --config <list>    configuration values, e.g. 560,10,16,12     (required)";
+
+pub fn run(raw: &[String]) -> CmdResult {
+    if raw.is_empty() {
+        return usage(USAGE);
+    }
+    let flags = Flags::parse(raw, &[])?;
+    let model = WorkloadModel::load(flags.required("model")?)?;
+    let config = flags
+        .get_list::<f64>("config")?
+        .ok_or("missing required flag `--config`")?;
+
+    let prediction = model.predict(&config)?;
+    println!("configuration:");
+    for (name, v) in model.input_names().iter().zip(&config) {
+        println!("  {name:<24} {v}");
+    }
+    println!("predicted indicators:");
+    for (name, v) in model.output_names().iter().zip(&prediction) {
+        println!("  {name:<24} {v:.6}");
+    }
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! `wlc train` — train the MLP workload model on a CSV dataset.
+
+use wlc_data::Dataset;
+use wlc_model::WorkloadModelBuilder;
+
+use crate::args::Flags;
+
+use super::{usage, CmdResult};
+
+const USAGE: &str = "\
+wlc train — train the MLP workload model on a CSV dataset
+
+FLAGS:
+    --data <path>       input CSV (from `wlc collect`)     (required)
+    --out <path>        output model file                  (required)
+    --hidden <list>     hidden widths, e.g. 16,12          [default: 16,12]
+    --epochs <usize>    epoch budget                       [default: 6000]
+    --lr <f64>          learning rate                      [default: 0.02]
+    --threshold <f64>   loose-fit termination threshold    [default: 1e-3]
+    --seed <u64>        weight-init / shuffle seed         [default: 1]";
+
+pub fn run(raw: &[String]) -> CmdResult {
+    if raw.is_empty() {
+        return usage(USAGE);
+    }
+    let flags = Flags::parse(raw, &[])?;
+    let dataset = Dataset::load_csv(flags.required("data")?)?;
+    eprintln!("loaded {dataset}");
+
+    let mut builder = WorkloadModelBuilder::new()
+        .max_epochs(flags.get_or("epochs", 6000)?)
+        .learning_rate(flags.get_or("lr", 0.02)?)
+        .optimizer(wlc_nn::OptimizerKind::adam())
+        .termination_threshold(flags.get_or("threshold", 1e-3)?)
+        .seed(flags.get_or("seed", 1)?);
+    if let Some(hidden) = flags.get_list::<usize>("hidden")? {
+        builder = builder.no_hidden_layers();
+        for w in hidden {
+            builder = builder.hidden_layer(w);
+        }
+    }
+
+    let outcome = builder.train(&dataset)?;
+    let out = flags.required("out")?;
+    outcome.model.save(out)?;
+
+    let report = outcome.model.evaluate(&dataset)?;
+    println!(
+        "trained {:?} in {} epochs ({})",
+        outcome.model.topology(),
+        outcome.report.epochs_run,
+        outcome.report.stop_reason
+    );
+    println!(
+        "training-set error per indicator: {}",
+        report
+            .outputs()
+            .iter()
+            .map(|o| format!("{} {:.1}%", o.name, o.harmonic_mean_error * 100.0))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!("model written to {out}");
+    Ok(())
+}

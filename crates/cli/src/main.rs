@@ -1,0 +1,67 @@
+//! `wlc` — command-line interface for the workload-characterization
+//! toolkit.
+//!
+//! ```text
+//! wlc simulate --rate 560 --default 10 --mfg 16 --web 12
+//! wlc collect  --samples 50 --out data.csv
+//! wlc train    --data data.csv --out model.txt
+//! wlc predict  --model model.txt --config 560,10,16,12
+//! wlc cv       --data data.csv --k 5
+//! wlc surface  --model model.txt --indicator 4 --base 560,10,16,10
+//! ```
+//!
+//! Run `wlc help` (or any subcommand with `--help`-style mistakes) for
+//! usage.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+wlc — non-linear workload characterization (IISWC 2006 reproduction)
+
+USAGE:
+    wlc <COMMAND> [--flag value ...]
+
+COMMANDS:
+    simulate   Run the 3-tier simulator for one configuration
+    collect    Simulate a Latin-hypercube design and write a CSV dataset
+    train      Train the MLP workload model on a CSV dataset
+    predict    Predict indicators for a configuration with a saved model
+    cv         k-fold cross validation on a CSV dataset (paper Table 2)
+    surface    Evaluate + classify a response surface of a saved model
+    help       Show this message
+
+Run a command with no flags to see its options.";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = argv.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "simulate" => commands::simulate::run(rest),
+        "collect" => commands::collect::run(rest),
+        "train" => commands::train::run(rest),
+        "predict" => commands::predict::run(rest),
+        "cv" => commands::cv::run(rest),
+        "surface" => commands::surface::run(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => {
+            eprintln!("unknown command `{other}`\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

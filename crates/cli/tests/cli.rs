@@ -1,0 +1,163 @@
+//! End-to-end tests of the `wlc` binary: every subcommand, driven through
+//! a real process, sharing one temp workspace.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn wlc(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_wlc"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn workspace() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("wlc-cli-it-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+#[test]
+fn help_lists_commands() {
+    let out = wlc(&["help"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    for cmd in ["simulate", "collect", "train", "predict", "cv", "surface"] {
+        assert!(text.contains(cmd), "missing `{cmd}` in help");
+    }
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = wlc(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown command"));
+}
+
+#[test]
+fn subcommand_without_flags_prints_usage() {
+    let out = wlc(&["simulate"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--rate"));
+}
+
+#[test]
+fn simulate_prints_measurement() {
+    let out = wlc(&[
+        "simulate",
+        "--rate",
+        "300",
+        "--default",
+        "8",
+        "--mfg",
+        "12",
+        "--web",
+        "8",
+        "--duration",
+        "4",
+        "--warmup",
+        "1",
+        "--seed",
+        "3",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("manufacturing"));
+    assert!(text.contains("throughput"));
+    assert!(text.contains("p95"));
+}
+
+#[test]
+fn simulate_rejects_bad_flags() {
+    let out = wlc(&[
+        "simulate",
+        "--rate",
+        "abc",
+        "--default",
+        "8",
+        "--mfg",
+        "8",
+        "--web",
+        "8",
+    ]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("cannot parse"));
+}
+
+#[test]
+fn full_pipeline_collect_train_predict_cv_surface() {
+    let dir = workspace();
+    let data = dir.join("data.csv");
+    let model = dir.join("model.txt");
+    let data_s = data.to_str().expect("utf8 path");
+    let model_s = model.to_str().expect("utf8 path");
+
+    // collect
+    let out = wlc(&[
+        "collect",
+        "--samples",
+        "12",
+        "--out",
+        data_s,
+        "--duration",
+        "4",
+        "--warmup",
+        "1",
+        "--seed",
+        "5",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(data.exists());
+    assert!(stdout(&out).contains("wrote 12 samples"));
+
+    // train
+    let out = wlc(&[
+        "train", "--data", data_s, "--out", model_s, "--epochs", "800", "--hidden", "8",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(model.exists());
+    assert!(stdout(&out).contains("trained [4, 8, 5]"));
+
+    // predict
+    let out = wlc(&["predict", "--model", model_s, "--config", "450,10,16,10"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("throughput"));
+
+    // predict with wrong width fails cleanly
+    let out = wlc(&["predict", "--model", model_s, "--config", "450,10"]);
+    assert!(!out.status.success());
+
+    // cv
+    let out = wlc(&[
+        "cv", "--data", data_s, "--k", "3", "--epochs", "300", "--hidden", "8",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("Average"));
+
+    // surface
+    let out = wlc(&[
+        "surface",
+        "--model",
+        model_s,
+        "--base",
+        "450,10,16,10",
+        "--indicator",
+        "4",
+        "--steps",
+        "5",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("classification:"));
+    assert!(text.contains("throughput"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}

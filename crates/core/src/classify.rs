@@ -1,0 +1,371 @@
+//! Classification of response-surface shapes into the paper's taxonomy.
+//!
+//! §5 of the paper groups the 3-D prediction diagrams into three
+//! recurring behaviours, each with a distinct tuning implication:
+//!
+//! - **parallel slopes** (Fig. 4) — one swept parameter barely affects
+//!   the indicator once the others are fixed: *tuning it is futile*;
+//! - **valleys** (Fig. 7) — a trough of low values: for response times,
+//!   the optimum requires *coordinated* adjustment of both parameters;
+//! - **hills** (Fig. 8) — an interior maximum: one-at-a-time tuning is
+//!   "highly likely to miss the local maximum regardless of how many
+//!   experiments" are run.
+//!
+//! [`classify`] reproduces that taxonomy from a [`SurfaceGrid`].
+
+use crate::SurfaceGrid;
+
+/// Which surface axis a diagnosis refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    /// The first swept parameter (grid rows).
+    First,
+    /// The second swept parameter (grid columns).
+    Second,
+}
+
+/// The paper's surface-shape taxonomy (§5.1–§5.3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum SurfaceShape {
+    /// One axis is inert: tuning it cannot move the indicator
+    /// (paper §5.1). The payload names the *inert* axis.
+    ParallelSlopes {
+        /// The axis with negligible influence.
+        inert_axis: Axis,
+    },
+    /// A trough of low values away from the grid edges (paper §5.2).
+    Valley,
+    /// A crest of high values away from the grid edges (paper §5.3).
+    Hill,
+    /// Both axes matter and the surface is edge-monotone (no interior
+    /// extremum): plain slopes.
+    Slope,
+}
+
+/// Quantitative evidence backing a [`SurfaceShape`] verdict.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub struct ShapeAnalysis {
+    /// The classified shape.
+    pub shape: SurfaceShape,
+    /// Relative variation attributable to axis 1 (0 = inert).
+    pub sensitivity_axis1: f64,
+    /// Relative variation attributable to axis 2.
+    pub sensitivity_axis2: f64,
+    /// Fraction of cross-sections with a strict interior minimum.
+    pub valley_score: f64,
+    /// Fraction of cross-sections with a strict interior maximum.
+    pub hill_score: f64,
+}
+
+/// Tunable thresholds for [`classify_with`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassifyOptions {
+    /// An axis is *inert* when its sensitivity is below this fraction of
+    /// the other axis's sensitivity.
+    pub inert_ratio: f64,
+    /// An interior extremum only counts when the cross-section's edges
+    /// deviate from it by at least this relative margin.
+    pub extremum_margin: f64,
+    /// Minimum fraction of cross-sections agreeing before declaring a
+    /// valley or hill.
+    pub agreement: f64,
+}
+
+impl Default for ClassifyOptions {
+    fn default() -> Self {
+        ClassifyOptions {
+            inert_ratio: 0.12,
+            extremum_margin: 0.07,
+            agreement: 0.5,
+        }
+    }
+}
+
+/// Classifies a surface with default thresholds.
+///
+/// # Examples
+///
+/// ```
+/// use wlc_math::Matrix;
+/// use wlc_model::SurfaceGrid;
+/// use wlc_model::classify::{classify, SurfaceShape};
+///
+/// // A bowl: interior minimum -> valley.
+/// let n = 9;
+/// let z = Matrix::from_fn(n, n, |i, j| {
+///     let (x, y) = (i as f64 - 4.0, j as f64 - 4.0);
+///     x * x + y * y
+/// });
+/// let axis: Vec<f64> = (0..n).map(|v| v as f64).collect();
+/// let grid = SurfaceGrid::from_parts(axis.clone(), axis, z).unwrap();
+/// assert_eq!(classify(&grid).shape, SurfaceShape::Valley);
+/// ```
+pub fn classify(grid: &SurfaceGrid) -> ShapeAnalysis {
+    classify_with(grid, ClassifyOptions::default())
+}
+
+/// Classifies a surface with explicit thresholds.
+pub fn classify_with(grid: &SurfaceGrid, options: ClassifyOptions) -> ShapeAnalysis {
+    let z = grid.z();
+    let rows = z.rows();
+    let cols = z.cols();
+
+    // Scale for relative comparisons: mean |z| (guarded against 0).
+    let scale = z.as_slice().iter().map(|v| v.abs()).sum::<f64>().max(1e-12) / (rows * cols) as f64;
+
+    // Sensitivity of axis 1: how much does z vary along rows (axis-1
+    // direction) averaged over columns, relative to the scale?
+    let sens1 = if rows < 2 {
+        0.0
+    } else {
+        let mut total = 0.0;
+        for j in 0..cols {
+            let col: Vec<f64> = (0..rows).map(|i| z.get(i, j)).collect();
+            total += range(&col);
+        }
+        total / cols as f64 / scale
+    };
+    let sens2 = if cols < 2 {
+        0.0
+    } else {
+        let mut total = 0.0;
+        for i in 0..rows {
+            total += range(z.row(i));
+        }
+        total / rows as f64 / scale
+    };
+
+    // Interior-extremum scores over both families of cross-sections.
+    let mut sections = 0usize;
+    let mut interior_min = 0usize;
+    let mut interior_max = 0usize;
+    if cols >= 3 {
+        for i in 0..rows {
+            sections += 1;
+            let row = z.row(i);
+            if has_interior_extremum(row, options.extremum_margin, true) {
+                interior_min += 1;
+            }
+            if has_interior_extremum(row, options.extremum_margin, false) {
+                interior_max += 1;
+            }
+        }
+    }
+    if rows >= 3 {
+        for j in 0..cols {
+            sections += 1;
+            let col: Vec<f64> = (0..rows).map(|i| z.get(i, j)).collect();
+            if has_interior_extremum(&col, options.extremum_margin, true) {
+                interior_min += 1;
+            }
+            if has_interior_extremum(&col, options.extremum_margin, false) {
+                interior_max += 1;
+            }
+        }
+    }
+    let valley_score = if sections == 0 {
+        0.0
+    } else {
+        interior_min as f64 / sections as f64
+    };
+    let hill_score = if sections == 0 {
+        0.0
+    } else {
+        interior_max as f64 / sections as f64
+    };
+
+    // Verdict. Parallel slopes first (it is the strongest statement), then
+    // interior extrema, then plain slopes.
+    let max_sens = sens1.max(sens2);
+    let shape = if max_sens > 0.0 && sens1 < options.inert_ratio * max_sens {
+        SurfaceShape::ParallelSlopes {
+            inert_axis: Axis::First,
+        }
+    } else if max_sens > 0.0 && sens2 < options.inert_ratio * max_sens {
+        SurfaceShape::ParallelSlopes {
+            inert_axis: Axis::Second,
+        }
+    } else if valley_score >= options.agreement && valley_score >= hill_score {
+        SurfaceShape::Valley
+    } else if hill_score >= options.agreement {
+        SurfaceShape::Hill
+    } else {
+        SurfaceShape::Slope
+    };
+
+    ShapeAnalysis {
+        shape,
+        sensitivity_axis1: sens1,
+        sensitivity_axis2: sens2,
+        valley_score,
+        hill_score,
+    }
+}
+
+fn range(values: &[f64]) -> f64 {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &v in values {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    hi - lo
+}
+
+/// Does `values` attain its minimum (or maximum) strictly inside, with
+/// both edges at least `margin` (relative) away from the extremum?
+fn has_interior_extremum(values: &[f64], margin: f64, minimum: bool) -> bool {
+    if values.len() < 3 {
+        return false;
+    }
+    let (mut best_idx, mut best) = (0usize, values[0]);
+    for (i, &v) in values.iter().enumerate() {
+        let better = if minimum { v < best } else { v > best };
+        if better {
+            best = v;
+            best_idx = i;
+        }
+    }
+    if best_idx == 0 || best_idx == values.len() - 1 {
+        return false;
+    }
+    let denom = best.abs().max(1e-12);
+    let edge_dev = |edge: f64| {
+        if minimum {
+            (edge - best) / denom
+        } else {
+            (best - edge) / denom
+        }
+    };
+    edge_dev(values[0]) >= margin && edge_dev(*values.last().expect("non-empty")) >= margin
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wlc_math::Matrix;
+
+    fn grid_from_fn(n: usize, f: impl Fn(f64, f64) -> f64) -> SurfaceGrid {
+        let z = Matrix::from_fn(n, n, |i, j| f(i as f64, j as f64));
+        let axis: Vec<f64> = (0..n).map(|v| v as f64).collect();
+        SurfaceGrid::from_parts(axis.clone(), axis, z).unwrap()
+    }
+
+    #[test]
+    fn bowl_is_valley() {
+        let g = grid_from_fn(11, |x, y| (x - 5.0).powi(2) + (y - 5.0).powi(2) + 1.0);
+        let a = classify(&g);
+        assert_eq!(a.shape, SurfaceShape::Valley);
+        assert!(a.valley_score > 0.8);
+    }
+
+    #[test]
+    fn dome_is_hill() {
+        let g = grid_from_fn(11, |x, y| 100.0 - (x - 5.0).powi(2) - (y - 5.0).powi(2));
+        let a = classify(&g);
+        assert_eq!(a.shape, SurfaceShape::Hill);
+        assert!(a.hill_score > 0.8);
+    }
+
+    #[test]
+    fn function_of_one_axis_is_parallel_slopes() {
+        // z depends only on the column (axis 2): axis 1 is inert.
+        let g = grid_from_fn(9, |_x, y| 3.0 * y + 2.0);
+        let a = classify(&g);
+        assert_eq!(
+            a.shape,
+            SurfaceShape::ParallelSlopes {
+                inert_axis: Axis::First
+            }
+        );
+        assert!(a.sensitivity_axis1 < 1e-9);
+
+        let g2 = grid_from_fn(9, |x, _y| x * x);
+        let a2 = classify(&g2);
+        assert_eq!(
+            a2.shape,
+            SurfaceShape::ParallelSlopes {
+                inert_axis: Axis::Second
+            }
+        );
+    }
+
+    #[test]
+    fn plane_is_slope() {
+        let g = grid_from_fn(9, |x, y| 2.0 * x + 3.0 * y + 5.0);
+        let a = classify(&g);
+        assert_eq!(a.shape, SurfaceShape::Slope);
+        assert!(a.valley_score < 0.2);
+        assert!(a.hill_score < 0.2);
+    }
+
+    #[test]
+    fn diagonal_trough_is_valley() {
+        // The paper's Fig. 7 valley runs diagonally; cross-sections in
+        // both directions still dip.
+        let g = grid_from_fn(11, |x, y| ((x - y).powi(2)) + 1.0);
+        let a = classify(&g);
+        // Cross-sections through the middle have interior minima.
+        assert!(a.valley_score > 0.5, "{a:?}");
+        assert_eq!(a.shape, SurfaceShape::Valley);
+    }
+
+    #[test]
+    fn noisy_flat_surface_is_not_an_extremum() {
+        // Tiny ripples (< margin) on a flat surface must not trigger
+        // valley/hill verdicts.
+        let g = grid_from_fn(9, |x, y| 100.0 + 0.01 * ((x * 3.7 + y * 1.3).sin()));
+        let a = classify(&g);
+        assert_eq!(a.shape, SurfaceShape::Slope, "{a:?}");
+    }
+
+    #[test]
+    fn interior_extremum_detector() {
+        assert!(has_interior_extremum(&[5.0, 1.0, 5.0], 0.1, true));
+        assert!(!has_interior_extremum(&[1.0, 2.0, 3.0], 0.1, true));
+        assert!(!has_interior_extremum(&[5.0, 1.0], 0.1, true));
+        assert!(has_interior_extremum(&[1.0, 9.0, 1.0], 0.1, false));
+        // Margin respected: edges only 5% above the minimum.
+        assert!(!has_interior_extremum(&[1.05, 1.0, 1.05], 0.10, true));
+    }
+
+    #[test]
+    fn degenerate_single_row_grid() {
+        let z = Matrix::from_rows(&[&[1.0, 2.0, 3.0]]).unwrap();
+        let g = SurfaceGrid::from_parts(vec![0.0], vec![0.0, 1.0, 2.0], z).unwrap();
+        let a = classify(&g);
+        // Axis 1 cannot vary: parallel slopes with axis 1 inert.
+        assert_eq!(
+            a.shape,
+            SurfaceShape::ParallelSlopes {
+                inert_axis: Axis::First
+            }
+        );
+    }
+
+    #[test]
+    fn options_change_verdict() {
+        // Shallow bowl: 8% edge deviation.
+        let g = grid_from_fn(9, |x, y| {
+            100.0 + 0.02 * ((x - 4.0).powi(2) + (y - 4.0).powi(2))
+        });
+        let strict = classify_with(
+            &g,
+            ClassifyOptions {
+                extremum_margin: 0.10,
+                ..ClassifyOptions::default()
+            },
+        );
+        assert_eq!(strict.shape, SurfaceShape::Slope);
+        let lax = classify_with(
+            &g,
+            ClassifyOptions {
+                extremum_margin: 1e-5,
+                ..ClassifyOptions::default()
+            },
+        );
+        assert_eq!(lax.shape, SurfaceShape::Valley);
+    }
+}

@@ -1,0 +1,289 @@
+use wlc_data::metrics::ErrorReport;
+use wlc_data::{Dataset, KFold};
+use wlc_math::rng::Seed;
+use wlc_nn::TrainReport;
+
+use crate::report::format_table;
+use crate::{ModelError, WorkloadModelBuilder};
+
+/// One trial of a k-fold cross validation.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct CvTrial {
+    /// 0-based fold index (the paper's "trial" minus one).
+    pub fold: usize,
+    /// Validation-set error report (harmonic-mean relative errors, the
+    /// paper's metric).
+    pub validation: ErrorReport,
+    /// Training-set error report (used for the Fig. 5 style plots).
+    pub training: ErrorReport,
+    /// The training run's report (loss history, stop reason).
+    pub train_report: TrainReport,
+}
+
+/// The result of a full cross validation — the paper's Table 2.
+#[derive(Debug, Clone)]
+pub struct CvReport {
+    output_names: Vec<String>,
+    trials: Vec<CvTrial>,
+}
+
+impl CvReport {
+    /// The per-fold trials, in fold order.
+    pub fn trials(&self) -> &[CvTrial] {
+        &self.trials
+    }
+
+    /// Output column names.
+    pub fn output_names(&self) -> &[String] {
+        &self.output_names
+    }
+
+    /// Mean validation error per output across trials (the paper's
+    /// "Average" row of Table 2).
+    pub fn average_errors(&self) -> Vec<f64> {
+        let m = self.output_names.len();
+        let mut avg = vec![0.0; m];
+        for trial in &self.trials {
+            for (i, out) in trial.validation.outputs().iter().enumerate() {
+                avg[i] += out.harmonic_mean_error;
+            }
+        }
+        for a in &mut avg {
+            *a /= self.trials.len() as f64;
+        }
+        avg
+    }
+
+    /// Grand mean of the per-output average errors.
+    pub fn overall_error(&self) -> f64 {
+        let avg = self.average_errors();
+        avg.iter().sum::<f64>() / avg.len() as f64
+    }
+
+    /// `1 − overall_error` — the paper reports "an overall average
+    /// prediction accuracy of 95%".
+    pub fn overall_accuracy(&self) -> f64 {
+        1.0 - self.overall_error()
+    }
+
+    /// Renders the Table 2 layout: one row per trial, one column per
+    /// indicator, errors in percent, with an average row.
+    pub fn to_table(&self) -> String {
+        let mut headers: Vec<String> = vec!["Trial".into()];
+        headers.extend(self.output_names.iter().cloned());
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        for trial in &self.trials {
+            let mut row = vec![(trial.fold + 1).to_string()];
+            for out in trial.validation.outputs() {
+                row.push(format!("{:.1} %", out.harmonic_mean_error * 100.0));
+            }
+            rows.push(row);
+        }
+        let mut avg_row = vec!["Average".to_string()];
+        for a in self.average_errors() {
+            avg_row.push(format!("{:.1} %", a * 100.0));
+        }
+        rows.push(avg_row);
+        format_table(&headers, &rows)
+    }
+}
+
+/// The paper's validation harness (§3.3, §4): k-fold cross validation of
+/// a [`WorkloadModelBuilder`] configuration over a dataset.
+///
+/// Following the paper's protocol, the hyper-parameters (topology,
+/// termination threshold, …) are chosen once — "the MLP node count and
+/// the termination threshold were manually tuned for the first trial;
+/// then the next four trials were generated automatically with the same
+/// node count and the same threshold value".
+///
+/// # Examples
+///
+/// ```
+/// use wlc_data::{Dataset, Sample};
+/// use wlc_model::{CrossValidator, WorkloadModelBuilder};
+///
+/// let mut ds = Dataset::new(vec!["x".into()], vec!["y".into()]).unwrap();
+/// for i in 0..20 {
+///     let x = i as f64 / 4.0;
+///     ds.push(Sample::new(vec![x], vec![x * x + 1.0])).unwrap();
+/// }
+/// let builder = WorkloadModelBuilder::new()
+///     .no_hidden_layers()
+///     .hidden_layer(6)
+///     .max_epochs(400)
+///     .seed(1);
+/// let report = CrossValidator::new(builder).k(4).run(&ds)?;
+/// assert_eq!(report.trials().len(), 4);
+/// assert!(report.overall_error() < 1.0);
+/// # Ok::<(), wlc_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CrossValidator {
+    builder: WorkloadModelBuilder,
+    k: usize,
+    seed: u64,
+}
+
+impl CrossValidator {
+    /// Creates a 5-fold cross validator (the paper's k) for the given
+    /// model configuration.
+    pub fn new(builder: WorkloadModelBuilder) -> Self {
+        CrossValidator {
+            builder,
+            k: 5,
+            seed: 0,
+        }
+    }
+
+    /// Sets the number of folds.
+    pub fn k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Sets the fold-assignment seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Runs the cross validation.
+    ///
+    /// # Errors
+    ///
+    /// - [`ModelError::Data`] for invalid `k` relative to the dataset.
+    /// - Training/evaluation errors from the folds.
+    pub fn run(&self, dataset: &Dataset) -> Result<CvReport, ModelError> {
+        let kf = KFold::new(dataset.len(), self.k, Seed::new(self.seed))?;
+        let mut trials = Vec::with_capacity(self.k);
+        for (fold, (train_idx, val_idx)) in kf.folds().enumerate() {
+            let train = dataset.subset(&train_idx)?;
+            let val = dataset.subset(&val_idx)?;
+            // Each trial re-initializes weights (fresh random start), as
+            // the paper's per-trial training does.
+            let builder = self.builder.clone().seed(self.seed ^ (fold as u64) << 32);
+            let outcome = builder.train(&train)?;
+            let validation = outcome.model.evaluate(&val)?;
+            let training = outcome.model.evaluate(&train)?;
+            trials.push(CvTrial {
+                fold,
+                validation,
+                training,
+                train_report: outcome.report,
+            });
+        }
+        Ok(CvReport {
+            output_names: dataset.output_names().to_vec(),
+            trials,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wlc_data::Sample;
+
+    fn dataset(n: usize) -> Dataset {
+        // Smooth 2-input, 2-output non-linear map.
+        let mut ds =
+            Dataset::new(vec!["a".into(), "b".into()], vec!["y0".into(), "y1".into()]).unwrap();
+        for i in 0..n {
+            let a = (i % 7) as f64 + 1.0;
+            let b = (i / 7) as f64 + 1.0;
+            ds.push(Sample::new(vec![a, b], vec![a * a + b, a * b + 2.0]))
+                .unwrap();
+        }
+        ds
+    }
+
+    fn quick_builder() -> WorkloadModelBuilder {
+        WorkloadModelBuilder::new()
+            .no_hidden_layers()
+            .hidden_layer(10)
+            .max_epochs(800)
+            .learning_rate(0.05)
+            .termination_threshold(1e-3)
+    }
+
+    #[test]
+    fn five_fold_protocol() {
+        let ds = dataset(35);
+        let report = CrossValidator::new(quick_builder())
+            .seed(3)
+            .run(&ds)
+            .unwrap();
+        assert_eq!(report.trials().len(), 5);
+        for trial in report.trials() {
+            assert_eq!(trial.validation.outputs().len(), 2);
+        }
+        // A learnable relationship: average error well under 50%.
+        assert!(report.overall_error() < 0.5, "{}", report.overall_error());
+        assert!(report.overall_accuracy() > 0.5);
+    }
+
+    #[test]
+    fn errors_are_averaged_correctly() {
+        let ds = dataset(20);
+        let report = CrossValidator::new(quick_builder()).k(4).run(&ds).unwrap();
+        let avg = report.average_errors();
+        assert_eq!(avg.len(), 2);
+        let manual: f64 = report
+            .trials()
+            .iter()
+            .map(|t| t.validation.outputs()[0].harmonic_mean_error)
+            .sum::<f64>()
+            / 4.0;
+        assert!((avg[0] - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_renders_all_trials() {
+        let ds = dataset(20);
+        let report = CrossValidator::new(quick_builder().max_epochs(50))
+            .k(4)
+            .run(&ds)
+            .unwrap();
+        let table = report.to_table();
+        assert!(table.contains("Trial"));
+        assert!(table.contains("Average"));
+        assert!(table.contains('%'));
+        // 4 trials + header + separator + average.
+        assert!(table.lines().count() >= 6);
+    }
+
+    #[test]
+    fn invalid_k_rejected() {
+        let ds = dataset(4);
+        assert!(CrossValidator::new(quick_builder()).k(1).run(&ds).is_err());
+        assert!(CrossValidator::new(quick_builder()).k(10).run(&ds).is_err());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let ds = dataset(25);
+        let builder = quick_builder().max_epochs(60);
+        let a = CrossValidator::new(builder.clone())
+            .seed(9)
+            .run(&ds)
+            .unwrap();
+        let b = CrossValidator::new(builder).seed(9).run(&ds).unwrap();
+        assert_eq!(a.average_errors(), b.average_errors());
+    }
+
+    #[test]
+    fn trials_use_distinct_weight_seeds() {
+        let ds = dataset(25);
+        let report = CrossValidator::new(quick_builder().max_epochs(30))
+            .seed(2)
+            .run(&ds)
+            .unwrap();
+        // Different folds see different data and different initial
+        // weights: loss histories should differ.
+        let h0 = &report.trials()[0].train_report.loss_history;
+        let h1 = &report.trials()[1].train_report.loss_history;
+        assert_ne!(h0, h1);
+    }
+}

@@ -1,0 +1,248 @@
+use wlc_data::Dataset;
+
+use crate::{ModelError, PerformanceModel, WorkloadModel, WorkloadModelBuilder};
+
+/// An ensemble of independently initialized workload models whose
+/// predictions are averaged.
+///
+/// Gradient-descent MLP training is sensitive to the random initial
+/// weights (the local-minimum discussion of the paper's §3.1); averaging
+/// a few restarts reduces that variance without changing the method.
+/// This is an extension beyond the paper, used by the ablation
+/// experiments.
+///
+/// # Examples
+///
+/// ```
+/// use wlc_data::{Dataset, Sample};
+/// use wlc_model::{EnsembleModel, PerformanceModel, WorkloadModelBuilder};
+///
+/// let mut ds = Dataset::new(vec!["x".into()], vec!["y".into()]).unwrap();
+/// for i in 0..12 {
+///     let x = i as f64;
+///     ds.push(Sample::new(vec![x], vec![x * x])).unwrap();
+/// }
+/// let builder = WorkloadModelBuilder::new()
+///     .no_hidden_layers()
+///     .hidden_layer(6)
+///     .max_epochs(300);
+/// let ensemble = EnsembleModel::train(&builder, &ds, 3, 7)?;
+/// assert_eq!(ensemble.len(), 3);
+/// let y = ensemble.predict(&[5.0])?;
+/// assert!(y[0].is_finite());
+/// # Ok::<(), wlc_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnsembleModel {
+    members: Vec<WorkloadModel>,
+}
+
+impl EnsembleModel {
+    /// Trains `count` members from the same builder configuration with
+    /// different weight-initialization seeds derived from `base_seed`.
+    ///
+    /// # Errors
+    ///
+    /// - [`ModelError::InvalidParameter`] if `count == 0`.
+    /// - Training errors from any member.
+    pub fn train(
+        builder: &WorkloadModelBuilder,
+        dataset: &Dataset,
+        count: usize,
+        base_seed: u64,
+    ) -> Result<Self, ModelError> {
+        if count == 0 {
+            return Err(ModelError::InvalidParameter {
+                name: "count",
+                reason: "must train at least one member",
+            });
+        }
+        let mut members = Vec::with_capacity(count);
+        for i in 0..count {
+            let seed = base_seed.wrapping_mul(0x9E37_79B9).wrapping_add(i as u64);
+            members.push(builder.clone().seed(seed).train(dataset)?.model);
+        }
+        Ok(EnsembleModel { members })
+    }
+
+    /// Builds an ensemble from already-trained members.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] for an empty list and
+    /// [`ModelError::WidthMismatch`] if members disagree on shape.
+    pub fn from_members(members: Vec<WorkloadModel>) -> Result<Self, ModelError> {
+        let first = members.first().ok_or(ModelError::InvalidParameter {
+            name: "members",
+            reason: "must contain at least one model",
+        })?;
+        let (ins, outs) = (first.inputs(), first.outputs());
+        for m in &members {
+            if m.inputs() != ins || m.outputs() != outs {
+                return Err(ModelError::WidthMismatch {
+                    expected: ins,
+                    actual: m.inputs(),
+                    what: "ensemble member",
+                });
+            }
+        }
+        Ok(EnsembleModel { members })
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the ensemble has no members (never true for a constructed
+    /// ensemble; provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The member models.
+    pub fn members(&self) -> &[WorkloadModel] {
+        &self.members
+    }
+
+    /// Per-member predictions for one input (useful for uncertainty
+    /// inspection: wide spread = low confidence).
+    ///
+    /// # Errors
+    ///
+    /// Propagates member prediction errors.
+    pub fn member_predictions(&self, x: &[f64]) -> Result<Vec<Vec<f64>>, ModelError> {
+        self.members.iter().map(|m| m.predict(x)).collect()
+    }
+
+    /// Standard deviation of member predictions per output — a simple
+    /// epistemic-uncertainty signal.
+    ///
+    /// # Errors
+    ///
+    /// Propagates member prediction errors.
+    pub fn prediction_spread(&self, x: &[f64]) -> Result<Vec<f64>, ModelError> {
+        let all = self.member_predictions(x)?;
+        let outs = self.members[0].outputs();
+        let n = all.len() as f64;
+        let mut spread = Vec::with_capacity(outs);
+        for o in 0..outs {
+            let mean: f64 = all.iter().map(|p| p[o]).sum::<f64>() / n;
+            let var: f64 = all.iter().map(|p| (p[o] - mean).powi(2)).sum::<f64>() / n;
+            spread.push(var.sqrt());
+        }
+        Ok(spread)
+    }
+}
+
+impl PerformanceModel for EnsembleModel {
+    fn inputs(&self) -> usize {
+        self.members[0].inputs()
+    }
+
+    fn outputs(&self) -> usize {
+        self.members[0].outputs()
+    }
+
+    fn predict(&self, x: &[f64]) -> Result<Vec<f64>, ModelError> {
+        let mut acc = vec![0.0; self.outputs()];
+        for member in &self.members {
+            let p = member.predict(x)?;
+            for (a, v) in acc.iter_mut().zip(p.iter()) {
+                *a += v;
+            }
+        }
+        let n = self.members.len() as f64;
+        for a in &mut acc {
+            *a /= n;
+        }
+        Ok(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wlc_data::Sample;
+
+    fn dataset() -> Dataset {
+        let mut ds = Dataset::new(vec!["x".into()], vec!["y".into()]).unwrap();
+        for i in 0..16 {
+            let x = i as f64 / 2.0;
+            ds.push(Sample::new(vec![x], vec![(x - 3.0).powi(2)]))
+                .unwrap();
+        }
+        ds
+    }
+
+    fn builder() -> WorkloadModelBuilder {
+        WorkloadModelBuilder::new()
+            .no_hidden_layers()
+            .hidden_layer(8)
+            .max_epochs(500)
+            .learning_rate(0.05)
+    }
+
+    #[test]
+    fn averages_member_predictions() {
+        let ds = dataset();
+        let ensemble = EnsembleModel::train(&builder(), &ds, 3, 1).unwrap();
+        let x = [4.0];
+        let members = ensemble.member_predictions(&x).unwrap();
+        let mean: f64 = members.iter().map(|p| p[0]).sum::<f64>() / 3.0;
+        let pred = ensemble.predict(&x).unwrap()[0];
+        assert!((pred - mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn members_differ_by_seed() {
+        let ds = dataset();
+        let ensemble = EnsembleModel::train(&builder().max_epochs(50), &ds, 2, 3).unwrap();
+        let a = ensemble.members()[0].predict(&[2.5]).unwrap();
+        let b = ensemble.members()[1].predict(&[2.5]).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn spread_reflects_disagreement() {
+        let ds = dataset();
+        let ensemble = EnsembleModel::train(&builder(), &ds, 4, 5).unwrap();
+        // In-range spread should be small relative to out-of-range spread
+        // (members extrapolate differently).
+        let inside = ensemble.prediction_spread(&[3.0]).unwrap()[0];
+        let outside = ensemble.prediction_spread(&[30.0]).unwrap()[0];
+        assert!(outside > inside, "inside {inside} outside {outside}");
+    }
+
+    #[test]
+    fn validates_construction() {
+        let ds = dataset();
+        assert!(EnsembleModel::train(&builder(), &ds, 0, 1).is_err());
+        assert!(EnsembleModel::from_members(vec![]).is_err());
+        let single = EnsembleModel::train(&builder().max_epochs(10), &ds, 1, 1).unwrap();
+        assert_eq!(single.len(), 1);
+        assert!(!single.is_empty());
+    }
+
+    #[test]
+    fn from_members_checks_shapes() {
+        let ds = dataset();
+        let m1 = builder().max_epochs(10).train(&ds).unwrap().model;
+        let mut ds2 = Dataset::new(vec!["a".into(), "b".into()], vec!["y".into()]).unwrap();
+        for i in 0..8 {
+            ds2.push(Sample::new(vec![i as f64, 1.0], vec![i as f64]))
+                .unwrap();
+        }
+        let m2 = builder().max_epochs(10).train(&ds2).unwrap().model;
+        assert!(EnsembleModel::from_members(vec![m1, m2]).is_err());
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let ds = dataset();
+        let ensemble = EnsembleModel::train(&builder().max_epochs(20), &ds, 2, 1).unwrap();
+        let as_dyn: &dyn PerformanceModel = &ensemble;
+        assert_eq!(as_dyn.inputs(), 1);
+        assert_eq!(as_dyn.outputs(), 1);
+    }
+}

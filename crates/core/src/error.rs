@@ -1,0 +1,152 @@
+use std::error::Error;
+use std::fmt;
+
+use wlc_data::DataError;
+use wlc_math::MathError;
+use wlc_nn::NnError;
+use wlc_sim::SimError;
+
+/// Error type for model construction, training, analysis and persistence.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// Input did not match the model's expected width.
+    WidthMismatch {
+        /// Expected width.
+        expected: usize,
+        /// Provided width.
+        actual: usize,
+        /// What was being checked.
+        what: &'static str,
+    },
+    /// A builder or analysis parameter was invalid.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Constraint that was violated.
+        reason: &'static str,
+    },
+    /// Model deserialization failed.
+    Parse {
+        /// 1-based line number where parsing failed (0 if unknown).
+        line: usize,
+        /// Description of the problem.
+        reason: String,
+    },
+    /// File I/O failed.
+    Io(std::io::Error),
+    /// Neural-network layer error.
+    Nn(NnError),
+    /// Data-handling error.
+    Data(DataError),
+    /// Simulator error.
+    Sim(SimError),
+    /// Math error.
+    Math(MathError),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::WidthMismatch {
+                expected,
+                actual,
+                what,
+            } => write!(
+                f,
+                "{what} width mismatch: expected {expected}, got {actual}"
+            ),
+            ModelError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            ModelError::Parse { line, reason } => {
+                write!(f, "model parse error at line {line}: {reason}")
+            }
+            ModelError::Io(e) => write!(f, "io error: {e}"),
+            ModelError::Nn(e) => write!(f, "neural network error: {e}"),
+            ModelError::Data(e) => write!(f, "data error: {e}"),
+            ModelError::Sim(e) => write!(f, "simulation error: {e}"),
+            ModelError::Math(e) => write!(f, "math error: {e}"),
+        }
+    }
+}
+
+impl Error for ModelError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ModelError::Io(e) => Some(e),
+            ModelError::Nn(e) => Some(e),
+            ModelError::Data(e) => Some(e),
+            ModelError::Sim(e) => Some(e),
+            ModelError::Math(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ModelError {
+    fn from(e: std::io::Error) -> Self {
+        ModelError::Io(e)
+    }
+}
+
+impl From<NnError> for ModelError {
+    fn from(e: NnError) -> Self {
+        ModelError::Nn(e)
+    }
+}
+
+impl From<DataError> for ModelError {
+    fn from(e: DataError) -> Self {
+        ModelError::Data(e)
+    }
+}
+
+impl From<SimError> for ModelError {
+    fn from(e: SimError) -> Self {
+        ModelError::Sim(e)
+    }
+}
+
+impl From<MathError> for ModelError {
+    fn from(e: MathError) -> Self {
+        ModelError::Math(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = ModelError::WidthMismatch {
+            expected: 4,
+            actual: 2,
+            what: "configuration",
+        };
+        assert!(e.to_string().contains("expected 4, got 2"));
+        let p = ModelError::Parse {
+            line: 2,
+            reason: "bad header".into(),
+        };
+        assert!(p.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn conversions_and_sources() {
+        let a: ModelError = NnError::EmptyNetwork.into();
+        let b: ModelError = DataError::Empty.into();
+        let c: ModelError = SimError::NoCompletions.into();
+        let d: ModelError = MathError::Singular.into();
+        for e in [a, b, c, d] {
+            assert!(Error::source(&e).is_some(), "{e}");
+        }
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<ModelError>();
+    }
+}

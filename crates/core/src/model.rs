@@ -1,0 +1,712 @@
+use std::path::Path;
+
+use wlc_data::metrics::ErrorReport;
+use wlc_data::{Dataset, Scaler};
+use wlc_math::Matrix;
+use wlc_nn::{Activation, Loss, Mlp, MlpBuilder, OptimizerKind, TrainConfig, TrainReport, Trainer};
+
+use crate::ModelError;
+
+/// Anything that maps a workload configuration to predicted performance
+/// indicators — implemented by [`WorkloadModel`] and by every baseline in
+/// [`crate::baseline`], so surfaces, classification and tuning work with
+/// either.
+pub trait PerformanceModel {
+    /// Number of configuration parameters.
+    fn inputs(&self) -> usize;
+
+    /// Number of performance indicators.
+    fn outputs(&self) -> usize;
+
+    /// Predicts the indicator vector for one raw configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::WidthMismatch`] if `x.len() != self.inputs()`.
+    fn predict(&self, x: &[f64]) -> Result<Vec<f64>, ModelError>;
+
+    /// Predicts for every row of `xs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::WidthMismatch`] if `xs.cols() != self.inputs()`.
+    fn predict_batch(&self, xs: &Matrix) -> Result<Matrix, ModelError> {
+        let mut out = Matrix::zeros(xs.rows(), self.outputs());
+        for r in 0..xs.rows() {
+            let y = self.predict(xs.row(r))?;
+            out.row_mut(r).copy_from_slice(&y);
+        }
+        Ok(out)
+    }
+}
+
+/// Feature/indicator scaling applied around the MLP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ScalingKind {
+    /// Z-score standardization — the paper's mandated preprocessing
+    /// (§3.1).
+    Standard,
+    /// Min-max scaling to `[0, 1]` (ablation alternative).
+    MinMax,
+    /// No scaling (ablation: demonstrates the local-minimum failure the
+    /// paper warns about).
+    None,
+}
+
+impl ScalingKind {
+    fn fit(self, data: &Matrix) -> Result<Scaler, ModelError> {
+        Ok(match self {
+            ScalingKind::Standard => Scaler::standard_fit(data)?,
+            ScalingKind::MinMax => Scaler::min_max_fit(data)?,
+            ScalingKind::None => Scaler::identity(data.cols()),
+        })
+    }
+}
+
+/// The paper's non-linear workload model: input standardization, an MLP
+/// core, and output de-standardization.
+///
+/// One model covers all `n → m` indicators at once: the paper opts "to
+/// approximate each workload with 1 instance of n-to-m relation in the
+/// belief that it will model the synthetic behavior of the application
+/// more accurately" (§3.2).
+///
+/// Built (and trained) by [`WorkloadModelBuilder`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadModel {
+    input_names: Vec<String>,
+    output_names: Vec<String>,
+    input_scaler: Scaler,
+    output_scaler: Scaler,
+    mlp: Mlp,
+}
+
+impl WorkloadModel {
+    /// Input (configuration) column names.
+    pub fn input_names(&self) -> &[String] {
+        &self.input_names
+    }
+
+    /// Output (indicator) column names.
+    pub fn output_names(&self) -> &[String] {
+        &self.output_names
+    }
+
+    /// The underlying network topology, e.g. `[4, 16, 12, 5]`.
+    pub fn topology(&self) -> Vec<usize> {
+        self.mlp.topology()
+    }
+
+    /// Evaluates prediction error on a labelled dataset, producing the
+    /// per-indicator report used by the Table 2 reproduction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::WidthMismatch`] for incompatible widths and
+    /// propagates metric errors.
+    pub fn evaluate(&self, dataset: &Dataset) -> Result<ErrorReport, ModelError> {
+        let (xs, ys) = dataset.to_matrices();
+        let predicted = self.predict_batch(&xs)?;
+        Ok(ErrorReport::compare(
+            dataset.output_names(),
+            &ys,
+            &predicted,
+        )?)
+    }
+
+    /// Serializes the model (names, scalers, network) to text.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("wlc-model v1\n");
+        out.push_str(&format!("inputs {}\n", self.input_names.join(",")));
+        out.push_str(&format!("outputs {}\n", self.output_names.join(",")));
+        out.push_str(&format!("xscaler {}\n", self.input_scaler.to_text()));
+        out.push_str(&format!("yscaler {}\n", self.output_scaler.to_text()));
+        out.push_str(&self.mlp.to_text());
+        out
+    }
+
+    /// Parses a model from the format produced by [`WorkloadModel::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Parse`] on any format violation.
+    pub fn from_text(text: &str) -> Result<Self, ModelError> {
+        let err = |line: usize, reason: &str| ModelError::Parse {
+            line,
+            reason: reason.to_string(),
+        };
+        let mut lines = text.lines();
+        if lines.next().map(str::trim) != Some("wlc-model v1") {
+            return Err(err(1, "missing `wlc-model v1` header"));
+        }
+        let input_names: Vec<String> = lines
+            .next()
+            .and_then(|l| l.strip_prefix("inputs "))
+            .ok_or_else(|| err(2, "expected `inputs <names>`"))?
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .collect();
+        let output_names: Vec<String> = lines
+            .next()
+            .and_then(|l| l.strip_prefix("outputs "))
+            .ok_or_else(|| err(3, "expected `outputs <names>`"))?
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .collect();
+        let input_scaler = Scaler::from_text(
+            lines
+                .next()
+                .and_then(|l| l.strip_prefix("xscaler "))
+                .ok_or_else(|| err(4, "expected `xscaler ...`"))?,
+        )
+        .map_err(|e| err(4, &e.to_string()))?;
+        let output_scaler = Scaler::from_text(
+            lines
+                .next()
+                .and_then(|l| l.strip_prefix("yscaler "))
+                .ok_or_else(|| err(5, "expected `yscaler ...`"))?,
+        )
+        .map_err(|e| err(5, &e.to_string()))?;
+        let rest: Vec<&str> = lines.collect();
+        let mlp = Mlp::from_text(&rest.join("\n"))?;
+
+        if input_scaler.cols() != mlp.inputs() || input_names.len() != mlp.inputs() {
+            return Err(err(0, "input names/scaler/network widths disagree"));
+        }
+        if output_scaler.cols() != mlp.outputs() || output_names.len() != mlp.outputs() {
+            return Err(err(0, "output names/scaler/network widths disagree"));
+        }
+        Ok(WorkloadModel {
+            input_names,
+            output_names,
+            input_scaler,
+            output_scaler,
+            mlp,
+        })
+    }
+
+    /// Writes the model to a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Io`] on filesystem failure.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), ModelError> {
+        std::fs::write(path, self.to_text())?;
+        Ok(())
+    }
+
+    /// Reads a model from a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Io`] / [`ModelError::Parse`].
+    pub fn load<P: AsRef<Path>>(path: P) -> Result<Self, ModelError> {
+        let text = std::fs::read_to_string(path)?;
+        Self::from_text(&text)
+    }
+}
+
+impl PerformanceModel for WorkloadModel {
+    fn inputs(&self) -> usize {
+        self.mlp.inputs()
+    }
+
+    fn outputs(&self) -> usize {
+        self.mlp.outputs()
+    }
+
+    fn predict(&self, x: &[f64]) -> Result<Vec<f64>, ModelError> {
+        if x.len() != self.inputs() {
+            return Err(ModelError::WidthMismatch {
+                expected: self.inputs(),
+                actual: x.len(),
+                what: "configuration",
+            });
+        }
+        let mut scaled = x.to_vec();
+        self.input_scaler.transform_row(&mut scaled)?;
+        let mut y = self.mlp.forward(&scaled)?;
+        self.output_scaler.inverse_row(&mut y)?;
+        Ok(y)
+    }
+}
+
+/// A trained model together with its training report.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct TrainedModel {
+    /// The trained workload model.
+    pub model: WorkloadModel,
+    /// What happened during training (loss history, stop reason).
+    pub report: TrainReport,
+}
+
+/// Builder that configures and trains a [`WorkloadModel`].
+///
+/// Defaults follow the paper: logistic hidden activations, identity
+/// output, standardized inputs *and* outputs (the paper standardizes
+/// outputs "when approximating multiple performance indicators at the
+/// same time", §3.1), momentum gradient descent, and a termination
+/// threshold for the deliberate loose fit.
+///
+/// # Examples
+///
+/// ```
+/// use wlc_model::WorkloadModelBuilder;
+/// let builder = WorkloadModelBuilder::new()
+///     .hidden_layer(16)
+///     .hidden_layer(12)
+///     .learning_rate(0.05)
+///     .max_epochs(500)
+///     .termination_threshold(1e-3)
+///     .seed(7);
+/// assert_eq!(builder.hidden_layers(), &[16, 12]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorkloadModelBuilder {
+    hidden: Vec<usize>,
+    activation: Activation,
+    output_activation: Activation,
+    input_scaling: ScalingKind,
+    output_scaling: ScalingKind,
+    max_epochs: usize,
+    learning_rate: f64,
+    optimizer: OptimizerKind,
+    loss: Loss,
+    termination_threshold: Option<f64>,
+    batch_size: Option<usize>,
+    seed: u64,
+    hidden_explicit: bool,
+}
+
+impl WorkloadModelBuilder {
+    /// Creates a builder with the paper-like defaults (two logistic hidden
+    /// layers of 16 and 12 perceptrons).
+    pub fn new() -> Self {
+        WorkloadModelBuilder {
+            hidden: vec![16, 12],
+            activation: Activation::logistic(),
+            output_activation: Activation::identity(),
+            input_scaling: ScalingKind::Standard,
+            output_scaling: ScalingKind::Standard,
+            max_epochs: 2000,
+            learning_rate: 0.04,
+            optimizer: OptimizerKind::momentum(),
+            loss: Loss::MeanSquared,
+            termination_threshold: Some(2e-3),
+            batch_size: None,
+            seed: 0,
+            hidden_explicit: false,
+        }
+    }
+
+    /// Clears the hidden layers (start of an explicit topology).
+    pub fn no_hidden_layers(mut self) -> Self {
+        self.hidden.clear();
+        self.hidden_explicit = true;
+        self
+    }
+
+    /// Appends a hidden layer of `width` perceptrons. The first call
+    /// replaces the default topology; further calls accumulate.
+    pub fn hidden_layer(mut self, width: usize) -> Self {
+        if !self.hidden_explicit {
+            self.hidden.clear();
+            self.hidden_explicit = true;
+        }
+        self.hidden.push(width);
+        self
+    }
+
+    /// The configured hidden-layer widths.
+    pub fn hidden_layers(&self) -> &[usize] {
+        &self.hidden
+    }
+
+    /// Sets the hidden activation (default: logistic sigmoid).
+    pub fn activation(mut self, activation: Activation) -> Self {
+        self.activation = activation;
+        self
+    }
+
+    /// Sets the output activation (default: identity, for regression).
+    pub fn output_activation(mut self, activation: Activation) -> Self {
+        self.output_activation = activation;
+        self
+    }
+
+    /// Sets input scaling (default: standardization).
+    pub fn input_scaling(mut self, kind: ScalingKind) -> Self {
+        self.input_scaling = kind;
+        self
+    }
+
+    /// Sets output scaling (default: standardization).
+    pub fn output_scaling(mut self, kind: ScalingKind) -> Self {
+        self.output_scaling = kind;
+        self
+    }
+
+    /// Sets the epoch budget.
+    pub fn max_epochs(mut self, epochs: usize) -> Self {
+        self.max_epochs = epochs;
+        self
+    }
+
+    /// Sets a constant learning rate.
+    pub fn learning_rate(mut self, rate: f64) -> Self {
+        self.learning_rate = rate;
+        self
+    }
+
+    /// Sets the optimizer (default: momentum gradient descent).
+    pub fn optimizer(mut self, optimizer: OptimizerKind) -> Self {
+        self.optimizer = optimizer;
+        self
+    }
+
+    /// Sets the training loss (default: mean squared error).
+    pub fn loss(mut self, loss: Loss) -> Self {
+        self.loss = loss;
+        self
+    }
+
+    /// Sets the loose-fit termination threshold (§3.3). Pass the scaled-
+    /// space MSE below which training stops.
+    pub fn termination_threshold(mut self, threshold: f64) -> Self {
+        self.termination_threshold = Some(threshold);
+        self
+    }
+
+    /// Disables the termination threshold (train to `max_epochs`).
+    pub fn no_termination_threshold(mut self) -> Self {
+        self.termination_threshold = None;
+        self
+    }
+
+    /// Sets a mini-batch size (default: full batch).
+    pub fn batch_size(mut self, size: usize) -> Self {
+        self.batch_size = Some(size);
+        self
+    }
+
+    /// Seed for weight initialization and shuffling.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn train_config(&self) -> TrainConfig {
+        let mut config = TrainConfig::new()
+            .max_epochs(self.max_epochs)
+            .learning_rate(self.learning_rate)
+            .optimizer(self.optimizer)
+            .loss(self.loss)
+            .rng_seed(self.seed);
+        if let Some(t) = self.termination_threshold {
+            config = config.termination_threshold(t);
+        }
+        if let Some(b) = self.batch_size {
+            config = config.batch_size(b);
+        }
+        config
+    }
+
+    /// Trains a model on `dataset`.
+    ///
+    /// # Errors
+    ///
+    /// - [`ModelError::InvalidParameter`] for an empty dataset.
+    /// - [`ModelError::Nn`] for training failures (divergence, bad
+    ///   hyper-parameters).
+    pub fn train(&self, dataset: &Dataset) -> Result<TrainedModel, ModelError> {
+        self.train_impl(dataset, None)
+    }
+
+    /// Trains on `train` while monitoring `validation` (reported in the
+    /// [`TrainReport`]; useful for overfitting studies).
+    ///
+    /// # Errors
+    ///
+    /// As for [`WorkloadModelBuilder::train`].
+    pub fn train_with_validation(
+        &self,
+        train: &Dataset,
+        validation: &Dataset,
+    ) -> Result<TrainedModel, ModelError> {
+        self.train_impl(train, Some(validation))
+    }
+
+    fn train_impl(
+        &self,
+        dataset: &Dataset,
+        validation: Option<&Dataset>,
+    ) -> Result<TrainedModel, ModelError> {
+        if dataset.is_empty() {
+            return Err(ModelError::InvalidParameter {
+                name: "dataset",
+                reason: "must contain at least one sample",
+            });
+        }
+        let (xs, ys) = dataset.to_matrices();
+        let input_scaler = self.input_scaling.fit(&xs)?;
+        let output_scaler = self.output_scaling.fit(&ys)?;
+        let tx = input_scaler.transform(&xs)?;
+        let ty = output_scaler.transform(&ys)?;
+
+        let mut builder = MlpBuilder::new(dataset.input_width()).seed(self.seed);
+        for &width in &self.hidden {
+            builder = builder.hidden(width, self.activation);
+        }
+        let mut mlp = builder
+            .output(dataset.output_width(), self.output_activation)
+            .build()?;
+
+        let trainer = Trainer::new(self.train_config());
+        let report = match validation {
+            Some(val) => {
+                let (vx, vy) = val.to_matrices();
+                let tvx = input_scaler.transform(&vx)?;
+                let tvy = output_scaler.transform(&vy)?;
+                trainer.fit_with_validation(&mut mlp, &tx, &ty, &tvx, &tvy)?
+            }
+            None => trainer.fit(&mut mlp, &tx, &ty)?,
+        };
+
+        Ok(TrainedModel {
+            model: WorkloadModel {
+                input_names: dataset.input_names().to_vec(),
+                output_names: dataset.output_names().to_vec(),
+                input_scaler,
+                output_scaler,
+                mlp,
+            },
+            report,
+        })
+    }
+}
+
+impl Default for WorkloadModelBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wlc_data::Sample;
+
+    /// A small synthetic dataset with a non-linear relationship:
+    /// y0 = x0², y1 = x0·x1 (plus the identity-recoverable y2 = x1).
+    fn synthetic_dataset() -> Dataset {
+        let mut ds = Dataset::new(
+            vec!["a".into(), "b".into()],
+            vec!["sq".into(), "prod".into(), "lin".into()],
+        )
+        .unwrap();
+        for i in 0..8 {
+            for j in 0..8 {
+                let a = i as f64 / 2.0 + 1.0;
+                let b = j as f64 / 2.0 + 1.0;
+                ds.push(Sample::new(vec![a, b], vec![a * a, a * b, b]))
+                    .unwrap();
+            }
+        }
+        ds
+    }
+
+    fn quick_builder() -> WorkloadModelBuilder {
+        WorkloadModelBuilder::new()
+            .no_hidden_layers()
+            .hidden_layer(12)
+            .max_epochs(1500)
+            .learning_rate(0.05)
+            .termination_threshold(5e-4)
+            .seed(3)
+    }
+
+    #[test]
+    fn trains_nonlinear_relationship() {
+        let ds = synthetic_dataset();
+        let outcome = quick_builder().train(&ds).unwrap();
+        let report = outcome.model.evaluate(&ds).unwrap();
+        assert!(
+            report.overall_error() < 0.10,
+            "error {}",
+            report.overall_error()
+        );
+        // Spot-check a point: a=2, b=3.
+        let pred = outcome.model.predict(&[2.0, 3.0]).unwrap();
+        assert!((pred[0] - 4.0).abs() < 1.0, "sq {}", pred[0]);
+        assert!((pred[1] - 6.0).abs() < 1.5, "prod {}", pred[1]);
+    }
+
+    #[test]
+    fn builder_defaults_are_paper_like() {
+        let b = WorkloadModelBuilder::new();
+        assert_eq!(b.hidden_layers(), &[16, 12]);
+        let def = WorkloadModelBuilder::default();
+        assert_eq!(def.hidden_layers(), b.hidden_layers());
+    }
+
+    #[test]
+    fn train_rejects_empty_dataset() {
+        let ds = Dataset::new(vec!["x".into()], vec!["y".into()]).unwrap();
+        assert!(matches!(
+            WorkloadModelBuilder::new().train(&ds),
+            Err(ModelError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn predict_checks_width() {
+        let ds = synthetic_dataset();
+        let outcome = quick_builder().max_epochs(10).train(&ds).unwrap();
+        assert!(matches!(
+            outcome.model.predict(&[1.0]),
+            Err(ModelError::WidthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn predict_batch_matches_predict() {
+        let ds = synthetic_dataset();
+        let outcome = quick_builder().max_epochs(50).train(&ds).unwrap();
+        let (xs, _) = ds.to_matrices();
+        let batch = outcome.model.predict_batch(&xs).unwrap();
+        let single = outcome.model.predict(xs.row(3)).unwrap();
+        assert_eq!(batch.row(3), single.as_slice());
+    }
+
+    #[test]
+    fn text_roundtrip_preserves_predictions() {
+        let ds = synthetic_dataset();
+        let outcome = quick_builder().max_epochs(100).train(&ds).unwrap();
+        let text = outcome.model.to_text();
+        let back = WorkloadModel::from_text(&text).unwrap();
+        assert_eq!(back, outcome.model);
+        let x = [2.5, 1.5];
+        assert_eq!(
+            back.predict(&x).unwrap(),
+            outcome.model.predict(&x).unwrap()
+        );
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let ds = synthetic_dataset();
+        let outcome = quick_builder().max_epochs(20).train(&ds).unwrap();
+        let dir = std::env::temp_dir().join("wlc-model-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.txt");
+        outcome.model.save(&path).unwrap();
+        let back = WorkloadModel::load(&path).unwrap();
+        assert_eq!(back, outcome.model);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn from_text_rejects_corruption() {
+        let ds = synthetic_dataset();
+        let outcome = quick_builder().max_epochs(10).train(&ds).unwrap();
+        let text = outcome.model.to_text();
+        assert!(WorkloadModel::from_text(&text.replace("wlc-model v1", "nope")).is_err());
+        assert!(WorkloadModel::from_text(&text.replace("xscaler", "zscaler")).is_err());
+        // Truncated network section.
+        let short: String = text.lines().take(6).collect::<Vec<_>>().join("\n");
+        assert!(WorkloadModel::from_text(&short).is_err());
+    }
+
+    #[test]
+    fn standardization_beats_no_scaling_on_wide_ranges() {
+        // The paper's §3.1 claim: without standardization, gradient
+        // training on wide-magnitude features is prone to bad fits.
+        let mut ds = Dataset::new(vec!["big".into()], vec!["y".into()]).unwrap();
+        for i in 0..20 {
+            let x = 1000.0 + i as f64 * 100.0; // large-magnitude feature
+            let t = (i as f64 / 19.0 * std::f64::consts::PI).sin();
+            ds.push(Sample::new(vec![x], vec![t])).unwrap();
+        }
+        let standardized = WorkloadModelBuilder::new()
+            .no_hidden_layers()
+            .hidden_layer(8)
+            .max_epochs(800)
+            .learning_rate(0.05)
+            .no_termination_threshold()
+            .seed(1)
+            .train(&ds)
+            .unwrap();
+        let raw_result = WorkloadModelBuilder::new()
+            .no_hidden_layers()
+            .hidden_layer(8)
+            .max_epochs(800)
+            .learning_rate(0.05)
+            .no_termination_threshold()
+            .input_scaling(ScalingKind::None)
+            .seed(1)
+            .train(&ds);
+        let std_loss = standardized.report.final_train_loss;
+        match raw_result {
+            Ok(raw) => assert!(
+                std_loss < raw.report.final_train_loss * 0.5,
+                "standardized {std_loss} vs raw {}",
+                raw.report.final_train_loss
+            ),
+            // Divergence is an equally acceptable demonstration.
+            Err(ModelError::Nn(wlc_nn::NnError::Diverged { .. })) => {}
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn termination_threshold_keeps_fit_loose() {
+        let ds = synthetic_dataset();
+        let loose = quick_builder()
+            .termination_threshold(0.05)
+            .train(&ds)
+            .unwrap();
+        let tight = quick_builder()
+            .termination_threshold(1e-5)
+            .train(&ds)
+            .unwrap();
+        assert!(loose.report.epochs_run <= tight.report.epochs_run);
+        assert!(loose.report.final_train_loss >= tight.report.final_train_loss);
+    }
+
+    #[test]
+    fn validation_monitoring_reports_history() {
+        let ds = synthetic_dataset();
+        let val = ds.subset(&[0, 9, 18, 27]).unwrap();
+        let outcome = quick_builder()
+            .max_epochs(50)
+            .no_termination_threshold()
+            .train_with_validation(&ds, &val)
+            .unwrap();
+        assert_eq!(outcome.report.val_history.len(), 50);
+        assert!(outcome.report.final_val_loss.is_some());
+    }
+
+    #[test]
+    fn min_max_scaling_variant_works() {
+        let ds = synthetic_dataset();
+        let outcome = quick_builder()
+            .input_scaling(ScalingKind::MinMax)
+            .output_scaling(ScalingKind::MinMax)
+            .train(&ds)
+            .unwrap();
+        let report = outcome.model.evaluate(&ds).unwrap();
+        assert!(report.overall_error() < 0.2, "{}", report.overall_error());
+    }
+
+    #[test]
+    fn topology_reported() {
+        let ds = synthetic_dataset();
+        let outcome = quick_builder().max_epochs(5).train(&ds).unwrap();
+        assert_eq!(outcome.model.topology(), vec![2, 12, 3]);
+        assert_eq!(outcome.model.input_names(), &["a", "b"]);
+        assert_eq!(outcome.model.output_names().len(), 3);
+    }
+}

@@ -1,0 +1,131 @@
+use std::error::Error;
+use std::fmt;
+
+use wlc_math::MathError;
+
+/// Error type for dataset handling, scaling, splitting and metrics.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum DataError {
+    /// The dataset (or an input slice) was empty where data is required.
+    Empty,
+    /// A sample or row had the wrong width.
+    WidthMismatch {
+        /// Expected width.
+        expected: usize,
+        /// Actual width.
+        actual: usize,
+        /// What was being measured (e.g. `"inputs"`).
+        what: &'static str,
+    },
+    /// Two paired collections differ in length.
+    LengthMismatch {
+        /// Length of the first collection.
+        left: usize,
+        /// Length of the second collection.
+        right: usize,
+        /// The operation involved.
+        op: &'static str,
+    },
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Constraint that was violated.
+        reason: &'static str,
+    },
+    /// CSV parsing failed.
+    Csv {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        reason: String,
+    },
+    /// File I/O failed.
+    Io(std::io::Error),
+    /// An underlying math operation failed.
+    Math(MathError),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::Empty => write!(f, "dataset must not be empty"),
+            DataError::WidthMismatch {
+                expected,
+                actual,
+                what,
+            } => write!(
+                f,
+                "{what} width mismatch: expected {expected}, got {actual}"
+            ),
+            DataError::LengthMismatch { left, right, op } => {
+                write!(f, "length mismatch in {op}: {left} vs {right}")
+            }
+            DataError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            DataError::Csv { line, reason } => write!(f, "csv error at line {line}: {reason}"),
+            DataError::Io(e) => write!(f, "io error: {e}"),
+            DataError::Math(e) => write!(f, "math error: {e}"),
+        }
+    }
+}
+
+impl Error for DataError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DataError::Io(e) => Some(e),
+            DataError::Math(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DataError {
+    fn from(e: std::io::Error) -> Self {
+        DataError::Io(e)
+    }
+}
+
+impl From<MathError> for DataError {
+    fn from(e: MathError) -> Self {
+        DataError::Math(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = DataError::WidthMismatch {
+            expected: 4,
+            actual: 2,
+            what: "inputs",
+        };
+        assert!(e.to_string().contains("expected 4, got 2"));
+        assert!(DataError::Empty.to_string().contains("empty"));
+        let c = DataError::Csv {
+            line: 3,
+            reason: "bad float".into(),
+        };
+        assert!(c.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn sources_wired() {
+        let io: DataError = std::io::Error::new(std::io::ErrorKind::NotFound, "x").into();
+        assert!(Error::source(&io).is_some());
+        let math: DataError = MathError::Singular.into();
+        assert!(Error::source(&math).is_some());
+        assert!(Error::source(&DataError::Empty).is_none());
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<DataError>();
+    }
+}

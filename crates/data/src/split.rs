@@ -1,0 +1,313 @@
+use wlc_math::rng::{Seed, Xoshiro256};
+
+use crate::DataError;
+
+/// Splits `0..n` into shuffled train/test index sets.
+///
+/// `test_fraction` of the samples (rounded down, but at least one when
+/// `0 < test_fraction < 1`) go to the test set.
+///
+/// # Errors
+///
+/// - [`DataError::Empty`] if `n == 0`.
+/// - [`DataError::InvalidParameter`] unless `0 <= test_fraction < 1`.
+///
+/// # Examples
+///
+/// ```
+/// use wlc_data::train_test_split;
+/// use wlc_math::rng::Seed;
+///
+/// let (train, test) = train_test_split(10, 0.2, Seed::new(1))?;
+/// assert_eq!(train.len(), 8);
+/// assert_eq!(test.len(), 2);
+/// # Ok::<(), wlc_data::DataError>(())
+/// ```
+pub fn train_test_split(
+    n: usize,
+    test_fraction: f64,
+    seed: Seed,
+) -> Result<(Vec<usize>, Vec<usize>), DataError> {
+    if n == 0 {
+        return Err(DataError::Empty);
+    }
+    if !(test_fraction.is_finite() && (0.0..1.0).contains(&test_fraction)) {
+        return Err(DataError::InvalidParameter {
+            name: "test_fraction",
+            reason: "must be in [0, 1)",
+        });
+    }
+    let mut rng = Xoshiro256::from_seed(seed);
+    let mut idx: Vec<usize> = (0..n).collect();
+    rng.shuffle(&mut idx);
+    let mut test_len = (n as f64 * test_fraction).floor() as usize;
+    if test_fraction > 0.0 && test_len == 0 {
+        test_len = 1;
+    }
+    if test_len >= n {
+        test_len = n - 1;
+    }
+    let test = idx.split_off(n - test_len);
+    Ok((idx, test))
+}
+
+/// K-fold cross-validation index generator (paper §3.3).
+///
+/// "In k-fold cross validation, a training set is divided into k sets of
+/// equal size. Then the model is trained for k times. For each trial, one
+/// set is excluded; k − 1 sets are used to train the model, and the
+/// excluded set, termed validation set, is used to calculate the error
+/// metric."
+///
+/// # Examples
+///
+/// ```
+/// use wlc_data::KFold;
+/// use wlc_math::rng::Seed;
+///
+/// let kf = KFold::new(10, 5, Seed::new(7))?;
+/// let folds: Vec<_> = kf.folds().collect();
+/// assert_eq!(folds.len(), 5);
+/// for (train, val) in &folds {
+///     assert_eq!(train.len() + val.len(), 10);
+///     assert_eq!(val.len(), 2);
+/// }
+/// # Ok::<(), wlc_data::DataError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KFold {
+    /// Shuffled sample indices, partitioned contiguously into folds.
+    order: Vec<usize>,
+    /// Fold boundaries: fold `i` is `order[bounds[i]..bounds[i+1]]`.
+    bounds: Vec<usize>,
+}
+
+impl KFold {
+    /// Plans a shuffled k-fold split of `n` samples.
+    ///
+    /// Fold sizes differ by at most one when `k` does not divide `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidParameter`] unless `2 <= k <= n`.
+    pub fn new(n: usize, k: usize, seed: Seed) -> Result<Self, DataError> {
+        if k < 2 {
+            return Err(DataError::InvalidParameter {
+                name: "k",
+                reason: "must be at least 2",
+            });
+        }
+        if k > n {
+            return Err(DataError::InvalidParameter {
+                name: "k",
+                reason: "must not exceed the number of samples",
+            });
+        }
+        let mut rng = Xoshiro256::from_seed(seed);
+        let mut order: Vec<usize> = (0..n).collect();
+        rng.shuffle(&mut order);
+
+        // Distribute the remainder over the first folds.
+        let base = n / k;
+        let extra = n % k;
+        let mut bounds = Vec::with_capacity(k + 1);
+        let mut pos = 0;
+        bounds.push(0);
+        for i in 0..k {
+            pos += base + usize::from(i < extra);
+            bounds.push(pos);
+        }
+        Ok(KFold { order, bounds })
+    }
+
+    /// Number of folds.
+    pub fn k(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// Total number of samples.
+    pub fn n(&self) -> usize {
+        self.order.len()
+    }
+
+    /// The `(train_indices, validation_indices)` pair for fold `fold`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fold >= self.k()`.
+    pub fn fold(&self, fold: usize) -> (Vec<usize>, Vec<usize>) {
+        assert!(fold < self.k(), "fold index out of range");
+        let lo = self.bounds[fold];
+        let hi = self.bounds[fold + 1];
+        let val = self.order[lo..hi].to_vec();
+        let train = self.order[..lo]
+            .iter()
+            .chain(self.order[hi..].iter())
+            .copied()
+            .collect();
+        (train, val)
+    }
+
+    /// Iterates over all `(train, validation)` folds.
+    pub fn folds(&self) -> Folds<'_> {
+        Folds { kf: self, next: 0 }
+    }
+}
+
+/// Iterator over the folds of a [`KFold`]; created by [`KFold::folds`].
+#[derive(Debug, Clone)]
+pub struct Folds<'a> {
+    kf: &'a KFold,
+    next: usize,
+}
+
+impl Iterator for Folds<'_> {
+    type Item = (Vec<usize>, Vec<usize>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next >= self.kf.k() {
+            return None;
+        }
+        let item = self.kf.fold(self.next);
+        self.next += 1;
+        Some(item)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.kf.k() - self.next;
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for Folds<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn split_sizes() {
+        let (train, test) = train_test_split(100, 0.25, Seed::new(1)).unwrap();
+        assert_eq!(train.len(), 75);
+        assert_eq!(test.len(), 25);
+    }
+
+    #[test]
+    fn split_is_a_partition() {
+        let (train, test) = train_test_split(31, 0.3, Seed::new(2)).unwrap();
+        let all: HashSet<usize> = train.iter().chain(test.iter()).copied().collect();
+        assert_eq!(all.len(), 31);
+        assert_eq!(train.len() + test.len(), 31);
+    }
+
+    #[test]
+    fn split_minimum_one_test_sample() {
+        let (train, test) = train_test_split(3, 0.1, Seed::new(3)).unwrap();
+        assert_eq!(test.len(), 1);
+        assert_eq!(train.len(), 2);
+    }
+
+    #[test]
+    fn split_zero_fraction_gives_empty_test() {
+        let (train, test) = train_test_split(5, 0.0, Seed::new(4)).unwrap();
+        assert!(test.is_empty());
+        assert_eq!(train.len(), 5);
+    }
+
+    #[test]
+    fn split_never_empties_train() {
+        let (train, test) = train_test_split(2, 0.99, Seed::new(5)).unwrap();
+        assert_eq!(train.len(), 1);
+        assert_eq!(test.len(), 1);
+    }
+
+    #[test]
+    fn split_validates() {
+        assert!(train_test_split(0, 0.2, Seed::new(1)).is_err());
+        assert!(train_test_split(10, 1.0, Seed::new(1)).is_err());
+        assert!(train_test_split(10, -0.1, Seed::new(1)).is_err());
+    }
+
+    #[test]
+    fn split_deterministic_per_seed() {
+        let a = train_test_split(20, 0.25, Seed::new(9)).unwrap();
+        let b = train_test_split(20, 0.25, Seed::new(9)).unwrap();
+        let c = train_test_split(20, 0.25, Seed::new(10)).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn kfold_paper_protocol_5_fold() {
+        // The paper's setting: 5-fold CV.
+        let kf = KFold::new(50, 5, Seed::new(1)).unwrap();
+        assert_eq!(kf.k(), 5);
+        for (train, val) in kf.folds() {
+            assert_eq!(val.len(), 10);
+            assert_eq!(train.len(), 40);
+        }
+    }
+
+    #[test]
+    fn kfold_each_sample_validated_exactly_once() {
+        let kf = KFold::new(23, 4, Seed::new(2)).unwrap();
+        let mut seen = [0usize; 23];
+        for (_, val) in kf.folds() {
+            for v in val {
+                seen[v] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn kfold_train_and_val_disjoint() {
+        let kf = KFold::new(17, 3, Seed::new(3)).unwrap();
+        for (train, val) in kf.folds() {
+            let t: HashSet<usize> = train.iter().copied().collect();
+            assert!(val.iter().all(|v| !t.contains(v)));
+            assert_eq!(t.len() + val.len(), 17);
+        }
+    }
+
+    #[test]
+    fn kfold_uneven_sizes_differ_by_at_most_one() {
+        let kf = KFold::new(10, 3, Seed::new(4)).unwrap();
+        let sizes: Vec<usize> = kf.folds().map(|(_, v)| v.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        let min = sizes.iter().min().unwrap();
+        let max = sizes.iter().max().unwrap();
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn kfold_validates() {
+        assert!(KFold::new(10, 1, Seed::new(1)).is_err());
+        assert!(KFold::new(3, 4, Seed::new(1)).is_err());
+        assert!(KFold::new(4, 4, Seed::new(1)).is_ok());
+    }
+
+    #[test]
+    fn kfold_fold_panics_out_of_range() {
+        let kf = KFold::new(6, 2, Seed::new(1)).unwrap();
+        let result = std::panic::catch_unwind(|| kf.fold(2));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn folds_iterator_exact_size() {
+        let kf = KFold::new(10, 5, Seed::new(1)).unwrap();
+        let mut it = kf.folds();
+        assert_eq!(it.len(), 5);
+        it.next();
+        assert_eq!(it.len(), 4);
+    }
+
+    #[test]
+    fn kfold_deterministic_per_seed() {
+        let a = KFold::new(12, 3, Seed::new(8)).unwrap();
+        let b = KFold::new(12, 3, Seed::new(8)).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,121 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for numerical operations in this crate.
+///
+/// # Examples
+///
+/// ```
+/// use wlc_math::{Matrix, MathError};
+///
+/// let a = Matrix::zeros(2, 3);
+/// let b = Matrix::zeros(4, 4);
+/// match a.matmul(&b) {
+///     Err(MathError::DimensionMismatch { .. }) => {}
+///     other => panic!("expected dimension mismatch, got {other:?}"),
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MathError {
+    /// Two operands had incompatible dimensions.
+    DimensionMismatch {
+        /// Dimensions of the left operand as `(rows, cols)`.
+        left: (usize, usize),
+        /// Dimensions of the right operand as `(rows, cols)`.
+        right: (usize, usize),
+        /// The operation that was attempted.
+        op: &'static str,
+    },
+    /// A matrix that must be square was not.
+    NotSquare {
+        /// Actual dimensions as `(rows, cols)`.
+        dims: (usize, usize),
+    },
+    /// A linear system was singular (or numerically so) and cannot be solved.
+    Singular,
+    /// A matrix that must be positive definite was not.
+    NotPositiveDefinite,
+    /// The input was empty where at least one element is required.
+    EmptyInput,
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the constraint that was violated.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for MathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MathError::DimensionMismatch { left, right, op } => write!(
+                f,
+                "dimension mismatch in {op}: left is {}x{}, right is {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            MathError::NotSquare { dims } => {
+                write!(f, "matrix must be square, got {}x{}", dims.0, dims.1)
+            }
+            MathError::Singular => write!(f, "matrix is singular to working precision"),
+            MathError::NotPositiveDefinite => {
+                write!(f, "matrix is not positive definite")
+            }
+            MathError::EmptyInput => write!(f, "input must not be empty"),
+            MathError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for MathError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_dimension_mismatch() {
+        let err = MathError::DimensionMismatch {
+            left: (2, 3),
+            right: (4, 5),
+            op: "matmul",
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("matmul"));
+        assert!(msg.contains("2x3"));
+        assert!(msg.contains("4x5"));
+    }
+
+    #[test]
+    fn display_not_square() {
+        let err = MathError::NotSquare { dims: (2, 3) };
+        assert!(err.to_string().contains("2x3"));
+    }
+
+    #[test]
+    fn display_singular_lowercase_no_punctuation() {
+        let msg = MathError::Singular.to_string();
+        assert!(msg.chars().next().unwrap().is_lowercase());
+        assert!(!msg.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MathError>();
+    }
+
+    #[test]
+    fn invalid_parameter_display() {
+        let err = MathError::InvalidParameter {
+            name: "rate",
+            reason: "must be positive",
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("rate"));
+        assert!(msg.contains("must be positive"));
+    }
+}

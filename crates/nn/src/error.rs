@@ -1,0 +1,123 @@
+use std::error::Error;
+use std::fmt;
+
+use wlc_math::MathError;
+
+/// Error type for neural-network construction, training and serialization.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// A network was declared with no layers.
+    EmptyNetwork,
+    /// A layer dimension was zero.
+    ZeroDimension {
+        /// Which dimension was zero (`"inputs"` or `"outputs"`).
+        which: &'static str,
+    },
+    /// Input or target width did not match the network topology.
+    ShapeMismatch {
+        /// What was expected.
+        expected: usize,
+        /// What was provided.
+        actual: usize,
+        /// The quantity being checked (e.g. `"input width"`).
+        what: &'static str,
+    },
+    /// A training hyper-parameter was invalid.
+    InvalidHyperParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Constraint that was violated.
+        reason: &'static str,
+    },
+    /// Training produced non-finite parameters (divergence).
+    Diverged {
+        /// Epoch at which divergence was detected.
+        epoch: usize,
+    },
+    /// The training set was empty.
+    EmptyTrainingSet,
+    /// Model deserialization failed.
+    Parse {
+        /// Line number (1-based) where parsing failed, if known.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// An underlying math operation failed.
+    Math(MathError),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::EmptyNetwork => write!(f, "network must have at least one layer"),
+            NnError::ZeroDimension { which } => {
+                write!(f, "layer {which} dimension must be at least 1")
+            }
+            NnError::ShapeMismatch {
+                expected,
+                actual,
+                what,
+            } => write!(f, "{what} mismatch: expected {expected}, got {actual}"),
+            NnError::InvalidHyperParameter { name, reason } => {
+                write!(f, "invalid hyper-parameter `{name}`: {reason}")
+            }
+            NnError::Diverged { epoch } => {
+                write!(
+                    f,
+                    "training diverged at epoch {epoch} (non-finite parameters)"
+                )
+            }
+            NnError::EmptyTrainingSet => write!(f, "training set must not be empty"),
+            NnError::Parse { line, reason } => {
+                write!(f, "model parse error at line {line}: {reason}")
+            }
+            NnError::Math(e) => write!(f, "math error: {e}"),
+        }
+    }
+}
+
+impl Error for NnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NnError::Math(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MathError> for NnError {
+    fn from(e: MathError) -> Self {
+        NnError::Math(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(NnError::EmptyNetwork.to_string().contains("layer"));
+        let e = NnError::ShapeMismatch {
+            expected: 4,
+            actual: 3,
+            what: "input width",
+        };
+        assert!(e.to_string().contains("expected 4, got 3"));
+        assert!(NnError::Diverged { epoch: 7 }.to_string().contains("7"));
+    }
+
+    #[test]
+    fn from_math_error_sets_source() {
+        let e: NnError = MathError::Singular.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<NnError>();
+    }
+}

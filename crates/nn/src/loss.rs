@@ -1,0 +1,244 @@
+use std::fmt;
+
+use crate::NnError;
+
+/// A training loss over one prediction/target pair.
+///
+/// The paper trains "with a goal to minimize the error between the
+/// predicted value and the actual value, i.e. ‖Ŷ − Y‖" (§2.2); that is
+/// [`Loss::MeanSquared`]. The others are standard robust alternatives
+/// exercised by the ablation benchmarks.
+///
+/// # Examples
+///
+/// ```
+/// use wlc_nn::Loss;
+///
+/// let loss = Loss::MeanSquared;
+/// let v = loss.value(&[1.0, 2.0], &[1.0, 4.0]).unwrap();
+/// assert!((v - 2.0).abs() < 1e-12); // ((0)^2 + (2)^2) / 2
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum Loss {
+    /// Mean squared error `mean((ŷ − y)²)`.
+    MeanSquared,
+    /// Mean absolute error `mean(|ŷ − y|)`.
+    MeanAbsolute,
+    /// Huber loss: quadratic within `delta` of the target, linear beyond.
+    Huber {
+        /// Transition point between the quadratic and linear regimes.
+        delta: f64,
+    },
+}
+
+impl Loss {
+    /// Creates a Huber loss.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidHyperParameter`] unless `delta > 0`.
+    pub fn huber(delta: f64) -> Result<Self, NnError> {
+        if !(delta.is_finite() && delta > 0.0) {
+            return Err(NnError::InvalidHyperParameter {
+                name: "delta",
+                reason: "must be positive and finite",
+            });
+        }
+        Ok(Loss::Huber { delta })
+    }
+
+    /// Loss value for a prediction/target pair (averaged over outputs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] for unequal lengths or empty
+    /// inputs.
+    pub fn value(&self, predicted: &[f64], target: &[f64]) -> Result<f64, NnError> {
+        self.check(predicted, target)?;
+        let n = predicted.len() as f64;
+        let total: f64 = predicted
+            .iter()
+            .zip(target.iter())
+            .map(|(&p, &t)| self.pointwise(p - t))
+            .sum();
+        Ok(total / n)
+    }
+
+    /// Gradient of the loss with respect to each predicted value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] for unequal lengths or empty
+    /// inputs.
+    pub fn gradient(&self, predicted: &[f64], target: &[f64]) -> Result<Vec<f64>, NnError> {
+        self.check(predicted, target)?;
+        let n = predicted.len() as f64;
+        Ok(predicted
+            .iter()
+            .zip(target.iter())
+            .map(|(&p, &t)| self.pointwise_grad(p - t) / n)
+            .collect())
+    }
+
+    fn check(&self, predicted: &[f64], target: &[f64]) -> Result<(), NnError> {
+        if predicted.len() != target.len() || predicted.is_empty() {
+            return Err(NnError::ShapeMismatch {
+                expected: target.len(),
+                actual: predicted.len(),
+                what: "prediction width",
+            });
+        }
+        Ok(())
+    }
+
+    /// Per-component loss of a residual `r = ŷ − y`.
+    fn pointwise(&self, r: f64) -> f64 {
+        match *self {
+            Loss::MeanSquared => r * r,
+            Loss::MeanAbsolute => r.abs(),
+            Loss::Huber { delta } => {
+                if r.abs() <= delta {
+                    0.5 * r * r
+                } else {
+                    delta * (r.abs() - 0.5 * delta)
+                }
+            }
+        }
+    }
+
+    /// Per-component gradient d loss / d r.
+    fn pointwise_grad(&self, r: f64) -> f64 {
+        match *self {
+            Loss::MeanSquared => 2.0 * r,
+            Loss::MeanAbsolute => {
+                if r > 0.0 {
+                    1.0
+                } else if r < 0.0 {
+                    -1.0
+                } else {
+                    0.0
+                }
+            }
+            Loss::Huber { delta } => {
+                if r.abs() <= delta {
+                    r
+                } else {
+                    delta * r.signum()
+                }
+            }
+        }
+    }
+}
+
+impl Default for Loss {
+    /// Mean squared error, the paper's criterion.
+    fn default() -> Self {
+        Loss::MeanSquared
+    }
+}
+
+impl fmt::Display for Loss {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Loss::MeanSquared => write!(f, "mse"),
+            Loss::MeanAbsolute => write!(f, "mae"),
+            Loss::Huber { delta } => write!(f, "huber({delta})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn numeric_grad(loss: &Loss, predicted: &[f64], target: &[f64], i: usize) -> f64 {
+        let h = 1e-6;
+        let mut plus = predicted.to_vec();
+        let mut minus = predicted.to_vec();
+        plus[i] += h;
+        minus[i] -= h;
+        (loss.value(&plus, target).unwrap() - loss.value(&minus, target).unwrap()) / (2.0 * h)
+    }
+
+    #[test]
+    fn mse_known_value() {
+        let l = Loss::MeanSquared;
+        assert_eq!(l.value(&[0.0], &[3.0]).unwrap(), 9.0);
+        assert_eq!(l.value(&[1.0, 1.0], &[1.0, 1.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn mae_known_value() {
+        let l = Loss::MeanAbsolute;
+        assert_eq!(l.value(&[0.0, 4.0], &[3.0, 2.0]).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn huber_transitions() {
+        let l = Loss::huber(1.0).unwrap();
+        // Inside delta: quadratic.
+        assert!((l.value(&[0.5], &[0.0]).unwrap() - 0.125).abs() < 1e-12);
+        // Outside delta: linear.
+        assert!((l.value(&[3.0], &[0.0]).unwrap() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn huber_rejects_bad_delta() {
+        assert!(Loss::huber(0.0).is_err());
+        assert!(Loss::huber(-1.0).is_err());
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn gradients_match_numeric() {
+        let losses = [Loss::MeanSquared, Loss::huber(0.7).unwrap()];
+        let predicted = [0.3, -1.2, 2.0];
+        let target = [0.0, 0.5, 1.8];
+        for l in losses {
+            let g = l.gradient(&predicted, &target).unwrap();
+            for i in 0..predicted.len() {
+                let n = numeric_grad(&l, &predicted, &target, i);
+                assert!(
+                    (g[i] - n).abs() < 1e-5,
+                    "{l} component {i}: {} vs {n}",
+                    g[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mae_gradient_signs() {
+        let l = Loss::MeanAbsolute;
+        let g = l.gradient(&[2.0, -2.0, 1.0], &[1.0, 1.0, 1.0]).unwrap();
+        assert!(g[0] > 0.0);
+        assert!(g[1] < 0.0);
+        assert_eq!(g[2], 0.0);
+    }
+
+    #[test]
+    fn shape_mismatch_detected() {
+        let l = Loss::MeanSquared;
+        assert!(l.value(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(l.gradient(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn zero_loss_zero_gradient_at_optimum() {
+        let l = Loss::MeanSquared;
+        let g = l.gradient(&[1.0, 2.0], &[1.0, 2.0]).unwrap();
+        assert!(g.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn display_tokens() {
+        assert_eq!(Loss::MeanSquared.to_string(), "mse");
+        assert_eq!(Loss::huber(0.5).unwrap().to_string(), "huber(0.5)");
+    }
+
+    #[test]
+    fn default_is_mse() {
+        assert_eq!(Loss::default(), Loss::MeanSquared);
+    }
+}

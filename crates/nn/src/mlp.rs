@@ -1,0 +1,626 @@
+use wlc_math::rng::{Seed, Xoshiro256};
+use wlc_math::Matrix;
+
+use crate::{Activation, DenseLayer, Initializer, Loss, NnError};
+
+/// Per-layer pre-activations and activations captured by the forward
+/// pass for back-propagation (`activations[0]` is the input).
+type ForwardTrace = (Vec<Vec<f64>>, Vec<Vec<f64>>);
+
+/// A multilayer perceptron: a stack of [`DenseLayer`]s.
+///
+/// Matches the paper's §2.2: an input layer (not counted), one or more
+/// hidden layers of perceptrons, and an output layer. For regression the
+/// output layer conventionally uses [`Activation::Identity`] so predictions
+/// are not squashed.
+///
+/// Construct with [`MlpBuilder`]:
+///
+/// ```
+/// use wlc_nn::{Activation, MlpBuilder};
+///
+/// // The paper's case study shape: 4 inputs, 5 outputs.
+/// let mlp = MlpBuilder::new(4)
+///     .hidden(16, Activation::logistic())
+///     .hidden(16, Activation::logistic())
+///     .output(5, Activation::identity())
+///     .seed(1)
+///     .build()?;
+/// assert_eq!(mlp.inputs(), 4);
+/// assert_eq!(mlp.outputs(), 5);
+/// let y = mlp.forward(&[0.0, 0.1, -0.3, 1.0])?;
+/// assert_eq!(y.len(), 5);
+/// # Ok::<(), wlc_nn::NnError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mlp {
+    layers: Vec<DenseLayer>,
+}
+
+impl Mlp {
+    /// Creates an MLP directly from layers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::EmptyNetwork`] for an empty layer list and
+    /// [`NnError::ShapeMismatch`] if consecutive layers do not chain.
+    pub fn from_layers(layers: Vec<DenseLayer>) -> Result<Self, NnError> {
+        if layers.is_empty() {
+            return Err(NnError::EmptyNetwork);
+        }
+        for pair in layers.windows(2) {
+            if pair[0].outputs() != pair[1].inputs() {
+                return Err(NnError::ShapeMismatch {
+                    expected: pair[0].outputs(),
+                    actual: pair[1].inputs(),
+                    what: "layer chaining",
+                });
+            }
+        }
+        Ok(Mlp { layers })
+    }
+
+    /// Number of input features.
+    pub fn inputs(&self) -> usize {
+        self.layers[0].inputs()
+    }
+
+    /// Number of output values.
+    pub fn outputs(&self) -> usize {
+        self.layers[self.layers.len() - 1].outputs()
+    }
+
+    /// The layers, input-to-output.
+    pub fn layers(&self) -> &[DenseLayer] {
+        &self.layers
+    }
+
+    /// Layer widths including the input layer, e.g. `[4, 16, 16, 5]`.
+    pub fn topology(&self) -> Vec<usize> {
+        let mut t = vec![self.inputs()];
+        t.extend(self.layers.iter().map(DenseLayer::outputs));
+        t
+    }
+
+    /// Total number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(DenseLayer::param_count).sum()
+    }
+
+    /// Runs the forward pass for one input vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if `input.len() != self.inputs()`.
+    pub fn forward(&self, input: &[f64]) -> Result<Vec<f64>, NnError> {
+        let mut current = input.to_vec();
+        for layer in &self.layers {
+            current = layer.forward(&current)?;
+        }
+        Ok(current)
+    }
+
+    /// Runs the forward pass for every row of `inputs`, returning one
+    /// prediction row per input row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if `inputs.cols() != self.inputs()`.
+    pub fn forward_batch(&self, inputs: &Matrix) -> Result<Matrix, NnError> {
+        let mut out = Matrix::zeros(inputs.rows(), self.outputs());
+        for r in 0..inputs.rows() {
+            let y = self.forward(inputs.row(r))?;
+            out.row_mut(r).copy_from_slice(&y);
+        }
+        Ok(out)
+    }
+
+    /// Forward pass retaining every layer's pre-activation and activation,
+    /// as needed by back-propagation.
+    ///
+    /// Returns `(pre_activations, activations)` where `activations[0]` is
+    /// the input itself and `activations[l + 1]` is layer `l`'s output.
+    fn forward_trace(&self, input: &[f64]) -> Result<ForwardTrace, NnError> {
+        let mut pre = Vec::with_capacity(self.layers.len());
+        let mut acts = Vec::with_capacity(self.layers.len() + 1);
+        acts.push(input.to_vec());
+        for layer in &self.layers {
+            let z = layer.pre_activation(acts.last().expect("non-empty"))?;
+            let mut a = z.clone();
+            layer.activation().apply_slice(&mut a);
+            pre.push(z);
+            acts.push(a);
+        }
+        Ok((pre, acts))
+    }
+
+    /// Average loss and flat parameter gradient over a batch, computed by
+    /// back-propagation.
+    ///
+    /// The gradient layout matches [`Mlp::params_flat`]: for each layer,
+    /// row-major weights followed by biases.
+    ///
+    /// # Errors
+    ///
+    /// - [`NnError::EmptyTrainingSet`] if `inputs` has no rows.
+    /// - [`NnError::ShapeMismatch`] if widths do not match the topology or
+    ///   `targets.rows() != inputs.rows()`.
+    pub fn batch_gradient(
+        &self,
+        inputs: &Matrix,
+        targets: &Matrix,
+        loss: Loss,
+    ) -> Result<(f64, Vec<f64>), NnError> {
+        if inputs.rows() == 0 {
+            return Err(NnError::EmptyTrainingSet);
+        }
+        if targets.rows() != inputs.rows() {
+            return Err(NnError::ShapeMismatch {
+                expected: inputs.rows(),
+                actual: targets.rows(),
+                what: "target row count",
+            });
+        }
+        if targets.cols() != self.outputs() {
+            return Err(NnError::ShapeMismatch {
+                expected: self.outputs(),
+                actual: targets.cols(),
+                what: "target width",
+            });
+        }
+
+        let mut grad = vec![0.0; self.param_count()];
+        let mut total_loss = 0.0;
+        for r in 0..inputs.rows() {
+            total_loss +=
+                self.accumulate_sample_gradient(inputs.row(r), targets.row(r), loss, &mut grad)?;
+        }
+        let scale = 1.0 / inputs.rows() as f64;
+        for g in &mut grad {
+            *g *= scale;
+        }
+        Ok((total_loss * scale, grad))
+    }
+
+    /// Back-propagates one sample, adding its gradient into `grad`.
+    fn accumulate_sample_gradient(
+        &self,
+        input: &[f64],
+        target: &[f64],
+        loss: Loss,
+        grad: &mut [f64],
+    ) -> Result<f64, NnError> {
+        let (pre, acts) = self.forward_trace(input)?;
+        let prediction = acts.last().expect("non-empty");
+        let loss_value = loss.value(prediction, target)?;
+
+        // delta for the output layer: dL/da ⊙ f'(z).
+        let dl_da = loss.gradient(prediction, target)?;
+        let last = self.layers.len() - 1;
+        let mut delta: Vec<f64> = dl_da
+            .iter()
+            .zip(pre[last].iter().zip(acts[last + 1].iter()))
+            .map(|(&g, (&z, &a))| g * self.layers[last].activation().derivative(z, a))
+            .collect();
+
+        // Walk backwards accumulating dW = delta ⊗ a_prev, db = delta.
+        let mut offsets = Vec::with_capacity(self.layers.len());
+        let mut off = 0;
+        for layer in &self.layers {
+            offsets.push(off);
+            off += layer.param_count();
+        }
+
+        for l in (0..self.layers.len()).rev() {
+            let layer = &self.layers[l];
+            let a_prev = &acts[l];
+            let base = offsets[l];
+            let in_w = layer.inputs();
+            for (i, &d) in delta.iter().enumerate() {
+                let row_base = base + i * in_w;
+                for (j, &ap) in a_prev.iter().enumerate() {
+                    grad[row_base + j] += d * ap;
+                }
+            }
+            let bias_base = base + layer.outputs() * in_w;
+            for (i, &d) in delta.iter().enumerate() {
+                grad[bias_base + i] += d;
+            }
+
+            if l > 0 {
+                // delta_{l-1} = (W_l^T delta_l) ⊙ f'(z_{l-1}).
+                let prev_layer = &self.layers[l - 1];
+                let mut next_delta = vec![0.0; layer.inputs()];
+                for (i, &d) in delta.iter().enumerate() {
+                    let row = layer.weights().row(i);
+                    for (j, &w) in row.iter().enumerate() {
+                        next_delta[j] += w * d;
+                    }
+                }
+                for (j, nd) in next_delta.iter_mut().enumerate() {
+                    let z = pre[l - 1][j];
+                    let a = acts[l][j];
+                    *nd *= prev_layer.activation().derivative(z, a);
+                }
+                delta = next_delta;
+            }
+        }
+        Ok(loss_value)
+    }
+
+    /// Copies all parameters into one flat vector (per layer: row-major
+    /// weights, then biases).
+    pub fn params_flat(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.param_count());
+        for layer in &self.layers {
+            layer.write_params(&mut out);
+        }
+        out
+    }
+
+    /// Overwrites all parameters from a flat vector produced by
+    /// [`Mlp::params_flat`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if `flat.len() != self.param_count()`.
+    pub fn set_params_flat(&mut self, flat: &[f64]) -> Result<(), NnError> {
+        if flat.len() != self.param_count() {
+            return Err(NnError::ShapeMismatch {
+                expected: self.param_count(),
+                actual: flat.len(),
+                what: "flat parameter length",
+            });
+        }
+        let mut off = 0;
+        for layer in &mut self.layers {
+            off += layer.read_params(&flat[off..]);
+        }
+        Ok(())
+    }
+
+    /// Returns `true` if every parameter is finite.
+    pub fn is_finite(&self) -> bool {
+        self.layers
+            .iter()
+            .all(|l| l.weights().is_finite() && l.biases().iter().all(|b| b.is_finite()))
+    }
+
+    /// Applies `update[i]` additively to parameter `i` (gradient-descent
+    /// step helper used by the optimizers).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if the update length is wrong.
+    pub fn apply_update(&mut self, update: &[f64]) -> Result<(), NnError> {
+        if update.len() != self.param_count() {
+            return Err(NnError::ShapeMismatch {
+                expected: self.param_count(),
+                actual: update.len(),
+                what: "update length",
+            });
+        }
+        let mut off = 0;
+        for layer in &mut self.layers {
+            let w_len = layer.outputs() * layer.inputs();
+            {
+                let w = layer.weights_mut().as_mut_slice();
+                for (wi, &u) in w.iter_mut().zip(&update[off..off + w_len]) {
+                    *wi += u;
+                }
+            }
+            off += w_len;
+            let b_len = layer.biases().len();
+            for (bi, &u) in layer.biases_mut().iter_mut().zip(&update[off..off + b_len]) {
+                *bi += u;
+            }
+            off += b_len;
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`Mlp`] networks.
+///
+/// See the paper's §3.2 on choosing the hidden node count; there is "no
+/// definite answer", so the builder makes the topology fully explicit.
+///
+/// # Examples
+///
+/// ```
+/// use wlc_nn::{Activation, Initializer, MlpBuilder};
+///
+/// let mlp = MlpBuilder::new(2)
+///     .hidden(8, Activation::tanh())
+///     .output(1, Activation::identity())
+///     .initializer(Initializer::XavierNormal)
+///     .seed(99)
+///     .build()?;
+/// assert_eq!(mlp.topology(), vec![2, 8, 1]);
+/// # Ok::<(), wlc_nn::NnError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MlpBuilder {
+    inputs: usize,
+    layers: Vec<(usize, Activation)>,
+    has_output: bool,
+    initializer: Initializer,
+    seed: Seed,
+}
+
+impl MlpBuilder {
+    /// Starts a builder for a network with `inputs` input features.
+    pub fn new(inputs: usize) -> Self {
+        MlpBuilder {
+            inputs,
+            layers: Vec::new(),
+            has_output: false,
+            initializer: Initializer::default(),
+            seed: Seed::new(0),
+        }
+    }
+
+    /// Appends a hidden layer of `width` perceptrons.
+    pub fn hidden(mut self, width: usize, activation: Activation) -> Self {
+        self.layers.push((width, activation));
+        self
+    }
+
+    /// Appends the output layer. Must be called exactly once, last.
+    pub fn output(mut self, width: usize, activation: Activation) -> Self {
+        self.layers.push((width, activation));
+        self.has_output = true;
+        self
+    }
+
+    /// Sets the weight initializer (default: Xavier uniform).
+    pub fn initializer(mut self, initializer: Initializer) -> Self {
+        self.initializer = initializer;
+        self
+    }
+
+    /// Sets the RNG seed used for weight initialization (default: 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Seed::new(seed);
+        self
+    }
+
+    /// Builds the network.
+    ///
+    /// # Errors
+    ///
+    /// - [`NnError::ZeroDimension`] if the input width or any layer width
+    ///   is zero.
+    /// - [`NnError::EmptyNetwork`] if [`MlpBuilder::output`] was never
+    ///   called.
+    pub fn build(&self) -> Result<Mlp, NnError> {
+        if self.inputs == 0 {
+            return Err(NnError::ZeroDimension { which: "inputs" });
+        }
+        if !self.has_output || self.layers.is_empty() {
+            return Err(NnError::EmptyNetwork);
+        }
+        let mut rng = Xoshiro256::from_seed(self.seed);
+        let mut built = Vec::with_capacity(self.layers.len());
+        let mut fan_in = self.inputs;
+        for &(width, activation) in &self.layers {
+            built.push(DenseLayer::new(
+                fan_in,
+                width,
+                activation,
+                self.initializer,
+                &mut rng,
+            )?);
+            fan_in = width;
+        }
+        Mlp::from_layers(built)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_mlp() -> Mlp {
+        MlpBuilder::new(2)
+            .hidden(3, Activation::tanh())
+            .output(2, Activation::identity())
+            .seed(11)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_shapes() {
+        let mlp = tiny_mlp();
+        assert_eq!(mlp.inputs(), 2);
+        assert_eq!(mlp.outputs(), 2);
+        assert_eq!(mlp.topology(), vec![2, 3, 2]);
+        assert_eq!(mlp.param_count(), (2 * 3 + 3) + (3 * 2 + 2));
+    }
+
+    #[test]
+    fn builder_requires_output() {
+        let err = MlpBuilder::new(2).hidden(3, Activation::tanh()).build();
+        assert!(matches!(err, Err(NnError::EmptyNetwork)));
+    }
+
+    #[test]
+    fn builder_rejects_zero_widths() {
+        assert!(MlpBuilder::new(0)
+            .output(1, Activation::identity())
+            .build()
+            .is_err());
+        assert!(MlpBuilder::new(2)
+            .hidden(0, Activation::tanh())
+            .output(1, Activation::identity())
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn builder_is_seed_deterministic() {
+        let a = tiny_mlp();
+        let b = tiny_mlp();
+        assert_eq!(a, b);
+        let c = MlpBuilder::new(2)
+            .hidden(3, Activation::tanh())
+            .output(2, Activation::identity())
+            .seed(12)
+            .build()
+            .unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn from_layers_validates_chaining() {
+        let mut rng = Xoshiro256::seed_from(0);
+        let l1 =
+            DenseLayer::new(2, 3, Activation::tanh(), Initializer::default(), &mut rng).unwrap();
+        let l2 = DenseLayer::new(
+            4,
+            1,
+            Activation::identity(),
+            Initializer::default(),
+            &mut rng,
+        )
+        .unwrap();
+        assert!(matches!(
+            Mlp::from_layers(vec![l1, l2]),
+            Err(NnError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            Mlp::from_layers(vec![]),
+            Err(NnError::EmptyNetwork)
+        ));
+    }
+
+    #[test]
+    fn forward_width_checked() {
+        let mlp = tiny_mlp();
+        assert!(mlp.forward(&[1.0]).is_err());
+        assert!(mlp.forward(&[1.0, 2.0]).is_ok());
+    }
+
+    #[test]
+    fn forward_batch_matches_forward() {
+        let mlp = tiny_mlp();
+        let xs = Matrix::from_rows(&[&[0.1, 0.2], &[-0.5, 0.9]]).unwrap();
+        let batch = mlp.forward_batch(&xs).unwrap();
+        for r in 0..2 {
+            let single = mlp.forward(xs.row(r)).unwrap();
+            assert_eq!(batch.row(r), single.as_slice());
+        }
+    }
+
+    #[test]
+    fn identity_network_computes_affine() {
+        // Single identity layer == plain affine map.
+        let w = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 3.0]]).unwrap();
+        let layer = DenseLayer::from_parts(w, vec![1.0, -1.0], Activation::identity()).unwrap();
+        let mlp = Mlp::from_layers(vec![layer]).unwrap();
+        assert_eq!(mlp.forward(&[1.0, 1.0]).unwrap(), vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn params_flat_roundtrip() {
+        let mlp = tiny_mlp();
+        let params = mlp.params_flat();
+        assert_eq!(params.len(), mlp.param_count());
+
+        let mut other = MlpBuilder::new(2)
+            .hidden(3, Activation::tanh())
+            .output(2, Activation::identity())
+            .seed(999)
+            .build()
+            .unwrap();
+        assert_ne!(other.params_flat(), params);
+        other.set_params_flat(&params).unwrap();
+        assert_eq!(other.params_flat(), params);
+        // Networks with identical params produce identical outputs.
+        let x = [0.3, -0.7];
+        assert_eq!(other.forward(&x).unwrap(), mlp.forward(&x).unwrap());
+    }
+
+    #[test]
+    fn set_params_flat_length_checked() {
+        let mut mlp = tiny_mlp();
+        assert!(mlp.set_params_flat(&[0.0]).is_err());
+    }
+
+    #[test]
+    fn batch_gradient_validates_shapes() {
+        let mlp = tiny_mlp();
+        let xs = Matrix::zeros(2, 2);
+        let bad_rows = Matrix::zeros(3, 2);
+        let bad_cols = Matrix::zeros(2, 5);
+        let empty = Matrix::zeros(0, 2);
+        assert!(mlp
+            .batch_gradient(&xs, &bad_rows, Loss::MeanSquared)
+            .is_err());
+        assert!(mlp
+            .batch_gradient(&xs, &bad_cols, Loss::MeanSquared)
+            .is_err());
+        assert!(matches!(
+            mlp.batch_gradient(&empty, &empty, Loss::MeanSquared),
+            Err(NnError::EmptyTrainingSet)
+        ));
+    }
+
+    #[test]
+    fn gradient_descent_reduces_loss() {
+        let mut mlp = tiny_mlp();
+        let xs = Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]).unwrap();
+        let ys = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0], &[1.0, 0.0], &[0.0, 1.0]]).unwrap();
+        let (initial, _) = mlp.batch_gradient(&xs, &ys, Loss::MeanSquared).unwrap();
+        for _ in 0..200 {
+            let (_, grad) = mlp.batch_gradient(&xs, &ys, Loss::MeanSquared).unwrap();
+            let update: Vec<f64> = grad.iter().map(|g| -0.5 * g).collect();
+            mlp.apply_update(&update).unwrap();
+        }
+        let (after, _) = mlp.batch_gradient(&xs, &ys, Loss::MeanSquared).unwrap();
+        assert!(
+            after < initial * 0.5,
+            "loss did not drop: {initial} -> {after}"
+        );
+    }
+
+    #[test]
+    fn apply_update_shifts_params() {
+        let mut mlp = tiny_mlp();
+        let before = mlp.params_flat();
+        let update = vec![0.1; mlp.param_count()];
+        mlp.apply_update(&update).unwrap();
+        let after = mlp.params_flat();
+        for (b, a) in before.iter().zip(after.iter()) {
+            assert!((a - b - 0.1).abs() < 1e-12);
+        }
+        assert!(mlp.apply_update(&[0.0]).is_err());
+    }
+
+    #[test]
+    fn is_finite_detects_corruption() {
+        let mut mlp = tiny_mlp();
+        assert!(mlp.is_finite());
+        let mut params = mlp.params_flat();
+        params[0] = f64::NAN;
+        mlp.set_params_flat(&params).unwrap();
+        assert!(!mlp.is_finite());
+    }
+
+    #[test]
+    fn deep_network_forward_works() {
+        let mlp = MlpBuilder::new(3)
+            .hidden(8, Activation::logistic())
+            .hidden(8, Activation::logistic())
+            .hidden(8, Activation::logistic())
+            .output(2, Activation::identity())
+            .seed(5)
+            .build()
+            .unwrap();
+        assert_eq!(mlp.topology(), vec![3, 8, 8, 8, 2]);
+        let y = mlp.forward(&[0.1, 0.2, 0.3]).unwrap();
+        assert_eq!(y.len(), 2);
+        assert!(y.iter().all(|v| v.is_finite()));
+    }
+}

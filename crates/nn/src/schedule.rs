@@ -1,0 +1,180 @@
+use crate::NnError;
+
+/// Learning-rate schedule over epochs.
+///
+/// # Examples
+///
+/// ```
+/// use wlc_nn::LearningRateSchedule;
+///
+/// let s = LearningRateSchedule::step_decay(0.1, 0.5, 10).unwrap();
+/// assert_eq!(s.rate_at(0), 0.1);
+/// assert_eq!(s.rate_at(10), 0.05);
+/// assert_eq!(s.rate_at(20), 0.025);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum LearningRateSchedule {
+    /// The same rate every epoch.
+    Constant {
+        /// The fixed learning rate.
+        rate: f64,
+    },
+    /// Multiplies the rate by `factor` every `every` epochs.
+    StepDecay {
+        /// Initial rate.
+        initial: f64,
+        /// Multiplicative factor applied at each step boundary.
+        factor: f64,
+        /// Epoch interval between decays.
+        every: usize,
+    },
+    /// Smooth exponential decay `initial · exp(−decay · epoch)`.
+    Exponential {
+        /// Initial rate.
+        initial: f64,
+        /// Decay constant per epoch.
+        decay: f64,
+    },
+}
+
+impl LearningRateSchedule {
+    /// Creates a constant schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidHyperParameter`] unless `rate > 0`.
+    pub fn constant(rate: f64) -> Result<Self, NnError> {
+        Self::check_rate(rate)?;
+        Ok(LearningRateSchedule::Constant { rate })
+    }
+
+    /// Creates a step-decay schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidHyperParameter`] unless `initial > 0`,
+    /// `0 < factor <= 1` and `every >= 1`.
+    pub fn step_decay(initial: f64, factor: f64, every: usize) -> Result<Self, NnError> {
+        Self::check_rate(initial)?;
+        if !(factor.is_finite() && factor > 0.0 && factor <= 1.0) {
+            return Err(NnError::InvalidHyperParameter {
+                name: "factor",
+                reason: "must be in (0, 1]",
+            });
+        }
+        if every == 0 {
+            return Err(NnError::InvalidHyperParameter {
+                name: "every",
+                reason: "must be at least 1",
+            });
+        }
+        Ok(LearningRateSchedule::StepDecay {
+            initial,
+            factor,
+            every,
+        })
+    }
+
+    /// Creates an exponential-decay schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidHyperParameter`] unless `initial > 0` and
+    /// `decay >= 0`.
+    pub fn exponential(initial: f64, decay: f64) -> Result<Self, NnError> {
+        Self::check_rate(initial)?;
+        if !(decay.is_finite() && decay >= 0.0) {
+            return Err(NnError::InvalidHyperParameter {
+                name: "decay",
+                reason: "must be non-negative and finite",
+            });
+        }
+        Ok(LearningRateSchedule::Exponential { initial, decay })
+    }
+
+    fn check_rate(rate: f64) -> Result<(), NnError> {
+        if !(rate.is_finite() && rate > 0.0) {
+            return Err(NnError::InvalidHyperParameter {
+                name: "rate",
+                reason: "must be positive and finite",
+            });
+        }
+        Ok(())
+    }
+
+    /// The learning rate to use during `epoch` (0-based).
+    pub fn rate_at(&self, epoch: usize) -> f64 {
+        match *self {
+            LearningRateSchedule::Constant { rate } => rate,
+            LearningRateSchedule::StepDecay {
+                initial,
+                factor,
+                every,
+            } => initial * factor.powi((epoch / every) as i32),
+            LearningRateSchedule::Exponential { initial, decay } => {
+                initial * (-decay * epoch as f64).exp()
+            }
+        }
+    }
+}
+
+impl Default for LearningRateSchedule {
+    /// A constant rate of 0.01.
+    fn default() -> Self {
+        LearningRateSchedule::Constant { rate: 0.01 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_never_changes() {
+        let s = LearningRateSchedule::constant(0.3).unwrap();
+        assert_eq!(s.rate_at(0), 0.3);
+        assert_eq!(s.rate_at(1000), 0.3);
+    }
+
+    #[test]
+    fn step_decay_boundaries() {
+        let s = LearningRateSchedule::step_decay(1.0, 0.1, 5).unwrap();
+        assert_eq!(s.rate_at(4), 1.0);
+        assert!((s.rate_at(5) - 0.1).abs() < 1e-12);
+        assert!((s.rate_at(14) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exponential_monotone_decreasing() {
+        let s = LearningRateSchedule::exponential(0.5, 0.01).unwrap();
+        let mut prev = f64::INFINITY;
+        for e in 0..100 {
+            let r = s.rate_at(e);
+            assert!(r < prev);
+            assert!(r > 0.0);
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn exponential_zero_decay_is_constant() {
+        let s = LearningRateSchedule::exponential(0.2, 0.0).unwrap();
+        assert_eq!(s.rate_at(0), s.rate_at(500));
+    }
+
+    #[test]
+    fn constructors_validate() {
+        assert!(LearningRateSchedule::constant(0.0).is_err());
+        assert!(LearningRateSchedule::constant(f64::NAN).is_err());
+        assert!(LearningRateSchedule::step_decay(0.1, 0.0, 5).is_err());
+        assert!(LearningRateSchedule::step_decay(0.1, 1.5, 5).is_err());
+        assert!(LearningRateSchedule::step_decay(0.1, 0.5, 0).is_err());
+        assert!(LearningRateSchedule::exponential(0.1, -1.0).is_err());
+    }
+
+    #[test]
+    fn default_rate() {
+        assert_eq!(LearningRateSchedule::default().rate_at(7), 0.01);
+    }
+}

@@ -1,0 +1,713 @@
+use wlc_math::rng::Xoshiro256;
+use wlc_math::Matrix;
+
+use crate::{LearningRateSchedule, Loss, Mlp, NnError, OptimizerKind};
+
+/// Why training stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StopReason {
+    /// Ran the configured number of epochs.
+    MaxEpochs,
+    /// Training loss dropped below the termination threshold — the paper's
+    /// deliberate loose fit (§3.3) to keep the model flexible.
+    ThresholdReached,
+    /// Validation loss stopped improving for `patience` epochs; the best
+    /// parameters seen were restored.
+    EarlyStopped,
+}
+
+impl std::fmt::Display for StopReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StopReason::MaxEpochs => write!(f, "max epochs reached"),
+            StopReason::ThresholdReached => write!(f, "termination threshold reached"),
+            StopReason::EarlyStopped => write!(f, "early stopped on validation loss"),
+        }
+    }
+}
+
+/// Configuration for [`Trainer`].
+///
+/// The defaults mirror the paper's method: full-batch gradient descent on
+/// mean-squared error. The *termination threshold* implements §3.3's
+/// guidance that "it is better to loosely fit the training sample to
+/// maintain the flexibility of a model — a threshold value is needed to
+/// indicate when to stop training".
+///
+/// # Examples
+///
+/// ```
+/// use wlc_nn::{Loss, OptimizerKind, TrainConfig};
+///
+/// let config = TrainConfig::new()
+///     .max_epochs(500)
+///     .learning_rate(0.05)
+///     .optimizer(OptimizerKind::adam())
+///     .termination_threshold(1e-3)
+///     .loss(Loss::MeanSquared);
+/// assert_eq!(config.max_epochs_value(), 500);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    max_epochs: usize,
+    batch_size: Option<usize>,
+    shuffle: bool,
+    loss: Loss,
+    optimizer: OptimizerKind,
+    schedule: LearningRateSchedule,
+    termination_threshold: Option<f64>,
+    patience: Option<usize>,
+    min_delta: f64,
+    weight_decay: f64,
+    gradient_clip: Option<f64>,
+    seed: u64,
+}
+
+impl TrainConfig {
+    /// Creates a configuration with the paper-like defaults: 1000 epochs of
+    /// full-batch SGD at rate 0.01 on mean-squared error, no early stop.
+    pub fn new() -> Self {
+        TrainConfig {
+            max_epochs: 1000,
+            batch_size: None,
+            shuffle: true,
+            loss: Loss::MeanSquared,
+            optimizer: OptimizerKind::Sgd,
+            schedule: LearningRateSchedule::default(),
+            termination_threshold: None,
+            patience: None,
+            min_delta: 0.0,
+            weight_decay: 0.0,
+            gradient_clip: None,
+            seed: 0,
+        }
+    }
+
+    /// Sets the maximum number of epochs.
+    pub fn max_epochs(mut self, epochs: usize) -> Self {
+        self.max_epochs = epochs;
+        self
+    }
+
+    /// Sets a mini-batch size (`None`/unset = full batch).
+    pub fn batch_size(mut self, size: usize) -> Self {
+        self.batch_size = Some(size);
+        self
+    }
+
+    /// Enables or disables per-epoch shuffling (default: enabled).
+    pub fn shuffle(mut self, shuffle: bool) -> Self {
+        self.shuffle = shuffle;
+        self
+    }
+
+    /// Sets the training loss.
+    pub fn loss(mut self, loss: Loss) -> Self {
+        self.loss = loss;
+        self
+    }
+
+    /// Sets the optimizer.
+    pub fn optimizer(mut self, optimizer: OptimizerKind) -> Self {
+        self.optimizer = optimizer;
+        self
+    }
+
+    /// Sets a constant learning rate (shorthand for a constant schedule).
+    pub fn learning_rate(mut self, rate: f64) -> Self {
+        self.schedule = LearningRateSchedule::Constant { rate };
+        self
+    }
+
+    /// Sets a full learning-rate schedule.
+    pub fn schedule(mut self, schedule: LearningRateSchedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Stops training once the epoch's training loss falls below
+    /// `threshold` (the paper's loose-fit stop).
+    pub fn termination_threshold(mut self, threshold: f64) -> Self {
+        self.termination_threshold = Some(threshold);
+        self
+    }
+
+    /// Enables early stopping: training stops when the validation loss has
+    /// not improved by at least `min_delta` for `patience` epochs, and the
+    /// best parameters are restored.
+    pub fn early_stopping(mut self, patience: usize, min_delta: f64) -> Self {
+        self.patience = Some(patience);
+        self.min_delta = min_delta;
+        self
+    }
+
+    /// Adds L2 weight decay: the gradient of `decay/2 · ‖w‖²` is added to
+    /// every parameter gradient — an alternative flexibility mechanism to
+    /// the paper's loose-fit threshold (exercised by the ablations).
+    pub fn weight_decay(mut self, decay: f64) -> Self {
+        self.weight_decay = decay;
+        self
+    }
+
+    /// Clips the gradient's global L2 norm to `max_norm` before each
+    /// update — guards against the divergence that §3.1 warns about when
+    /// features are poorly scaled.
+    pub fn gradient_clip(mut self, max_norm: f64) -> Self {
+        self.gradient_clip = Some(max_norm);
+        self
+    }
+
+    /// Seed for mini-batch shuffling.
+    pub fn rng_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The configured epoch budget.
+    pub fn max_epochs_value(&self) -> usize {
+        self.max_epochs
+    }
+
+    /// The configured loss.
+    pub fn loss_value(&self) -> Loss {
+        self.loss
+    }
+
+    fn validate(&self) -> Result<(), NnError> {
+        if self.max_epochs == 0 {
+            return Err(NnError::InvalidHyperParameter {
+                name: "max_epochs",
+                reason: "must be at least 1",
+            });
+        }
+        if let Some(b) = self.batch_size {
+            if b == 0 {
+                return Err(NnError::InvalidHyperParameter {
+                    name: "batch_size",
+                    reason: "must be at least 1",
+                });
+            }
+        }
+        if let Some(t) = self.termination_threshold {
+            if !(t.is_finite() && t >= 0.0) {
+                return Err(NnError::InvalidHyperParameter {
+                    name: "termination_threshold",
+                    reason: "must be non-negative and finite",
+                });
+            }
+        }
+        if let Some(p) = self.patience {
+            if p == 0 {
+                return Err(NnError::InvalidHyperParameter {
+                    name: "patience",
+                    reason: "must be at least 1",
+                });
+            }
+        }
+        if !(self.weight_decay.is_finite() && self.weight_decay >= 0.0) {
+            return Err(NnError::InvalidHyperParameter {
+                name: "weight_decay",
+                reason: "must be non-negative and finite",
+            });
+        }
+        if let Some(c) = self.gradient_clip {
+            if !(c.is_finite() && c > 0.0) {
+                return Err(NnError::InvalidHyperParameter {
+                    name: "gradient_clip",
+                    reason: "must be positive and finite",
+                });
+            }
+        }
+        self.optimizer.validate()
+    }
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The outcome of a training run.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct TrainReport {
+    /// Number of epochs actually run.
+    pub epochs_run: usize,
+    /// Training loss after the final epoch.
+    pub final_train_loss: f64,
+    /// Validation loss after the final epoch (when a validation set was
+    /// supplied).
+    pub final_val_loss: Option<f64>,
+    /// Why training stopped.
+    pub stop_reason: StopReason,
+    /// Per-epoch training loss.
+    pub loss_history: Vec<f64>,
+    /// Per-epoch validation loss (empty without a validation set).
+    pub val_history: Vec<f64>,
+}
+
+/// Trains an [`Mlp`] by mini-batch gradient descent.
+///
+/// # Examples
+///
+/// See the crate-level example.
+#[derive(Debug, Clone)]
+pub struct Trainer {
+    config: TrainConfig,
+}
+
+impl Trainer {
+    /// Creates a trainer from a configuration.
+    pub fn new(config: TrainConfig) -> Self {
+        Trainer { config }
+    }
+
+    /// Borrow of the configuration.
+    pub fn config(&self) -> &TrainConfig {
+        &self.config
+    }
+
+    /// Trains on `(xs, ys)` with no validation set.
+    ///
+    /// # Errors
+    ///
+    /// - [`NnError::EmptyTrainingSet`] if `xs` has no rows.
+    /// - [`NnError::ShapeMismatch`] if widths do not match the network.
+    /// - [`NnError::InvalidHyperParameter`] for invalid configuration.
+    /// - [`NnError::Diverged`] if parameters become non-finite.
+    pub fn fit(&self, mlp: &mut Mlp, xs: &Matrix, ys: &Matrix) -> Result<TrainReport, NnError> {
+        self.fit_impl(mlp, xs, ys, None)
+    }
+
+    /// Trains on `(xs, ys)` while monitoring `(val_x, val_y)` for early
+    /// stopping and validation history.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Trainer::fit`].
+    pub fn fit_with_validation(
+        &self,
+        mlp: &mut Mlp,
+        xs: &Matrix,
+        ys: &Matrix,
+        val_x: &Matrix,
+        val_y: &Matrix,
+    ) -> Result<TrainReport, NnError> {
+        self.fit_impl(mlp, xs, ys, Some((val_x, val_y)))
+    }
+
+    fn fit_impl(
+        &self,
+        mlp: &mut Mlp,
+        xs: &Matrix,
+        ys: &Matrix,
+        validation: Option<(&Matrix, &Matrix)>,
+    ) -> Result<TrainReport, NnError> {
+        self.config.validate()?;
+        if xs.rows() == 0 {
+            return Err(NnError::EmptyTrainingSet);
+        }
+        if ys.rows() != xs.rows() {
+            return Err(NnError::ShapeMismatch {
+                expected: xs.rows(),
+                actual: ys.rows(),
+                what: "target row count",
+            });
+        }
+
+        let n = xs.rows();
+        let batch = self.config.batch_size.unwrap_or(n).min(n);
+        let mut rng = Xoshiro256::seed_from(self.config.seed);
+        let mut optimizer = self.config.optimizer.into_optimizer();
+        let mut params = mlp.params_flat();
+
+        let mut loss_history = Vec::new();
+        let mut val_history = Vec::new();
+        let mut best_val = f64::INFINITY;
+        let mut best_params: Option<Vec<f64>> = None;
+        let mut epochs_without_improvement = 0usize;
+        let mut stop_reason = StopReason::MaxEpochs;
+        let mut epochs_run = 0usize;
+
+        let mut indices: Vec<usize> = (0..n).collect();
+
+        for epoch in 0..self.config.max_epochs {
+            epochs_run = epoch + 1;
+            if self.config.shuffle && batch < n {
+                rng.shuffle(&mut indices);
+            }
+            let lr = self.config.schedule.rate_at(epoch);
+
+            for chunk in indices.chunks(batch) {
+                mlp.set_params_flat(&params)?;
+                let (bx, by) = gather(xs, ys, chunk);
+                let (_, mut grads) = mlp.batch_gradient(&bx, &by, self.config.loss)?;
+                if self.config.weight_decay > 0.0 {
+                    for (g, p) in grads.iter_mut().zip(params.iter()) {
+                        *g += self.config.weight_decay * p;
+                    }
+                }
+                if let Some(max_norm) = self.config.gradient_clip {
+                    let norm = grads.iter().map(|g| g * g).sum::<f64>().sqrt();
+                    if norm > max_norm {
+                        let scale = max_norm / norm;
+                        for g in &mut grads {
+                            *g *= scale;
+                        }
+                    }
+                }
+                optimizer.step(&mut params, &grads, lr)?;
+            }
+
+            if params.iter().any(|p| !p.is_finite()) {
+                return Err(NnError::Diverged { epoch });
+            }
+
+            mlp.set_params_flat(&params)?;
+            let train_loss = evaluate_loss(mlp, xs, ys, self.config.loss)?;
+            loss_history.push(train_loss);
+
+            if let Some((vx, vy)) = validation {
+                let val_loss = evaluate_loss(mlp, vx, vy, self.config.loss)?;
+                val_history.push(val_loss);
+                if val_loss + self.config.min_delta < best_val {
+                    best_val = val_loss;
+                    best_params = Some(params.clone());
+                    epochs_without_improvement = 0;
+                } else {
+                    epochs_without_improvement += 1;
+                }
+                if let Some(patience) = self.config.patience {
+                    if epochs_without_improvement >= patience {
+                        stop_reason = StopReason::EarlyStopped;
+                        break;
+                    }
+                }
+            }
+
+            if let Some(threshold) = self.config.termination_threshold {
+                if train_loss <= threshold {
+                    stop_reason = StopReason::ThresholdReached;
+                    break;
+                }
+            }
+        }
+
+        // On early stop, restore the best validation parameters.
+        if stop_reason == StopReason::EarlyStopped {
+            if let Some(best) = best_params {
+                params = best;
+            }
+        }
+        mlp.set_params_flat(&params)?;
+
+        let final_train_loss = evaluate_loss(mlp, xs, ys, self.config.loss)?;
+        let final_val_loss = match validation {
+            Some((vx, vy)) => Some(evaluate_loss(mlp, vx, vy, self.config.loss)?),
+            None => None,
+        };
+
+        Ok(TrainReport {
+            epochs_run,
+            final_train_loss,
+            final_val_loss,
+            stop_reason,
+            loss_history,
+            val_history,
+        })
+    }
+}
+
+/// Mean loss of `mlp` over a dataset.
+///
+/// # Errors
+///
+/// Returns [`NnError::ShapeMismatch`] if widths do not match and
+/// [`NnError::EmptyTrainingSet`] for an empty dataset.
+pub(crate) fn evaluate_loss(
+    mlp: &Mlp,
+    xs: &Matrix,
+    ys: &Matrix,
+    loss: Loss,
+) -> Result<f64, NnError> {
+    if xs.rows() == 0 {
+        return Err(NnError::EmptyTrainingSet);
+    }
+    let mut total = 0.0;
+    for r in 0..xs.rows() {
+        let pred = mlp.forward(xs.row(r))?;
+        total += loss.value(&pred, ys.row(r))?;
+    }
+    Ok(total / xs.rows() as f64)
+}
+
+fn gather(xs: &Matrix, ys: &Matrix, idx: &[usize]) -> (Matrix, Matrix) {
+    let mut bx = Matrix::zeros(idx.len(), xs.cols());
+    let mut by = Matrix::zeros(idx.len(), ys.cols());
+    for (out_r, &r) in idx.iter().enumerate() {
+        bx.row_mut(out_r).copy_from_slice(xs.row(r));
+        by.row_mut(out_r).copy_from_slice(ys.row(r));
+    }
+    (bx, by)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Activation, MlpBuilder};
+
+    fn xor_data() -> (Matrix, Matrix) {
+        let xs = Matrix::from_rows(&[&[0.0, 0.0], &[0.0, 1.0], &[1.0, 0.0], &[1.0, 1.0]]).unwrap();
+        let ys = Matrix::from_rows(&[&[0.0], &[1.0], &[1.0], &[0.0]]).unwrap();
+        (xs, ys)
+    }
+
+    fn xor_mlp(seed: u64) -> Mlp {
+        MlpBuilder::new(2)
+            .hidden(8, Activation::tanh())
+            .output(1, Activation::identity())
+            .seed(seed)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn learns_xor() {
+        // XOR is the canonical non-linearly-separable problem — exactly the
+        // kind of non-linearity the paper argues linear models cannot fit.
+        let (xs, ys) = xor_data();
+        let mut mlp = xor_mlp(3);
+        let config = TrainConfig::new()
+            .max_epochs(3000)
+            .learning_rate(0.3)
+            .optimizer(OptimizerKind::momentum());
+        let report = Trainer::new(config).fit(&mut mlp, &xs, &ys).unwrap();
+        assert!(
+            report.final_train_loss < 0.02,
+            "loss {}",
+            report.final_train_loss
+        );
+        for r in 0..4 {
+            let pred = mlp.forward(xs.row(r)).unwrap()[0];
+            assert!((pred - ys.get(r, 0)).abs() < 0.35, "row {r}: {pred}");
+        }
+    }
+
+    #[test]
+    fn loss_history_trends_down() {
+        let (xs, ys) = xor_data();
+        let mut mlp = xor_mlp(4);
+        let config = TrainConfig::new().max_epochs(500).learning_rate(0.2);
+        let report = Trainer::new(config).fit(&mut mlp, &xs, &ys).unwrap();
+        assert_eq!(report.loss_history.len(), 500);
+        let first = report.loss_history[0];
+        let last = *report.loss_history.last().unwrap();
+        assert!(last < first);
+        assert_eq!(report.stop_reason, StopReason::MaxEpochs);
+    }
+
+    #[test]
+    fn termination_threshold_stops_early() {
+        let (xs, ys) = xor_data();
+        let mut mlp = xor_mlp(5);
+        let config = TrainConfig::new()
+            .max_epochs(10_000)
+            .learning_rate(0.3)
+            .optimizer(OptimizerKind::momentum())
+            .termination_threshold(0.05);
+        let report = Trainer::new(config).fit(&mut mlp, &xs, &ys).unwrap();
+        assert_eq!(report.stop_reason, StopReason::ThresholdReached);
+        assert!(report.epochs_run < 10_000);
+        assert!(report.final_train_loss <= 0.05 + 1e-9);
+    }
+
+    #[test]
+    fn early_stopping_restores_best_params() {
+        // Validation set deliberately contradicts the training set, so
+        // validation loss rises as training fits harder — early stopping
+        // must kick in and restore the best snapshot.
+        let (xs, ys) = xor_data();
+        let val_x = xs.clone();
+        let val_y = Matrix::from_rows(&[&[1.0], &[0.0], &[0.0], &[1.0]]).unwrap();
+        let mut mlp = xor_mlp(6);
+        let config = TrainConfig::new()
+            .max_epochs(2000)
+            .learning_rate(0.3)
+            .optimizer(OptimizerKind::momentum())
+            .early_stopping(20, 0.0);
+        let report = Trainer::new(config)
+            .fit_with_validation(&mut mlp, &xs, &ys, &val_x, &val_y)
+            .unwrap();
+        assert_eq!(report.stop_reason, StopReason::EarlyStopped);
+        assert!(report.epochs_run < 2000);
+        // The restored parameters give the best validation loss seen.
+        let best_seen = report
+            .val_history
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        let final_val = report.final_val_loss.unwrap();
+        assert!(
+            (final_val - best_seen).abs() < 1e-9,
+            "final {final_val} vs best {best_seen}"
+        );
+    }
+
+    #[test]
+    fn mini_batch_training_works() {
+        let (xs, ys) = xor_data();
+        let mut mlp = xor_mlp(7);
+        let config = TrainConfig::new()
+            .max_epochs(2000)
+            .learning_rate(0.1)
+            .batch_size(2)
+            .optimizer(OptimizerKind::momentum())
+            .rng_seed(1);
+        let report = Trainer::new(config).fit(&mut mlp, &xs, &ys).unwrap();
+        assert!(report.final_train_loss < 0.1, "{}", report.final_train_loss);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let (xs, ys) = xor_data();
+        let config = TrainConfig::new()
+            .max_epochs(50)
+            .learning_rate(0.1)
+            .batch_size(2)
+            .rng_seed(42);
+        let mut a = xor_mlp(8);
+        let mut b = xor_mlp(8);
+        let ra = Trainer::new(config.clone()).fit(&mut a, &xs, &ys).unwrap();
+        let rb = Trainer::new(config).fit(&mut b, &xs, &ys).unwrap();
+        assert_eq!(ra.loss_history, rb.loss_history);
+        assert_eq!(a.params_flat(), b.params_flat());
+    }
+
+    #[test]
+    fn divergence_detected() {
+        let (xs, ys) = xor_data();
+        let mut mlp = xor_mlp(9);
+        // Huge learning rate on scaled-up targets blows up quickly.
+        let big_y = ys.scale(1e6);
+        let config = TrainConfig::new().max_epochs(200).learning_rate(1e6);
+        let result = Trainer::new(config).fit(&mut mlp, &xs, &big_y);
+        assert!(matches!(result, Err(NnError::Diverged { .. })));
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        let (xs, ys) = xor_data();
+        let mut mlp = xor_mlp(10);
+        assert!(Trainer::new(TrainConfig::new().max_epochs(0))
+            .fit(&mut mlp, &xs, &ys)
+            .is_err());
+        assert!(Trainer::new(TrainConfig::new().batch_size(0))
+            .fit(&mut mlp, &xs, &ys)
+            .is_err());
+        assert!(Trainer::new(TrainConfig::new().termination_threshold(-1.0))
+            .fit(&mut mlp, &xs, &ys)
+            .is_err());
+        assert!(Trainer::new(TrainConfig::new().early_stopping(0, 0.0))
+            .fit(&mut mlp, &xs, &ys)
+            .is_err());
+    }
+
+    #[test]
+    fn rejects_empty_and_mismatched_data() {
+        let mut mlp = xor_mlp(11);
+        let empty = Matrix::zeros(0, 2);
+        let empty_y = Matrix::zeros(0, 1);
+        assert!(matches!(
+            Trainer::new(TrainConfig::new()).fit(&mut mlp, &empty, &empty_y),
+            Err(NnError::EmptyTrainingSet)
+        ));
+        let xs = Matrix::zeros(4, 2);
+        let ys = Matrix::zeros(3, 1);
+        assert!(Trainer::new(TrainConfig::new())
+            .fit(&mut mlp, &xs, &ys)
+            .is_err());
+    }
+
+    #[test]
+    fn learning_rate_schedule_is_consumed() {
+        // A rapidly decaying schedule freezes training: early epochs must
+        // move the loss far more than late epochs (the rate halves every
+        // epoch, so by epoch 30 it is ~1e-10 of the initial value).
+        let (xs, ys) = xor_data();
+        let mut mlp = xor_mlp(14);
+        let schedule = crate::LearningRateSchedule::step_decay(0.2, 0.5, 1).unwrap();
+        let config = TrainConfig::new().max_epochs(40).schedule(schedule);
+        let report = Trainer::new(config).fit(&mut mlp, &xs, &ys).unwrap();
+        let early_move = (report.loss_history[0] - report.loss_history[5]).abs();
+        let late_move = (report.loss_history[34] - report.loss_history[39]).abs();
+        assert!(
+            late_move < early_move / 100.0,
+            "schedule not applied: early {early_move} late {late_move}"
+        );
+    }
+
+    #[test]
+    fn weight_decay_shrinks_parameter_norm() {
+        let (xs, ys) = xor_data();
+        let norm_after = |decay: f64| {
+            let mut mlp = xor_mlp(20);
+            let mut config = TrainConfig::new().max_epochs(500).learning_rate(0.1);
+            if decay > 0.0 {
+                config = config.weight_decay(decay);
+            }
+            Trainer::new(config).fit(&mut mlp, &xs, &ys).unwrap();
+            mlp.params_flat().iter().map(|p| p * p).sum::<f64>().sqrt()
+        };
+        let plain = norm_after(0.0);
+        let decayed = norm_after(0.05);
+        assert!(decayed < plain, "plain {plain} decayed {decayed}");
+    }
+
+    #[test]
+    fn gradient_clipping_prevents_divergence() {
+        // The same setup that diverges un-clipped (see divergence_detected)
+        // survives with a clipped gradient norm.
+        let (xs, ys) = xor_data();
+        let big_y = ys.scale(1e6);
+        let mut mlp = xor_mlp(9);
+        let config = TrainConfig::new()
+            .max_epochs(200)
+            .learning_rate(1e6)
+            .gradient_clip(1e-4);
+        let report = Trainer::new(config).fit(&mut mlp, &xs, &big_y);
+        assert!(report.is_ok(), "{report:?}");
+        assert!(mlp.is_finite());
+    }
+
+    #[test]
+    fn decay_and_clip_validate() {
+        let (xs, ys) = xor_data();
+        let mut mlp = xor_mlp(10);
+        assert!(Trainer::new(TrainConfig::new().weight_decay(-1.0))
+            .fit(&mut mlp, &xs, &ys)
+            .is_err());
+        assert!(Trainer::new(TrainConfig::new().gradient_clip(0.0))
+            .fit(&mut mlp, &xs, &ys)
+            .is_err());
+    }
+
+    #[test]
+    fn evaluate_loss_perfect_model_is_zero() {
+        let (xs, _) = xor_data();
+        let mlp = xor_mlp(12);
+        let preds = mlp.forward_batch(&xs).unwrap();
+        let loss = evaluate_loss(&mlp, &xs, &preds, Loss::MeanSquared).unwrap();
+        assert!(loss.abs() < 1e-12);
+    }
+
+    #[test]
+    fn stop_reason_display() {
+        assert!(StopReason::MaxEpochs.to_string().contains("epochs"));
+        assert!(StopReason::ThresholdReached
+            .to_string()
+            .contains("threshold"));
+        assert!(StopReason::EarlyStopped.to_string().contains("validation"));
+    }
+}

@@ -1,0 +1,60 @@
+//! Database-tier service model.
+//!
+//! The paper's backend database "is not CPU-bound"; we model it as a
+//! connection pool whose service times inflate mildly and linearly with
+//! pool occupancy (I/O and buffer contention), with no middle-tier CPU
+//! interaction.
+
+use crate::config::DbModel;
+
+/// Computes the actual DB service time for a base demand drawn from the
+/// class's DB distribution, given the number of busy connections at
+/// dispatch (including the new one).
+pub(crate) fn db_service_time(model: &DbModel, base: f64, busy_connections: u32) -> f64 {
+    let occupancy = busy_connections as f64 / model.connections as f64;
+    base * (1.0 + model.load_factor * occupancy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_db_adds_nothing() {
+        let m = DbModel {
+            connections: 10,
+            load_factor: 0.5,
+        };
+        // busy = 1 (just this request): 10% occupancy -> 5% inflation.
+        let t = db_service_time(&m, 0.010, 1);
+        assert!((t - 0.0105).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_db_adds_load_factor() {
+        let m = DbModel {
+            connections: 10,
+            load_factor: 0.5,
+        };
+        let t = db_service_time(&m, 0.010, 10);
+        assert!((t - 0.015).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_load_factor_is_passthrough() {
+        let m = DbModel {
+            connections: 4,
+            load_factor: 0.0,
+        };
+        assert_eq!(db_service_time(&m, 0.02, 4), 0.02);
+    }
+
+    #[test]
+    fn inflation_is_monotone_in_occupancy() {
+        let m = DbModel::default();
+        let a = db_service_time(&m, 0.01, 1);
+        let b = db_service_time(&m, 0.01, m.connections / 2);
+        let c = db_service_time(&m, 0.01, m.connections);
+        assert!(a < b && b < c);
+    }
+}

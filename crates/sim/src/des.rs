@@ -1,0 +1,236 @@
+//! Discrete-event-simulation primitives: the simulation clock and a
+//! deterministic time-ordered event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// Simulation time in seconds, as a totally ordered newtype over `f64`.
+///
+/// # Examples
+///
+/// ```
+/// use wlc_sim::SimTime;
+/// let t = SimTime::ZERO + SimTime::from_secs(1.5);
+/// assert!(t > SimTime::ZERO);
+/// assert_eq!(t.as_secs(), 1.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// Time zero, the start of every simulation.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Creates a time from seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite — simulation time is
+    /// always a finite, non-negative quantity.
+    pub fn from_secs(secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "simulation time must be finite and non-negative, got {secs}"
+        );
+        SimTime(secs)
+    }
+
+    /// The time value in seconds.
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+}
+
+impl Eq for SimTime {}
+
+impl PartialOrd for SimTime {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+
+    /// # Panics
+    ///
+    /// Panics in debug builds if the result would be negative.
+    fn sub(self, rhs: SimTime) -> SimTime {
+        debug_assert!(self.0 >= rhs.0, "negative time difference");
+        SimTime((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.0)
+    }
+}
+
+/// A scheduled entry in the event queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+// Order by (time, seq) — reversed so BinaryHeap pops the *earliest*.
+impl<E: Eq> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E: Eq> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A deterministic future-event list.
+///
+/// Events at equal timestamps pop in insertion order (FIFO tiebreak), so
+/// simulations are bit-reproducible for a given seed.
+///
+/// # Examples
+///
+/// ```
+/// use wlc_sim::SimTime;
+/// // EventQueue is crate-internal; this example shows SimTime ordering.
+/// assert!(SimTime::from_secs(1.0) < SimTime::from_secs(2.0));
+/// ```
+#[derive(Debug, Clone)]
+pub(crate) struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+}
+
+impl<E: Eq> EventQueue<E> {
+    /// Creates an empty queue.
+    pub(crate) fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `event` at absolute time `time`.
+    pub(crate) fn schedule(&mut self, time: SimTime, event: E) {
+        self.heap.push(Entry {
+            time,
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+    }
+
+    /// Pops the earliest event, returning `(time, event)`.
+    pub(crate) fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|e| (e.time, e.event))
+    }
+
+    /// Number of pending events.
+    #[allow(dead_code)] // diagnostic accessor, exercised by tests
+    pub(crate) fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    #[allow(dead_code)] // diagnostic accessor, exercised by tests
+    pub(crate) fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simtime_ordering_and_arithmetic() {
+        let a = SimTime::from_secs(1.0);
+        let b = SimTime::from_secs(2.5);
+        assert!(a < b);
+        assert_eq!((a + b).as_secs(), 3.5);
+        assert_eq!((b - a).as_secs(), 1.5);
+        assert_eq!(SimTime::ZERO.as_secs(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn simtime_rejects_negative() {
+        SimTime::from_secs(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn simtime_rejects_nan() {
+        SimTime::from_secs(f64::NAN);
+    }
+
+    #[test]
+    fn queue_pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(3.0), "c");
+        q.schedule(SimTime::from_secs(1.0), "a");
+        q.schedule(SimTime::from_secs(2.0), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn queue_fifo_tiebreak_at_equal_times() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1.0);
+        for i in 0..100u32 {
+            q.schedule(t, i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn queue_len_tracking() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(SimTime::from_secs(1.0), 1);
+        q.schedule(SimTime::from_secs(2.0), 2);
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn pop_returns_scheduled_time() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(4.25), "x");
+        let (t, e) = q.pop().unwrap();
+        assert_eq!(t.as_secs(), 4.25);
+        assert_eq!(e, "x");
+    }
+
+    #[test]
+    fn simtime_display() {
+        assert_eq!(SimTime::from_secs(1.5).to_string(), "1.500000s");
+    }
+}

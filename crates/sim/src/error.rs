@@ -1,0 +1,92 @@
+use std::error::Error;
+use std::fmt;
+
+use wlc_data::DataError;
+use wlc_math::MathError;
+
+/// Error type for simulator configuration and execution.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A configuration value was outside its valid domain.
+    InvalidConfig {
+        /// Field name.
+        name: &'static str,
+        /// Constraint that was violated.
+        reason: &'static str,
+    },
+    /// The simulation produced no completed transactions in the
+    /// measurement window (duration too short or system hopelessly
+    /// overloaded for the warmup chosen).
+    NoCompletions,
+    /// An underlying math operation failed.
+    Math(MathError),
+    /// An underlying data operation failed.
+    Data(DataError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig { name, reason } => {
+                write!(f, "invalid configuration `{name}`: {reason}")
+            }
+            SimError::NoCompletions => {
+                write!(f, "no transactions completed in the measurement window")
+            }
+            SimError::Math(e) => write!(f, "math error: {e}"),
+            SimError::Data(e) => write!(f, "data error: {e}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Math(e) => Some(e),
+            SimError::Data(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MathError> for SimError {
+    fn from(e: MathError) -> Self {
+        SimError::Math(e)
+    }
+}
+
+impl From<DataError> for SimError {
+    fn from(e: DataError) -> Self {
+        SimError::Data(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = SimError::InvalidConfig {
+            name: "injection_rate",
+            reason: "must be positive",
+        };
+        assert!(e.to_string().contains("injection_rate"));
+        assert!(SimError::NoCompletions.to_string().contains("completed"));
+    }
+
+    #[test]
+    fn sources() {
+        let e: SimError = MathError::Singular.into();
+        assert!(Error::source(&e).is_some());
+        let d: SimError = DataError::Empty.into();
+        assert!(Error::source(&d).is_some());
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<SimError>();
+    }
+}

@@ -1,0 +1,233 @@
+use std::fmt;
+
+use wlc_math::distributions::Distribution;
+
+use crate::SimError;
+
+/// The four transaction classes of the paper's 3-tier workload.
+///
+/// The first four performance indicators are these classes' response
+/// times; the fifth is the effective throughput across all of them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TransactionKind {
+    /// Manufacturing-domain transactions (served by the `mfg` queue).
+    Manufacturing,
+    /// Dealer purchase transactions (served by the `default` queue).
+    DealerPurchase,
+    /// Dealer management transactions (served by the `default` queue).
+    DealerManage,
+    /// Dealer "browse autos" transactions (served by the `default` queue).
+    DealerBrowseAutos,
+}
+
+impl TransactionKind {
+    /// All four kinds, in the paper's indicator order.
+    pub const ALL: [TransactionKind; 4] = [
+        TransactionKind::Manufacturing,
+        TransactionKind::DealerPurchase,
+        TransactionKind::DealerManage,
+        TransactionKind::DealerBrowseAutos,
+    ];
+
+    /// Stable index 0..4 in indicator order.
+    pub fn index(self) -> usize {
+        match self {
+            TransactionKind::Manufacturing => 0,
+            TransactionKind::DealerPurchase => 1,
+            TransactionKind::DealerManage => 2,
+            TransactionKind::DealerBrowseAutos => 3,
+        }
+    }
+
+    /// Canonical snake_case name (used for dataset columns).
+    pub fn name(self) -> &'static str {
+        match self {
+            TransactionKind::Manufacturing => "manufacturing",
+            TransactionKind::DealerPurchase => "dealer_purchase",
+            TransactionKind::DealerManage => "dealer_manage",
+            TransactionKind::DealerBrowseAutos => "dealer_browse_autos",
+        }
+    }
+}
+
+impl fmt::Display for TransactionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Which middle-tier queue serves a transaction's domain stage.
+///
+/// Every transaction first passes through the `web` queue (the web front
+/// end), then its domain stage runs on either the `mfg` or the `default`
+/// queue — this routing is why the manufacturing response time is
+/// insensitive to the default queue (the paper's *parallel slopes*,
+/// Fig. 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DomainQueue {
+    /// The manufacturing work queue.
+    Mfg,
+    /// The default work queue.
+    Default,
+}
+
+/// Per-stage service demands for one transaction class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageDemands {
+    /// Service demand in the web front-end stage (on the `web` queue).
+    pub web: Distribution,
+    /// Service demand in the domain stage.
+    pub domain: Distribution,
+    /// Which queue runs the domain stage.
+    pub domain_queue: DomainQueue,
+    /// Service demand in the database tier.
+    pub db: Distribution,
+}
+
+/// The full definition of one transaction class: its share of the mix,
+/// its stage demands and its response-time constraint.
+///
+/// # Examples
+///
+/// ```
+/// use wlc_sim::{DomainQueue, StageDemands, TransactionClass, TransactionKind};
+/// use wlc_math::distributions::Distribution;
+///
+/// let class = TransactionClass::new(
+///     TransactionKind::Manufacturing,
+///     0.25,
+///     StageDemands {
+///         web: Distribution::erlang_with_mean(2, 0.005)?,
+///         domain: Distribution::erlang_with_mean(2, 0.024)?,
+///         domain_queue: DomainQueue::Mfg,
+///         db: Distribution::exponential(1.0 / 0.008)?,
+///     },
+///     0.5,
+/// )?;
+/// assert_eq!(class.kind(), TransactionKind::Manufacturing);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransactionClass {
+    kind: TransactionKind,
+    probability: f64,
+    demands: StageDemands,
+    constraint_secs: f64,
+}
+
+impl TransactionClass {
+    /// Creates a class definition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] unless `0 <= probability <= 1`
+    /// and `constraint_secs > 0`.
+    pub fn new(
+        kind: TransactionKind,
+        probability: f64,
+        demands: StageDemands,
+        constraint_secs: f64,
+    ) -> Result<Self, SimError> {
+        if !(probability.is_finite() && (0.0..=1.0).contains(&probability)) {
+            return Err(SimError::InvalidConfig {
+                name: "probability",
+                reason: "must be in [0, 1]",
+            });
+        }
+        if !(constraint_secs.is_finite() && constraint_secs > 0.0) {
+            return Err(SimError::InvalidConfig {
+                name: "constraint_secs",
+                reason: "must be positive and finite",
+            });
+        }
+        Ok(TransactionClass {
+            kind,
+            probability,
+            demands,
+            constraint_secs,
+        })
+    }
+
+    /// The transaction kind.
+    pub fn kind(&self) -> TransactionKind {
+        self.kind
+    }
+
+    /// Share of the arrival mix in `[0, 1]`.
+    pub fn probability(&self) -> f64 {
+        self.probability
+    }
+
+    /// The stage demands.
+    pub fn demands(&self) -> &StageDemands {
+        &self.demands
+    }
+
+    /// The response-time constraint in seconds; transactions completing
+    /// within it count toward the *effective* throughput.
+    pub fn constraint_secs(&self) -> f64 {
+        self.constraint_secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demands() -> StageDemands {
+        StageDemands {
+            web: Distribution::deterministic(0.01).unwrap(),
+            domain: Distribution::deterministic(0.02).unwrap(),
+            domain_queue: DomainQueue::Default,
+            db: Distribution::deterministic(0.01).unwrap(),
+        }
+    }
+
+    #[test]
+    fn kind_indices_are_stable_and_distinct() {
+        let idx: Vec<usize> = TransactionKind::ALL.iter().map(|k| k.index()).collect();
+        assert_eq!(idx, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn kind_names() {
+        assert_eq!(TransactionKind::Manufacturing.to_string(), "manufacturing");
+        assert_eq!(
+            TransactionKind::DealerBrowseAutos.name(),
+            "dealer_browse_autos"
+        );
+    }
+
+    #[test]
+    fn class_validates_probability() {
+        assert!(
+            TransactionClass::new(TransactionKind::Manufacturing, 1.5, demands(), 1.0).is_err()
+        );
+        assert!(
+            TransactionClass::new(TransactionKind::Manufacturing, -0.1, demands(), 1.0).is_err()
+        );
+    }
+
+    #[test]
+    fn class_validates_constraint() {
+        assert!(
+            TransactionClass::new(TransactionKind::Manufacturing, 0.5, demands(), 0.0).is_err()
+        );
+        assert!(TransactionClass::new(
+            TransactionKind::Manufacturing,
+            0.5,
+            demands(),
+            f64::INFINITY
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn class_accessors() {
+        let c = TransactionClass::new(TransactionKind::DealerManage, 0.2, demands(), 0.4).unwrap();
+        assert_eq!(c.kind(), TransactionKind::DealerManage);
+        assert_eq!(c.probability(), 0.2);
+        assert_eq!(c.constraint_secs(), 0.4);
+        assert_eq!(c.demands().domain_queue, DomainQueue::Default);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests for the 3-tier simulator: conservation laws,
+//! determinism, and bounds that must hold for *any* configuration.
+
+use proptest::prelude::*;
+use wlc_sim::{analytic, ServerConfig, Simulation, TransactionKind};
+
+fn any_config() -> impl Strategy<Value = ServerConfig> {
+    (50.0..700.0_f64, 1u32..24, 1u32..24, 1u32..24).prop_map(|(rate, d, m, w)| {
+        ServerConfig::builder()
+            .injection_rate(rate)
+            .default_threads(d)
+            .mfg_threads(m)
+            .web_threads(w)
+            .build()
+            .expect("valid ranges")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn conservation_and_bounds(config in any_config(), seed in any::<u64>()) {
+        let m = Simulation::new(config)
+            .seed(seed)
+            .duration_secs(4.0)
+            .warmup_secs(1.0)
+            .run()
+            .unwrap();
+
+        // Completions cannot exceed injections; effective cannot exceed
+        // completed.
+        let mut completed_total = 0;
+        for kind in TransactionKind::ALL {
+            let completed = m.completions(kind);
+            let effective = m.effective_completions(kind);
+            prop_assert!(effective <= completed);
+            completed_total += completed;
+        }
+        prop_assert!(completed_total <= m.injected());
+
+        // Rates and times are non-negative and finite.
+        prop_assert!(m.throughput() >= 0.0);
+        prop_assert!(m.throughput() <= m.total_throughput() + 1e-9);
+        for kind in TransactionKind::ALL {
+            let rt = m.mean_response_time(kind);
+            prop_assert!(rt.is_finite() && rt > 0.0);
+            // A transaction cannot take longer than the whole run plus
+            // the warmup (the sentinel for saturated classes equals the
+            // window).
+            prop_assert!(rt <= 4.0);
+            prop_assert!(m.max_response_time(kind) <= 4.0);
+        }
+
+        // Utilizations are fractions.
+        let u = m.utilization();
+        for v in [u.web, u.mfg, u.default_queue, u.db] {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+
+        // Effective throughput is consistent with its definition.
+        let effective_total: u64 = TransactionKind::ALL
+            .iter()
+            .map(|&k| m.effective_completions(k))
+            .sum();
+        let expected = effective_total as f64 / m.window_secs();
+        prop_assert!((m.throughput() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn simulation_is_deterministic(config in any_config(), seed in any::<u64>()) {
+        let run = || {
+            Simulation::new(config)
+                .seed(seed)
+                .duration_secs(3.0)
+                .warmup_secs(0.5)
+                .run()
+                .unwrap()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn injected_count_tracks_rate(rate in 100.0..600.0_f64, seed in any::<u64>()) {
+        let config = ServerConfig::builder()
+            .injection_rate(rate)
+            .default_threads(8)
+            .mfg_threads(8)
+            .web_threads(8)
+            .build()
+            .unwrap();
+        let m = Simulation::new(config)
+            .seed(seed)
+            .duration_secs(6.0)
+            .warmup_secs(1.0)
+            .run()
+            .unwrap();
+        // Poisson arrivals over 6 s: mean 6·rate, std sqrt(6·rate).
+        let expected = 6.0 * rate;
+        let tolerance = 6.0 * (expected).sqrt() + 10.0;
+        prop_assert!(
+            (m.injected() as f64 - expected).abs() < tolerance,
+            "injected {} vs expected {expected}",
+            m.injected()
+        );
+    }
+
+    #[test]
+    fn erlang_c_is_a_probability(lambda in 0.1..50.0_f64, mu in 0.1..10.0_f64, c in 1u32..30) {
+        prop_assume!(lambda < c as f64 * mu);
+        let p = analytic::erlang_c(lambda, mu, c).unwrap();
+        prop_assert!((0.0..=1.0).contains(&p), "{p}");
+        let w = analytic::mmc_mean_wait(lambda, mu, c).unwrap();
+        prop_assert!(w >= 0.0);
+        let r = analytic::mmc_mean_response(lambda, mu, c).unwrap();
+        prop_assert!(r >= 1.0 / mu);
+    }
+
+    #[test]
+    fn more_servers_never_slower_analytically(
+        lambda in 1.0..20.0_f64,
+        mu in 0.5..5.0_f64,
+        c in 1u32..20,
+    ) {
+        prop_assume!(lambda < c as f64 * mu);
+        let w1 = analytic::mmc_mean_wait(lambda, mu, c).unwrap();
+        let w2 = analytic::mmc_mean_wait(lambda, mu, c + 1).unwrap();
+        prop_assert!(w2 <= w1 + 1e-12);
+    }
+}

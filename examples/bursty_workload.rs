@@ -1,0 +1,55 @@
+//! Burstiness study (extension beyond the paper): the same *average*
+//! injection rate delivered smoothly (Poisson, the paper's driver) vs in
+//! bursts (Markov-modulated Poisson) — bursts inflate tail response
+//! times and cut constraint-effective throughput long before the mean
+//! rate saturates the system.
+//!
+//! Run with: `cargo run --release --example bursty_workload`
+
+use wlc::sim::{ArrivalProcess, ServerConfig, Simulation, TransactionKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("smooth vs bursty arrivals at (default=10, mfg=16, web=10):\n");
+    println!(
+        "{:>8} {:>14} {:>14} {:>14} {:>14}",
+        "rate/s", "p95 smooth", "p95 bursty", "tput smooth", "tput bursty"
+    );
+
+    for &rate in &[200.0, 350.0, 450.0, 550.0] {
+        let config = ServerConfig::builder()
+            .injection_rate(rate)
+            .default_threads(10)
+            .mfg_threads(16)
+            .web_threads(10)
+            .build()?;
+        let smooth = Simulation::new(config)
+            .seed(5)
+            .duration_secs(30.0)
+            .warmup_secs(5.0)
+            .run()?;
+        let bursty = Simulation::new(config)
+            .seed(5)
+            .duration_secs(30.0)
+            .warmup_secs(5.0)
+            .arrivals(ArrivalProcess::bursty())
+            .run()?;
+
+        let p95 =
+            |m: &wlc::sim::Measurement| m.p95_response_time(TransactionKind::DealerPurchase) * 1e3;
+        println!(
+            "{:>8.0} {:>12.1}ms {:>12.1}ms {:>12.1}/s {:>12.1}/s",
+            rate,
+            p95(&smooth),
+            p95(&bursty),
+            smooth.throughput(),
+            bursty.throughput()
+        );
+    }
+
+    println!(
+        "\n=> the bursty driver delivers the same average load, but its bursts pile\n\
+         up queues: p95 response times inflate and constraint-effective throughput\n\
+         drops well below the smooth-traffic curve."
+    );
+    Ok(())
+}

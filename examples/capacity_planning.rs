@@ -1,0 +1,64 @@
+//! Capacity planning with the simulator: sweep the injection rate at a
+//! fixed server configuration and locate the saturation knee — where
+//! response times leave the linear regime and effective throughput stops
+//! tracking the offered load.
+//!
+//! Run with: `cargo run --release --example capacity_planning`
+
+use wlc::sim::{ServerConfig, Simulation, TransactionKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let base = ServerConfig::builder()
+        .injection_rate(100.0)
+        .default_threads(10)
+        .mfg_threads(16)
+        .web_threads(10)
+        .build()?;
+
+    println!("capacity sweep at (default=10, mfg=16, web=10):\n");
+    println!(
+        "{:>8} {:>12} {:>12} {:>10} {:>10} {:>8}",
+        "rate/s", "tput(eff)", "tput(total)", "mfg rt", "browse rt", "db util"
+    );
+
+    let mut knee: Option<f64> = None;
+    let mut baseline_rt = None;
+    for step in 1..=14 {
+        let rate = step as f64 * 50.0;
+        let config = ServerConfig::builder()
+            .injection_rate(rate)
+            .default_threads(base.default_threads())
+            .mfg_threads(base.mfg_threads())
+            .web_threads(base.web_threads())
+            .build()?;
+        let m = Simulation::new(config)
+            .seed(33)
+            .duration_secs(12.0)
+            .warmup_secs(2.0)
+            .run()?;
+        let mfg_rt = m.mean_response_time(TransactionKind::Manufacturing);
+        let browse_rt = m.mean_response_time(TransactionKind::DealerBrowseAutos);
+        println!(
+            "{:>8.0} {:>12.1} {:>12.1} {:>9.1}ms {:>9.1}ms {:>7.0}%",
+            rate,
+            m.throughput(),
+            m.total_throughput(),
+            mfg_rt * 1e3,
+            browse_rt * 1e3,
+            m.utilization().db * 100.0
+        );
+        let base_rt = *baseline_rt.get_or_insert(mfg_rt);
+        // Knee: response time 50% above the light-load baseline.
+        if knee.is_none() && mfg_rt > base_rt * 1.5 {
+            knee = Some(rate);
+        }
+    }
+
+    match knee {
+        Some(rate) => println!(
+            "\nsaturation knee: manufacturing response time left the linear regime near {rate:.0} req/s"
+        ),
+        None => println!("\nno saturation knee below 700 req/s for this configuration"),
+    }
+    Ok(())
+}

@@ -1,0 +1,76 @@
+//! Linear vs non-linear: fit the prior-work linear model and the paper's
+//! MLP model to the same measurements and compare held-out accuracy —
+//! the motivating comparison of the paper's introduction.
+//!
+//! Run with: `cargo run --release --example compare_models`
+
+use wlc::data::design::{latin_hypercube, round_to_integers, ParamRange};
+use wlc::data::metrics::ErrorReport;
+use wlc::data::train_test_split;
+use wlc::math::rng::Seed;
+use wlc::model::baseline::{LinearFeatures, LinearModel};
+use wlc::model::{PerformanceModel, WorkloadModelBuilder};
+use wlc::sim::{run_design, ServerConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("collecting 50 measurements across the configuration space...");
+    let ranges = [
+        ParamRange::new(350.0, 620.0)?,
+        ParamRange::new(5.0, 20.0)?,
+        ParamRange::new(10.0, 24.0)?,
+        ParamRange::new(5.0, 20.0)?,
+    ];
+    let mut points = latin_hypercube(&ranges, 50, Seed::new(8))?;
+    for p in &mut points {
+        let rate = p[0];
+        round_to_integers(std::slice::from_mut(p));
+        p[0] = rate;
+    }
+    let configs: Vec<ServerConfig> = points
+        .iter()
+        .map(|p| ServerConfig::from_vector(p))
+        .collect::<Result<_, _>>()?;
+    let dataset = run_design(&configs, 3, 10.0, 2.0)?;
+
+    let (train_idx, test_idx) = train_test_split(dataset.len(), 0.3, Seed::new(4))?;
+    let train = dataset.subset(&train_idx)?;
+    let test = dataset.subset(&test_idx)?;
+
+    println!("fitting a first-order linear model (prior work)...");
+    let linear = LinearModel::fit(&train, LinearFeatures::FirstOrder)?;
+
+    println!("training the MLP workload model (this paper)...");
+    let mlp = WorkloadModelBuilder::new()
+        .max_epochs(4000)
+        .learning_rate(0.02)
+        .optimizer(wlc::nn::OptimizerKind::adam())
+        .seed(6)
+        .train(&train)?
+        .model;
+
+    let (tx, ty) = test.to_matrices();
+    let lin_report = ErrorReport::compare(test.output_names(), &ty, &linear.predict_batch(&tx)?)?;
+    let mlp_report = ErrorReport::compare(test.output_names(), &ty, &mlp.predict_batch(&tx)?)?;
+
+    println!("\nheld-out error (harmonic mean of relative errors):");
+    println!("{:<26} {:>10} {:>10}", "indicator", "linear", "MLP");
+    for (lin, ml) in lin_report.outputs().iter().zip(mlp_report.outputs()) {
+        println!(
+            "{:<26} {:>9.1}% {:>9.1}%",
+            lin.name,
+            lin.harmonic_mean_error * 100.0,
+            ml.harmonic_mean_error * 100.0
+        );
+    }
+    println!(
+        "{:<26} {:>9.1}% {:>9.1}%",
+        "overall",
+        lin_report.overall_error() * 100.0,
+        mlp_report.overall_error() * 100.0
+    );
+    println!(
+        "\n=> the non-linear model is {:.1}x more accurate on unseen configurations",
+        lin_report.overall_error() / mlp_report.overall_error()
+    );
+    Ok(())
+}

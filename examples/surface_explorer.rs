@@ -1,0 +1,64 @@
+//! Surface exploration: train a model around one operating point, sweep
+//! two configuration parameters through it, render the prediction
+//! surface, and classify its shape into the paper's taxonomy (parallel
+//! slopes / valley / hill).
+//!
+//! Run with: `cargo run --release --example surface_explorer`
+
+use wlc::model::classify::classify;
+use wlc::model::report::ascii_heatmap;
+use wlc::model::{evaluate_all, ResponseSurface, WorkloadModelBuilder};
+use wlc::sim::{run_design, ServerConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Grid design over (default, web) at 560 req/s, mfg = 16 — the
+    // paper's (560, x, 16, y) operating point.
+    let axis: Vec<f64> = (2..=10).map(|i| (i * 2) as f64).collect();
+    println!(
+        "simulating the {}x{} (default, web) grid at 560 req/s...",
+        axis.len(),
+        axis.len()
+    );
+    let mut configs = Vec::new();
+    for &d in &axis {
+        for &w in &axis {
+            configs.push(ServerConfig::from_vector(&[560.0, d, 16.0, w])?);
+        }
+    }
+    let dataset = run_design(&configs, 17, 15.0, 3.0)?;
+
+    println!("training the workload model...");
+    let model = WorkloadModelBuilder::new()
+        .max_epochs(6000)
+        .learning_rate(0.02)
+        .optimizer(wlc::nn::OptimizerKind::adam())
+        .termination_threshold(5e-4)
+        .seed(4)
+        .train(&dataset)?
+        .model;
+
+    // One model evaluation per grid cell covers all five indicators.
+    let spec = ResponseSurface::new(
+        vec![560.0, 10.0, 16.0, 10.0],
+        1,
+        axis.clone(),
+        3,
+        axis.clone(),
+        0,
+    )?;
+    let grids = evaluate_all(&spec, &model)?;
+    for (name, grid) in dataset.output_names().iter().zip(&grids) {
+        let analysis = classify(grid);
+        println!("\n=== {name} over (default, web) ===");
+        print!("{}", ascii_heatmap(grid));
+        println!("shape: {:?}", analysis.shape);
+        println!(
+            "  axis sensitivity default {:.2} / web {:.2}, valley {:.2}, hill {:.2}",
+            analysis.sensitivity_axis1,
+            analysis.sensitivity_axis2,
+            analysis.valley_score,
+            analysis.hill_score
+        );
+    }
+    Ok(())
+}

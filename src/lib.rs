@@ -1,0 +1,36 @@
+//! Facade crate for the IISWC 2006 reproduction *"Constructing a
+//! Non-Linear Model with Neural Networks for Workload Characterization"*.
+//!
+//! Re-exports the whole workspace under one roof:
+//!
+//! - [`math`] — matrices, solvers, RNG, distributions, statistics.
+//! - [`nn`] — the from-scratch multilayer-perceptron library.
+//! - [`data`] — datasets, scalers, k-fold CV, metrics, experiment designs.
+//! - [`sim`] — the 3-tier web-service discrete-event simulator.
+//! - [`model`] — the paper's contribution: the non-linear workload model,
+//!   cross-validation harness, response surfaces and tuning advisor.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use wlc::sim::{ServerConfig, Simulation};
+//!
+//! // Simulate one configuration of the 3-tier workload.
+//! let config = ServerConfig::builder()
+//!     .injection_rate(300.0)
+//!     .default_threads(10)
+//!     .mfg_threads(16)
+//!     .web_threads(14)
+//!     .build()
+//!     .unwrap();
+//! let measurement = Simulation::new(config).seed(1).run().unwrap();
+//! assert!(measurement.throughput() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use wlc_data as data;
+pub use wlc_math as math;
+pub use wlc_model as model;
+pub use wlc_nn as nn;
+pub use wlc_sim as sim;

@@ -1,0 +1,120 @@
+//! Integration tests for the paper's §5 surface taxonomy on *directly
+//! simulated* grids (no model in between): the simulator must exhibit the
+//! parallel-slopes / valley / hill behaviours the paper reports at the
+//! (560, x, 16, y) operating point.
+//!
+//! These are coarser, faster variants of the Figure 4/7/8 experiment
+//! binaries (which run the full model-based pipeline in release mode).
+
+use wlc::math::Matrix;
+use wlc::model::classify::{classify, Axis, SurfaceShape};
+use wlc::model::SurfaceGrid;
+use wlc::sim::{ServerConfig, Simulation, TransactionKind};
+
+/// Simulates the (default, web) grid at 560 req/s, mfg = 16, and returns
+/// one SurfaceGrid per indicator column.
+fn simulated_grids(axis: &[f64]) -> Vec<SurfaceGrid> {
+    let n = axis.len();
+    let mut zs = vec![Matrix::zeros(n, n); 5];
+    for (i, &d) in axis.iter().enumerate() {
+        for (j, &w) in axis.iter().enumerate() {
+            let config = ServerConfig::from_vector(&[560.0, d, 16.0, w]).expect("valid config");
+            let m = Simulation::new(config)
+                .seed(1)
+                .duration_secs(12.0)
+                .warmup_secs(2.0)
+                .run()
+                .expect("simulation succeeds");
+            for (k, v) in m.indicators().into_iter().enumerate() {
+                zs[k].set(i, j, v);
+            }
+        }
+    }
+    zs.into_iter()
+        .map(|z| SurfaceGrid::from_parts(axis.to_vec(), axis.to_vec(), z).expect("valid grid"))
+        .collect()
+}
+
+#[test]
+fn paper_shapes_on_simulated_surfaces() {
+    // 4..20 step 4 keeps this integration test fast while covering the
+    // starved edge, the healthy interior and the oversized edge.
+    let axis: Vec<f64> = vec![4.0, 8.0, 12.0, 16.0, 20.0];
+    let grids = simulated_grids(&axis);
+
+    // Figure 4: manufacturing response time — default queue is inert.
+    let mfg = classify(&grids[TransactionKind::Manufacturing.index()]);
+    assert_eq!(
+        mfg.shape,
+        SurfaceShape::ParallelSlopes {
+            inert_axis: Axis::First
+        },
+        "manufacturing rt: {mfg:?}"
+    );
+    assert!(
+        mfg.sensitivity_axis2 > 5.0 * mfg.sensitivity_axis1,
+        "web axis should dominate: {mfg:?}"
+    );
+
+    // Figure 7: dealer purchase response time — a valley.
+    let purchase = classify(&grids[TransactionKind::DealerPurchase.index()]);
+    assert_eq!(purchase.shape, SurfaceShape::Valley, "{purchase:?}");
+    // The minimum is away from the starved edge.
+    let (i, j, _) = grids[1].min_cell();
+    assert!(i > 0 && j > 0, "valley minimum on the starved edge");
+
+    // Figure 8: effective throughput — a hill with an interior peak.
+    let tput = classify(&grids[4]);
+    assert_eq!(tput.shape, SurfaceShape::Hill, "{tput:?}");
+    let (i, j, peak) = grids[4].max_cell();
+    assert!(i > 0 && j > 0, "hill peak on the starved edge");
+    assert!(peak > 300.0, "peak throughput implausibly low: {peak}");
+}
+
+#[test]
+fn starving_web_queue_hurts_everything_starving_default_spares_mfg() {
+    let healthy = Simulation::new(
+        ServerConfig::from_vector(&[560.0, 10.0, 16.0, 10.0]).expect("valid config"),
+    )
+    .seed(3)
+    .duration_secs(10.0)
+    .warmup_secs(2.0)
+    .run()
+    .expect("simulation succeeds");
+
+    let web_starved = Simulation::new(
+        ServerConfig::from_vector(&[560.0, 10.0, 16.0, 3.0]).expect("valid config"),
+    )
+    .seed(3)
+    .duration_secs(10.0)
+    .warmup_secs(2.0)
+    .run()
+    .expect("simulation succeeds");
+
+    let default_starved = Simulation::new(
+        ServerConfig::from_vector(&[560.0, 3.0, 16.0, 10.0]).expect("valid config"),
+    )
+    .seed(3)
+    .duration_secs(10.0)
+    .warmup_secs(2.0)
+    .run()
+    .expect("simulation succeeds");
+
+    // Web starvation inflates every class (it is the shared front end).
+    for kind in TransactionKind::ALL {
+        assert!(
+            web_starved.mean_response_time(kind) > 4.0 * healthy.mean_response_time(kind),
+            "{kind} unaffected by web starvation"
+        );
+    }
+    // Default starvation inflates dealer classes but barely touches
+    // manufacturing (the parallel-slopes mechanism).
+    assert!(
+        default_starved.mean_response_time(TransactionKind::DealerPurchase)
+            > 4.0 * healthy.mean_response_time(TransactionKind::DealerPurchase)
+    );
+    assert!(
+        default_starved.mean_response_time(TransactionKind::Manufacturing)
+            < 2.0 * healthy.mean_response_time(TransactionKind::Manufacturing)
+    );
+}
