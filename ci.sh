@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Repository CI gate — offline-safe by construction: the workspace has no
+# external dependencies, so every step below works without a registry.
+#
+#   ./ci.sh         full gate: fmt, clippy, build, tests (tier 1)
+#   ./ci.sh quick   skip the release build (fastest signal)
+set -eu
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (workspace, all targets, -D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [ "${1:-}" != "quick" ]; then
+    echo "==> cargo build --release (tier-1 default members)"
+    cargo build --release
+fi
+
+echo "==> cargo test -q (tier-1 default members)"
+cargo test -q
+
+echo "==> OK"

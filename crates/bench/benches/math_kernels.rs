@@ -1,26 +1,24 @@
 //! Micro-benchmarks of the math substrate's hot kernels: everything else
 //! in the workspace is built from these.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use wlc_bench::harness::Bench;
 use wlc_math::linalg::{lstsq, solve};
 use wlc_math::quantile::P2Quantile;
 use wlc_math::rng::Xoshiro256;
 use wlc_math::Matrix;
 
-fn bench_matmul(c: &mut Criterion) {
-    let mut group = c.benchmark_group("math/matmul");
+fn bench_matmul(bench: &Bench) {
     for n in [8usize, 32, 64] {
         let a = Matrix::from_fn(n, n, |r, col| ((r * 7 + col) % 13) as f64);
         let b = Matrix::from_fn(n, n, |r, col| ((r + col * 5) % 11) as f64);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
-            bench.iter(|| black_box(a.matmul(black_box(&b)).expect("shapes match")))
+        bench.run(&format!("math/matmul/{n}"), || {
+            a.matmul(black_box(&b)).expect("shapes match")
         });
     }
-    group.finish();
 }
 
-fn bench_solve(c: &mut Criterion) {
+fn bench_solve(bench: &Bench) {
     let n = 32;
     let mut a = Matrix::from_fn(n, n, |r, col| ((r * 3 + col) % 7) as f64 * 0.1);
     for i in 0..n {
@@ -28,61 +26,54 @@ fn bench_solve(c: &mut Criterion) {
         a.set(i, i, v);
     }
     let b: Vec<f64> = (0..n).map(|i| i as f64).collect();
-    c.bench_function("math/solve_32x32", |bench| {
-        bench.iter(|| black_box(solve(black_box(&a), black_box(&b)).expect("non-singular")))
+    bench.run("math/solve_32x32", || {
+        solve(black_box(&a), black_box(&b)).expect("non-singular")
     });
 }
 
-fn bench_lstsq(c: &mut Criterion) {
+fn bench_lstsq(bench: &Bench) {
     let x = Matrix::from_fn(100, 15, |r, col| ((r * 3 + col * 11) % 17) as f64 / 17.0);
     let y: Vec<f64> = (0..100).map(|i| (i % 9) as f64).collect();
-    c.bench_function("math/lstsq_100x15", |bench| {
-        bench.iter(|| black_box(lstsq(black_box(&x), black_box(&y)).expect("solvable")))
+    bench.run("math/lstsq_100x15", || {
+        lstsq(black_box(&x), black_box(&y)).expect("solvable")
     });
 }
 
-fn bench_rng(c: &mut Criterion) {
-    c.bench_function("math/xoshiro_1000_f64", |bench| {
-        let mut rng = Xoshiro256::seed_from(1);
-        bench.iter(|| {
-            let mut acc = 0.0;
-            for _ in 0..1000 {
-                acc += rng.next_f64();
-            }
-            black_box(acc)
-        })
+fn bench_rng(bench: &Bench) {
+    let mut rng = Xoshiro256::seed_from(1);
+    bench.run("math/xoshiro_1000_f64", || {
+        let mut acc = 0.0;
+        for _ in 0..1000 {
+            acc += rng.next_f64();
+        }
+        acc
     });
-    c.bench_function("math/gaussian_1000", |bench| {
-        let mut rng = Xoshiro256::seed_from(2);
-        bench.iter(|| {
-            let mut acc = 0.0;
-            for _ in 0..1000 {
-                acc += rng.next_gaussian();
-            }
-            black_box(acc)
-        })
+    let mut rng = Xoshiro256::seed_from(2);
+    bench.run("math/gaussian_1000", || {
+        let mut acc = 0.0;
+        for _ in 0..1000 {
+            acc += rng.next_gaussian();
+        }
+        acc
     });
 }
 
-fn bench_quantile(c: &mut Criterion) {
-    c.bench_function("math/p2_quantile_1000_pushes", |bench| {
-        let mut rng = Xoshiro256::seed_from(3);
-        bench.iter(|| {
-            let mut q = P2Quantile::new(0.95).expect("valid p");
-            for _ in 0..1000 {
-                q.push(rng.next_f64());
-            }
-            black_box(q.estimate())
-        })
+fn bench_quantile(bench: &Bench) {
+    let mut rng = Xoshiro256::seed_from(3);
+    bench.run("math/p2_quantile_1000_pushes", || {
+        let mut q = P2Quantile::new(0.95).expect("valid p");
+        for _ in 0..1000 {
+            q.push(rng.next_f64());
+        }
+        q.estimate()
     });
 }
 
-criterion_group!(
-    benches,
-    bench_matmul,
-    bench_solve,
-    bench_lstsq,
-    bench_rng,
-    bench_quantile
-);
-criterion_main!(benches);
+fn main() {
+    let bench = Bench::new();
+    bench_matmul(&bench);
+    bench_solve(&bench);
+    bench_lstsq(&bench);
+    bench_rng(&bench);
+    bench_quantile(&bench);
+}

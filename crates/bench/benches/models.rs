@@ -1,8 +1,8 @@
 //! Model-fitting cost benchmarks: the baselines and extensions that
 //! compete with the MLP in `baseline_vs_nn` and `auto_tune`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use wlc_bench::harness::Bench;
 use wlc_data::design::ParamRange;
 use wlc_data::{Dataset, Sample};
 use wlc_model::baseline::{LinearFeatures, LinearModel, PolynomialModel, RbfModel};
@@ -40,38 +40,29 @@ fn dataset() -> Dataset {
     ds
 }
 
-fn bench_baseline_fits(c: &mut Criterion) {
+fn bench_baseline_fits(bench: &Bench) {
     let ds = dataset();
-    c.bench_function("models/linear_quadratic_fit_50", |b| {
-        b.iter(|| {
-            black_box(
-                LinearModel::fit(black_box(&ds), LinearFeatures::Quadratic)
-                    .expect("fit succeeds"),
-            )
-        })
+    bench.run("models/linear_quadratic_fit_50", || {
+        LinearModel::fit(black_box(&ds), LinearFeatures::Quadratic).expect("fit succeeds")
     });
-    c.bench_function("models/polynomial_deg3_fit_50", |b| {
-        b.iter(|| black_box(PolynomialModel::fit(black_box(&ds), 3).expect("fit succeeds")))
+    bench.run("models/polynomial_deg3_fit_50", || {
+        PolynomialModel::fit(black_box(&ds), 3).expect("fit succeeds")
     });
-    c.bench_function("models/rbf_20_centers_fit_50", |b| {
-        b.iter(|| black_box(RbfModel::fit(black_box(&ds), 20, 1).expect("fit succeeds")))
+    bench.run("models/rbf_20_centers_fit_50", || {
+        RbfModel::fit(black_box(&ds), 20, 1).expect("fit succeeds")
     });
 }
 
-fn bench_ensemble_and_sensitivity(c: &mut Criterion) {
+fn bench_ensemble_and_sensitivity(bench: &Bench) {
     let ds = dataset();
     let builder = WorkloadModelBuilder::new()
         .no_hidden_layers()
         .hidden_layer(8)
         .max_epochs(100);
-    let mut group = c.benchmark_group("models");
-    group.sample_size(10);
-    group.bench_function("ensemble_3_members_100_epochs", |b| {
-        b.iter(|| {
-            black_box(EnsembleModel::train(&builder, black_box(&ds), 3, 1).expect("trains"))
-        })
+    let ensemble_bench = bench.clone().sample_size(10);
+    ensemble_bench.run("models/ensemble_3_members_100_epochs", || {
+        EnsembleModel::train(&builder, black_box(&ds), 3, 1).expect("trains")
     });
-    group.finish();
 
     let model = builder.train(&ds).expect("trains").model;
     let ranges = [
@@ -80,15 +71,13 @@ fn bench_ensemble_and_sensitivity(c: &mut Criterion) {
         ParamRange::new(16.0, 16.0).expect("valid"),
         ParamRange::new(5.0, 20.0).expect("valid"),
     ];
-    c.bench_function("models/sensitivity_32x32_samples", |b| {
-        b.iter(|| {
-            black_box(
-                first_order_indices(&model, 4, black_box(&ranges), 32, 32, 1)
-                    .expect("indices computable"),
-            )
-        })
+    bench.run("models/sensitivity_32x32_samples", || {
+        first_order_indices(&model, 4, black_box(&ranges), 32, 32, 1).expect("indices computable")
     });
 }
 
-criterion_group!(benches, bench_baseline_fits, bench_ensemble_and_sensitivity);
-criterion_main!(benches);
+fn main() {
+    let bench = Bench::new();
+    bench_baseline_fits(&bench);
+    bench_ensemble_and_sensitivity(&bench);
+}

@@ -2,8 +2,8 @@
 //! of candidate configurations through the model, so single-prediction
 //! latency bounds how large a configuration grid is practical.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use wlc_bench::harness::Bench;
 use wlc_data::{Dataset, Sample};
 use wlc_math::Matrix;
 use wlc_model::{PerformanceModel, WorkloadModelBuilder};
@@ -35,7 +35,7 @@ fn trained_workload_model() -> wlc_model::WorkloadModel {
         .model
 }
 
-fn bench_raw_mlp_forward(c: &mut Criterion) {
+fn bench_raw_mlp_forward(bench: &Bench) {
     let mlp = MlpBuilder::new(4)
         .hidden(16, Activation::logistic())
         .hidden(12, Activation::logistic())
@@ -44,31 +44,30 @@ fn bench_raw_mlp_forward(c: &mut Criterion) {
         .build()
         .expect("valid topology");
     let x = [0.1, -0.3, 0.8, 0.0];
-    c.bench_function("nn_predict/raw_forward_4_16_12_5", |b| {
-        b.iter(|| black_box(mlp.forward(black_box(&x)).expect("forward succeeds")))
+    bench.run("nn_predict/raw_forward_4_16_12_5", || {
+        mlp.forward(black_box(&x)).expect("forward succeeds")
     });
 }
 
-fn bench_model_predict(c: &mut Criterion) {
+fn bench_model_predict(bench: &Bench) {
     let model = trained_workload_model();
     let x = [5.0, 3.0, 7.0, 2.0];
-    c.bench_function("nn_predict/workload_model_predict", |b| {
-        b.iter(|| black_box(model.predict(black_box(&x)).expect("predict succeeds")))
+    bench.run("nn_predict/workload_model_predict", || {
+        model.predict(black_box(&x)).expect("predict succeeds")
     });
 }
 
-fn bench_batch_predict(c: &mut Criterion) {
+fn bench_batch_predict(bench: &Bench) {
     let model = trained_workload_model();
     let xs = Matrix::from_fn(1000, 4, |r, col| ((r + col * 13) % 10) as f64);
-    c.bench_function("nn_predict/batch_1000", |b| {
-        b.iter(|| black_box(model.predict_batch(black_box(&xs)).expect("batch succeeds")))
+    bench.run("nn_predict/batch_1000", || {
+        model.predict_batch(black_box(&xs)).expect("batch succeeds")
     });
 }
 
-criterion_group!(
-    benches,
-    bench_raw_mlp_forward,
-    bench_model_predict,
-    bench_batch_predict
-);
-criterion_main!(benches);
+fn main() {
+    let bench = Bench::new();
+    bench_raw_mlp_forward(&bench);
+    bench_model_predict(&bench);
+    bench_batch_predict(&bench);
+}

@@ -2,8 +2,8 @@
 //! paper's 4-input/5-output shape (§2.2 discusses how node count drives
 //! "large amounts of sample data and training time").
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use wlc_bench::harness::Bench;
 use wlc_math::Matrix;
 use wlc_nn::{Activation, Loss, MlpBuilder, TrainConfig, Trainer};
 
@@ -13,31 +13,27 @@ fn training_data(rows: usize) -> (Matrix, Matrix) {
     (xs, ys)
 }
 
-fn bench_epochs(c: &mut Criterion) {
+fn bench_epochs(bench: &Bench) {
     let (xs, ys) = training_data(40);
-    let mut group = c.benchmark_group("nn_train/100_epochs_40_samples");
     for hidden in [8usize, 16, 32] {
-        group.bench_with_input(BenchmarkId::from_parameter(hidden), &hidden, |b, &h| {
-            b.iter(|| {
-                let mut mlp = MlpBuilder::new(4)
-                    .hidden(h, Activation::logistic())
-                    .hidden(h * 3 / 4, Activation::logistic())
-                    .output(5, Activation::identity())
-                    .seed(1)
-                    .build()
-                    .expect("valid topology");
-                let config = TrainConfig::new().max_epochs(100).learning_rate(0.05);
-                let report = Trainer::new(config)
-                    .fit(&mut mlp, black_box(&xs), black_box(&ys))
-                    .expect("training succeeds");
-                black_box(report.final_train_loss)
-            })
+        bench.run(&format!("nn_train/100_epochs_40_samples/{hidden}"), || {
+            let mut mlp = MlpBuilder::new(4)
+                .hidden(hidden, Activation::logistic())
+                .hidden(hidden * 3 / 4, Activation::logistic())
+                .output(5, Activation::identity())
+                .seed(1)
+                .build()
+                .expect("valid topology");
+            let config = TrainConfig::new().max_epochs(100).learning_rate(0.05);
+            let report = Trainer::new(config)
+                .fit(&mut mlp, black_box(&xs), black_box(&ys))
+                .expect("training succeeds");
+            report.final_train_loss
         });
     }
-    group.finish();
 }
 
-fn bench_gradient(c: &mut Criterion) {
+fn bench_gradient(bench: &Bench) {
     let (xs, ys) = training_data(40);
     let mlp = MlpBuilder::new(4)
         .hidden(16, Activation::logistic())
@@ -46,15 +42,16 @@ fn bench_gradient(c: &mut Criterion) {
         .seed(1)
         .build()
         .expect("valid topology");
-    c.bench_function("nn_train/batch_gradient_40_samples", |b| {
-        b.iter(|| {
-            let (loss, grad) = mlp
-                .batch_gradient(black_box(&xs), black_box(&ys), Loss::MeanSquared)
-                .expect("gradient succeeds");
-            black_box((loss, grad.len()))
-        })
+    bench.run("nn_train/batch_gradient_40_samples", || {
+        let (loss, grad) = mlp
+            .batch_gradient(black_box(&xs), black_box(&ys), Loss::MeanSquared)
+            .expect("gradient succeeds");
+        (loss, grad.len())
     });
 }
 
-criterion_group!(benches, bench_epochs, bench_gradient);
-criterion_main!(benches);
+fn main() {
+    let bench = Bench::new();
+    bench_epochs(&bench);
+    bench_gradient(&bench);
+}

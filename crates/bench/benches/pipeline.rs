@@ -2,22 +2,19 @@
 //! at a reduced scale (the full Table 2 pipeline is minutes, not
 //! benchmark material).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use wlc_bench::harness::Bench;
 use wlc_bench::{collect_dataset, paper_design};
 use wlc_model::{CrossValidator, WorkloadModelBuilder};
 
-fn bench_collect(c: &mut Criterion) {
+fn bench_collect(bench: &Bench) {
     let configs = paper_design(8, 5).expect("valid design");
-    let mut group = c.benchmark_group("pipeline");
-    group.sample_size(10);
-    group.bench_function("simulate_8_configs", |b| {
-        b.iter(|| black_box(collect_dataset(black_box(&configs), 3).expect("runs succeed")))
+    bench.run("pipeline/simulate_8_configs", || {
+        collect_dataset(black_box(&configs), 3).expect("runs succeed")
     });
-    group.finish();
 }
 
-fn bench_train_and_cv(c: &mut Criterion) {
+fn bench_train_and_cv(bench: &Bench) {
     let configs = paper_design(20, 5).expect("valid design");
     let dataset = collect_dataset(&configs, 3).expect("runs succeed");
     let builder = WorkloadModelBuilder::new()
@@ -25,29 +22,21 @@ fn bench_train_and_cv(c: &mut Criterion) {
         .learning_rate(0.03)
         .optimizer(wlc_nn::OptimizerKind::adam());
 
-    let mut group = c.benchmark_group("pipeline");
-    group.sample_size(10);
-    group.bench_function("train_300_epochs_20_samples", |b| {
-        b.iter(|| {
-            black_box(
-                builder
-                    .train(black_box(&dataset))
-                    .expect("training succeeds"),
-            )
-        })
+    bench.run("pipeline/train_300_epochs_20_samples", || {
+        builder
+            .train(black_box(&dataset))
+            .expect("training succeeds")
     });
-    group.bench_function("cross_validate_4_fold", |b| {
-        b.iter(|| {
-            black_box(
-                CrossValidator::new(builder.clone())
-                    .k(4)
-                    .run(black_box(&dataset))
-                    .expect("cv succeeds"),
-            )
-        })
+    bench.run("pipeline/cross_validate_4_fold", || {
+        CrossValidator::new(builder.clone())
+            .k(4)
+            .run(black_box(&dataset))
+            .expect("cv succeeds")
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_collect, bench_train_and_cv);
-criterion_main!(benches);
+fn main() {
+    let bench = Bench::new().sample_size(10);
+    bench_collect(&bench);
+    bench_train_and_cv(&bench);
+}

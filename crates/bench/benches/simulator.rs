@@ -3,8 +3,7 @@
 //! cost is `configs × this`, which bounds how dense an experiment design
 //! can be.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use wlc_bench::harness::Bench;
 use wlc_sim::{ServerConfig, Simulation};
 
 fn config(rate: f64, threads: u32) -> ServerConfig {
@@ -17,43 +16,36 @@ fn config(rate: f64, threads: u32) -> ServerConfig {
         .expect("valid config")
 }
 
-fn bench_vs_rate(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulator/5s_run_vs_rate");
-    group.sample_size(20);
+fn bench_vs_rate(bench: &Bench) {
     for rate in [100.0, 300.0, 560.0] {
-        group.bench_with_input(BenchmarkId::from_parameter(rate as u64), &rate, |b, &r| {
-            b.iter(|| {
-                let m = Simulation::new(config(r, 10))
-                    .seed(1)
-                    .duration_secs(5.0)
-                    .warmup_secs(1.0)
-                    .run()
-                    .expect("simulation succeeds");
-                black_box(m.throughput())
-            })
+        bench.run(&format!("simulator/5s_run_vs_rate/{}", rate as u64), || {
+            Simulation::new(config(rate, 10))
+                .seed(1)
+                .duration_secs(5.0)
+                .warmup_secs(1.0)
+                .run()
+                .expect("simulation succeeds")
+                .throughput()
         });
     }
-    group.finish();
 }
 
-fn bench_saturated_vs_healthy(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulator/5s_run_560rps");
-    group.sample_size(20);
+fn bench_saturated_vs_healthy(bench: &Bench) {
     for (label, threads) in [("healthy_10_threads", 10u32), ("starved_4_threads", 4)] {
-        group.bench_with_input(BenchmarkId::from_parameter(label), &threads, |b, &t| {
-            b.iter(|| {
-                let m = Simulation::new(config(560.0, t))
-                    .seed(1)
-                    .duration_secs(5.0)
-                    .warmup_secs(1.0)
-                    .run()
-                    .expect("simulation succeeds");
-                black_box(m.total_throughput())
-            })
+        bench.run(&format!("simulator/5s_run_560rps/{label}"), || {
+            Simulation::new(config(560.0, threads))
+                .seed(1)
+                .duration_secs(5.0)
+                .warmup_secs(1.0)
+                .run()
+                .expect("simulation succeeds")
+                .total_throughput()
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_vs_rate, bench_saturated_vs_healthy);
-criterion_main!(benches);
+fn main() {
+    let bench = Bench::new().sample_size(20);
+    bench_vs_rate(&bench);
+    bench_saturated_vs_healthy(&bench);
+}

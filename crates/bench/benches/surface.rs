@@ -2,8 +2,8 @@
 //! diagrams (Figures 4/7/8) and of the tuning advisor's full-factorial
 //! configuration search.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use wlc_bench::harness::Bench;
 use wlc_data::{Dataset, Sample};
 use wlc_model::classify::classify;
 use wlc_model::{ResponseSurface, ScoringFunction, TuningAdvisor, WorkloadModelBuilder};
@@ -43,34 +43,32 @@ fn trained_model() -> wlc_model::WorkloadModel {
         .model
 }
 
-fn bench_surface_eval(c: &mut Criterion) {
+fn bench_surface_eval(bench: &Bench) {
     let model = trained_model();
-    let mut group = c.benchmark_group("surface/evaluate");
     for n in [9usize, 17, 33] {
         let axis: Vec<f64> = (0..n).map(|i| 4.0 + i as f64).collect();
         let surface =
             ResponseSurface::new(vec![560.0, 10.0, 16.0, 10.0], 1, axis.clone(), 3, axis, 1)
                 .expect("valid surface");
-        group.bench_with_input(BenchmarkId::from_parameter(n * n), &surface, |b, s| {
-            b.iter(|| black_box(s.evaluate(black_box(&model)).expect("evaluate succeeds")))
+        bench.run(&format!("surface/evaluate/{}", n * n), || {
+            surface
+                .evaluate(black_box(&model))
+                .expect("evaluate succeeds")
         });
     }
-    group.finish();
 }
 
-fn bench_classify(c: &mut Criterion) {
+fn bench_classify(bench: &Bench) {
     let model = trained_model();
     let axis: Vec<f64> = (0..17).map(|i| 4.0 + i as f64).collect();
     let grid = ResponseSurface::new(vec![560.0, 10.0, 16.0, 10.0], 1, axis.clone(), 3, axis, 1)
         .expect("valid surface")
         .evaluate(&model)
         .expect("evaluate succeeds");
-    c.bench_function("surface/classify_17x17", |b| {
-        b.iter(|| black_box(classify(black_box(&grid))))
-    });
+    bench.run("surface/classify_17x17", || classify(black_box(&grid)));
 }
 
-fn bench_tuning_search(c: &mut Criterion) {
+fn bench_tuning_search(bench: &Bench) {
     let model = trained_model();
     let scoring =
         ScoringFunction::new(vec![0.05, 0.05, 0.04, 0.04], 1000.0).expect("valid scoring");
@@ -81,21 +79,16 @@ fn bench_tuning_search(c: &mut Criterion) {
         vec![16.0],
         (0..9).map(|i| 4.0 + i as f64 * 2.0).collect(),
     ];
-    c.bench_function("surface/tuning_search_486_candidates", |b| {
-        b.iter(|| {
-            black_box(
-                advisor
-                    .recommend(black_box(&levels))
-                    .expect("search succeeds"),
-            )
-        })
+    bench.run("surface/tuning_search_486_candidates", || {
+        advisor
+            .recommend(black_box(&levels))
+            .expect("search succeeds")
     });
 }
 
-criterion_group!(
-    benches,
-    bench_surface_eval,
-    bench_classify,
-    bench_tuning_search
-);
-criterion_main!(benches);
+fn main() {
+    let bench = Bench::new();
+    bench_surface_eval(&bench);
+    bench_classify(&bench);
+    bench_tuning_search(&bench);
+}

@@ -1,0 +1,110 @@
+//! A small std-only benchmark harness.
+//!
+//! The workspace builds with no external crates (the registry is not
+//! always reachable), so the `cargo bench` targets use this harness
+//! instead of criterion: warm up, time a fixed number of samples with
+//! [`Instant`], and print min/mean/max per benchmark.
+//!
+//! Sample counts can be overridden with the `WLC_BENCH_SAMPLES`
+//! environment variable for quicker smoke runs.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// A benchmark runner with a configurable per-benchmark sample count.
+#[derive(Debug, Clone)]
+pub struct Bench {
+    samples: usize,
+}
+
+impl Default for Bench {
+    fn default() -> Self {
+        Bench::new()
+    }
+}
+
+impl Bench {
+    /// Creates a runner with 20 samples per benchmark (or the
+    /// `WLC_BENCH_SAMPLES` override).
+    pub fn new() -> Self {
+        let samples = std::env::var("WLC_BENCH_SAMPLES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(20);
+        Bench {
+            samples: samples.max(1),
+        }
+    }
+
+    /// Overrides the number of timed samples.
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        self.samples = samples.max(1);
+        self
+    }
+
+    /// Times `f` and prints one result line. The closure's output is
+    /// passed through [`black_box`] so the work is not optimized away.
+    /// Returns the mean sample time for callers that compare runs.
+    pub fn run<O, F>(&self, name: &str, mut f: F) -> Duration
+    where
+        F: FnMut() -> O,
+    {
+        // Warm up caches / branch predictors outside the timed window.
+        for _ in 0..self.samples.div_ceil(10) {
+            black_box(f());
+        }
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            times.push(t0.elapsed());
+        }
+        let total: Duration = times.iter().sum();
+        let mean = total / self.samples as u32;
+        let min = times.iter().min().copied().unwrap_or_default();
+        let max = times.iter().max().copied().unwrap_or_default();
+        println!(
+            "{name:<44} mean {:>10}  min {:>10}  max {:>10}  ({} samples)",
+            fmt_duration(mean),
+            fmt_duration(min),
+            fmt_duration(max),
+            self.samples
+        );
+        mean
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", d.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_reports_mean_of_samples() {
+        let bench = Bench::new().sample_size(3);
+        let mean = bench.run("harness/self_test", || {
+            std::thread::sleep(Duration::from_millis(1))
+        });
+        assert!(mean >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn durations_format_with_sensible_units() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(12)), "12.00 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(12)), "12.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.000 s");
+    }
+}

@@ -3,7 +3,7 @@
 
 use wlc_data::design::{latin_hypercube, round_to_integers, ParamRange};
 use wlc_math::rng::Seed;
-use wlc_sim::{run_design_replicated, ServerConfig};
+use wlc_sim::{run_design_replicated_timed, ServerConfig};
 
 use crate::args::Flags;
 
@@ -22,7 +22,11 @@ FLAGS:
     --web <lo:hi>      web-thread range                   [default: 5:20]
     --duration <f64>   simulated seconds per run          [default: 20]
     --warmup <f64>     warmup seconds per run             [default: 4]
-    --replications <u32>  runs averaged per configuration [default: 1]";
+    --replications <u32>  runs averaged per configuration [default: 1]
+    --jobs <usize>     simulation worker threads  [default: available cores]
+
+Results are bit-identical for any --jobs value: every run's seed is
+derived from its position in the design, not from scheduling order.";
 
 pub fn run(raw: &[String]) -> CmdResult {
     if raw.is_empty() {
@@ -55,14 +59,17 @@ pub fn run(raw: &[String]) -> CmdResult {
         .map(|p| ServerConfig::from_vector(p))
         .collect::<Result<_, _>>()?;
 
-    eprintln!("simulating {samples} configurations...");
-    let dataset = run_design_replicated(
+    let jobs: usize = flags.get_or("jobs", wlc_exec::default_jobs())?.max(1);
+    eprintln!("simulating {samples} configurations on {jobs} worker(s)...");
+    let (dataset, timing) = run_design_replicated_timed(
         &configs,
         seed.wrapping_add(1),
         flags.get_or("duration", 20.0)?,
         flags.get_or("warmup", 4.0)?,
         flags.get_or("replications", 1u32)?,
+        jobs,
     )?;
+    eprintln!("{timing}");
     dataset.save_csv(&out)?;
     println!("wrote {} samples to {out}", dataset.len());
     for summary in dataset.column_summaries() {

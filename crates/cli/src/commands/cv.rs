@@ -18,7 +18,11 @@ FLAGS:
     --epochs <usize>    epoch budget per fold              [default: 6000]
     --lr <f64>          learning rate                      [default: 0.02]
     --threshold <f64>   termination threshold              [default: 1e-3]
-    --seed <u64>        fold-assignment / weight seed      [default: 7]";
+    --seed <u64>        fold-assignment / weight seed      [default: 7]
+    --jobs <usize>      fold worker threads        [default: available cores]
+
+The report is bit-identical for any --jobs value: each fold's split and
+weight seed depend only on the fold index and --seed.";
 
 pub fn run(raw: &[String]) -> CmdResult {
     if raw.is_empty() {
@@ -40,10 +44,13 @@ pub fn run(raw: &[String]) -> CmdResult {
         }
     }
 
-    let report = CrossValidator::new(builder)
+    let jobs: usize = flags.get_or("jobs", wlc_exec::default_jobs())?;
+    let (report, timing) = CrossValidator::new(builder)
         .k(flags.get_or("k", 5)?)
         .seed(flags.get_or("seed", 7)?)
-        .run(&dataset)?;
+        .jobs(jobs)
+        .run_timed(&dataset)?;
+    eprintln!("{timing}");
 
     println!("{}", report.to_table());
     println!(

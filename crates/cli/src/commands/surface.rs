@@ -20,7 +20,11 @@ FLAGS:
     --axis2 <usize>     second swept input index                    [default: 3]
     --range1 <lo:hi>    sweep range of axis1                        [default: 4:20]
     --range2 <lo:hi>    sweep range of axis2                        [default: 4:20]
-    --steps <usize>     grid points per axis                        [default: 9]";
+    --steps <usize>     grid points per axis                        [default: 9]
+    --jobs <usize>      grid-row worker threads      [default: available cores]
+
+The grid is bit-identical for any --jobs value: each row depends only
+on its axis value.";
 
 pub fn run(raw: &[String]) -> CmdResult {
     if raw.is_empty() {
@@ -46,8 +50,10 @@ pub fn run(raw: &[String]) -> CmdResult {
             .map(|i| lo + (hi - lo) * i as f64 / (steps - 1) as f64)
             .collect()
     };
+    let jobs: usize = flags.get_or("jobs", wlc_exec::default_jobs())?;
     let surface = ResponseSurface::new(base, axis1, axis(lo1, hi1), axis2, axis(lo2, hi2), output)?;
-    let grid = surface.evaluate(&model)?;
+    let (grid, timing) = surface.evaluate_timed(&model, jobs)?;
+    eprintln!("{timing}");
     let analysis = classify(&grid);
 
     let indicator_name = model

@@ -1,5 +1,6 @@
 use wlc_data::metrics::ErrorReport;
 use wlc_data::{Dataset, KFold};
+use wlc_exec::RunReport;
 use wlc_math::rng::Seed;
 use wlc_nn::TrainReport;
 
@@ -124,16 +125,21 @@ pub struct CrossValidator {
     builder: WorkloadModelBuilder,
     k: usize,
     seed: u64,
+    jobs: usize,
 }
 
 impl CrossValidator {
     /// Creates a 5-fold cross validator (the paper's k) for the given
-    /// model configuration.
+    /// model configuration. Folds train concurrently on a worker pool
+    /// sized by [`wlc_exec::default_jobs`]; each fold's weight seed and
+    /// data split depend only on the fold index and `seed`, so the report
+    /// is bit-identical for any worker count.
     pub fn new(builder: WorkloadModelBuilder) -> Self {
         CrossValidator {
             builder,
             k: 5,
             seed: 0,
+            jobs: wlc_exec::default_jobs(),
         }
     }
 
@@ -149,6 +155,13 @@ impl CrossValidator {
         self
     }
 
+    /// Sets the worker count for training the folds (`jobs <= 1` runs
+    /// sequentially). The result does not depend on this.
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
     /// Runs the cross validation.
     ///
     /// # Errors
@@ -156,28 +169,43 @@ impl CrossValidator {
     /// - [`ModelError::Data`] for invalid `k` relative to the dataset.
     /// - Training/evaluation errors from the folds.
     pub fn run(&self, dataset: &Dataset) -> Result<CvReport, ModelError> {
+        self.run_timed(dataset).map(|(report, _)| report)
+    }
+
+    /// [`run`](Self::run) that also returns the worker pool's
+    /// [`RunReport`] (wall time and per-fold timings).
+    ///
+    /// # Errors
+    ///
+    /// As for [`run`](Self::run).
+    pub fn run_timed(&self, dataset: &Dataset) -> Result<(CvReport, RunReport), ModelError> {
         let kf = KFold::new(dataset.len(), self.k, Seed::new(self.seed))?;
-        let mut trials = Vec::with_capacity(self.k);
-        for (fold, (train_idx, val_idx)) in kf.folds().enumerate() {
-            let train = dataset.subset(&train_idx)?;
-            let val = dataset.subset(&val_idx)?;
+        let folds: Vec<(Vec<usize>, Vec<usize>)> = kf.folds().collect();
+        let task = |fold: usize| -> Result<CvTrial, ModelError> {
+            let (train_idx, val_idx) = &folds[fold];
+            let train = dataset.subset(train_idx)?;
+            let val = dataset.subset(val_idx)?;
             // Each trial re-initializes weights (fresh random start), as
             // the paper's per-trial training does.
             let builder = self.builder.clone().seed(self.seed ^ (fold as u64) << 32);
             let outcome = builder.train(&train)?;
             let validation = outcome.model.evaluate(&val)?;
             let training = outcome.model.evaluate(&train)?;
-            trials.push(CvTrial {
+            Ok(CvTrial {
                 fold,
                 validation,
                 training,
                 train_report: outcome.report,
-            });
-        }
-        Ok(CvReport {
-            output_names: dataset.output_names().to_vec(),
-            trials,
-        })
+            })
+        };
+        let (trials, report) = wlc_exec::try_map_indexed_timed(self.jobs, folds.len(), task)?;
+        Ok((
+            CvReport {
+                output_names: dataset.output_names().to_vec(),
+                trials,
+            },
+            report,
+        ))
     }
 }
 

@@ -72,5 +72,7 @@ pub use ensemble::EnsembleModel;
 pub use error::ModelError;
 pub use model::{PerformanceModel, ScalingKind, TrainedModel, WorkloadModel, WorkloadModelBuilder};
 pub use search::{HyperParameterSearch, SearchCandidate, SearchOutcome};
-pub use surface::{evaluate_all, ResponseSurface, SurfaceGrid};
+pub use surface::{
+    evaluate_all, evaluate_all_jobs, evaluate_all_timed, ResponseSurface, SurfaceGrid,
+};
 pub use tuning::{Recommendation, ScoringFunction, TuningAdvisor};

@@ -1,3 +1,4 @@
+use wlc_exec::RunReport;
 use wlc_math::Matrix;
 
 use crate::{ModelError, PerformanceModel};
@@ -102,13 +103,68 @@ impl ResponseSurface {
         self.output
     }
 
-    /// Evaluates the surface through a model.
+    /// Evaluates the surface through a model, one grid row at a time.
+    ///
+    /// For a `Sync` model (every model in this crate is), prefer
+    /// [`evaluate_jobs`](Self::evaluate_jobs) which fans the rows out
+    /// over a worker pool; the result is identical.
     ///
     /// # Errors
     ///
     /// - [`ModelError::WidthMismatch`] if the base configuration width or
     ///   output index do not match the model.
     pub fn evaluate(&self, model: &dyn PerformanceModel) -> Result<SurfaceGrid, ModelError> {
+        self.check(model)?;
+        let mut z = Matrix::zeros(self.axis1_values.len(), self.axis2_values.len());
+        for (i, row) in self.rows(model).enumerate() {
+            for (j, v) in row?.into_iter().enumerate() {
+                z.set(i, j, v);
+            }
+        }
+        Ok(self.grid_from(z))
+    }
+
+    /// [`evaluate`](Self::evaluate) with the grid rows fanned out over
+    /// `jobs` workers (`jobs <= 1` runs sequentially). Each row depends
+    /// only on its axis value, so the grid is identical for any worker
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// As for [`evaluate`](Self::evaluate).
+    pub fn evaluate_jobs(
+        &self,
+        model: &(dyn PerformanceModel + Sync),
+        jobs: usize,
+    ) -> Result<SurfaceGrid, ModelError> {
+        self.evaluate_timed(model, jobs).map(|(grid, _)| grid)
+    }
+
+    /// [`evaluate_jobs`](Self::evaluate_jobs) that also returns the
+    /// pool's [`RunReport`] (wall time and per-row timings).
+    ///
+    /// # Errors
+    ///
+    /// As for [`evaluate`](Self::evaluate).
+    pub fn evaluate_timed(
+        &self,
+        model: &(dyn PerformanceModel + Sync),
+        jobs: usize,
+    ) -> Result<(SurfaceGrid, RunReport), ModelError> {
+        self.check(model)?;
+        let (rows, report) = wlc_exec::try_map_indexed_timed(jobs, self.axis1_values.len(), |i| {
+            self.row(model, self.axis1_values[i])
+        })?;
+        let mut z = Matrix::zeros(self.axis1_values.len(), self.axis2_values.len());
+        for (i, row) in rows.into_iter().enumerate() {
+            for (j, v) in row.into_iter().enumerate() {
+                z.set(i, j, v);
+            }
+        }
+        Ok((self.grid_from(z), report))
+    }
+
+    fn check(&self, model: &dyn PerformanceModel) -> Result<(), ModelError> {
         if self.base.len() != model.inputs() {
             return Err(ModelError::WidthMismatch {
                 expected: model.inputs(),
@@ -122,21 +178,35 @@ impl ResponseSurface {
                 reason: "output index exceeds the model's outputs",
             });
         }
-        let mut z = Matrix::zeros(self.axis1_values.len(), self.axis2_values.len());
+        Ok(())
+    }
+
+    /// Predicts one grid row (fixed `axis1` value, all `axis2` values).
+    fn row(&self, model: &dyn PerformanceModel, a: f64) -> Result<Vec<f64>, ModelError> {
         let mut config = self.base.clone();
-        for (i, &a) in self.axis1_values.iter().enumerate() {
-            for (j, &b) in self.axis2_values.iter().enumerate() {
-                config[self.axis1] = a;
+        config[self.axis1] = a;
+        self.axis2_values
+            .iter()
+            .map(|&b| {
                 config[self.axis2] = b;
-                let y = model.predict(&config)?;
-                z.set(i, j, y[self.output]);
-            }
-        }
-        Ok(SurfaceGrid {
+                Ok(model.predict(&config)?[self.output])
+            })
+            .collect()
+    }
+
+    fn rows<'a>(
+        &'a self,
+        model: &'a dyn PerformanceModel,
+    ) -> impl Iterator<Item = Result<Vec<f64>, ModelError>> + 'a {
+        self.axis1_values.iter().map(move |&a| self.row(model, a))
+    }
+
+    fn grid_from(&self, z: Matrix) -> SurfaceGrid {
+        SurfaceGrid {
             axis1_values: self.axis1_values.clone(),
             axis2_values: self.axis2_values.clone(),
             z,
-        })
+        }
     }
 }
 
@@ -165,17 +235,82 @@ pub fn evaluate_all(
             what: "base configuration",
         });
     }
-    let rows = spec.axis1_values.len();
-    let cols = spec.axis2_values.len();
-    let mut grids: Vec<Matrix> = (0..model.outputs())
-        .map(|_| Matrix::zeros(rows, cols))
+    let rows: Result<Vec<Vec<Vec<f64>>>, ModelError> = spec
+        .axis1_values
+        .iter()
+        .map(|&a| all_outputs_row(spec, model, a))
         .collect();
+    assemble_all(spec, model.outputs(), rows?)
+}
+
+/// [`evaluate_all`] with the grid rows fanned out over `jobs` workers
+/// (`jobs <= 1` runs sequentially); identical grids for any worker count.
+///
+/// # Errors
+///
+/// As for [`ResponseSurface::evaluate`].
+pub fn evaluate_all_jobs(
+    spec: &ResponseSurface,
+    model: &(dyn PerformanceModel + Sync),
+    jobs: usize,
+) -> Result<Vec<SurfaceGrid>, ModelError> {
+    evaluate_all_timed(spec, model, jobs).map(|(grids, _)| grids)
+}
+
+/// [`evaluate_all_jobs`] that also returns the pool's [`RunReport`]
+/// (wall time and per-row timings).
+///
+/// # Errors
+///
+/// As for [`ResponseSurface::evaluate`].
+pub fn evaluate_all_timed(
+    spec: &ResponseSurface,
+    model: &(dyn PerformanceModel + Sync),
+    jobs: usize,
+) -> Result<(Vec<SurfaceGrid>, RunReport), ModelError> {
+    if spec.base.len() != model.inputs() {
+        return Err(ModelError::WidthMismatch {
+            expected: model.inputs(),
+            actual: spec.base.len(),
+            what: "base configuration",
+        });
+    }
+    let (rows, report) = wlc_exec::try_map_indexed_timed(jobs, spec.axis1_values.len(), |i| {
+        all_outputs_row(spec, model, spec.axis1_values[i])
+    })?;
+    Ok((assemble_all(spec, model.outputs(), rows)?, report))
+}
+
+/// Predicts one grid row for every model output: `row[j][o]` is output
+/// `o` at `(a, axis2_values[j])`.
+fn all_outputs_row(
+    spec: &ResponseSurface,
+    model: &dyn PerformanceModel,
+    a: f64,
+) -> Result<Vec<Vec<f64>>, ModelError> {
     let mut config = spec.base.clone();
-    for (i, &a) in spec.axis1_values.iter().enumerate() {
-        for (j, &b) in spec.axis2_values.iter().enumerate() {
-            config[spec.axis1] = a;
+    config[spec.axis1] = a;
+    spec.axis2_values
+        .iter()
+        .map(|&b| {
             config[spec.axis2] = b;
-            let y = model.predict(&config)?;
+            model.predict(&config)
+        })
+        .collect()
+}
+
+fn assemble_all(
+    spec: &ResponseSurface,
+    outputs: usize,
+    rows: Vec<Vec<Vec<f64>>>,
+) -> Result<Vec<SurfaceGrid>, ModelError> {
+    let n_rows = spec.axis1_values.len();
+    let n_cols = spec.axis2_values.len();
+    let mut grids: Vec<Matrix> = (0..outputs)
+        .map(|_| Matrix::zeros(n_rows, n_cols))
+        .collect();
+    for (i, row) in rows.into_iter().enumerate() {
+        for (j, y) in row.into_iter().enumerate() {
             for (grid, &v) in grids.iter_mut().zip(y.iter()) {
                 grid.set(i, j, v);
             }

@@ -1,8 +1,9 @@
 //! Property-based tests for the model crate: persistence roundtrips,
-//! scoring-function invariants and classification invariances.
+//! scoring-function invariants and classification invariances — on the
+//! seeded [`propcheck`] harness.
 
-use proptest::prelude::*;
 use wlc_data::{Dataset, Sample};
+use wlc_math::propcheck;
 use wlc_math::Matrix;
 use wlc_model::classify::{classify, SurfaceShape};
 use wlc_model::{
@@ -30,16 +31,13 @@ fn tiny_dataset(inputs: usize, outputs: usize, n: usize, salt: u64) -> Dataset {
     ds
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn model_text_roundtrip_preserves_predictions(
-        inputs in 1usize..4,
-        outputs in 1usize..4,
-        hidden in 2usize..10,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn model_text_roundtrip_preserves_predictions() {
+    propcheck::run_cases(16, |g| {
+        let inputs = g.usize_in(1, 4);
+        let outputs = g.usize_in(1, 4);
+        let hidden = g.usize_in(2, 10);
+        let seed = g.u64();
         let ds = tiny_dataset(inputs, outputs, 12, seed);
         let model = WorkloadModelBuilder::new()
             .no_hidden_layers()
@@ -50,51 +48,53 @@ proptest! {
             .expect("training succeeds")
             .model;
         let back = WorkloadModel::from_text(&model.to_text()).expect("parse succeeds");
-        prop_assert_eq!(&back, &model);
+        assert_eq!(&back, &model);
         let x: Vec<f64> = (0..inputs).map(|i| i as f64 + 0.5).collect();
-        prop_assert_eq!(
+        assert_eq!(
             back.predict(&x).expect("predict succeeds"),
             model.predict(&x).expect("predict succeeds")
         );
-    }
+    });
+}
 
-    #[test]
-    fn scoring_monotone_in_throughput_and_violations(
-        constraint in 0.01..1.0_f64,
-        rt in 0.001..2.0_f64,
-        tput_low in 0.0..500.0_f64,
-        delta in 0.1..100.0_f64,
-    ) {
+#[test]
+fn scoring_monotone_in_throughput_and_violations() {
+    propcheck::run_cases(16, |g| {
+        let constraint = g.f64_in(0.01, 1.0);
+        let rt = g.f64_in(0.001, 2.0);
+        let tput_low = g.f64_in(0.0, 500.0);
+        let delta = g.f64_in(0.1, 100.0);
         let scoring = ScoringFunction::new(vec![constraint], 100.0).expect("valid scoring");
         // Higher throughput at equal response time scores higher.
         let low = scoring.score(&[rt, tput_low]).expect("scores");
         let high = scoring.score(&[rt, tput_low + delta]).expect("scores");
-        prop_assert!(high > low);
+        assert!(high > low);
         // Worse violation at equal throughput never scores higher.
         let worse = scoring.score(&[rt + constraint, tput_low]).expect("scores");
-        prop_assert!(worse <= low + 1e-12);
+        assert!(worse <= low + 1e-12);
         // satisfies() agrees with the constraint definition.
-        prop_assert_eq!(
+        assert_eq!(
             scoring.satisfies(&[rt, tput_low]).expect("checks"),
             rt <= constraint
         );
-    }
+    });
+}
 
-    #[test]
-    fn classification_invariant_under_positive_scaling(
-        scale in 0.01..100.0_f64,
-        kind in 0u8..3,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn classification_invariant_under_positive_scaling() {
+    propcheck::run_cases(16, |g| {
+        let scale = g.f64_in(0.01, 100.0);
+        let kind = g.usize_in(0, 3) as u8;
+        let seed = g.u64();
         let n = 9usize;
         let axis: Vec<f64> = (0..n).map(|v| v as f64).collect();
         let jitter = |i: usize, j: usize| ((i * 31 + j * 17 + seed as usize) % 7) as f64 * 1e-4;
         let z = Matrix::from_fn(n, n, |i, j| {
             let (x, y) = (i as f64 - 4.0, j as f64 - 4.0);
             let base = match kind {
-                0 => x * x + y * y + 1.0,          // valley
-                1 => 100.0 - x * x - y * y,        // hill
-                _ => 2.0 * x + 3.0 * y + 50.0,     // slope
+                0 => x * x + y * y + 1.0,      // valley
+                1 => 100.0 - x * x - y * y,    // hill
+                _ => 2.0 * x + 3.0 * y + 50.0, // slope
             };
             base + jitter(i, j)
         });
@@ -105,21 +105,22 @@ proptest! {
             grid.z().scale(scale),
         )
         .expect("valid grid");
-        prop_assert_eq!(classify(&grid).shape, classify(&scaled).shape);
+        assert_eq!(classify(&grid).shape, classify(&scaled).shape);
         // And the shapes are the expected ones.
         let expected = match kind {
             0 => SurfaceShape::Valley,
             1 => SurfaceShape::Hill,
             _ => SurfaceShape::Slope,
         };
-        prop_assert_eq!(classify(&grid).shape, expected);
-    }
+        assert_eq!(classify(&grid).shape, expected);
+    });
+}
 
-    #[test]
-    fn predict_batch_consistent_with_predict(
-        inputs in 1usize..4,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn predict_batch_consistent_with_predict() {
+    propcheck::run_cases(16, |g| {
+        let inputs = g.usize_in(1, 4);
+        let seed = g.u64();
         let ds = tiny_dataset(inputs, 2, 10, seed);
         let model = WorkloadModelBuilder::new()
             .no_hidden_layers()
@@ -133,7 +134,7 @@ proptest! {
         let batch = model.predict_batch(&xs).expect("batch succeeds");
         for r in 0..xs.rows() {
             let single = model.predict(xs.row(r)).expect("predict succeeds");
-            prop_assert_eq!(batch.row(r), single.as_slice());
+            assert_eq!(batch.row(r), single.as_slice());
         }
-    }
+    });
 }

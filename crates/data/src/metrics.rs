@@ -31,9 +31,14 @@ pub fn relative_errors(actual: &[f64], predicted: &[f64]) -> Result<Vec<f64>, Da
 
 /// The paper's error metric: harmonic mean of per-sample relative errors.
 ///
-/// Exact-hit samples (zero error) would make the harmonic mean degenerate
-/// (a single zero forces the metric to zero); following standard practice
-/// they are floored at `1e-12` instead.
+/// Exact-hit samples (zero relative error) have no harmonic-mean
+/// contribution — their reciprocal is infinite — so they are skipped,
+/// exactly like samples whose actual value is zero. (An earlier revision
+/// floored them at `1e-12` instead, which is worse than degenerate: one
+/// exact hit contributed a `1e12` reciprocal and collapsed the whole
+/// metric to ~0, making any model with a single memorized sample look
+/// perfect.) If *every* usable sample is an exact hit the error is
+/// genuinely zero and `Ok(0.0)` is returned.
 ///
 /// # Errors
 ///
@@ -52,12 +57,13 @@ pub fn relative_errors(actual: &[f64], predicted: &[f64]) -> Result<Vec<f64>, Da
 /// # Ok::<(), wlc_data::DataError>(())
 /// ```
 pub fn harmonic_mean_relative_error(actual: &[f64], predicted: &[f64]) -> Result<f64, DataError> {
-    let errors: Vec<f64> = relative_errors(actual, predicted)?
-        .into_iter()
-        .map(|e| e.max(1e-12))
-        .collect();
-    if errors.is_empty() {
+    let all = relative_errors(actual, predicted)?;
+    if all.is_empty() {
         return Err(DataError::Empty);
+    }
+    let errors: Vec<f64> = all.into_iter().filter(|&e| e > 0.0).collect();
+    if errors.is_empty() {
+        return Ok(0.0);
     }
     Ok(stats::harmonic_mean(&errors)?)
 }
@@ -298,10 +304,31 @@ mod tests {
 
     #[test]
     fn harmonic_handles_exact_hits() {
-        // An exact prediction must not zero out the whole metric.
+        // An exact prediction is skipped: the remaining 20% error IS the
+        // metric, not something diluted toward zero.
         let hm = harmonic_mean_relative_error(&[10.0, 10.0], &[10.0, 12.0]).unwrap();
-        assert!(hm > 0.0);
-        assert!(hm < 0.2);
+        assert!((hm - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn harmonic_exact_hit_does_not_collapse_metric() {
+        // Regression: the old 1e-12 floor made one exact hit contribute a
+        // 1e12 reciprocal, dragging the metric to ~0 no matter how bad
+        // the other predictions were.
+        let actual = [10.0, 10.0, 10.0];
+        let predicted = [10.0, 11.0, 12.0]; // exact, 10%, 20%
+        let hm = harmonic_mean_relative_error(&actual, &predicted).unwrap();
+        let expected = 2.0 / (1.0 / 0.1 + 1.0 / 0.2);
+        assert!((hm - expected).abs() < 1e-12, "hm = {hm}");
+        assert!(hm > 0.1, "metric collapsed: {hm}");
+    }
+
+    #[test]
+    fn harmonic_all_exact_hits_is_zero() {
+        let hm = harmonic_mean_relative_error(&[10.0, 20.0], &[10.0, 20.0]).unwrap();
+        assert_eq!(hm, 0.0);
+        // But no usable sample at all is still an error.
+        assert!(harmonic_mean_relative_error(&[0.0], &[0.0]).is_err());
     }
 
     #[test]

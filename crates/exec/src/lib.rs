@@ -1,0 +1,36 @@
+//! Std-only parallel execution layer for the workload-characterization
+//! workspace.
+//!
+//! Every hot path in the paper's pipeline is embarrassingly parallel: one
+//! independent DES run per configuration point, one independent MLP per
+//! cross-validation fold, one independent model evaluation per response-
+//! surface grid row. This crate provides the single primitive they all
+//! share — fan an indexed task set out over a fixed number of worker
+//! threads and collect the results *in index order* — built on
+//! `std::thread` + channels only, so the workspace stays dependency-free.
+//!
+//! Determinism: the pool never changes *what* is computed, only *where*.
+//! Callers derive any randomness from the task index (e.g.
+//! `Seed::derive(index)`), so output is bit-identical for any worker
+//! count, including 1.
+//!
+//! Panics in a worker are re-raised on the calling thread after all
+//! in-flight tasks finish — a crashing task surfaces instead of hanging
+//! the run.
+//!
+//! # Examples
+//!
+//! ```
+//! let squares = wlc_exec::map_indexed(4, 10, |i| i * i);
+//! assert_eq!(squares, (0..10).map(|i| i * i).collect::<Vec<_>>());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod pool;
+
+pub use pool::{
+    default_jobs, map_indexed, map_indexed_timed, try_map_indexed, try_map_indexed_timed,
+    RunReport, TaskTiming,
+};

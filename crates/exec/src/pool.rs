@@ -1,0 +1,304 @@
+//! The indexed worker pool.
+
+use std::convert::Infallible;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// The default worker count: the hardware's available parallelism, or 1
+/// if it cannot be determined.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Wall-clock cost of one task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskTiming {
+    /// The task's index in `0..n`.
+    pub index: usize,
+    /// Time spent computing that task.
+    pub elapsed: Duration,
+}
+
+/// Timing summary of one pool run: total wall time plus per-task costs,
+/// in task-index order.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Worker threads actually used (clamped to the task count).
+    pub jobs: usize,
+    /// Wall-clock time of the whole fan-out.
+    pub wall: Duration,
+    /// Per-task timings, sorted by task index. Tasks skipped after an
+    /// error are absent.
+    pub tasks: Vec<TaskTiming>,
+}
+
+impl RunReport {
+    /// Sum of all per-task times — the sequential cost of the same work.
+    pub fn busy(&self) -> Duration {
+        self.tasks.iter().map(|t| t.elapsed).sum()
+    }
+
+    /// `busy / wall` — how many cores' worth of work ran per wall second.
+    /// Close to `jobs` means near-perfect scaling.
+    pub fn speedup(&self) -> f64 {
+        let wall = self.wall.as_secs_f64();
+        if wall > 0.0 {
+            self.busy().as_secs_f64() / wall
+        } else {
+            1.0
+        }
+    }
+
+    /// The single most expensive task, if any ran.
+    pub fn slowest(&self) -> Option<TaskTiming> {
+        self.tasks.iter().copied().max_by_key(|t| t.elapsed)
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} tasks on {} workers: wall {:.3}s, busy {:.3}s ({:.2}x)",
+            self.tasks.len(),
+            self.jobs,
+            self.wall.as_secs_f64(),
+            self.busy().as_secs_f64(),
+            self.speedup()
+        )?;
+        if let Some(worst) = self.slowest() {
+            write!(
+                f,
+                ", slowest task #{} at {:.3}s",
+                worst.index,
+                worst.elapsed.as_secs_f64()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs `f(0..n)` on up to `jobs` worker threads and returns the results
+/// in index order.
+///
+/// `jobs` is clamped to `1..=n`; with one worker (or one task) everything
+/// runs on the calling thread. A panicking task is re-raised here once
+/// the remaining in-flight tasks have finished.
+pub fn map_indexed<T, F>(jobs: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    map_indexed_timed(jobs, n, f).0
+}
+
+/// Like [`map_indexed`], but also reports wall time and per-task timings.
+pub fn map_indexed_timed<T, F>(jobs: usize, n: usize, f: F) -> (Vec<T>, RunReport)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    match try_map_indexed_timed(jobs, n, |i| Ok::<T, Infallible>(f(i))) {
+        Ok(out) => out,
+        Err(e) => match e {},
+    }
+}
+
+/// Fallible variant of [`map_indexed`]: returns the error of the
+/// lowest-index failing task (the same error a sequential run would hit
+/// first), skipping tasks not yet claimed once a failure is seen.
+///
+/// # Errors
+///
+/// The lowest-index task error, if any task fails.
+pub fn try_map_indexed<T, E, F>(jobs: usize, n: usize, f: F) -> Result<Vec<T>, E>
+where
+    T: Send,
+    E: Send,
+    F: Fn(usize) -> Result<T, E> + Sync,
+{
+    try_map_indexed_timed(jobs, n, f).map(|(values, _)| values)
+}
+
+/// Fallible variant of [`map_indexed_timed`]; see [`try_map_indexed`] for
+/// the error contract.
+///
+/// # Errors
+///
+/// The lowest-index task error, if any task fails.
+pub fn try_map_indexed_timed<T, E, F>(jobs: usize, n: usize, f: F) -> Result<(Vec<T>, RunReport), E>
+where
+    T: Send,
+    E: Send,
+    F: Fn(usize) -> Result<T, E> + Sync,
+{
+    let jobs = jobs.max(1).min(n.max(1));
+    let started = Instant::now();
+    let mut slots: Vec<Option<Result<T, E>>>;
+    let mut timings: Vec<TaskTiming>;
+
+    if jobs <= 1 {
+        slots = Vec::with_capacity(n);
+        timings = Vec::with_capacity(n);
+        for index in 0..n {
+            let t0 = Instant::now();
+            let out = f(index);
+            timings.push(TaskTiming {
+                index,
+                elapsed: t0.elapsed(),
+            });
+            let failed = out.is_err();
+            slots.push(Some(out));
+            if failed {
+                break;
+            }
+        }
+    } else {
+        let mut init: Vec<Option<Result<T, E>>> = Vec::new();
+        init.resize_with(n, || None);
+        let shared_slots = Mutex::new(init);
+        let shared_timings = Mutex::new(Vec::with_capacity(n));
+        let next = AtomicUsize::new(0);
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                scope.spawn(|| loop {
+                    if stop.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= n {
+                        return;
+                    }
+                    let t0 = Instant::now();
+                    let out = f(index);
+                    let elapsed = t0.elapsed();
+                    if out.is_err() {
+                        stop.store(true, Ordering::Relaxed);
+                    }
+                    shared_timings
+                        .lock()
+                        .expect("timings lock")
+                        .push(TaskTiming { index, elapsed });
+                    shared_slots.lock().expect("result lock")[index] = Some(out);
+                });
+            }
+        });
+        slots = shared_slots.into_inner().expect("result lock");
+        timings = shared_timings.into_inner().expect("timings lock");
+        timings.sort_unstable_by_key(|t| t.index);
+    }
+
+    let report = RunReport {
+        jobs,
+        wall: started.elapsed(),
+        tasks: timings,
+    };
+    // Tasks are claimed in index order, so the completed prefix is
+    // contiguous and the lowest-index error is deterministic — identical
+    // to what a sequential run would return first.
+    let mut values = Vec::with_capacity(n);
+    let mut first_error = None;
+    for slot in slots {
+        match slot {
+            Some(Ok(v)) => values.push(v),
+            Some(Err(e)) => {
+                first_error = Some(e);
+                break;
+            }
+            None => break,
+        }
+    }
+    match first_error {
+        Some(e) => Err(e),
+        None => Ok((values, report)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_in_index_order_any_job_count() {
+        for jobs in [1, 2, 3, 8, 64] {
+            let got = map_indexed(jobs, 17, |i| i * 3);
+            assert_eq!(got, (0..17).map(|i| i * 3).collect::<Vec<_>>(), "{jobs}");
+        }
+    }
+
+    #[test]
+    fn zero_tasks_is_empty() {
+        let got: Vec<usize> = map_indexed(4, 0, |i| i);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn jobs_clamped_to_task_count() {
+        let (_, report) = map_indexed_timed(16, 3, |i| i);
+        assert_eq!(report.jobs, 3);
+        assert_eq!(report.tasks.len(), 3);
+    }
+
+    #[test]
+    fn lowest_index_error_wins() {
+        for jobs in [1, 4] {
+            let err = try_map_indexed(jobs, 20, |i| {
+                if i == 3 || i == 11 {
+                    Err(format!("task {i}"))
+                } else {
+                    Ok(i)
+                }
+            })
+            .unwrap_err();
+            assert_eq!(err, "task 3", "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn error_matches_sequential_run() {
+        let run =
+            |jobs| try_map_indexed(jobs, 50, |i| if i >= 30 { Err(i) } else { Ok(i) }).unwrap_err();
+        assert_eq!(run(1), run(8));
+    }
+
+    #[test]
+    fn report_accounts_for_all_tasks() {
+        let (values, report) = map_indexed_timed(4, 12, |i| {
+            std::thread::sleep(Duration::from_millis(1));
+            i
+        });
+        assert_eq!(values.len(), 12);
+        assert_eq!(report.tasks.len(), 12);
+        for (i, t) in report.tasks.iter().enumerate() {
+            assert_eq!(t.index, i);
+            assert!(t.elapsed >= Duration::from_millis(1));
+        }
+        assert!(report.busy() >= Duration::from_millis(12));
+        assert!(report.wall > Duration::ZERO);
+        let line = report.to_string();
+        assert!(line.contains("12 tasks on 4 workers"), "{line}");
+    }
+
+    #[test]
+    fn worker_panic_propagates_instead_of_hanging() {
+        let outcome = std::panic::catch_unwind(|| {
+            map_indexed(4, 8, |i| {
+                if i == 5 {
+                    panic!("worker exploded");
+                }
+                i
+            })
+        });
+        assert!(outcome.is_err());
+    }
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs() >= 1);
+    }
+}

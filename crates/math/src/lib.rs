@@ -14,6 +14,8 @@
 //!   harmonic-mean error metric and an online (Welford) accumulator.
 //! - [`quantile`] — the P² streaming quantile estimator used for
 //!   percentile response times.
+//! - [`propcheck`] — a tiny seeded property-testing harness, so the test
+//!   suites need no external dependencies.
 //!
 //! # Examples
 //!
@@ -38,6 +40,7 @@ pub mod distributions;
 mod error;
 pub mod linalg;
 mod matrix;
+pub mod propcheck;
 pub mod quantile;
 pub mod rng;
 pub mod stats;

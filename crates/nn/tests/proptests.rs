@@ -1,8 +1,8 @@
 //! Property-based tests for the neural-network crate: gradient
 //! correctness on random topologies, serialization roundtrips, and
-//! activation invariants.
+//! activation invariants — on the seeded [`propcheck`] harness.
 
-use proptest::prelude::*;
+use wlc_math::propcheck::{self, Gen};
 use wlc_math::Matrix;
 use wlc_nn::{gradcheck, Activation, Loss, Mlp, MlpBuilder};
 
@@ -16,27 +16,24 @@ fn random_data(inputs: usize, outputs: usize, rows: usize, salt: u64) -> (Matrix
     (xs, ys)
 }
 
-fn hidden_activation() -> impl Strategy<Value = Activation> {
-    prop_oneof![
-        Just(Activation::logistic()),
-        (0.5..4.0_f64).prop_map(|s| Activation::logistic_with_slope(s).expect("positive slope")),
-        Just(Activation::Tanh),
-        Just(Activation::Softplus),
-        Just(Activation::leaky_relu()),
-    ]
+fn hidden_activation(g: &mut Gen) -> Activation {
+    match g.usize_in(0, 5) {
+        0 => Activation::logistic(),
+        1 => Activation::logistic_with_slope(g.f64_in(0.5, 4.0)).expect("positive slope"),
+        2 => Activation::Tanh,
+        3 => Activation::Softplus,
+        _ => Activation::leaky_relu(),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn backprop_matches_finite_differences(
-        inputs in 1usize..4,
-        hidden in 1usize..8,
-        outputs in 1usize..4,
-        activation in hidden_activation(),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn backprop_matches_finite_differences() {
+    propcheck::run_cases(24, |g| {
+        let inputs = g.usize_in(1, 4);
+        let hidden = g.usize_in(1, 8);
+        let outputs = g.usize_in(1, 4);
+        let activation = hidden_activation(g);
+        let seed = g.u64();
         let mlp = MlpBuilder::new(inputs)
             .hidden(hidden, activation)
             .output(outputs, Activation::identity())
@@ -45,38 +42,39 @@ proptest! {
             .unwrap();
         let (xs, ys) = random_data(inputs, outputs, 5, seed);
         let report = gradcheck::check(&mlp, &xs, &ys, Loss::MeanSquared, 1e-5).unwrap();
-        prop_assert!(report.passes(1e-5), "{report:?}");
-    }
+        assert!(report.passes(1e-5), "{report:?}");
+    });
+}
 
-    #[test]
-    fn serialization_roundtrip_any_topology(
-        inputs in 1usize..5,
-        h1 in 1usize..10,
-        h2 in 1usize..10,
-        outputs in 1usize..5,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn serialization_roundtrip_any_topology() {
+    propcheck::run_cases(24, |g| {
+        let inputs = g.usize_in(1, 5);
+        let h1 = g.usize_in(1, 10);
+        let h2 = g.usize_in(1, 10);
+        let outputs = g.usize_in(1, 5);
         let mlp = MlpBuilder::new(inputs)
             .hidden(h1, Activation::logistic())
             .hidden(h2, Activation::Tanh)
             .output(outputs, Activation::identity())
-            .seed(seed)
+            .seed(g.u64())
             .build()
             .unwrap();
         let back = Mlp::from_text(&mlp.to_text()).unwrap();
-        prop_assert_eq!(&back, &mlp);
+        assert_eq!(&back, &mlp);
         // Bit-identical predictions.
         let x: Vec<f64> = (0..inputs).map(|i| i as f64 * 0.1 - 0.2).collect();
-        prop_assert_eq!(back.forward(&x).unwrap(), mlp.forward(&x).unwrap());
-    }
+        assert_eq!(back.forward(&x).unwrap(), mlp.forward(&x).unwrap());
+    });
+}
 
-    #[test]
-    fn params_roundtrip_preserves_behaviour(
-        inputs in 1usize..4,
-        hidden in 1usize..8,
-        seed in any::<u64>(),
-        probe in prop::collection::vec(-2.0..2.0_f64, 3),
-    ) {
+#[test]
+fn params_roundtrip_preserves_behaviour() {
+    propcheck::run_cases(24, |g| {
+        let inputs = g.usize_in(1, 4);
+        let hidden = g.usize_in(1, 8);
+        let seed = g.u64();
+        let probe = g.vec_f64(-2.0, 2.0, 3);
         let src = MlpBuilder::new(inputs)
             .hidden(hidden, Activation::Tanh)
             .output(2, Activation::identity())
@@ -90,34 +88,49 @@ proptest! {
             .build()
             .unwrap();
         dst.set_params_flat(&src.params_flat()).unwrap();
-        let x: Vec<f64> = probe.into_iter().take(inputs).chain(std::iter::repeat(0.0)).take(inputs).collect();
-        prop_assert_eq!(dst.forward(&x).unwrap(), src.forward(&x).unwrap());
-    }
+        let x: Vec<f64> = probe
+            .into_iter()
+            .take(inputs)
+            .chain(std::iter::repeat(0.0))
+            .take(inputs)
+            .collect();
+        assert_eq!(dst.forward(&x).unwrap(), src.forward(&x).unwrap());
+    });
+}
 
-    #[test]
-    fn activations_stay_in_declared_range(
-        activation in hidden_activation(),
-        x in -50.0..50.0_f64,
-    ) {
+#[test]
+fn activations_stay_in_declared_range() {
+    propcheck::run_cases(64, |g| {
+        let activation = hidden_activation(g);
+        let x = g.f64_in(-50.0, 50.0);
         let (lo, hi) = activation.output_range();
         let y = activation.apply(x);
-        prop_assert!(y >= lo - 1e-12 && y <= hi + 1e-12, "{activation} ({x}) = {y}");
-        prop_assert!(y.is_finite());
-    }
+        assert!(
+            y >= lo - 1e-12 && y <= hi + 1e-12,
+            "{activation} ({x}) = {y}"
+        );
+        assert!(y.is_finite());
+    });
+}
 
-    #[test]
-    fn logistic_is_monotone(slope in 0.1..10.0_f64, a in -10.0..10.0_f64, b in -10.0..10.0_f64) {
+#[test]
+fn logistic_is_monotone() {
+    propcheck::run_cases(64, |g| {
+        let slope = g.f64_in(0.1, 10.0);
+        let a = g.f64_in(-10.0, 10.0);
+        let b = g.f64_in(-10.0, 10.0);
         let act = Activation::logistic_with_slope(slope).unwrap();
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(act.apply(lo) <= act.apply(hi) + 1e-12);
-    }
+        assert!(act.apply(lo) <= act.apply(hi) + 1e-12);
+    });
+}
 
-    #[test]
-    fn sgd_step_reduces_quadratic_loss(
-        inputs in 1usize..4,
-        hidden in 2usize..8,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn sgd_step_reduces_quadratic_loss() {
+    propcheck::run_cases(24, |g| {
+        let inputs = g.usize_in(1, 4);
+        let hidden = g.usize_in(2, 8);
+        let seed = g.u64();
         // One small full-batch gradient step must not increase the loss
         // (for a sufficiently small learning rate on a smooth model).
         let mut mlp = MlpBuilder::new(inputs)
@@ -131,22 +144,31 @@ proptest! {
         let update: Vec<f64> = grad.iter().map(|g| -1e-3 * g).collect();
         mlp.apply_update(&update).unwrap();
         let (after, _) = mlp.batch_gradient(&xs, &ys, Loss::MeanSquared).unwrap();
-        prop_assert!(after <= before + 1e-9, "{before} -> {after}");
-    }
+        assert!(after <= before + 1e-9, "{before} -> {after}");
+    });
+}
 
-    #[test]
-    fn loss_is_nonnegative_and_zero_at_target(
-        target in prop::collection::vec(-5.0..5.0_f64, 1..6),
-        offset in prop::collection::vec(-2.0..2.0_f64, 1..6),
-    ) {
+#[test]
+fn loss_is_nonnegative_and_zero_at_target() {
+    propcheck::run_cases(64, |g| {
+        let target = g.vec_f64_len(-5.0, 5.0, 1, 6);
+        let offset = g.vec_f64_len(-2.0, 2.0, 1, 6);
         let n = target.len().min(offset.len());
         let target = &target[..n];
-        let predicted: Vec<f64> = target.iter().zip(&offset[..n]).map(|(t, o)| t + o).collect();
-        for loss in [Loss::MeanSquared, Loss::MeanAbsolute, Loss::huber(1.0).unwrap()] {
+        let predicted: Vec<f64> = target
+            .iter()
+            .zip(&offset[..n])
+            .map(|(t, o)| t + o)
+            .collect();
+        for loss in [
+            Loss::MeanSquared,
+            Loss::MeanAbsolute,
+            Loss::huber(1.0).unwrap(),
+        ] {
             let v = loss.value(&predicted, target).unwrap();
-            prop_assert!(v >= 0.0);
+            assert!(v >= 0.0);
             let zero = loss.value(target, target).unwrap();
-            prop_assert!(zero.abs() < 1e-12);
+            assert!(zero.abs() < 1e-12);
         }
-    }
+    });
 }

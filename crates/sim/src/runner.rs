@@ -3,6 +3,7 @@
 //! configuration design.
 
 use wlc_data::{Dataset, Sample};
+use wlc_exec::RunReport;
 use wlc_math::rng::Seed;
 
 use crate::config::{ArrivalProcess, DbModel, HardwareModel, ServerConfig, WorkloadSpec};
@@ -172,7 +173,10 @@ pub fn simulate(config: ServerConfig, seed: u64) -> Result<Measurement, SimError
 /// identical application under various configurations" of §2.2.
 ///
 /// Each run gets an independent sub-seed derived from `base_seed`, so the
-/// whole dataset is reproducible.
+/// whole dataset is reproducible. Runs execute on a worker pool sized by
+/// [`wlc_exec::default_jobs`]; because every run's seed depends only on
+/// its *index* in `configs`, the dataset is bit-identical for any worker
+/// count — use [`run_design_jobs`] to pin the pool size.
 ///
 /// # Errors
 ///
@@ -209,26 +213,72 @@ pub fn run_design(
     duration_secs: f64,
     warmup_secs: f64,
 ) -> Result<Dataset, SimError> {
+    run_design_jobs(
+        configs,
+        base_seed,
+        duration_secs,
+        warmup_secs,
+        wlc_exec::default_jobs(),
+    )
+}
+
+/// [`run_design`] with an explicit worker count (`jobs <= 1` runs
+/// sequentially). Output is bit-identical for every `jobs` value.
+///
+/// # Errors
+///
+/// As for [`run_design`].
+pub fn run_design_jobs(
+    configs: &[ServerConfig],
+    base_seed: u64,
+    duration_secs: f64,
+    warmup_secs: f64,
+    jobs: usize,
+) -> Result<Dataset, SimError> {
+    run_design_timed(configs, base_seed, duration_secs, warmup_secs, jobs).map(|(ds, _)| ds)
+}
+
+/// [`run_design_jobs`] that also returns the pool's [`RunReport`]
+/// (wall time, per-configuration timings, speedup over serial).
+///
+/// # Errors
+///
+/// As for [`run_design`].
+pub fn run_design_timed(
+    configs: &[ServerConfig],
+    base_seed: u64,
+    duration_secs: f64,
+    warmup_secs: f64,
+    jobs: usize,
+) -> Result<(Dataset, RunReport), SimError> {
+    let root = Seed::new(base_seed);
+    let (rows, report) = wlc_exec::try_map_indexed_timed(jobs, configs.len(), |i| {
+        Simulation::new(configs[i])
+            .seed(root.derive(i as u64).value())
+            .duration_secs(duration_secs)
+            .warmup_secs(warmup_secs)
+            .run()
+            .map(|m| m.indicators())
+    })?;
     let mut ds = Dataset::new(
         INPUT_NAMES.iter().map(|s| s.to_string()).collect(),
         OUTPUT_NAMES.iter().map(|s| s.to_string()).collect(),
     )?;
-    let root = Seed::new(base_seed);
-    for (i, config) in configs.iter().enumerate() {
-        let m = Simulation::new(*config)
-            .seed(root.derive(i as u64).value())
-            .duration_secs(duration_secs)
-            .warmup_secs(warmup_secs)
-            .run()?;
-        ds.push(Sample::new(config.as_vector(), m.indicators()))?;
+    for (config, y) in configs.iter().zip(rows) {
+        ds.push(Sample::new(config.as_vector(), y))?;
     }
-    Ok(ds)
+    Ok((ds, report))
 }
 
 /// Like [`run_design`], but measures each configuration `replications`
 /// times with independent seeds and records the *mean* indicator vector —
 /// the paper's noise-reduction practice ("the averages of collected
 /// counter values are used to reduce the effect of sampling error", §4).
+///
+/// Replicated runs are parallelized per configuration (replications of
+/// one configuration stay on one worker so the mean accumulates in a
+/// fixed order); seeds depend only on `(index, replication)`, so output
+/// is bit-identical for any worker count.
 ///
 /// # Errors
 ///
@@ -257,22 +307,43 @@ pub fn run_design_replicated(
     warmup_secs: f64,
     replications: u32,
 ) -> Result<Dataset, SimError> {
+    run_design_replicated_timed(
+        configs,
+        base_seed,
+        duration_secs,
+        warmup_secs,
+        replications,
+        wlc_exec::default_jobs(),
+    )
+    .map(|(ds, _)| ds)
+}
+
+/// [`run_design_replicated`] with an explicit worker count, returning the
+/// pool's [`RunReport`] alongside the dataset.
+///
+/// # Errors
+///
+/// As for [`run_design_replicated`].
+pub fn run_design_replicated_timed(
+    configs: &[ServerConfig],
+    base_seed: u64,
+    duration_secs: f64,
+    warmup_secs: f64,
+    replications: u32,
+    jobs: usize,
+) -> Result<(Dataset, RunReport), SimError> {
     if replications == 0 {
         return Err(SimError::InvalidConfig {
             name: "replications",
             reason: "must be at least 1",
         });
     }
-    let mut ds = Dataset::new(
-        INPUT_NAMES.iter().map(|s| s.to_string()).collect(),
-        OUTPUT_NAMES.iter().map(|s| s.to_string()).collect(),
-    )?;
     let root = Seed::new(base_seed);
-    for (i, config) in configs.iter().enumerate() {
+    let task = |i: usize| -> Result<Vec<f64>, SimError> {
         let mut mean = vec![0.0; OUTPUT_NAMES.len()];
         for rep in 0..replications {
             let seed = root.derive(i as u64).derive(rep as u64);
-            let m = Simulation::new(*config)
+            let m = Simulation::new(configs[i])
                 .seed(seed.value())
                 .duration_secs(duration_secs)
                 .warmup_secs(warmup_secs)
@@ -284,9 +355,17 @@ pub fn run_design_replicated(
         for acc in &mut mean {
             *acc /= f64::from(replications);
         }
-        ds.push(Sample::new(config.as_vector(), mean))?;
+        Ok(mean)
+    };
+    let (rows, report) = wlc_exec::try_map_indexed_timed(jobs, configs.len(), task)?;
+    let mut ds = Dataset::new(
+        INPUT_NAMES.iter().map(|s| s.to_string()).collect(),
+        OUTPUT_NAMES.iter().map(|s| s.to_string()).collect(),
+    )?;
+    for (config, y) in configs.iter().zip(rows) {
+        ds.push(Sample::new(config.as_vector(), y))?;
     }
-    Ok(ds)
+    Ok((ds, report))
 }
 
 #[cfg(test)]

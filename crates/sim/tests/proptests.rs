@@ -1,28 +1,26 @@
 //! Property-based tests for the 3-tier simulator: conservation laws,
-//! determinism, and bounds that must hold for *any* configuration.
+//! determinism, and bounds that must hold for *any* configuration — on
+//! the seeded [`propcheck`] harness.
 
-use proptest::prelude::*;
+use wlc_math::propcheck::{self, Gen};
 use wlc_sim::{analytic, ServerConfig, Simulation, TransactionKind};
 
-fn any_config() -> impl Strategy<Value = ServerConfig> {
-    (50.0..700.0_f64, 1u32..24, 1u32..24, 1u32..24).prop_map(|(rate, d, m, w)| {
-        ServerConfig::builder()
-            .injection_rate(rate)
-            .default_threads(d)
-            .mfg_threads(m)
-            .web_threads(w)
-            .build()
-            .expect("valid ranges")
-    })
+fn any_config(g: &mut Gen) -> ServerConfig {
+    ServerConfig::builder()
+        .injection_rate(g.f64_in(50.0, 700.0))
+        .default_threads(g.u32_in(1, 24))
+        .mfg_threads(g.u32_in(1, 24))
+        .web_threads(g.u32_in(1, 24))
+        .build()
+        .expect("valid ranges")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn conservation_and_bounds(config in any_config(), seed in any::<u64>()) {
+#[test]
+fn conservation_and_bounds() {
+    propcheck::run_cases(24, |g| {
+        let config = any_config(g);
         let m = Simulation::new(config)
-            .seed(seed)
+            .seed(g.u64())
             .duration_secs(4.0)
             .warmup_secs(1.0)
             .run()
@@ -34,28 +32,28 @@ proptest! {
         for kind in TransactionKind::ALL {
             let completed = m.completions(kind);
             let effective = m.effective_completions(kind);
-            prop_assert!(effective <= completed);
+            assert!(effective <= completed);
             completed_total += completed;
         }
-        prop_assert!(completed_total <= m.injected());
+        assert!(completed_total <= m.injected());
 
         // Rates and times are non-negative and finite.
-        prop_assert!(m.throughput() >= 0.0);
-        prop_assert!(m.throughput() <= m.total_throughput() + 1e-9);
+        assert!(m.throughput() >= 0.0);
+        assert!(m.throughput() <= m.total_throughput() + 1e-9);
         for kind in TransactionKind::ALL {
             let rt = m.mean_response_time(kind);
-            prop_assert!(rt.is_finite() && rt > 0.0);
+            assert!(rt.is_finite() && rt > 0.0);
             // A transaction cannot take longer than the whole run plus
             // the warmup (the sentinel for saturated classes equals the
             // window).
-            prop_assert!(rt <= 4.0);
-            prop_assert!(m.max_response_time(kind) <= 4.0);
+            assert!(rt <= 4.0);
+            assert!(m.max_response_time(kind) <= 4.0);
         }
 
         // Utilizations are fractions.
         let u = m.utilization();
         for v in [u.web, u.mfg, u.default_queue, u.db] {
-            prop_assert!((0.0..=1.0).contains(&v));
+            assert!((0.0..=1.0).contains(&v));
         }
 
         // Effective throughput is consistent with its definition.
@@ -64,11 +62,15 @@ proptest! {
             .map(|&k| m.effective_completions(k))
             .sum();
         let expected = effective_total as f64 / m.window_secs();
-        prop_assert!((m.throughput() - expected).abs() < 1e-9);
-    }
+        assert!((m.throughput() - expected).abs() < 1e-9);
+    });
+}
 
-    #[test]
-    fn simulation_is_deterministic(config in any_config(), seed in any::<u64>()) {
+#[test]
+fn simulation_is_deterministic() {
+    propcheck::run_cases(24, |g| {
+        let config = any_config(g);
+        let seed = g.u64();
         let run = || {
             Simulation::new(config)
                 .seed(seed)
@@ -77,11 +79,14 @@ proptest! {
                 .run()
                 .unwrap()
         };
-        prop_assert_eq!(run(), run());
-    }
+        assert_eq!(run(), run());
+    });
+}
 
-    #[test]
-    fn injected_count_tracks_rate(rate in 100.0..600.0_f64, seed in any::<u64>()) {
+#[test]
+fn injected_count_tracks_rate() {
+    propcheck::run_cases(24, |g| {
+        let rate = g.f64_in(100.0, 600.0);
         let config = ServerConfig::builder()
             .injection_rate(rate)
             .default_threads(8)
@@ -90,7 +95,7 @@ proptest! {
             .build()
             .unwrap();
         let m = Simulation::new(config)
-            .seed(seed)
+            .seed(g.u64())
             .duration_secs(6.0)
             .warmup_secs(1.0)
             .run()
@@ -98,33 +103,43 @@ proptest! {
         // Poisson arrivals over 6 s: mean 6·rate, std sqrt(6·rate).
         let expected = 6.0 * rate;
         let tolerance = 6.0 * (expected).sqrt() + 10.0;
-        prop_assert!(
+        assert!(
             (m.injected() as f64 - expected).abs() < tolerance,
             "injected {} vs expected {expected}",
             m.injected()
         );
-    }
+    });
+}
 
-    #[test]
-    fn erlang_c_is_a_probability(lambda in 0.1..50.0_f64, mu in 0.1..10.0_f64, c in 1u32..30) {
-        prop_assume!(lambda < c as f64 * mu);
+#[test]
+fn erlang_c_is_a_probability() {
+    propcheck::run_cases(64, |g| {
+        let lambda = g.f64_in(0.1, 50.0);
+        let mu = g.f64_in(0.1, 10.0);
+        let c = g.u32_in(1, 30);
+        if lambda >= c as f64 * mu {
+            return;
+        }
         let p = analytic::erlang_c(lambda, mu, c).unwrap();
-        prop_assert!((0.0..=1.0).contains(&p), "{p}");
+        assert!((0.0..=1.0).contains(&p), "{p}");
         let w = analytic::mmc_mean_wait(lambda, mu, c).unwrap();
-        prop_assert!(w >= 0.0);
+        assert!(w >= 0.0);
         let r = analytic::mmc_mean_response(lambda, mu, c).unwrap();
-        prop_assert!(r >= 1.0 / mu);
-    }
+        assert!(r >= 1.0 / mu);
+    });
+}
 
-    #[test]
-    fn more_servers_never_slower_analytically(
-        lambda in 1.0..20.0_f64,
-        mu in 0.5..5.0_f64,
-        c in 1u32..20,
-    ) {
-        prop_assume!(lambda < c as f64 * mu);
+#[test]
+fn more_servers_never_slower_analytically() {
+    propcheck::run_cases(64, |g| {
+        let lambda = g.f64_in(1.0, 20.0);
+        let mu = g.f64_in(0.5, 5.0);
+        let c = g.u32_in(1, 20);
+        if lambda >= c as f64 * mu {
+            return;
+        }
         let w1 = analytic::mmc_mean_wait(lambda, mu, c).unwrap();
         let w2 = analytic::mmc_mean_wait(lambda, mu, c + 1).unwrap();
-        prop_assert!(w2 <= w1 + 1e-12);
-    }
+        assert!(w2 <= w1 + 1e-12);
+    });
 }
