@@ -20,4 +20,15 @@ fi
 echo "==> cargo test -q (tier-1 default members)"
 cargo test -q
 
+if [ "${1:-}" != "quick" ]; then
+    echo "==> fault-injection smoke (collect with faults, cv with quarantine)"
+    smoke_dir=$(mktemp -d)
+    trap 'rm -rf "$smoke_dir"' EXIT
+    ./target/release/wlc collect --samples 8 --out "$smoke_dir/faulty.csv" \
+        --duration 3 --warmup 1 --seed 4 \
+        --fault-profile dropout=0.3,truncate=0.2,truncate_frac=0.5 --retries 6
+    ./target/release/wlc cv --data "$smoke_dir/faulty.csv" --k 3 \
+        --epochs 200 --hidden 6 --force-diverge 1 --quarantine
+fi
+
 echo "==> OK"

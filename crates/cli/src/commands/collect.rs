@@ -3,7 +3,7 @@
 
 use wlc_data::design::{latin_hypercube, round_to_integers, ParamRange};
 use wlc_math::rng::Seed;
-use wlc_sim::{run_design_replicated_timed, ServerConfig};
+use wlc_sim::{run_design_faulty_jobs, run_design_replicated_timed, FaultProfile, ServerConfig};
 
 use crate::args::Flags;
 
@@ -24,9 +24,15 @@ FLAGS:
     --warmup <f64>     warmup seconds per run             [default: 4]
     --replications <u32>  runs averaged per configuration [default: 1]
     --jobs <usize>     simulation worker threads  [default: available cores]
+    --fault-profile <spec>  inject measurement faults, e.g.
+                  dropout=0.1,spike=0.05,spike_scale=0.5,truncate=0.1,
+                  truncate_frac=0.5,stall=0.02      [default: none]
+    --retries <usize>  re-runs of a dropped/stalled sample [default: 0]
 
 Results are bit-identical for any --jobs value: every run's seed is
-derived from its position in the design, not from scheduling order.";
+derived from its position in the design, not from scheduling order.
+--fault-profile cannot be combined with --replications > 1; samples that
+fail every retry are quarantined (omitted from the CSV).";
 
 pub fn run(raw: &[String]) -> CmdResult {
     if raw.is_empty() {
@@ -60,15 +66,45 @@ pub fn run(raw: &[String]) -> CmdResult {
         .collect::<Result<_, _>>()?;
 
     let jobs: usize = flags.get_or("jobs", wlc_exec::default_jobs())?.max(1);
+    let duration: f64 = flags.get_or("duration", 20.0)?;
+    let warmup: f64 = flags.get_or("warmup", 4.0)?;
+    let replications: u32 = flags.get_or("replications", 1u32)?;
+    // Parsed by hand (not `get_or`) so a bad spec surfaces the typed
+    // `SimError::InvalidFaultProfile` and its validation exit code.
+    let profile: FaultProfile = flags
+        .get_or("fault-profile", String::new())?
+        .parse::<FaultProfile>()?;
+    let retries: usize = flags.get_or("retries", 0)?;
+
     eprintln!("simulating {samples} configurations on {jobs} worker(s)...");
-    let (dataset, timing) = run_design_replicated_timed(
-        &configs,
-        seed.wrapping_add(1),
-        flags.get_or("duration", 20.0)?,
-        flags.get_or("warmup", 4.0)?,
-        flags.get_or("replications", 1u32)?,
-        jobs,
-    )?;
+    let (dataset, timing) = if profile.is_none() {
+        run_design_replicated_timed(
+            &configs,
+            seed.wrapping_add(1),
+            duration,
+            warmup,
+            replications,
+            jobs,
+        )?
+    } else {
+        if replications > 1 {
+            return Err("--fault-profile cannot be combined with --replications > 1".into());
+        }
+        let (ds, faults, timing) = run_design_faulty_jobs(
+            &configs,
+            seed.wrapping_add(1),
+            duration,
+            warmup,
+            profile,
+            retries,
+            jobs,
+        )?;
+        eprintln!("fault injection: {faults}");
+        for q in &faults.quarantined {
+            eprintln!("  configuration {q} quarantined (all attempts failed)");
+        }
+        (ds, timing)
+    };
     eprintln!("{timing}");
     dataset.save_csv(&out)?;
     println!("wrote {} samples to {out}", dataset.len());

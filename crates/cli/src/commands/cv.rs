@@ -1,7 +1,6 @@
 //! `wlc cv` — k-fold cross validation on a CSV dataset (the paper's
 //! Table 2 protocol).
 
-use wlc_data::Dataset;
 use wlc_model::{CrossValidator, WorkloadModelBuilder};
 
 use crate::args::Flags;
@@ -20,16 +19,24 @@ FLAGS:
     --threshold <f64>   termination threshold              [default: 1e-3]
     --seed <u64>        fold-assignment / weight seed      [default: 7]
     --jobs <usize>      fold worker threads        [default: available cores]
+    --mode <m>          CSV validation: strict | repair    [default: strict]
+    --retries <usize>   per-fold retraining attempts       [default: 0]
+    --quarantine        drop failed folds, aggregate survivors
+    --force-diverge <list>  fold indices whose first attempt is forced to
+                            diverge (fault-injection test hook)
 
 The report is bit-identical for any --jobs value: each fold's split and
-weight seed depend only on the fold index and --seed.";
+weight seed depend only on the fold index, --seed and the retry attempt.
+Without --quarantine a failed fold aborts with exit code 4; with it, the
+run succeeds while listing quarantined folds (all folds failing is still
+exit code 4).";
 
 pub fn run(raw: &[String]) -> CmdResult {
     if raw.is_empty() {
         return usage(USAGE);
     }
-    let flags = Flags::parse(raw, &[])?;
-    let dataset = Dataset::load_csv(flags.required("data")?)?;
+    let flags = Flags::parse(raw, &["quarantine"])?;
+    let dataset = super::train::load_validated(&flags, flags.required("data")?)?;
     eprintln!("loaded {dataset}");
 
     let mut builder = WorkloadModelBuilder::new()
@@ -45,14 +52,26 @@ pub fn run(raw: &[String]) -> CmdResult {
     }
 
     let jobs: usize = flags.get_or("jobs", wlc_exec::default_jobs())?;
-    let (report, timing) = CrossValidator::new(builder)
+    let mut validator = CrossValidator::new(builder)
         .k(flags.get_or("k", 5)?)
         .seed(flags.get_or("seed", 7)?)
         .jobs(jobs)
-        .run_timed(&dataset)?;
+        .retries(flags.get_or("retries", 0)?)
+        .quarantine(flags.switch("quarantine"));
+    if let Some(folds) = flags.get_list::<usize>("force-diverge")? {
+        validator = validator.force_diverge(&folds);
+    }
+    let (report, timing) = validator.run_timed(&dataset)?;
     eprintln!("{timing}");
 
     println!("{}", report.to_table());
+    if !report.is_complete() {
+        println!(
+            "aggregating {} surviving fold(s); {} quarantined",
+            report.trials().len(),
+            report.quarantined().len()
+        );
+    }
     println!(
         "overall average prediction accuracy: {:.1} %",
         report.overall_accuracy() * 100.0

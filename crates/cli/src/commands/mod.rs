@@ -15,5 +15,7 @@ pub type CmdResult = Result<(), Box<dyn Error>>;
 /// Prints a usage block and returns an error asking the user to retry.
 pub fn usage(text: &str) -> CmdResult {
     eprintln!("{text}");
-    Err("missing required flags (usage above)".into())
+    Err(Box::new(crate::args::ArgError(
+        "missing required flags (usage above)".into(),
+    )))
 }

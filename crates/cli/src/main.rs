@@ -16,7 +16,13 @@
 mod args;
 mod commands;
 
+use std::error::Error;
 use std::process::ExitCode;
+
+use wlc_data::DataError;
+use wlc_model::ModelError;
+use wlc_nn::NnError;
+use wlc_sim::SimError;
 
 const USAGE: &str = "\
 wlc — non-linear workload characterization (IISWC 2006 reproduction)
@@ -32,6 +38,10 @@ COMMANDS:
     cv         k-fold cross validation on a CSV dataset (paper Table 2)
     surface    Evaluate + classify a response surface of a saved model
     help       Show this message
+
+EXIT CODES:
+    0 success   1 failure   2 bad usage
+    3 input failed validation   4 training diverged
 
 Run a command with no flags to see its options.";
 
@@ -54,14 +64,77 @@ fn main() -> ExitCode {
         }
         other => {
             eprintln!("unknown command `{other}`\n\n{USAGE}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_USAGE);
         }
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(exit_code_for(e.as_ref()))
         }
+    }
+}
+
+/// Generic failure.
+const EXIT_FAILURE: u8 = 1;
+/// Bad flags or usage.
+const EXIT_USAGE: u8 = 2;
+/// Input data failed strict validation (bad CSV, bad fault profile).
+const EXIT_VALIDATION: u8 = 3;
+/// Training diverged (or every cross-validation fold did).
+const EXIT_DIVERGED: u8 = 4;
+
+/// Maps an error to the documented process exit code by inspecting the
+/// concrete type behind the `dyn Error` (including wrapped sources).
+fn exit_code_for(e: &(dyn Error + 'static)) -> u8 {
+    if e.downcast_ref::<args::ArgError>().is_some() {
+        return EXIT_USAGE;
+    }
+    if let Some(d) = e.downcast_ref::<DataError>() {
+        return data_code(d);
+    }
+    if let Some(s) = e.downcast_ref::<SimError>() {
+        return sim_code(s);
+    }
+    if let Some(n) = e.downcast_ref::<NnError>() {
+        return nn_code(n);
+    }
+    if let Some(m) = e.downcast_ref::<ModelError>() {
+        return model_code(m);
+    }
+    EXIT_FAILURE
+}
+
+fn data_code(e: &DataError) -> u8 {
+    match e {
+        DataError::Validation { .. } => EXIT_VALIDATION,
+        _ => EXIT_FAILURE,
+    }
+}
+
+fn sim_code(e: &SimError) -> u8 {
+    match e {
+        SimError::InvalidFaultProfile { .. } => EXIT_VALIDATION,
+        SimError::Data(d) => data_code(d),
+        _ => EXIT_FAILURE,
+    }
+}
+
+fn nn_code(e: &NnError) -> u8 {
+    match e {
+        NnError::Diverged { .. } => EXIT_DIVERGED,
+        _ => EXIT_FAILURE,
+    }
+}
+
+fn model_code(e: &ModelError) -> u8 {
+    match e {
+        ModelError::Nn(n) => nn_code(n),
+        ModelError::Data(d) => data_code(d),
+        ModelError::Sim(s) => sim_code(s),
+        ModelError::AllFoldsQuarantined { .. } => EXIT_DIVERGED,
+        ModelError::LoadFailed { source, .. } => model_code(source),
+        _ => EXIT_FAILURE,
     }
 }

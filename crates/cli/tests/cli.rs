@@ -93,6 +93,239 @@ fn simulate_rejects_bad_flags() {
 }
 
 #[test]
+fn exit_codes_distinguish_failure_kinds() {
+    // Bad usage: unknown command and missing flags are exit 2.
+    assert_eq!(wlc(&["frobnicate"]).status.code(), Some(2));
+    assert_eq!(wlc(&["train"]).status.code(), Some(2));
+
+    // Strict validation failure is exit 3 with a one-line diagnosis.
+    let dir = workspace();
+    let bad = dir.join("bad.csv");
+    let bad_s = bad.to_str().expect("utf8 path");
+    std::fs::write(&bad, "a,y*\n1.0,NaN\n").expect("write csv");
+    let out = wlc(&["train", "--data", bad_s, "--out", "/dev/null"]);
+    assert_eq!(out.status.code(), Some(3), "{}", stderr(&out));
+    assert!(stderr(&out).contains("validation error at line 2"));
+
+    // Repair mode drops the bad row instead (then fails on the now-empty
+    // dataset, which is a plain failure, not a validation error).
+    let out = wlc(&[
+        "train",
+        "--data",
+        bad_s,
+        "--out",
+        "/dev/null",
+        "--mode",
+        "repair",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    assert!(stderr(&out).contains("dropped"));
+
+    // A bad fault profile is also a validation failure.
+    let out = wlc(&[
+        "collect",
+        "--samples",
+        "2",
+        "--out",
+        "/dev/null",
+        "--fault-profile",
+        "dropout=7",
+    ]);
+    assert_eq!(out.status.code(), Some(3), "{}", stderr(&out));
+}
+
+#[test]
+fn cv_quarantines_forced_divergence() {
+    let dir = workspace();
+    let data = dir.join("cv-faults.csv");
+    let data_s = data.to_str().expect("utf8 path");
+    let out = wlc(&[
+        "collect",
+        "--samples",
+        "12",
+        "--out",
+        data_s,
+        "--duration",
+        "3",
+        "--warmup",
+        "1",
+        "--seed",
+        "2",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    let base = [
+        "cv",
+        "--data",
+        data_s,
+        "--k",
+        "3",
+        "--epochs",
+        "200",
+        "--hidden",
+        "6",
+        "--force-diverge",
+        "1",
+    ];
+    // Without quarantine the forced fold aborts the run with exit 4.
+    let out = wlc(&base);
+    assert_eq!(out.status.code(), Some(4), "{}", stderr(&out));
+    assert!(stderr(&out).contains("diverged"));
+
+    // With quarantine the run succeeds and reports the survivors.
+    let mut with_q = base.to_vec();
+    with_q.push("--quarantine");
+    let out = wlc(&with_q);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("fold 2 quarantined"), "{text}");
+    assert!(text.contains("aggregating 2 surviving fold(s)"), "{text}");
+    assert!(text.contains("Average"));
+
+    // A retry (fresh seed, real learning rate) recovers the fold.
+    let mut with_retry = base.to_vec();
+    with_retry.extend(["--retries", "1"]);
+    let out = wlc(&with_retry);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(!stdout(&out).contains("quarantined"));
+}
+
+#[test]
+fn collect_with_faults_quarantines_and_stays_deterministic() {
+    let dir = workspace();
+    let a = dir.join("faulty-a.csv");
+    let b = dir.join("faulty-b.csv");
+    let base = |out_path: &str, jobs: &str| {
+        wlc(&[
+            "collect",
+            "--samples",
+            "6",
+            "--out",
+            out_path,
+            "--duration",
+            "3",
+            "--warmup",
+            "1",
+            "--seed",
+            "4",
+            "--fault-profile",
+            "dropout=0.5,truncate=0.2,truncate_frac=0.5",
+            "--retries",
+            "8",
+            "--jobs",
+            jobs,
+        ])
+    };
+    let out = base(a.to_str().expect("utf8"), "1");
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stderr(&out).contains("fault injection:"));
+    let out = base(b.to_str().expect("utf8"), "4");
+    assert!(out.status.success(), "{}", stderr(&out));
+    let csv_a = std::fs::read_to_string(&a).expect("csv a");
+    let csv_b = std::fs::read_to_string(&b).expect("csv b");
+    assert_eq!(csv_a, csv_b, "faulty collection must not depend on --jobs");
+
+    // Certain dropout with no retries quarantines every sample.
+    let empty = dir.join("faulty-empty.csv");
+    let out = wlc(&[
+        "collect",
+        "--samples",
+        "3",
+        "--out",
+        empty.to_str().expect("utf8"),
+        "--duration",
+        "3",
+        "--warmup",
+        "1",
+        "--fault-profile",
+        "dropout=1.0",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("wrote 0 samples"));
+    assert!(stderr(&out).contains("quarantined"));
+}
+
+#[test]
+fn train_checkpoint_resume_matches_uninterrupted() {
+    let dir = workspace();
+    let data = dir.join("resume-data.csv");
+    let data_s = data.to_str().expect("utf8 path");
+    let out = wlc(&[
+        "collect",
+        "--samples",
+        "10",
+        "--out",
+        data_s,
+        "--duration",
+        "3",
+        "--warmup",
+        "1",
+        "--seed",
+        "6",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    let full = dir.join("full.txt");
+    let partial = dir.join("partial.txt");
+    let resumed = dir.join("resumed.txt");
+    let ckpt = dir.join("partial.ckpt");
+    let (full_s, partial_s, resumed_s, ckpt_s) = (
+        full.to_str().expect("utf8"),
+        partial.to_str().expect("utf8"),
+        resumed.to_str().expect("utf8"),
+        ckpt.to_str().expect("utf8"),
+    );
+    let train = |extra: &[&str]| {
+        let mut args = vec![
+            "train",
+            "--data",
+            data_s,
+            "--hidden",
+            "6",
+            "--lr",
+            "0.01",
+            "--threshold",
+            "1e-12",
+            "--seed",
+            "9",
+        ];
+        args.extend(extra);
+        wlc(&args)
+    };
+
+    // Uninterrupted 60-epoch run.
+    let out = train(&["--out", full_s, "--epochs", "60"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    // "Killed" run: stops at epoch 40 with a checkpoint every 20 epochs.
+    let out = train(&[
+        "--out",
+        partial_s,
+        "--epochs",
+        "40",
+        "--checkpoint-every",
+        "20",
+        "--checkpoint",
+        ckpt_s,
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(ckpt.exists());
+
+    // Resume to epoch 60: the model file must match the uninterrupted run
+    // byte for byte.
+    let out = train(&["--out", resumed_s, "--epochs", "60", "--resume", ckpt_s]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stderr(&out).contains("resuming from"));
+    let full_text = std::fs::read_to_string(&full).expect("full model");
+    let resumed_text = std::fs::read_to_string(&resumed).expect("resumed model");
+    assert_eq!(full_text, resumed_text);
+    assert_ne!(
+        std::fs::read_to_string(&partial).expect("partial model"),
+        full_text
+    );
+}
+
+#[test]
 fn full_pipeline_collect_train_predict_cv_surface() {
     let dir = workspace();
     let data = dir.join("data.csv");

@@ -22,17 +22,55 @@ pub struct CvTrial {
     pub train_report: TrainReport,
 }
 
+/// A fold that was excluded from the aggregate because every training
+/// attempt failed or diverged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct QuarantinedFold {
+    /// 0-based fold index.
+    pub fold: usize,
+    /// Why the fold was quarantined (last failure).
+    pub reason: String,
+    /// How many retry attempts were spent before giving up.
+    pub retries_used: usize,
+}
+
+impl std::fmt::Display for QuarantinedFold {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "fold {} quarantined after {} retries: {}",
+            self.fold + 1,
+            self.retries_used,
+            self.reason
+        )
+    }
+}
+
 /// The result of a full cross validation — the paper's Table 2.
 #[derive(Debug, Clone)]
 pub struct CvReport {
     output_names: Vec<String>,
     trials: Vec<CvTrial>,
+    quarantined: Vec<QuarantinedFold>,
 }
 
 impl CvReport {
-    /// The per-fold trials, in fold order.
+    /// The per-fold trials that completed, in fold order. Quarantined
+    /// folds (see [`CrossValidator::quarantine`]) are absent.
     pub fn trials(&self) -> &[CvTrial] {
         &self.trials
+    }
+
+    /// Folds excluded from the aggregate, in fold order (empty unless
+    /// quarantining was enabled and a fold failed).
+    pub fn quarantined(&self) -> &[QuarantinedFold] {
+        &self.quarantined
+    }
+
+    /// Whether every fold completed.
+    pub fn is_complete(&self) -> bool {
+        self.quarantined.is_empty()
     }
 
     /// Output column names.
@@ -86,7 +124,11 @@ impl CvReport {
             avg_row.push(format!("{:.1} %", a * 100.0));
         }
         rows.push(avg_row);
-        format_table(&headers, &rows)
+        let mut table = format_table(&headers, &rows);
+        for q in &self.quarantined {
+            table.push_str(&format!("{q}\n"));
+        }
+        table
     }
 }
 
@@ -126,6 +168,9 @@ pub struct CrossValidator {
     k: usize,
     seed: u64,
     jobs: usize,
+    retries: usize,
+    quarantine: bool,
+    force_diverge: Vec<usize>,
 }
 
 impl CrossValidator {
@@ -140,6 +185,9 @@ impl CrossValidator {
             k: 5,
             seed: 0,
             jobs: wlc_exec::default_jobs(),
+            retries: 0,
+            quarantine: false,
+            force_diverge: Vec::new(),
         }
     }
 
@@ -162,6 +210,31 @@ impl CrossValidator {
         self
     }
 
+    /// Retrains a failed or diverged fold up to `retries` times, each
+    /// attempt with a fresh weight seed derived from `(seed, fold,
+    /// attempt)`. The report stays bit-identical for any worker count.
+    pub fn retries(mut self, retries: usize) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Quarantines folds whose every attempt failed or diverged instead
+    /// of aborting the whole validation: the report lists them in
+    /// [`CvReport::quarantined`] and aggregates over the survivors.
+    /// Without this (the default), the first failed fold is an error.
+    pub fn quarantine(mut self, quarantine: bool) -> Self {
+        self.quarantine = quarantine;
+        self
+    }
+
+    /// Test hook: forces the *first* training attempt of the listed folds
+    /// to diverge (by training with an absurd learning rate), exercising
+    /// the retry and quarantine paths without a pathological dataset.
+    pub fn force_diverge(mut self, folds: &[usize]) -> Self {
+        self.force_diverge = folds.to_vec();
+        self
+    }
+
     /// Runs the cross validation.
     ///
     /// # Errors
@@ -181,14 +254,31 @@ impl CrossValidator {
     pub fn run_timed(&self, dataset: &Dataset) -> Result<(CvReport, RunReport), ModelError> {
         let kf = KFold::new(dataset.len(), self.k, Seed::new(self.seed))?;
         let folds: Vec<(Vec<usize>, Vec<usize>)> = kf.folds().collect();
-        let task = |fold: usize| -> Result<CvTrial, ModelError> {
+        let attempt_trial = |fold: usize, attempt: usize| -> Result<CvTrial, ModelError> {
             let (train_idx, val_idx) = &folds[fold];
             let train = dataset.subset(train_idx)?;
             let val = dataset.subset(val_idx)?;
             // Each trial re-initializes weights (fresh random start), as
-            // the paper's per-trial training does.
-            let builder = self.builder.clone().seed(self.seed ^ (fold as u64) << 32);
+            // the paper's per-trial training does; retries derive a fresh
+            // seed from the attempt number.
+            let weight_seed = if attempt == 0 {
+                self.seed ^ (fold as u64) << 32
+            } else {
+                Seed::new(self.seed)
+                    .derive(fold as u64)
+                    .derive(attempt as u64)
+                    .value()
+            };
+            let mut builder = self.builder.clone().seed(weight_seed);
+            if attempt == 0 && self.force_diverge.contains(&fold) {
+                builder = builder.learning_rate(1e18);
+            }
             let outcome = builder.train(&train)?;
+            if outcome.report.stop_reason == wlc_nn::StopReason::Diverged {
+                return Err(ModelError::Nn(wlc_nn::NnError::Diverged {
+                    epoch: outcome.report.epochs_run.saturating_sub(1),
+                }));
+            }
             let validation = outcome.model.evaluate(&val)?;
             let training = outcome.model.evaluate(&train)?;
             Ok(CvTrial {
@@ -198,11 +288,39 @@ impl CrossValidator {
                 train_report: outcome.report,
             })
         };
-        let (trials, report) = wlc_exec::try_map_indexed_timed(self.jobs, folds.len(), task)?;
+        let task =
+            |fold: usize, attempt: usize| -> Result<Result<CvTrial, QuarantinedFold>, ModelError> {
+                match attempt_trial(fold, attempt) {
+                    Ok(trial) => Ok(Ok(trial)),
+                    // Let the pool retry; only the final attempt's failure is
+                    // eligible for quarantine.
+                    Err(e) if attempt < self.retries => Err(e),
+                    Err(e) if self.quarantine => Ok(Err(QuarantinedFold {
+                        fold,
+                        reason: e.to_string(),
+                        retries_used: attempt,
+                    })),
+                    Err(e) => Err(e),
+                }
+            };
+        let (outcomes, report) =
+            wlc_exec::try_map_indexed_retry_timed(self.jobs, folds.len(), self.retries, task)?;
+        let mut trials = Vec::new();
+        let mut quarantined = Vec::new();
+        for outcome in outcomes {
+            match outcome {
+                Ok(trial) => trials.push(trial),
+                Err(q) => quarantined.push(q),
+            }
+        }
+        if trials.is_empty() {
+            return Err(ModelError::AllFoldsQuarantined { folds: folds.len() });
+        }
         Ok((
             CvReport {
                 output_names: dataset.output_names().to_vec(),
                 trials,
+                quarantined,
             },
             report,
         ))
@@ -299,6 +417,88 @@ mod tests {
             .unwrap();
         let b = CrossValidator::new(builder).seed(9).run(&ds).unwrap();
         assert_eq!(a.average_errors(), b.average_errors());
+    }
+
+    #[test]
+    fn quarantine_isolates_forced_divergence() {
+        let ds = dataset(35);
+        let report = CrossValidator::new(quick_builder())
+            .seed(3)
+            .quarantine(true)
+            .force_diverge(&[2])
+            .run(&ds)
+            .unwrap();
+        assert_eq!(report.trials().len(), 4);
+        assert_eq!(report.quarantined().len(), 1);
+        assert!(!report.is_complete());
+        let q = &report.quarantined()[0];
+        assert_eq!(q.fold, 2);
+        assert_eq!(q.retries_used, 0);
+        assert!(q.reason.contains("diverged"), "{}", q.reason);
+        // Survivors are the completed folds, in order, and aggregate fine.
+        let folds: Vec<usize> = report.trials().iter().map(|t| t.fold).collect();
+        assert_eq!(folds, vec![0, 1, 3, 4]);
+        assert!(report.overall_error().is_finite());
+        assert!(report.to_table().contains("quarantined"));
+    }
+
+    #[test]
+    fn all_folds_quarantined_is_an_error() {
+        let ds = dataset(35);
+        let err = CrossValidator::new(quick_builder())
+            .quarantine(true)
+            .force_diverge(&[0, 1, 2, 3, 4])
+            .run(&ds)
+            .unwrap_err();
+        assert!(matches!(err, ModelError::AllFoldsQuarantined { folds: 5 }));
+        assert!(err.to_string().contains("all 5 folds"));
+    }
+
+    #[test]
+    fn forced_divergence_without_quarantine_aborts() {
+        let ds = dataset(35);
+        assert!(CrossValidator::new(quick_builder())
+            .force_diverge(&[1])
+            .run(&ds)
+            .is_err());
+    }
+
+    #[test]
+    fn retries_recover_forced_divergence() {
+        let ds = dataset(35);
+        // The injected divergence hits only attempt 0; one retry (with a
+        // derived seed and the real learning rate) completes the fold.
+        let report = CrossValidator::new(quick_builder())
+            .seed(3)
+            .retries(1)
+            .force_diverge(&[1])
+            .run(&ds)
+            .unwrap();
+        assert_eq!(report.trials().len(), 5);
+        assert!(report.is_complete());
+    }
+
+    #[test]
+    fn quarantine_and_retries_deterministic_across_jobs() {
+        let ds = dataset(35);
+        let make = |jobs: usize| {
+            CrossValidator::new(quick_builder().max_epochs(100))
+                .seed(7)
+                .jobs(jobs)
+                .retries(1)
+                .quarantine(true)
+                .force_diverge(&[0, 3])
+                .run(&ds)
+                .unwrap()
+        };
+        let serial = make(1);
+        let parallel = make(4);
+        assert_eq!(serial.average_errors(), parallel.average_errors());
+        assert_eq!(serial.quarantined(), parallel.quarantined());
+        for (s, p) in serial.trials().iter().zip(parallel.trials()) {
+            assert_eq!(s.fold, p.fold);
+            assert_eq!(s.train_report.loss_history, p.train_report.loss_history);
+        }
     }
 
     #[test]

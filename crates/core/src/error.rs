@@ -33,6 +33,20 @@ pub enum ModelError {
         /// Description of the problem.
         reason: String,
     },
+    /// Loading a model or checkpoint file failed; wraps the underlying
+    /// error with the offending path.
+    LoadFailed {
+        /// Path that failed to load.
+        path: std::path::PathBuf,
+        /// The underlying failure.
+        source: Box<ModelError>,
+    },
+    /// Every cross-validation fold was quarantined; there are no
+    /// survivors to aggregate.
+    AllFoldsQuarantined {
+        /// Number of folds attempted.
+        folds: usize,
+    },
     /// File I/O failed.
     Io(std::io::Error),
     /// Neural-network layer error.
@@ -62,6 +76,15 @@ impl fmt::Display for ModelError {
             ModelError::Parse { line, reason } => {
                 write!(f, "model parse error at line {line}: {reason}")
             }
+            ModelError::LoadFailed { path, source } => {
+                write!(f, "failed to load `{}`: {source}", path.display())
+            }
+            ModelError::AllFoldsQuarantined { folds } => {
+                write!(
+                    f,
+                    "cross validation failed: all {folds} folds were quarantined"
+                )
+            }
             ModelError::Io(e) => write!(f, "io error: {e}"),
             ModelError::Nn(e) => write!(f, "neural network error: {e}"),
             ModelError::Data(e) => write!(f, "data error: {e}"),
@@ -74,6 +97,7 @@ impl fmt::Display for ModelError {
 impl Error for ModelError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
+            ModelError::LoadFailed { source, .. } => Some(source.as_ref()),
             ModelError::Io(e) => Some(e),
             ModelError::Nn(e) => Some(e),
             ModelError::Data(e) => Some(e),

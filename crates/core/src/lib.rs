@@ -67,7 +67,7 @@ pub mod sensitivity;
 mod surface;
 mod tuning;
 
-pub use cv::{CrossValidator, CvReport, CvTrial};
+pub use cv::{CrossValidator, CvReport, CvTrial, QuarantinedFold};
 pub use ensemble::EnsembleModel;
 pub use error::ModelError;
 pub use model::{PerformanceModel, ScalingKind, TrainedModel, WorkloadModel, WorkloadModelBuilder};

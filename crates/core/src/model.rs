@@ -1,9 +1,11 @@
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use wlc_data::metrics::ErrorReport;
 use wlc_data::{Dataset, Scaler};
 use wlc_math::Matrix;
-use wlc_nn::{Activation, Loss, Mlp, MlpBuilder, OptimizerKind, TrainConfig, TrainReport, Trainer};
+use wlc_nn::{
+    Activation, Checkpoint, Loss, Mlp, MlpBuilder, OptimizerKind, TrainConfig, TrainReport, Trainer,
+};
 
 use crate::ModelError;
 
@@ -201,10 +203,16 @@ impl WorkloadModel {
     ///
     /// # Errors
     ///
-    /// Returns [`ModelError::Io`] / [`ModelError::Parse`].
+    /// Returns [`ModelError::LoadFailed`] naming the offending path and
+    /// wrapping the underlying [`ModelError::Io`] / [`ModelError::Parse`].
     pub fn load<P: AsRef<Path>>(path: P) -> Result<Self, ModelError> {
-        let text = std::fs::read_to_string(path)?;
-        Self::from_text(&text)
+        let path = path.as_ref();
+        let wrap = |source: ModelError| ModelError::LoadFailed {
+            path: path.to_path_buf(),
+            source: Box::new(source),
+        };
+        let text = std::fs::read_to_string(path).map_err(|e| wrap(e.into()))?;
+        Self::from_text(&text).map_err(wrap)
     }
 }
 
@@ -279,6 +287,10 @@ pub struct WorkloadModelBuilder {
     batch_size: Option<usize>,
     seed: u64,
     hidden_explicit: bool,
+    recover: usize,
+    retry_backoff: Option<f64>,
+    halt_on_divergence: bool,
+    checkpoint: Option<(PathBuf, usize)>,
 }
 
 impl WorkloadModelBuilder {
@@ -299,6 +311,10 @@ impl WorkloadModelBuilder {
             batch_size: None,
             seed: 0,
             hidden_explicit: false,
+            recover: 0,
+            retry_backoff: None,
+            halt_on_divergence: false,
+            checkpoint: None,
         }
     }
 
@@ -398,6 +414,36 @@ impl WorkloadModelBuilder {
         self
     }
 
+    /// Enables divergence recovery: up to `retries` restarts with fresh
+    /// derived seeds and a backed-off learning rate (see
+    /// [`TrainConfig::recover`]).
+    pub fn recover(mut self, retries: usize) -> Self {
+        self.recover = retries;
+        self
+    }
+
+    /// Learning-rate back-off factor applied on each recovery attempt
+    /// (see [`TrainConfig::retry_backoff`]).
+    pub fn retry_backoff(mut self, backoff: f64) -> Self {
+        self.retry_backoff = Some(backoff);
+        self
+    }
+
+    /// Report divergence in the [`TrainReport`] instead of failing with an
+    /// error once recovery is exhausted (see
+    /// [`TrainConfig::halt_on_divergence`]).
+    pub fn halt_on_divergence(mut self, halt: bool) -> Self {
+        self.halt_on_divergence = halt;
+        self
+    }
+
+    /// Writes a training checkpoint to `path` every `every` epochs, for
+    /// [`WorkloadModelBuilder::train_resuming`].
+    pub fn checkpoint(mut self, path: impl Into<PathBuf>, every: usize) -> Self {
+        self.checkpoint = Some((path.into(), every));
+        self
+    }
+
     fn train_config(&self) -> TrainConfig {
         let mut config = TrainConfig::new()
             .max_epochs(self.max_epochs)
@@ -411,6 +457,20 @@ impl WorkloadModelBuilder {
         if let Some(b) = self.batch_size {
             config = config.batch_size(b);
         }
+        if self.recover > 0 {
+            config = config.recover(self.recover);
+        }
+        if let Some(b) = self.retry_backoff {
+            config = config.retry_backoff(b);
+        }
+        if self.halt_on_divergence {
+            config = config.halt_on_divergence(true);
+        }
+        if let Some((path, every)) = &self.checkpoint {
+            config = config
+                .checkpoint_path(path.clone())
+                .checkpoint_every(*every);
+        }
         config
     }
 
@@ -422,7 +482,25 @@ impl WorkloadModelBuilder {
     /// - [`ModelError::Nn`] for training failures (divergence, bad
     ///   hyper-parameters).
     pub fn train(&self, dataset: &Dataset) -> Result<TrainedModel, ModelError> {
-        self.train_impl(dataset, None)
+        self.train_impl(dataset, None, None)
+    }
+
+    /// Continues an interrupted training run from a [`Checkpoint`]
+    /// (written via [`WorkloadModelBuilder::checkpoint`]). Given the same
+    /// builder configuration and dataset, the result is bit-identical to
+    /// the uninterrupted run: the scalers are refit deterministically and
+    /// the trainer replays its RNG up to the checkpointed epoch.
+    ///
+    /// # Errors
+    ///
+    /// As for [`WorkloadModelBuilder::train`], plus shape errors when the
+    /// checkpoint does not match the configured topology.
+    pub fn train_resuming(
+        &self,
+        dataset: &Dataset,
+        checkpoint: &Checkpoint,
+    ) -> Result<TrainedModel, ModelError> {
+        self.train_impl(dataset, None, Some(checkpoint))
     }
 
     /// Trains on `train` while monitoring `validation` (reported in the
@@ -436,13 +514,14 @@ impl WorkloadModelBuilder {
         train: &Dataset,
         validation: &Dataset,
     ) -> Result<TrainedModel, ModelError> {
-        self.train_impl(train, Some(validation))
+        self.train_impl(train, Some(validation), None)
     }
 
     fn train_impl(
         &self,
         dataset: &Dataset,
         validation: Option<&Dataset>,
+        resume: Option<&Checkpoint>,
     ) -> Result<TrainedModel, ModelError> {
         if dataset.is_empty() {
             return Err(ModelError::InvalidParameter {
@@ -465,14 +544,20 @@ impl WorkloadModelBuilder {
             .build()?;
 
         let trainer = Trainer::new(self.train_config());
-        let report = match validation {
-            Some(val) => {
+        let report = match (validation, resume) {
+            (Some(val), resume) => {
                 let (vx, vy) = val.to_matrices();
                 let tvx = input_scaler.transform(&vx)?;
                 let tvy = output_scaler.transform(&vy)?;
-                trainer.fit_with_validation(&mut mlp, &tx, &ty, &tvx, &tvy)?
+                match resume {
+                    Some(ck) => {
+                        trainer.resume_from_with_validation(&mut mlp, &tx, &ty, &tvx, &tvy, ck)?
+                    }
+                    None => trainer.fit_with_validation(&mut mlp, &tx, &ty, &tvx, &tvy)?,
+                }
             }
-            None => trainer.fit(&mut mlp, &tx, &ty)?,
+            (None, Some(ck)) => trainer.resume_from(&mut mlp, &tx, &ty, ck)?,
+            (None, None) => trainer.fit(&mut mlp, &tx, &ty)?,
         };
 
         Ok(TrainedModel {
@@ -699,6 +784,71 @@ mod tests {
             .unwrap();
         let report = outcome.model.evaluate(&ds).unwrap();
         assert!(report.overall_error() < 0.2, "{}", report.overall_error());
+    }
+
+    #[test]
+    fn load_error_names_path() {
+        let err = WorkloadModel::load("/definitely/not/a/model.txt").unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            matches!(err, ModelError::LoadFailed { .. }) && msg.contains("model.txt"),
+            "{msg}"
+        );
+        // Parse failures are wrapped the same way.
+        let dir = std::env::temp_dir().join("wlc-model-load-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.txt");
+        std::fs::write(&path, "not a model\n").unwrap();
+        let err = WorkloadModel::load(&path).unwrap_err();
+        assert!(err.to_string().contains("garbage.txt"), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn recovery_wired_through_builder() {
+        let ds = synthetic_dataset();
+        let base = quick_builder()
+            .max_epochs(200)
+            .no_termination_threshold()
+            .learning_rate(1e6); // guaranteed divergence at full rate
+        assert!(matches!(
+            base.clone().train(&ds),
+            Err(ModelError::Nn(wlc_nn::NnError::Diverged { .. }))
+        ));
+        let outcome = base
+            .clone()
+            .recover(2)
+            .retry_backoff(1e-8)
+            .train(&ds)
+            .unwrap();
+        assert!(outcome.report.recovery_attempts >= 1);
+        // halt_on_divergence reports instead of erroring.
+        let halted = base.halt_on_divergence(true).train(&ds).unwrap();
+        assert_eq!(halted.report.stop_reason, wlc_nn::StopReason::Diverged);
+    }
+
+    #[test]
+    fn checkpointed_training_resumes_identically() {
+        let ds = synthetic_dataset();
+        let dir = std::env::temp_dir().join("wlc-model-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("train.ckpt");
+        let base = quick_builder().no_termination_threshold().batch_size(16);
+
+        let full = base.clone().max_epochs(60).train(&ds).unwrap();
+        base.clone()
+            .max_epochs(40)
+            .checkpoint(&path, 20)
+            .train(&ds)
+            .unwrap();
+        let ck = Checkpoint::load(&path).unwrap();
+        assert_eq!(ck.epochs_completed(), 40);
+        let resumed = base.max_epochs(60).train_resuming(&ds, &ck).unwrap();
+
+        assert_eq!(resumed.model, full.model);
+        assert_eq!(resumed.report.loss_history, full.report.loss_history);
+        assert_eq!(resumed.report.resumed_from_epoch, Some(40));
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -312,30 +312,7 @@ impl Dataset {
             line: 1,
             reason: "missing header".into(),
         })?;
-        let mut input_names = Vec::new();
-        let mut output_names = Vec::new();
-        let mut seen_output = false;
-        for name in header.split(',') {
-            let name = name.trim();
-            if let Some(stripped) = name.strip_suffix('*') {
-                output_names.push(stripped.to_string());
-                seen_output = true;
-            } else {
-                if seen_output {
-                    return Err(DataError::Csv {
-                        line: 1,
-                        reason: "input column after output column".into(),
-                    });
-                }
-                input_names.push(name.to_string());
-            }
-        }
-        if input_names.is_empty() || output_names.is_empty() {
-            return Err(DataError::Csv {
-                line: 1,
-                reason: "need at least one input and one `*`-suffixed output column".into(),
-            });
-        }
+        let (input_names, output_names) = parse_csv_header(header)?;
         let mut ds = Dataset::new(input_names, output_names)?;
         for (idx, line) in lines {
             if line.trim().is_empty() {
@@ -383,6 +360,36 @@ impl Dataset {
         let text = std::fs::read_to_string(path)?;
         Dataset::from_csv_string(&text)
     }
+}
+
+/// Parses a CSV header into `(input_names, output_names)`; outputs are the
+/// `*`-suffixed columns, which must all come last.
+pub(crate) fn parse_csv_header(header: &str) -> Result<(Vec<String>, Vec<String>), DataError> {
+    let mut input_names = Vec::new();
+    let mut output_names = Vec::new();
+    let mut seen_output = false;
+    for name in header.split(',') {
+        let name = name.trim();
+        if let Some(stripped) = name.strip_suffix('*') {
+            output_names.push(stripped.to_string());
+            seen_output = true;
+        } else {
+            if seen_output {
+                return Err(DataError::Csv {
+                    line: 1,
+                    reason: "input column after output column".into(),
+                });
+            }
+            input_names.push(name.to_string());
+        }
+    }
+    if input_names.is_empty() || output_names.is_empty() {
+        return Err(DataError::Csv {
+            line: 1,
+            reason: "need at least one input and one `*`-suffixed output column".into(),
+        });
+    }
+    Ok((input_names, output_names))
 }
 
 /// Summary statistics of one dataset column (see

@@ -41,6 +41,14 @@ pub enum DataError {
         /// Description of the problem.
         reason: String,
     },
+    /// A row failed strict input validation (see
+    /// [`crate::ValidateMode::Strict`]).
+    Validation {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        reason: String,
+    },
     /// File I/O failed.
     Io(std::io::Error),
     /// An underlying math operation failed.
@@ -66,6 +74,9 @@ impl fmt::Display for DataError {
                 write!(f, "invalid parameter `{name}`: {reason}")
             }
             DataError::Csv { line, reason } => write!(f, "csv error at line {line}: {reason}"),
+            DataError::Validation { line, reason } => {
+                write!(f, "validation error at line {line}: {reason}")
+            }
             DataError::Io(e) => write!(f, "io error: {e}"),
             DataError::Math(e) => write!(f, "math error: {e}"),
         }

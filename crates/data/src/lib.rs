@@ -39,8 +39,10 @@ mod error;
 pub mod metrics;
 mod scale;
 mod split;
+mod validate;
 
 pub use dataset::{ColumnSummary, Dataset, Sample};
 pub use error::DataError;
 pub use scale::Scaler;
 pub use split::{train_test_split, KFold};
+pub use validate::{RowIssue, ValidateMode, ValidationReport};

@@ -31,6 +31,6 @@
 mod pool;
 
 pub use pool::{
-    default_jobs, map_indexed, map_indexed_timed, try_map_indexed, try_map_indexed_timed,
-    RunReport, TaskTiming,
+    default_jobs, map_indexed, map_indexed_timed, try_map_indexed, try_map_indexed_retry,
+    try_map_indexed_retry_timed, try_map_indexed_timed, RunReport, TaskTiming,
 };

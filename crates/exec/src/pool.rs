@@ -34,6 +34,9 @@ pub struct RunReport {
     /// Per-task timings, sorted by task index. Tasks skipped after an
     /// error are absent.
     pub tasks: Vec<TaskTiming>,
+    /// Retries performed across all tasks (always 0 outside the
+    /// [`try_map_indexed_retry`] family).
+    pub retries: usize,
 }
 
 impl RunReport {
@@ -77,6 +80,9 @@ impl fmt::Display for RunReport {
                 worst.index,
                 worst.elapsed.as_secs_f64()
             )?;
+        }
+        if self.retries > 0 {
+            write!(f, ", {} retries", self.retries)?;
         }
         Ok(())
     }
@@ -197,6 +203,7 @@ where
         jobs,
         wall: started.elapsed(),
         tasks: timings,
+        retries: 0,
     };
     // Tasks are claimed in index order, so the completed prefix is
     // contiguous and the lowest-index error is deterministic — identical
@@ -217,6 +224,70 @@ where
         Some(e) => Err(e),
         None => Ok((values, report)),
     }
+}
+
+/// [`try_map_indexed`] with bounded per-task retries: task `index` is
+/// attempted with `f(index, 0)`, `f(index, 1)`, … up to `max_retries`
+/// retries, and the first `Ok` wins.
+///
+/// Determinism: the attempt number is passed to the closure so callers can
+/// derive per-attempt randomness from `(index, attempt)` — results are then
+/// bit-identical for any worker count.
+///
+/// # Errors
+///
+/// The lowest-index task whose every attempt failed, with the error from
+/// its final attempt.
+pub fn try_map_indexed_retry<T, E, F>(
+    jobs: usize,
+    n: usize,
+    max_retries: usize,
+    f: F,
+) -> Result<Vec<T>, E>
+where
+    T: Send,
+    E: Send,
+    F: Fn(usize, usize) -> Result<T, E> + Sync,
+{
+    try_map_indexed_retry_timed(jobs, n, max_retries, f).map(|(values, _)| values)
+}
+
+/// [`try_map_indexed_retry`] with a [`RunReport`]; the report's `retries`
+/// field counts retries across all tasks, and each task's timing covers
+/// all of its attempts.
+///
+/// # Errors
+///
+/// As for [`try_map_indexed_retry`].
+pub fn try_map_indexed_retry_timed<T, E, F>(
+    jobs: usize,
+    n: usize,
+    max_retries: usize,
+    f: F,
+) -> Result<(Vec<T>, RunReport), E>
+where
+    T: Send,
+    E: Send,
+    F: Fn(usize, usize) -> Result<T, E> + Sync,
+{
+    let retries = AtomicUsize::new(0);
+    let result = try_map_indexed_timed(jobs, n, |index| {
+        let mut attempt = 0usize;
+        loop {
+            match f(index, attempt) {
+                Ok(v) => return Ok(v),
+                Err(e) if attempt >= max_retries => return Err(e),
+                Err(_) => {
+                    attempt += 1;
+                    retries.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    });
+    result.map(|(values, mut report)| {
+        report.retries = retries.load(Ordering::Relaxed);
+        (values, report)
+    })
 }
 
 #[cfg(test)]
@@ -300,5 +371,62 @@ mod tests {
     #[test]
     fn default_jobs_is_positive() {
         assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    fn retry_recovers_transient_failures() {
+        // Tasks 2 and 5 fail on their first two attempts, then succeed.
+        for jobs in [1, 4] {
+            let (values, report) = try_map_indexed_retry_timed(jobs, 8, 3, |i, attempt| {
+                if (i == 2 || i == 5) && attempt < 2 {
+                    Err(format!("task {i} attempt {attempt}"))
+                } else {
+                    Ok(i * 10 + attempt)
+                }
+            })
+            .unwrap();
+            // Successful attempt number is part of the value: deterministic
+            // for any worker count.
+            let expected: Vec<usize> = (0..8)
+                .map(|i| if i == 2 || i == 5 { i * 10 + 2 } else { i * 10 })
+                .collect();
+            assert_eq!(values, expected, "jobs={jobs}");
+            assert_eq!(report.retries, 4, "jobs={jobs}");
+            assert!(report.to_string().contains("4 retries"));
+        }
+    }
+
+    #[test]
+    fn retry_exhaustion_returns_lowest_index_final_error() {
+        for jobs in [1, 4] {
+            let err = try_map_indexed_retry(jobs, 10, 2, |i, attempt| {
+                if i == 3 || i == 7 {
+                    Err(format!("task {i} attempt {attempt}"))
+                } else {
+                    Ok::<usize, String>(i)
+                }
+            })
+            .unwrap_err();
+            assert_eq!(err, "task 3 attempt 2", "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn zero_retries_matches_plain_try_map() {
+        let plain = try_map_indexed(2, 6, |i| {
+            if i == 4 {
+                Err(i)
+            } else {
+                Ok::<usize, usize>(i)
+            }
+        });
+        let with_retry = try_map_indexed_retry(2, 6, 0, |i, _| {
+            if i == 4 {
+                Err(i)
+            } else {
+                Ok::<usize, usize>(i)
+            }
+        });
+        assert_eq!(plain, with_retry);
     }
 }

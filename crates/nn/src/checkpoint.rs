@@ -1,0 +1,330 @@
+//! Training checkpoints.
+//!
+//! A [`Checkpoint`] captures the *complete* trainer state at an epoch
+//! boundary — network parameters, optimizer moments, loss histories,
+//! early-stopping bookkeeping and the recovery-attempt index — so a run
+//! killed mid-way can resume with [`crate::Trainer::resume_from`] and
+//! finish bit-identically to an uninterrupted run.
+//!
+//! The on-disk format extends the model text format: a small header of
+//! `key value` lines followed by the [`Mlp::to_text`] body. Floats are
+//! printed with `{:?}` (shortest exact representation), so round-trips
+//! preserve every bit.
+
+use std::path::Path;
+
+use crate::{Mlp, NnError};
+
+const MAGIC: &str = "wlc-nn-checkpoint v1";
+
+/// A snapshot of mid-training state (see the module docs).
+///
+/// Produced automatically by the trainer when
+/// [`crate::TrainConfig::checkpoint_every`] is configured; consumed by
+/// [`crate::Trainer::resume_from`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Epochs fully completed before the snapshot.
+    pub(crate) epoch: usize,
+    /// Recovery attempt the run was on (0 = first try).
+    pub(crate) attempt: usize,
+    /// Failed recovery attempts before this one.
+    pub(crate) recovery_attempts: usize,
+    /// Optimizer step count.
+    pub(crate) opt_step: u64,
+    /// Optimizer velocity buffer (empty if unused).
+    pub(crate) opt_velocity: Vec<f64>,
+    /// Optimizer second-moment buffer (empty if unused).
+    pub(crate) opt_second: Vec<f64>,
+    /// Best validation loss seen (early stopping).
+    pub(crate) best_val: Option<f64>,
+    /// Epochs without validation improvement (early stopping).
+    pub(crate) stall: usize,
+    /// Parameters at the best validation loss (early stopping).
+    pub(crate) best_params: Option<Vec<f64>>,
+    /// Per-epoch training losses so far.
+    pub(crate) loss_history: Vec<f64>,
+    /// Per-epoch validation losses so far.
+    pub(crate) val_history: Vec<f64>,
+    /// The network at the snapshot.
+    pub(crate) mlp: Mlp,
+}
+
+impl Checkpoint {
+    /// Epochs fully completed before the snapshot was taken.
+    pub fn epochs_completed(&self) -> usize {
+        self.epoch
+    }
+
+    /// The recovery attempt the checkpointed run was on (0 = first try).
+    pub fn attempt(&self) -> usize {
+        self.attempt
+    }
+
+    /// The network state at the snapshot.
+    pub fn mlp(&self) -> &Mlp {
+        &self.mlp
+    }
+
+    /// Serializes the checkpoint to the crate's text format.
+    pub fn to_text(&self) -> String {
+        let floats = |v: &[f64]| -> String {
+            if v.is_empty() {
+                "-".to_string()
+            } else {
+                v.iter()
+                    .map(|x| format!("{x:?}"))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            }
+        };
+        let mut out = String::new();
+        out.push_str(MAGIC);
+        out.push('\n');
+        out.push_str(&format!("epoch {}\n", self.epoch));
+        out.push_str(&format!("attempt {}\n", self.attempt));
+        out.push_str(&format!("recovery_attempts {}\n", self.recovery_attempts));
+        out.push_str(&format!("opt_step {}\n", self.opt_step));
+        out.push_str(&format!("opt_velocity {}\n", floats(&self.opt_velocity)));
+        out.push_str(&format!("opt_second {}\n", floats(&self.opt_second)));
+        match self.best_val {
+            Some(v) => out.push_str(&format!("best_val {v:?}\n")),
+            None => out.push_str("best_val -\n"),
+        }
+        out.push_str(&format!("stall {}\n", self.stall));
+        match &self.best_params {
+            Some(p) => out.push_str(&format!("best_params {}\n", floats(p))),
+            None => out.push_str("best_params -\n"),
+        }
+        out.push_str(&format!("loss_history {}\n", floats(&self.loss_history)));
+        out.push_str(&format!("val_history {}\n", floats(&self.val_history)));
+        out.push_str(&self.mlp.to_text());
+        out
+    }
+
+    /// Parses a checkpoint from the format produced by
+    /// [`Checkpoint::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Parse`] describing the offending line on any
+    /// format violation (wrong magic, missing fields, corrupt floats,
+    /// corrupt network body).
+    pub fn from_text(text: &str) -> Result<Checkpoint, NnError> {
+        let mut lines = text.lines().enumerate();
+        let (_, first) = lines.next().ok_or_else(|| parse_err(1, "empty input"))?;
+        if first.trim() != MAGIC {
+            return Err(parse_err(1, "missing or wrong checkpoint magic header"));
+        }
+
+        let mut field = |name: &'static str| -> Result<(usize, String), NnError> {
+            let (ln, line) = lines
+                .next()
+                .ok_or_else(|| parse_err(0, "unexpected end of input in header"))?;
+            let rest = line
+                .trim()
+                .strip_prefix(name)
+                .and_then(|r| r.strip_prefix(' '))
+                .ok_or_else(|| parse_err(ln + 1, "unexpected header field"))?;
+            Ok((ln + 1, rest.trim().to_string()))
+        };
+
+        let (ln, raw) = field("epoch")?;
+        let epoch: usize = raw.parse().map_err(|_| parse_err(ln, "bad epoch"))?;
+        let (ln, raw) = field("attempt")?;
+        let attempt: usize = raw.parse().map_err(|_| parse_err(ln, "bad attempt"))?;
+        let (ln, raw) = field("recovery_attempts")?;
+        let recovery_attempts: usize = raw
+            .parse()
+            .map_err(|_| parse_err(ln, "bad recovery_attempts"))?;
+        let (ln, raw) = field("opt_step")?;
+        let opt_step: u64 = raw.parse().map_err(|_| parse_err(ln, "bad opt_step"))?;
+        let (ln, raw) = field("opt_velocity")?;
+        let opt_velocity = parse_floats_opt(&raw, ln)?.unwrap_or_default();
+        let (ln, raw) = field("opt_second")?;
+        let opt_second = parse_floats_opt(&raw, ln)?.unwrap_or_default();
+        let (ln, raw) = field("best_val")?;
+        let best_val = if raw == "-" {
+            None
+        } else {
+            Some(
+                raw.parse::<f64>()
+                    .map_err(|_| parse_err(ln, "bad best_val"))?,
+            )
+        };
+        let (ln, raw) = field("stall")?;
+        let stall: usize = raw.parse().map_err(|_| parse_err(ln, "bad stall"))?;
+        let (ln, raw) = field("best_params")?;
+        let best_params = parse_floats_opt(&raw, ln)?;
+        let (ln, raw) = field("loss_history")?;
+        let loss_history = parse_floats_opt(&raw, ln)?.unwrap_or_default();
+        let (ln, raw) = field("val_history")?;
+        let val_history = parse_floats_opt(&raw, ln)?.unwrap_or_default();
+
+        let body: Vec<&str> = lines.map(|(_, l)| l).collect();
+        let mlp = Mlp::from_text(&body.join("\n"))?;
+
+        if loss_history.len() < epoch {
+            return Err(parse_err(0, "loss history shorter than epoch count"));
+        }
+        if let Some(p) = &best_params {
+            if p.len() != mlp.param_count() {
+                return Err(parse_err(0, "best_params length does not match network"));
+            }
+        }
+        Ok(Checkpoint {
+            epoch,
+            attempt,
+            recovery_attempts,
+            opt_step,
+            opt_velocity,
+            opt_second,
+            best_val,
+            stall,
+            best_params,
+            loss_history,
+            val_history,
+            mlp,
+        })
+    }
+
+    /// Writes the checkpoint to `path`. The file is written whole, then
+    /// atomically renamed into place so a crash mid-write never leaves a
+    /// truncated checkpoint behind.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Io`] naming the path on filesystem failure.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), NnError> {
+        let path = path.as_ref();
+        let io_err = |e: std::io::Error| NnError::Io {
+            path: path.display().to_string(),
+            reason: e.to_string(),
+        };
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, self.to_text()).map_err(io_err)?;
+        std::fs::rename(&tmp, path).map_err(io_err)?;
+        Ok(())
+    }
+
+    /// Reads a checkpoint from `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Io`] naming the path on filesystem failure and
+    /// [`NnError::Parse`] on corrupt content.
+    pub fn load<P: AsRef<Path>>(path: P) -> Result<Checkpoint, NnError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path).map_err(|e| NnError::Io {
+            path: path.display().to_string(),
+            reason: e.to_string(),
+        })?;
+        Self::from_text(&text)
+    }
+}
+
+fn parse_err(line: usize, reason: &str) -> NnError {
+    NnError::Parse {
+        line,
+        reason: reason.to_string(),
+    }
+}
+
+/// Parses a space-separated float list; `-` means "absent".
+fn parse_floats_opt(s: &str, line: usize) -> Result<Option<Vec<f64>>, NnError> {
+    if s == "-" {
+        return Ok(None);
+    }
+    s.split_whitespace()
+        .map(|tok| {
+            tok.parse::<f64>()
+                .map_err(|_| parse_err(line, "bad float in checkpoint header"))
+        })
+        .collect::<Result<Vec<f64>, NnError>>()
+        .map(Some)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Activation, MlpBuilder};
+
+    fn sample() -> Checkpoint {
+        let mlp = MlpBuilder::new(2)
+            .hidden(3, Activation::tanh())
+            .output(1, Activation::identity())
+            .seed(5)
+            .build()
+            .unwrap();
+        let n = mlp.param_count();
+        Checkpoint {
+            epoch: 7,
+            attempt: 1,
+            recovery_attempts: 1,
+            opt_step: 7,
+            opt_velocity: vec![0.125; n],
+            opt_second: Vec::new(),
+            best_val: Some(0.375),
+            stall: 2,
+            best_params: Some(mlp.params_flat()),
+            loss_history: vec![1.0, 0.5, 0.25, 0.2, 0.19, 0.185, 0.18],
+            val_history: vec![1.1, 0.6, 0.3, 0.25, 0.26, 0.27, 0.28],
+            mlp,
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let ck = sample();
+        let back = Checkpoint::from_text(&ck.to_text()).unwrap();
+        assert_eq!(back, ck);
+    }
+
+    #[test]
+    fn roundtrip_without_optional_fields() {
+        let mut ck = sample();
+        ck.best_val = None;
+        ck.best_params = None;
+        ck.opt_velocity = Vec::new();
+        ck.val_history = Vec::new();
+        let back = Checkpoint::from_text(&ck.to_text()).unwrap();
+        assert_eq!(back, ck);
+    }
+
+    #[test]
+    fn rejects_wrong_magic_and_truncation() {
+        let ck = sample();
+        let text = ck.to_text();
+        assert!(matches!(
+            Checkpoint::from_text(&text.replacen("wlc-nn-checkpoint", "nope", 1)),
+            Err(NnError::Parse { line: 1, .. })
+        ));
+        for keep in [1, 3, 8, 12] {
+            let short: String = text.lines().take(keep).collect::<Vec<_>>().join("\n");
+            assert!(Checkpoint::from_text(&short).is_err(), "kept {keep} lines");
+        }
+    }
+
+    #[test]
+    fn rejects_inconsistent_history() {
+        let ck = sample();
+        let text = ck.to_text().replacen("epoch 7", "epoch 99", 1);
+        assert!(Checkpoint::from_text(&text).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip_and_io_errors() {
+        let ck = sample();
+        let dir = std::env::temp_dir().join("wlc-nn-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.ckpt");
+        ck.save(&path).unwrap();
+        assert_eq!(Checkpoint::load(&path).unwrap(), ck);
+        std::fs::remove_file(&path).unwrap();
+        let missing = Checkpoint::load(dir.join("missing.ckpt"));
+        match missing {
+            Err(NnError::Io { path, .. }) => assert!(path.contains("missing.ckpt")),
+            other => panic!("expected Io error, got {other:?}"),
+        }
+    }
+}

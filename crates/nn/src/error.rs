@@ -44,6 +44,14 @@ pub enum NnError {
         /// What went wrong.
         reason: String,
     },
+    /// A checkpoint file could not be read or written.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying I/O failure, rendered to text (keeps the error
+        /// type `Clone`).
+        reason: String,
+    },
     /// An underlying math operation failed.
     Math(MathError),
 }
@@ -72,6 +80,9 @@ impl fmt::Display for NnError {
             NnError::EmptyTrainingSet => write!(f, "training set must not be empty"),
             NnError::Parse { line, reason } => {
                 write!(f, "model parse error at line {line}: {reason}")
+            }
+            NnError::Io { path, reason } => {
+                write!(f, "io error on `{path}`: {reason}")
             }
             NnError::Math(e) => write!(f, "math error: {e}"),
         }

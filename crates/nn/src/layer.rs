@@ -56,6 +56,14 @@ impl DenseLayer {
         })
     }
 
+    /// Resamples every weight from `init` and zeroes the biases — a fresh
+    /// random start on the existing topology (divergence recovery).
+    pub fn reinitialize(&mut self, init: Initializer, rng: &mut Xoshiro256) {
+        let (inputs, outputs) = (self.inputs(), self.outputs());
+        self.weights = Matrix::from_fn(outputs, inputs, |_, _| init.sample(rng, inputs, outputs));
+        self.biases = vec![0.0; outputs];
+    }
+
     /// Creates a layer from explicit weights and biases.
     ///
     /// # Errors

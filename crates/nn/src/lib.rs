@@ -49,6 +49,7 @@
 #![warn(missing_docs)]
 
 mod activation;
+mod checkpoint;
 mod error;
 pub mod gradcheck;
 mod init;
@@ -63,6 +64,7 @@ mod serialize;
 mod train;
 
 pub use activation::Activation;
+pub use checkpoint::Checkpoint;
 pub use error::NnError;
 pub use init::Initializer;
 pub use layer::DenseLayer;

@@ -279,6 +279,16 @@ impl Mlp {
         Ok(())
     }
 
+    /// Resamples every weight from `init` (seeded by `seed`) and zeroes
+    /// the biases, keeping the topology — the trainer's divergence
+    /// recovery uses this for a fresh random start per retry attempt.
+    pub fn reinitialize(&mut self, init: Initializer, seed: u64) {
+        let mut rng = Xoshiro256::seed_from(seed);
+        for layer in &mut self.layers {
+            layer.reinitialize(init, &mut rng);
+        }
+    }
+
     /// Returns `true` if every parameter is finite.
     pub fn is_finite(&self) -> bool {
         self.layers

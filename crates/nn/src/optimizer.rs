@@ -165,6 +165,23 @@ impl Optimizer {
         self.step_count = 0;
     }
 
+    /// Snapshot of the internal state for checkpointing:
+    /// `(velocity, second_moment, step_count)`. Buffers are empty until
+    /// the first [`Optimizer::step`] (or for kinds that do not use them).
+    pub fn state(&self) -> (&[f64], &[f64], u64) {
+        (&self.velocity, &self.second_moment, self.step_count)
+    }
+
+    /// Restores a state snapshot taken with [`Optimizer::state`].
+    ///
+    /// Buffer lengths are re-validated against the parameter vector on the
+    /// next [`Optimizer::step`].
+    pub fn restore_state(&mut self, velocity: Vec<f64>, second_moment: Vec<f64>, step_count: u64) {
+        self.velocity = velocity;
+        self.second_moment = second_moment;
+        self.step_count = step_count;
+    }
+
     /// Applies one update in place: `params ← params − lr · direction(grads)`.
     ///
     /// # Errors

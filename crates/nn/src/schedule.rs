@@ -103,6 +103,31 @@ impl LearningRateSchedule {
         Ok(())
     }
 
+    /// The same schedule with every rate multiplied by `scale` — used by
+    /// the trainer's divergence-recovery backoff.
+    pub(crate) fn scaled(&self, scale: f64) -> Self {
+        match *self {
+            LearningRateSchedule::Constant { rate } => {
+                LearningRateSchedule::Constant { rate: rate * scale }
+            }
+            LearningRateSchedule::StepDecay {
+                initial,
+                factor,
+                every,
+            } => LearningRateSchedule::StepDecay {
+                initial: initial * scale,
+                factor,
+                every,
+            },
+            LearningRateSchedule::Exponential { initial, decay } => {
+                LearningRateSchedule::Exponential {
+                    initial: initial * scale,
+                    decay,
+                }
+            }
+        }
+    }
+
     /// The learning rate to use during `epoch` (0-based).
     pub fn rate_at(&self, epoch: usize) -> f64 {
         match *self {

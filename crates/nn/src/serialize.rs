@@ -21,6 +21,17 @@ use crate::{Activation, DenseLayer, Mlp, NnError};
 
 const MAGIC: &str = "wlc-nn-mlp v1";
 
+/// Upper bound on the `layers` count a model file may declare. Guards the
+/// parser against allocating storage for absurd counts from corrupt or
+/// hostile input before any layer data has been seen.
+const MAX_LAYERS: usize = 1024;
+
+/// Upper bound on a single declared layer dimension.
+const MAX_DIM: usize = 1 << 20;
+
+/// Upper bound on the declared weight count of one layer (`in × out`).
+const MAX_LAYER_PARAMS: usize = 1 << 24;
+
 impl Mlp {
     /// Serializes the network (topology, activations, parameters) to the
     /// crate's plain-text format.
@@ -69,6 +80,10 @@ impl Mlp {
 
     /// Parses a network from the format produced by [`Mlp::to_text`].
     ///
+    /// The parser is strict: truncated input, malformed lines, non-finite
+    /// parameter values (NaN/Inf) and absurd declared dimensions are all
+    /// rejected with a typed error — it never panics on untrusted input.
+    ///
     /// # Errors
     ///
     /// Returns [`NnError::Parse`] describing the offending line on any
@@ -91,6 +106,9 @@ impl Mlp {
             .ok_or_else(|| parse_err(ln + 1, "expected `layers <n>`"))?;
         if layer_count == 0 {
             return Err(parse_err(ln + 1, "layer count must be at least 1"));
+        }
+        if layer_count > MAX_LAYERS {
+            return Err(parse_err(ln + 1, "layer count is implausibly large"));
         }
 
         let mut layers = Vec::with_capacity(layer_count);
@@ -117,6 +135,12 @@ impl Mlp {
             let activation: Activation = act_token
                 .parse()
                 .map_err(|_| parse_err(ln + 1, "bad activation token"))?;
+            if inputs == 0 || outputs == 0 {
+                return Err(parse_err(ln + 1, "layer dimensions must be at least 1"));
+            }
+            if inputs > MAX_DIM || outputs > MAX_DIM || inputs * outputs > MAX_LAYER_PARAMS {
+                return Err(parse_err(ln + 1, "layer dimensions are implausibly large"));
+            }
 
             let mut weights = Matrix::zeros(outputs, inputs);
             for r in 0..outputs {
@@ -162,7 +186,15 @@ fn parse_err(line: usize, reason: &str) -> NnError {
 
 fn parse_floats(s: &str, line: usize) -> Result<Vec<f64>, NnError> {
     s.split_whitespace()
-        .map(|tok| tok.parse::<f64>().map_err(|_| parse_err(line, "bad float")))
+        .map(|tok| {
+            let v: f64 = tok.parse().map_err(|_| parse_err(line, "bad float"))?;
+            // A stored model must be usable; NaN/Inf weights poison every
+            // forward pass, so reject them at the door.
+            if !v.is_finite() {
+                return Err(parse_err(line, "non-finite parameter value"));
+            }
+            Ok(v)
+        })
         .collect()
 }
 
@@ -243,6 +275,30 @@ mod tests {
     fn rejects_wrong_row_width() {
         let text = "wlc-nn-mlp v1\nlayers 1\nlayer 2 1 identity\nw 1.0\nb 0.0\n";
         assert!(matches!(Mlp::from_text(text), Err(NnError::Parse { .. })));
+    }
+
+    #[test]
+    fn rejects_nonfinite_parameters() {
+        for bad in ["NaN", "inf", "-inf"] {
+            let text = format!("wlc-nn-mlp v1\nlayers 1\nlayer 2 1 identity\nw 1.0 {bad}\nb 0.5\n");
+            assert!(
+                matches!(Mlp::from_text(&text), Err(NnError::Parse { .. })),
+                "accepted weight {bad}"
+            );
+        }
+        let text = "wlc-nn-mlp v1\nlayers 1\nlayer 2 1 identity\nw 1.0 2.0\nb NaN\n";
+        assert!(Mlp::from_text(text).is_err());
+    }
+
+    #[test]
+    fn rejects_absurd_dimensions() {
+        // Declared sizes must be sanity-checked before any allocation.
+        assert!(Mlp::from_text("wlc-nn-mlp v1\nlayers 9999999999\n").is_err());
+        assert!(Mlp::from_text(
+            "wlc-nn-mlp v1\nlayers 1\nlayer 99999999 99999999 identity\nw 1.0\nb 1.0\n"
+        )
+        .is_err());
+        assert!(Mlp::from_text("wlc-nn-mlp v1\nlayers 1\nlayer 0 1 identity\nb 1.0\n").is_err());
     }
 
     #[test]

@@ -1,7 +1,9 @@
-use wlc_math::rng::Xoshiro256;
+use std::path::PathBuf;
+
+use wlc_math::rng::{Seed, Xoshiro256};
 use wlc_math::Matrix;
 
-use crate::{LearningRateSchedule, Loss, Mlp, NnError, OptimizerKind};
+use crate::{Checkpoint, Initializer, LearningRateSchedule, Loss, Mlp, NnError, OptimizerKind};
 
 /// Why training stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -15,6 +17,12 @@ pub enum StopReason {
     /// Validation loss stopped improving for `patience` epochs; the best
     /// parameters seen were restored.
     EarlyStopped,
+    /// Training diverged (non-finite loss, non-finite parameters or an
+    /// exploding gradient) and every recovery attempt was exhausted; the
+    /// parameters were rolled back to the last finite epoch. Only reported
+    /// when [`TrainConfig::halt_on_divergence`] is set — otherwise
+    /// divergence is an [`NnError::Diverged`] error.
+    Diverged,
 }
 
 impl std::fmt::Display for StopReason {
@@ -23,6 +31,9 @@ impl std::fmt::Display for StopReason {
             StopReason::MaxEpochs => write!(f, "max epochs reached"),
             StopReason::ThresholdReached => write!(f, "termination threshold reached"),
             StopReason::EarlyStopped => write!(f, "early stopped on validation loss"),
+            StopReason::Diverged => {
+                write!(f, "diverged (non-finite loss or exploding gradient)")
+            }
         }
     }
 }
@@ -34,6 +45,19 @@ impl std::fmt::Display for StopReason {
 /// guidance that "it is better to loosely fit the training sample to
 /// maintain the flexibility of a model — a threshold value is needed to
 /// indicate when to stop training".
+///
+/// # Robustness
+///
+/// Divergence (NaN/Inf loss, non-finite parameters, exploding gradients)
+/// is always detected. What happens next is configurable:
+///
+/// - [`TrainConfig::recover`] retries with a freshly re-seeded network and
+///   a backed-off learning rate, up to a bounded number of attempts.
+/// - [`TrainConfig::halt_on_divergence`] turns an exhausted divergence
+///   into an `Ok` report with [`StopReason::Diverged`] and the parameters
+///   rolled back to the last finite epoch, instead of an error.
+/// - [`TrainConfig::checkpoint_every`] writes periodic [`Checkpoint`]s so
+///   a killed run can continue via [`Trainer::resume_from`].
 ///
 /// # Examples
 ///
@@ -62,6 +86,13 @@ pub struct TrainConfig {
     weight_decay: f64,
     gradient_clip: Option<f64>,
     seed: u64,
+    max_retries: usize,
+    retry_lr_backoff: f64,
+    retry_initializer: Initializer,
+    halt_on_divergence: bool,
+    divergence_grad_norm: f64,
+    checkpoint_every: Option<usize>,
+    checkpoint_path: Option<PathBuf>,
 }
 
 impl TrainConfig {
@@ -81,6 +112,13 @@ impl TrainConfig {
             weight_decay: 0.0,
             gradient_clip: None,
             seed: 0,
+            max_retries: 0,
+            retry_lr_backoff: 0.5,
+            retry_initializer: Initializer::default(),
+            halt_on_divergence: false,
+            divergence_grad_norm: 1e12,
+            checkpoint_every: None,
+            checkpoint_path: None,
         }
     }
 
@@ -158,9 +196,64 @@ impl TrainConfig {
         self
     }
 
-    /// Seed for mini-batch shuffling.
+    /// Seed for mini-batch shuffling (and for re-deriving recovery seeds).
     pub fn rng_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Allows up to `retries` recovery attempts after divergence. Each
+    /// attempt reinitializes the network from a seed re-derived from
+    /// [`TrainConfig::rng_seed`] and multiplies every learning rate by
+    /// [`TrainConfig::retry_backoff`] once more (attempt `k` trains at
+    /// `backoff^k` times the configured rate).
+    pub fn recover(mut self, retries: usize) -> Self {
+        self.max_retries = retries;
+        self
+    }
+
+    /// Learning-rate backoff factor per recovery attempt, in `(0, 1]`
+    /// (default 0.5).
+    pub fn retry_backoff(mut self, backoff: f64) -> Self {
+        self.retry_lr_backoff = backoff;
+        self
+    }
+
+    /// Weight initializer used for recovery restarts (default: the
+    /// builder default, Xavier-uniform).
+    pub fn retry_initializer(mut self, init: Initializer) -> Self {
+        self.retry_initializer = init;
+        self
+    }
+
+    /// When every attempt diverges, return an `Ok` report with
+    /// [`StopReason::Diverged`] (parameters rolled back to the last finite
+    /// epoch) instead of [`NnError::Diverged`]. Lets callers such as
+    /// cross-validation quarantine a diverged run rather than abort.
+    pub fn halt_on_divergence(mut self, halt: bool) -> Self {
+        self.halt_on_divergence = halt;
+        self
+    }
+
+    /// Gradient L2-norm limit above which training counts as diverged
+    /// (default `1e12`). Measured after clipping, so a clipped run never
+    /// trips it.
+    pub fn divergence_grad_norm(mut self, max_norm: f64) -> Self {
+        self.divergence_grad_norm = max_norm;
+        self
+    }
+
+    /// Writes a [`Checkpoint`] to [`TrainConfig::checkpoint_path`] every
+    /// `epochs` completed epochs.
+    pub fn checkpoint_every(mut self, epochs: usize) -> Self {
+        self.checkpoint_every = Some(epochs);
+        self
+    }
+
+    /// Destination for periodic checkpoints (required when
+    /// [`TrainConfig::checkpoint_every`] is set).
+    pub fn checkpoint_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint_path = Some(path.into());
         self
     }
 
@@ -219,6 +312,35 @@ impl TrainConfig {
                 });
             }
         }
+        if !(self.retry_lr_backoff.is_finite()
+            && self.retry_lr_backoff > 0.0
+            && self.retry_lr_backoff <= 1.0)
+        {
+            return Err(NnError::InvalidHyperParameter {
+                name: "retry_backoff",
+                reason: "must be in (0, 1]",
+            });
+        }
+        if !(self.divergence_grad_norm.is_finite() && self.divergence_grad_norm > 0.0) {
+            return Err(NnError::InvalidHyperParameter {
+                name: "divergence_grad_norm",
+                reason: "must be positive and finite",
+            });
+        }
+        if let Some(every) = self.checkpoint_every {
+            if every == 0 {
+                return Err(NnError::InvalidHyperParameter {
+                    name: "checkpoint_every",
+                    reason: "must be at least 1",
+                });
+            }
+            if self.checkpoint_path.is_none() {
+                return Err(NnError::InvalidHyperParameter {
+                    name: "checkpoint_every",
+                    reason: "requires a checkpoint path",
+                });
+            }
+        }
         self.optimizer.validate()
     }
 }
@@ -246,6 +368,11 @@ pub struct TrainReport {
     pub loss_history: Vec<f64>,
     /// Per-epoch validation loss (empty without a validation set).
     pub val_history: Vec<f64>,
+    /// Failed recovery attempts before this result (0 = first try).
+    pub recovery_attempts: usize,
+    /// Epoch the run resumed from when started via
+    /// [`Trainer::resume_from`].
+    pub resumed_from_epoch: Option<usize>,
 }
 
 /// Trains an [`Mlp`] by mini-batch gradient descent.
@@ -276,9 +403,12 @@ impl Trainer {
     /// - [`NnError::EmptyTrainingSet`] if `xs` has no rows.
     /// - [`NnError::ShapeMismatch`] if widths do not match the network.
     /// - [`NnError::InvalidHyperParameter`] for invalid configuration.
-    /// - [`NnError::Diverged`] if parameters become non-finite.
+    /// - [`NnError::Diverged`] if training diverges and every recovery
+    ///   attempt is exhausted (unless
+    ///   [`TrainConfig::halt_on_divergence`] is set).
+    /// - [`NnError::Io`] if a configured checkpoint cannot be written.
     pub fn fit(&self, mlp: &mut Mlp, xs: &Matrix, ys: &Matrix) -> Result<TrainReport, NnError> {
-        self.fit_impl(mlp, xs, ys, None)
+        self.fit_impl(mlp, xs, ys, None, None)
     }
 
     /// Trains on `(xs, ys)` while monitoring `(val_x, val_y)` for early
@@ -295,7 +425,45 @@ impl Trainer {
         val_x: &Matrix,
         val_y: &Matrix,
     ) -> Result<TrainReport, NnError> {
-        self.fit_impl(mlp, xs, ys, Some((val_x, val_y)))
+        self.fit_impl(mlp, xs, ys, Some((val_x, val_y)), None)
+    }
+
+    /// Continues an interrupted run from `checkpoint`. With the same
+    /// configuration, data and seed, the resumed run finishes
+    /// bit-identically to an uninterrupted one: the checkpoint carries the
+    /// optimizer state and histories, and the shuffle RNG is fast-forwarded
+    /// by replaying the completed epochs' permutations.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Trainer::fit`], plus [`NnError::ShapeMismatch`] when the
+    /// checkpointed network does not match `mlp`'s topology.
+    pub fn resume_from(
+        &self,
+        mlp: &mut Mlp,
+        xs: &Matrix,
+        ys: &Matrix,
+        checkpoint: &Checkpoint,
+    ) -> Result<TrainReport, NnError> {
+        self.fit_impl(mlp, xs, ys, None, Some(checkpoint))
+    }
+
+    /// [`Trainer::resume_from`] with a validation set (must be the same
+    /// one the interrupted run used for the histories to stay coherent).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Trainer::resume_from`].
+    pub fn resume_from_with_validation(
+        &self,
+        mlp: &mut Mlp,
+        xs: &Matrix,
+        ys: &Matrix,
+        val_x: &Matrix,
+        val_y: &Matrix,
+        checkpoint: &Checkpoint,
+    ) -> Result<TrainReport, NnError> {
+        self.fit_impl(mlp, xs, ys, Some((val_x, val_y)), Some(checkpoint))
     }
 
     fn fit_impl(
@@ -304,6 +472,7 @@ impl Trainer {
         xs: &Matrix,
         ys: &Matrix,
         validation: Option<(&Matrix, &Matrix)>,
+        resume: Option<&Checkpoint>,
     ) -> Result<TrainReport, NnError> {
         self.config.validate()?;
         if xs.rows() == 0 {
@@ -316,11 +485,71 @@ impl Trainer {
                 what: "target row count",
             });
         }
+        if let Some(ck) = resume {
+            if ck.mlp.param_count() != mlp.param_count() {
+                return Err(NnError::ShapeMismatch {
+                    expected: mlp.param_count(),
+                    actual: ck.mlp.param_count(),
+                    what: "checkpoint parameter count",
+                });
+            }
+            *mlp = ck.mlp.clone();
+        }
 
+        let start_attempt = resume.map_or(0, |c| c.attempt);
+        let final_attempt = self.config.max_retries.max(start_attempt);
+        let mut resume_state = resume;
+        let mut diverged: Option<TrainReport> = None;
+        for attempt in start_attempt..=final_attempt {
+            if attempt != start_attempt {
+                // Fresh restart: re-derived seed, backed-off learning rate.
+                let seed = Seed::new(self.config.seed).derive(attempt as u64).value();
+                mlp.reinitialize(self.config.retry_initializer, seed);
+                resume_state = None;
+            }
+            let report = self.run_attempt(mlp, xs, ys, validation, resume_state, attempt)?;
+            if report.stop_reason == StopReason::Diverged {
+                diverged = Some(report);
+            } else {
+                return Ok(report);
+            }
+        }
+        // Every attempt diverged; `mlp` holds the last attempt's final
+        // finite snapshot.
+        let report = match diverged {
+            Some(r) => r,
+            // Unreachable: the loop above always runs at least once.
+            None => return Err(NnError::Diverged { epoch: 0 }),
+        };
+        if self.config.halt_on_divergence {
+            Ok(report)
+        } else {
+            Err(NnError::Diverged {
+                epoch: report.epochs_run.saturating_sub(1),
+            })
+        }
+    }
+
+    /// One training attempt. Divergence is reported as an `Ok` result with
+    /// [`StopReason::Diverged`] (parameters rolled back to the last finite
+    /// epoch) so the caller can decide between retrying and erroring.
+    fn run_attempt(
+        &self,
+        mlp: &mut Mlp,
+        xs: &Matrix,
+        ys: &Matrix,
+        validation: Option<(&Matrix, &Matrix)>,
+        resume: Option<&Checkpoint>,
+        attempt: usize,
+    ) -> Result<TrainReport, NnError> {
         let n = xs.rows();
         let batch = self.config.batch_size.unwrap_or(n).min(n);
         let mut rng = Xoshiro256::seed_from(self.config.seed);
         let mut optimizer = self.config.optimizer.into_optimizer();
+        let schedule = self
+            .config
+            .schedule
+            .scaled(self.config.retry_lr_backoff.powi(attempt as i32));
         let mut params = mlp.params_flat();
 
         let mut loss_history = Vec::new();
@@ -328,18 +557,39 @@ impl Trainer {
         let mut best_val = f64::INFINITY;
         let mut best_params: Option<Vec<f64>> = None;
         let mut epochs_without_improvement = 0usize;
-        let mut stop_reason = StopReason::MaxEpochs;
-        let mut epochs_run = 0usize;
-
+        let mut start_epoch = 0usize;
         let mut indices: Vec<usize> = (0..n).collect();
 
-        for epoch in 0..self.config.max_epochs {
+        if let Some(ck) = resume {
+            start_epoch = ck.epoch;
+            optimizer.restore_state(ck.opt_velocity.clone(), ck.opt_second.clone(), ck.opt_step);
+            loss_history = ck.loss_history.clone();
+            val_history = ck.val_history.clone();
+            best_val = ck.best_val.unwrap_or(f64::INFINITY);
+            best_params = ck.best_params.clone();
+            epochs_without_improvement = ck.stall;
+            // Replay the completed epochs' shuffles so the RNG position and
+            // the index permutation match the interrupted run exactly.
+            if self.config.shuffle && batch < n {
+                for _ in 0..start_epoch {
+                    rng.shuffle(&mut indices);
+                }
+            }
+        }
+
+        let mut stop_reason = StopReason::MaxEpochs;
+        let mut epochs_run = start_epoch;
+        let mut last_finite = params.clone();
+        let grad_limit = self.config.divergence_grad_norm * self.config.divergence_grad_norm;
+
+        for epoch in start_epoch..self.config.max_epochs {
             epochs_run = epoch + 1;
             if self.config.shuffle && batch < n {
                 rng.shuffle(&mut indices);
             }
-            let lr = self.config.schedule.rate_at(epoch);
+            let lr = schedule.rate_at(epoch);
 
+            let mut exploded = false;
             for chunk in indices.chunks(batch) {
                 mlp.set_params_flat(&params)?;
                 let (bx, by) = gather(xs, ys, chunk);
@@ -358,15 +608,44 @@ impl Trainer {
                         }
                     }
                 }
+                // Post-clip explosion guard: a clipped run never trips it.
+                let norm_sq = grads.iter().map(|g| g * g).sum::<f64>();
+                if !norm_sq.is_finite() || norm_sq > grad_limit {
+                    exploded = true;
+                    break;
+                }
                 optimizer.step(&mut params, &grads, lr)?;
             }
 
-            if params.iter().any(|p| !p.is_finite()) {
-                return Err(NnError::Diverged { epoch });
+            let mut train_loss = f64::NAN;
+            let mut diverged = exploded || params.iter().any(|p| !p.is_finite());
+            if !diverged {
+                mlp.set_params_flat(&params)?;
+                train_loss = evaluate_loss(mlp, xs, ys, self.config.loss)?;
+                diverged = !train_loss.is_finite();
             }
-
-            mlp.set_params_flat(&params)?;
-            let train_loss = evaluate_loss(mlp, xs, ys, self.config.loss)?;
+            if diverged {
+                // Roll back to the last finite epoch rather than leaving
+                // NaNs in the network.
+                params = last_finite;
+                mlp.set_params_flat(&params)?;
+                let final_train_loss = evaluate_loss(mlp, xs, ys, self.config.loss)?;
+                let final_val_loss = match validation {
+                    Some((vx, vy)) => Some(evaluate_loss(mlp, vx, vy, self.config.loss)?),
+                    None => None,
+                };
+                return Ok(TrainReport {
+                    epochs_run,
+                    final_train_loss,
+                    final_val_loss,
+                    stop_reason: StopReason::Diverged,
+                    loss_history,
+                    val_history,
+                    recovery_attempts: attempt,
+                    resumed_from_epoch: resume.map(|c| c.epoch),
+                });
+            }
+            last_finite.clone_from(&params);
             loss_history.push(train_loss);
 
             if let Some((vx, vy)) = validation {
@@ -393,6 +672,30 @@ impl Trainer {
                     break;
                 }
             }
+
+            if let (Some(every), Some(path)) = (
+                self.config.checkpoint_every,
+                self.config.checkpoint_path.as_deref(),
+            ) {
+                if (epoch + 1) % every == 0 {
+                    let (velocity, second, steps) = optimizer.state();
+                    let ck = Checkpoint {
+                        epoch: epoch + 1,
+                        attempt,
+                        recovery_attempts: attempt,
+                        opt_step: steps,
+                        opt_velocity: velocity.to_vec(),
+                        opt_second: second.to_vec(),
+                        best_val: best_params.as_ref().map(|_| best_val),
+                        stall: epochs_without_improvement,
+                        best_params: best_params.clone(),
+                        loss_history: loss_history.clone(),
+                        val_history: val_history.clone(),
+                        mlp: mlp.clone(),
+                    };
+                    ck.save(path)?;
+                }
+            }
         }
 
         // On early stop, restore the best validation parameters.
@@ -416,6 +719,8 @@ impl Trainer {
             stop_reason,
             loss_history,
             val_history,
+            recovery_attempts: attempt,
+            resumed_from_epoch: resume.map(|c| c.epoch),
         })
     }
 }
@@ -506,6 +811,8 @@ mod tests {
         let last = *report.loss_history.last().unwrap();
         assert!(last < first);
         assert_eq!(report.stop_reason, StopReason::MaxEpochs);
+        assert_eq!(report.recovery_attempts, 0);
+        assert_eq!(report.resumed_from_epoch, None);
     }
 
     #[test]
@@ -594,6 +901,119 @@ mod tests {
         let config = TrainConfig::new().max_epochs(200).learning_rate(1e6);
         let result = Trainer::new(config).fit(&mut mlp, &xs, &big_y);
         assert!(matches!(result, Err(NnError::Diverged { .. })));
+        // The network is rolled back to the last finite snapshot, not left
+        // full of NaNs.
+        assert!(mlp.is_finite());
+    }
+
+    #[test]
+    fn recovery_retries_after_divergence() {
+        let (xs, ys) = xor_data();
+        let big_y = ys.scale(1e6);
+        let mut mlp = xor_mlp(9);
+        // First attempt diverges at rate 1e6; the backoff drops the retry
+        // to a rate that survives.
+        let config = TrainConfig::new()
+            .max_epochs(50)
+            .learning_rate(1e6)
+            .recover(2)
+            .retry_backoff(1e-8);
+        let report = Trainer::new(config).fit(&mut mlp, &xs, &big_y).unwrap();
+        assert!(report.recovery_attempts >= 1, "{report:?}");
+        assert_ne!(report.stop_reason, StopReason::Diverged);
+        assert!(mlp.is_finite());
+    }
+
+    #[test]
+    fn halt_on_divergence_reports_instead_of_error() {
+        let (xs, ys) = xor_data();
+        let big_y = ys.scale(1e6);
+        let mut mlp = xor_mlp(9);
+        let config = TrainConfig::new()
+            .max_epochs(200)
+            .learning_rate(1e6)
+            .halt_on_divergence(true);
+        let report = Trainer::new(config).fit(&mut mlp, &xs, &big_y).unwrap();
+        assert_eq!(report.stop_reason, StopReason::Diverged);
+        assert!(mlp.is_finite(), "diverged params must be rolled back");
+        assert!(report.final_train_loss.is_finite());
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical() {
+        let (xs, ys) = xor_data();
+        let val_x = xs.clone();
+        let val_y = ys.clone();
+        let dir = std::env::temp_dir().join("wlc-nn-resume-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("train.ckpt");
+
+        let base = TrainConfig::new()
+            .max_epochs(60)
+            .learning_rate(0.1)
+            .batch_size(2)
+            .optimizer(OptimizerKind::adam())
+            .rng_seed(17);
+
+        // Uninterrupted run.
+        let mut full = xor_mlp(13);
+        let full_report = Trainer::new(base.clone())
+            .fit_with_validation(&mut full, &xs, &ys, &val_x, &val_y)
+            .unwrap();
+
+        // "Killed" run: stops at epoch 40, leaving a checkpoint behind.
+        let mut partial = xor_mlp(13);
+        Trainer::new(
+            base.clone()
+                .max_epochs(40)
+                .checkpoint_every(20)
+                .checkpoint_path(&path),
+        )
+        .fit_with_validation(&mut partial, &xs, &ys, &val_x, &val_y)
+        .unwrap();
+
+        let ck = Checkpoint::load(&path).unwrap();
+        assert_eq!(ck.epochs_completed(), 40);
+        let mut resumed = xor_mlp(13);
+        let resumed_report = Trainer::new(base)
+            .resume_from_with_validation(&mut resumed, &xs, &ys, &val_x, &val_y, &ck)
+            .unwrap();
+
+        assert_eq!(resumed_report.resumed_from_epoch, Some(40));
+        assert_eq!(resumed.params_flat(), full.params_flat());
+        assert_eq!(resumed_report.loss_history, full_report.loss_history);
+        assert_eq!(resumed_report.val_history, full_report.val_history);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_network() {
+        let (xs, ys) = xor_data();
+        let dir = std::env::temp_dir().join("wlc-nn-resume-mismatch");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("train.ckpt");
+        let mut mlp = xor_mlp(13);
+        Trainer::new(
+            TrainConfig::new()
+                .max_epochs(4)
+                .learning_rate(0.1)
+                .checkpoint_every(2)
+                .checkpoint_path(&path),
+        )
+        .fit(&mut mlp, &xs, &ys)
+        .unwrap();
+        let ck = Checkpoint::load(&path).unwrap();
+        let mut other = MlpBuilder::new(2)
+            .hidden(3, Activation::tanh())
+            .output(1, Activation::identity())
+            .seed(1)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            Trainer::new(TrainConfig::new()).resume_from(&mut other, &xs, &ys, &ck),
+            Err(NnError::ShapeMismatch { .. })
+        ));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]
@@ -610,6 +1030,28 @@ mod tests {
             .fit(&mut mlp, &xs, &ys)
             .is_err());
         assert!(Trainer::new(TrainConfig::new().early_stopping(0, 0.0))
+            .fit(&mut mlp, &xs, &ys)
+            .is_err());
+    }
+
+    #[test]
+    fn robustness_config_validates() {
+        let (xs, ys) = xor_data();
+        let mut mlp = xor_mlp(10);
+        assert!(Trainer::new(TrainConfig::new().retry_backoff(0.0))
+            .fit(&mut mlp, &xs, &ys)
+            .is_err());
+        assert!(Trainer::new(TrainConfig::new().retry_backoff(1.5))
+            .fit(&mut mlp, &xs, &ys)
+            .is_err());
+        assert!(Trainer::new(TrainConfig::new().divergence_grad_norm(0.0))
+            .fit(&mut mlp, &xs, &ys)
+            .is_err());
+        assert!(Trainer::new(TrainConfig::new().checkpoint_every(0))
+            .fit(&mut mlp, &xs, &ys)
+            .is_err());
+        // checkpoint_every without a destination path is rejected.
+        assert!(Trainer::new(TrainConfig::new().checkpoint_every(5))
             .fit(&mut mlp, &xs, &ys)
             .is_err());
     }
@@ -709,5 +1151,6 @@ mod tests {
             .to_string()
             .contains("threshold"));
         assert!(StopReason::EarlyStopped.to_string().contains("validation"));
+        assert!(StopReason::Diverged.to_string().contains("diverged"));
     }
 }

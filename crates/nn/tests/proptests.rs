@@ -69,6 +69,84 @@ fn serialization_roundtrip_any_topology() {
 }
 
 #[test]
+fn from_text_never_panics_on_mutated_input() {
+    // Fuzz the model parser with systematically corrupted serializations:
+    // truncation, dropped/duplicated lines, poisoned tokens, flipped
+    // characters and pure garbage. The parser must return a typed error or
+    // a well-formed network — never panic, and never accept NaN/Inf.
+    propcheck::run_cases(96, |g| {
+        let mlp = MlpBuilder::new(g.usize_in(1, 4))
+            .hidden(g.usize_in(1, 6), Activation::Tanh)
+            .output(g.usize_in(1, 3), Activation::identity())
+            .seed(g.u64())
+            .build()
+            .unwrap();
+        let text = mlp.to_text();
+        let mutated = match g.usize_in(0, 5) {
+            0 => {
+                // Truncate at an arbitrary character boundary.
+                let cut = g.usize_in(0, text.chars().count());
+                text.chars().take(cut).collect::<String>()
+            }
+            1 => {
+                // Drop one line.
+                let lines: Vec<&str> = text.lines().collect();
+                let drop = g.usize_in(0, lines.len() - 1);
+                lines
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != drop)
+                    .map(|(_, l)| *l)
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            }
+            2 => {
+                // Poison one weight row with a hostile token.
+                let poison = ["NaN", "inf", "-inf", "1e999", "x", "--"][g.usize_in(0, 5)];
+                text.replacen("w ", &format!("w {poison} "), 1)
+            }
+            3 => {
+                // Duplicate one line.
+                let lines: Vec<&str> = text.lines().collect();
+                let dup = g.usize_in(0, lines.len() - 1);
+                let mut out: Vec<&str> = Vec::new();
+                for (i, l) in lines.iter().enumerate() {
+                    out.push(l);
+                    if i == dup {
+                        out.push(l);
+                    }
+                }
+                out.join("\n")
+            }
+            4 => {
+                // Overwrite one character.
+                let chars: Vec<char> = text.chars().collect();
+                let pos = g.usize_in(0, chars.len() - 1);
+                let sub = ['\0', 'z', '9', '.', '-', ' ', '\n'][g.usize_in(0, 6)];
+                chars
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &c)| if i == pos { sub } else { c })
+                    .collect()
+            }
+            _ => {
+                // Pure printable garbage.
+                let len = g.usize_in(0, 64);
+                (0..len)
+                    .map(|_| char::from(g.usize_in(32, 126) as u8))
+                    .collect()
+            }
+        };
+        if let Ok(parsed) = Mlp::from_text(&mutated) {
+            // Rarely a mutation is still valid — then the result must be a
+            // usable network with finite parameters.
+            assert!(parsed.param_count() > 0);
+            assert!(parsed.params_flat().iter().all(|p| p.is_finite()));
+        }
+    });
+}
+
+#[test]
 fn params_roundtrip_preserves_behaviour() {
     propcheck::run_cases(24, |g| {
         let inputs = g.usize_in(1, 4);

@@ -19,6 +19,19 @@ pub enum SimError {
     /// measurement window (duration too short or system hopelessly
     /// overloaded for the warmup chosen).
     NoCompletions,
+    /// A fault-injection profile deliberately failed this run (see
+    /// [`crate::FaultProfile`]).
+    InjectedFault {
+        /// Index of the affected configuration in the design.
+        index: usize,
+        /// Which fault fired.
+        kind: crate::FaultKind,
+    },
+    /// A fault-injection profile string or value was invalid.
+    InvalidFaultProfile {
+        /// Description of the problem.
+        reason: String,
+    },
     /// An underlying math operation failed.
     Math(MathError),
     /// An underlying data operation failed.
@@ -33,6 +46,12 @@ impl fmt::Display for SimError {
             }
             SimError::NoCompletions => {
                 write!(f, "no transactions completed in the measurement window")
+            }
+            SimError::InjectedFault { index, kind } => {
+                write!(f, "injected fault at configuration {index}: {kind}")
+            }
+            SimError::InvalidFaultProfile { reason } => {
+                write!(f, "invalid fault profile: {reason}")
             }
             SimError::Math(e) => write!(f, "math error: {e}"),
             SimError::Data(e) => write!(f, "data error: {e}"),

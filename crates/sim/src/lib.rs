@@ -53,6 +53,7 @@ mod db;
 mod des;
 mod engine;
 mod error;
+mod fault;
 mod metrics;
 mod runner;
 mod threadpool;
@@ -63,6 +64,7 @@ pub use config::{
 };
 pub use des::SimTime;
 pub use error::SimError;
+pub use fault::{run_design_faulty, run_design_faulty_jobs, FaultKind, FaultProfile, FaultSummary};
 pub use metrics::{Measurement, PoolUtilization};
 pub use runner::{
     run_design, run_design_jobs, run_design_replicated, run_design_replicated_timed,
