@@ -29,6 +29,66 @@ if [ "${1:-}" != "quick" ]; then
         --fault-profile dropout=0.3,truncate=0.2,truncate_frac=0.5 --retries 6
     ./target/release/wlc cv --data "$smoke_dir/faulty.csv" --k 3 \
         --epochs 200 --hidden 6 --force-diverge 1 --quarantine
+
+    echo "==> prediction-server smoke (degraded, shed, reload, drain)"
+    ./target/release/wlc collect --samples 10 --out "$smoke_dir/serve.csv" \
+        --duration 3 --warmup 1 --seed 11
+    ./target/release/wlc train --data "$smoke_dir/serve.csv" \
+        --out "$smoke_dir/model-a.txt" --epochs 200 --hidden 6 --seed 1
+    ./target/release/wlc train --data "$smoke_dir/serve.csv" \
+        --out "$smoke_dir/model-b.txt" --epochs 200 --hidden 6 --seed 2
+    # One worker, one queue slot, 50ms service time, and the first two
+    # primary predictions forced to fail: exercises degradation to the
+    # linear baseline, load shedding, and recovery in one server run.
+    ./target/release/wlc serve --model "$smoke_dir/model-a.txt" \
+        --data "$smoke_dir/serve.csv" --addr 127.0.0.1:0 \
+        --workers 1 --queue 1 --slow-ms 50 --force-fail 2 \
+        > "$smoke_dir/serve.out" 2> "$smoke_dir/serve.log" &
+    serve_pid=$!
+    for _ in $(seq 1 100); do
+        grep -q "listening on" "$smoke_dir/serve.out" 2>/dev/null && break
+        sleep 0.1
+    done
+    addr=$(sed -n 's/^listening on //p' "$smoke_dir/serve.out" | head -n 1)
+    [ -n "$addr" ] || { echo "server did not start"; exit 1; }
+    # Injected failures serve the baseline, tagged DEGRADED ...
+    ./target/release/wlc predict --server "$addr" --config 450,10,16,10 \
+        | grep -q DEGRADED
+    ./target/release/wlc predict --server "$addr" --config 450,10,16,10 \
+        | grep -q DEGRADED
+    # ... then the primary recovers.
+    ./target/release/wlc predict --server "$addr" --config 450,10,16,10 \
+        | grep -q "model: mlp"
+    # An impossible deadline is a retriable 504 -> serve-error exit 5.
+    set +e
+    ./target/release/wlc predict --server "$addr" --config 450,10,16,10 \
+        --deadline-ms 1 --retries 1 >/dev/null 2>&1
+    rc=$?
+    set -e
+    [ "$rc" -eq 5 ] || { echo "expected exit 5 on deadline, got $rc"; exit 1; }
+    # Overload: six concurrent clients against a 1-worker/1-slot server.
+    # Shedding must happen, and backoff+retry must carry every client
+    # through anyway.
+    client_pids=""
+    for _ in 1 2 3 4 5 6; do
+        ./target/release/wlc predict --server "$addr" --config 450,10,16,10 \
+            --retries 10 >/dev/null &
+        client_pids="$client_pids $!"
+    done
+    for pid in $client_pids; do wait "$pid"; done
+    grep -q "shed=true" "$smoke_dir/serve.log" \
+        || { echo "expected load shedding in server log"; exit 1; }
+    # Hot reload: corrupt file rejected, valid file swaps to generation 1.
+    ! ./target/release/wlc predict --server "$addr" \
+        --reload "$smoke_dir/serve.csv" >/dev/null 2>&1
+    ./target/release/wlc predict --server "$addr" \
+        --reload "$smoke_dir/model-b.txt" | grep -q "generation 1"
+    ./target/release/wlc predict --server "$addr" --config 450,10,16,10 \
+        | grep -q "generation 1"
+    # Graceful shutdown: drains and exits 0 with a summary.
+    ./target/release/wlc predict --server "$addr" --shutdown >/dev/null
+    wait "$serve_pid"
+    grep -q "server drained:" "$smoke_dir/serve.out"
 fi
 
 echo "==> OK"

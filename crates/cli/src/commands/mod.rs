@@ -3,6 +3,7 @@
 pub mod collect;
 pub mod cv;
 pub mod predict;
+pub mod serve;
 pub mod simulate;
 pub mod surface;
 pub mod train;

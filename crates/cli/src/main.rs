@@ -8,6 +8,8 @@
 //! wlc predict  --model model.txt --config 560,10,16,12
 //! wlc cv       --data data.csv --k 5
 //! wlc surface  --model model.txt --indicator 4 --base 560,10,16,10
+//! wlc serve    --model model.txt --data data.csv --addr 127.0.0.1:0
+//! wlc predict  --server 127.0.0.1:4321 --config 560,10,16,12
 //! ```
 //!
 //! Run `wlc help` (or any subcommand with `--help`-style mistakes) for
@@ -22,6 +24,7 @@ use std::process::ExitCode;
 use wlc_data::DataError;
 use wlc_model::ModelError;
 use wlc_nn::NnError;
+use wlc_serve::ServeError;
 use wlc_sim::SimError;
 
 const USAGE: &str = "\
@@ -37,11 +40,12 @@ COMMANDS:
     predict    Predict indicators for a configuration with a saved model
     cv         k-fold cross validation on a CSV dataset (paper Table 2)
     surface    Evaluate + classify a response surface of a saved model
+    serve      Run the fault-tolerant prediction server (HTTP + JSON)
     help       Show this message
 
 EXIT CODES:
     0 success   1 failure   2 bad usage
-    3 input failed validation   4 training diverged
+    3 input failed validation   4 training diverged   5 serve error
 
 Run a command with no flags to see its options.";
 
@@ -58,6 +62,7 @@ fn main() -> ExitCode {
         "predict" => commands::predict::run(rest),
         "cv" => commands::cv::run(rest),
         "surface" => commands::surface::run(rest),
+        "serve" => commands::serve::run(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -84,6 +89,8 @@ const EXIT_USAGE: u8 = 2;
 const EXIT_VALIDATION: u8 = 3;
 /// Training diverged (or every cross-validation fold did).
 const EXIT_DIVERGED: u8 = 4;
+/// Prediction-server failure (bind, transport, retries exhausted).
+const EXIT_SERVE: u8 = 5;
 
 /// Maps an error to the documented process exit code by inspecting the
 /// concrete type behind the `dyn Error` (including wrapped sources).
@@ -102,6 +109,9 @@ fn exit_code_for(e: &(dyn Error + 'static)) -> u8 {
     }
     if let Some(m) = e.downcast_ref::<ModelError>() {
         return model_code(m);
+    }
+    if let Some(s) = e.downcast_ref::<ServeError>() {
+        return serve_code(s);
     }
     EXIT_FAILURE
 }
@@ -136,5 +146,17 @@ fn model_code(e: &ModelError) -> u8 {
         ModelError::AllFoldsQuarantined { .. } => EXIT_DIVERGED,
         ModelError::LoadFailed { source, .. } => model_code(source),
         _ => EXIT_FAILURE,
+    }
+}
+
+fn serve_code(e: &ServeError) -> u8 {
+    match e {
+        // Bad flag combinations read like usage problems.
+        ServeError::InvalidParameter { .. } => EXIT_USAGE,
+        // Model problems keep their established codes (3/4).
+        ServeError::Model(m) => model_code(m),
+        // A 4xx means the server validated and rejected our input.
+        ServeError::Rejected { status, .. } if (400..500).contains(status) => EXIT_VALIDATION,
+        _ => EXIT_SERVE,
     }
 }

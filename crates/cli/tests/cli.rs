@@ -1,8 +1,9 @@
 //! End-to-end tests of the `wlc` binary: every subcommand, driven through
 //! a real process, sharing one temp workspace.
 
+use std::io::BufRead;
 use std::path::PathBuf;
-use std::process::{Command, Output};
+use std::process::{Child, Command, Output, Stdio};
 
 fn wlc(args: &[&str]) -> Output {
     Command::new(env!("CARGO_BIN_EXE_wlc"))
@@ -30,7 +31,9 @@ fn help_lists_commands() {
     let out = wlc(&["help"]);
     assert!(out.status.success());
     let text = stdout(&out);
-    for cmd in ["simulate", "collect", "train", "predict", "cv", "surface"] {
+    for cmd in [
+        "simulate", "collect", "train", "predict", "cv", "surface", "serve",
+    ] {
         assert!(text.contains(cmd), "missing `{cmd}` in help");
     }
 }
@@ -323,6 +326,221 @@ fn train_checkpoint_resume_matches_uninterrupted() {
         std::fs::read_to_string(&partial).expect("partial model"),
         full_text
     );
+}
+
+/// A running `wlc serve` child process, killed on drop so a failing
+/// assertion cannot leak servers.
+struct ServerProc {
+    child: Child,
+    addr: String,
+    // Keeps the stdout pipe readable so the server's final stats line
+    // has somewhere to go.
+    stdout: std::io::BufReader<std::process::ChildStdout>,
+}
+
+impl ServerProc {
+    fn spawn(args: &[&str]) -> ServerProc {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_wlc"))
+            .arg("serve")
+            .args(args)
+            .arg("--addr")
+            .arg("127.0.0.1:0")
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("serve starts");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut stdout = std::io::BufReader::new(stdout);
+        let mut first = String::new();
+        stdout.read_line(&mut first).expect("startup line");
+        let addr = first
+            .trim()
+            .strip_prefix("listening on ")
+            .unwrap_or_else(|| panic!("unexpected startup line: {first}"))
+            .to_string();
+        ServerProc {
+            child,
+            addr,
+            stdout,
+        }
+    }
+
+    /// Requests a graceful shutdown and asserts the process exits 0
+    /// after printing its drain summary.
+    fn shutdown(mut self) {
+        let out = wlc(&["predict", "--server", &self.addr, "--shutdown"]);
+        assert!(out.status.success(), "{}", stderr(&out));
+        let status = self.child.wait().expect("server exits");
+        let mut rest = String::new();
+        std::io::Read::read_to_string(&mut self.stdout, &mut rest).expect("drain output");
+        assert_eq!(status.code(), Some(0), "graceful shutdown must exit 0");
+        assert!(rest.contains("server drained:"), "missing summary: {rest}");
+        // Drop still runs, but kill/wait on a reaped child are no-ops.
+    }
+}
+
+impl Drop for ServerProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+#[test]
+fn serve_predicts_reloads_and_shuts_down_gracefully() {
+    let dir = workspace();
+    let data = dir.join("serve-data.csv");
+    let model_a = dir.join("serve-model-a.txt");
+    let model_b = dir.join("serve-model-b.txt");
+    let data_s = data.to_str().expect("utf8 path");
+
+    let out = wlc(&[
+        "collect",
+        "--samples",
+        "10",
+        "--out",
+        data_s,
+        "--duration",
+        "3",
+        "--warmup",
+        "1",
+        "--seed",
+        "11",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    for (model, seed) in [(&model_a, "1"), (&model_b, "2")] {
+        let out = wlc(&[
+            "train",
+            "--data",
+            data_s,
+            "--out",
+            model.to_str().expect("utf8"),
+            "--epochs",
+            "200",
+            "--hidden",
+            "6",
+            "--seed",
+            seed,
+        ]);
+        assert!(out.status.success(), "{}", stderr(&out));
+    }
+    let model_a_s = model_a.to_str().expect("utf8");
+    let model_b_s = model_b.to_str().expect("utf8");
+
+    let server = ServerProc::spawn(&["--model", model_a_s, "--data", data_s, "--quiet"]);
+    let addr = server.addr.clone();
+
+    // Healthy prediction from the MLP.
+    let out = wlc(&["predict", "--server", &addr, "--config", "450,10,16,10"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("model: mlp"), "{text}");
+    assert!(text.contains("throughput"), "{text}");
+    assert!(!text.contains("DEGRADED"), "{text}");
+
+    // Status probes.
+    let out = wlc(&["predict", "--server", &addr, "--status"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("ready"), "{text}");
+    assert!(text.contains("breaker"), "{text}");
+
+    // Server-side validation failures exit 3 (consistent with local
+    // validation) and are not retried.
+    let out = wlc(&["predict", "--server", &addr, "--config", "450,10"]);
+    assert_eq!(out.status.code(), Some(3), "{}", stderr(&out));
+    assert!(stderr(&out).contains("width mismatch"), "{}", stderr(&out));
+
+    // Invalid reloads are rejected without disturbing the server...
+    let corrupt = dir.join("corrupt-model.txt");
+    std::fs::write(&corrupt, "not a model").expect("write corrupt");
+    let out = wlc(&[
+        "predict",
+        "--server",
+        &addr,
+        "--reload",
+        corrupt.to_str().expect("utf8"),
+    ]);
+    assert_eq!(out.status.code(), Some(3), "{}", stderr(&out));
+    // ... and a valid reload swaps to the new model.
+    let out = wlc(&["predict", "--server", &addr, "--reload", model_b_s]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("reloaded: generation 1"));
+
+    server.shutdown();
+
+    // The drained server is gone: client attempts exhaust retries, exit 5.
+    let out = wlc(&[
+        "predict",
+        "--server",
+        &addr,
+        "--config",
+        "450,10,16,10",
+        "--retries",
+        "2",
+    ]);
+    assert_eq!(out.status.code(), Some(5), "{}", stderr(&out));
+}
+
+#[test]
+fn serve_degrades_to_baseline_when_model_is_unusable() {
+    let dir = workspace();
+    let data = dir.join("degraded-data.csv");
+    let data_s = data.to_str().expect("utf8 path");
+    let out = wlc(&[
+        "collect",
+        "--samples",
+        "8",
+        "--out",
+        data_s,
+        "--duration",
+        "3",
+        "--warmup",
+        "1",
+        "--seed",
+        "12",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    // The MLP file does not exist, but --data provides a baseline: the
+    // server starts degraded instead of failing.
+    let missing = dir.join("nope.txt");
+    let server = ServerProc::spawn(&[
+        "--model",
+        missing.to_str().expect("utf8"),
+        "--data",
+        data_s,
+        "--quiet",
+    ]);
+    let out = wlc(&[
+        "predict",
+        "--server",
+        &server.addr,
+        "--config",
+        "450,10,16,10",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("DEGRADED"), "{text}");
+    assert!(text.contains("linear-baseline"), "{text}");
+    server.shutdown();
+}
+
+#[test]
+fn serve_usage_and_exit_codes() {
+    // No flags → usage (exit 2).
+    assert_eq!(wlc(&["serve"]).status.code(), Some(2));
+    // No model source → usage error (exit 2).
+    let out = wlc(&["serve", "--queue", "8"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(
+        stderr(&out).contains("something to serve"),
+        "{}",
+        stderr(&out)
+    );
+    // A missing model with no baseline cannot serve: model load error.
+    let out = wlc(&["serve", "--model", "/nonexistent/model.txt"]);
+    assert!(!out.status.success());
 }
 
 #[test]

@@ -34,6 +34,15 @@ pub enum LinearFeatures {
 }
 
 impl LinearFeatures {
+    /// Stable text name used by the serialization format.
+    fn name(self) -> &'static str {
+        match self {
+            LinearFeatures::FirstOrder => "first-order",
+            LinearFeatures::Interactions => "interactions",
+            LinearFeatures::Quadratic => "quadratic",
+        }
+    }
+
     /// Expands a raw input row into the feature vector (with leading 1).
     fn expand(self, x: &[f64]) -> Vec<f64> {
         let n = x.len();
@@ -152,6 +161,139 @@ impl LinearModel {
     /// The fitted coefficient matrix (`expanded features × outputs`).
     pub fn coefficients(&self) -> &Matrix {
         &self.coefficients
+    }
+
+    /// Serializes the model to text, so a fitted baseline can be shipped
+    /// next to the MLP model file and loaded as a serving fallback.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("wlc-linear v1\n");
+        out.push_str(&format!("features {}\n", self.features.name()));
+        out.push_str(&format!("inputs {}\n", self.inputs));
+        out.push_str(&format!("ridge {:?}\n", self.ridge));
+        out.push_str(&format!(
+            "coef {} {}\n",
+            self.coefficients.rows(),
+            self.coefficients.cols()
+        ));
+        for r in 0..self.coefficients.rows() {
+            let cells: Vec<String> = self
+                .coefficients
+                .row(r)
+                .iter()
+                .map(|v| format!("{v:?}"))
+                .collect();
+            out.push_str(&cells.join(" "));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses the format produced by [`LinearModel::to_text`]. The parser
+    /// is strict: malformed lines, inconsistent dimensions and non-finite
+    /// coefficients are rejected with a typed error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Parse`] on any format violation.
+    pub fn from_text(text: &str) -> Result<Self, ModelError> {
+        let err = |line: usize, reason: &str| ModelError::Parse {
+            line,
+            reason: reason.to_string(),
+        };
+        let mut lines = text.lines();
+        if lines.next().map(str::trim) != Some("wlc-linear v1") {
+            return Err(err(1, "missing `wlc-linear v1` header"));
+        }
+        let features = match lines
+            .next()
+            .and_then(|l| l.trim().strip_prefix("features "))
+        {
+            Some("first-order") => LinearFeatures::FirstOrder,
+            Some("interactions") => LinearFeatures::Interactions,
+            Some("quadratic") => LinearFeatures::Quadratic,
+            _ => return Err(err(2, "expected `features <kind>`")),
+        };
+        let inputs: usize = lines
+            .next()
+            .and_then(|l| l.trim().strip_prefix("inputs "))
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| err(3, "expected `inputs <n>`"))?;
+        if inputs == 0 || inputs > (1 << 16) {
+            return Err(err(3, "implausible input width"));
+        }
+        let ridge: f64 = lines
+            .next()
+            .and_then(|l| l.trim().strip_prefix("ridge "))
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| err(4, "expected `ridge <lambda>`"))?;
+        if !ridge.is_finite() || ridge < 0.0 {
+            return Err(err(4, "ridge must be finite and non-negative"));
+        }
+        let (rows, cols) = lines
+            .next()
+            .and_then(|l| l.trim().strip_prefix("coef "))
+            .and_then(|s| s.split_once(' '))
+            .and_then(|(r, c)| Some((r.trim().parse().ok()?, c.trim().parse().ok()?)))
+            .ok_or_else(|| err(5, "expected `coef <rows> <cols>`"))?;
+        if rows != features.feature_count(inputs) {
+            return Err(err(5, "coefficient rows disagree with feature expansion"));
+        }
+        if cols == 0 || cols > (1 << 16) {
+            return Err(err(5, "implausible output width"));
+        }
+        let mut coefficients = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            let line_no = 6 + r;
+            let row_line = lines
+                .next()
+                .ok_or_else(|| err(line_no, "unexpected end of input in coefficients"))?;
+            let values: Vec<f64> = row_line
+                .split_whitespace()
+                .map(|tok| {
+                    let v: f64 = tok.parse().map_err(|_| err(line_no, "bad coefficient"))?;
+                    if !v.is_finite() {
+                        return Err(err(line_no, "non-finite coefficient"));
+                    }
+                    Ok(v)
+                })
+                .collect::<Result<_, _>>()?;
+            if values.len() != cols {
+                return Err(err(line_no, "wrong number of coefficients in row"));
+            }
+            coefficients.row_mut(r).copy_from_slice(&values);
+        }
+        Ok(LinearModel {
+            features,
+            inputs,
+            coefficients,
+            ridge,
+        })
+    }
+
+    /// Writes the model to a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Io`] on filesystem failure.
+    pub fn save<P: AsRef<std::path::Path>>(&self, path: P) -> Result<(), ModelError> {
+        std::fs::write(path, self.to_text())?;
+        Ok(())
+    }
+
+    /// Reads a model from a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::LoadFailed`] naming the offending path.
+    pub fn load<P: AsRef<std::path::Path>>(path: P) -> Result<Self, ModelError> {
+        let path = path.as_ref();
+        let wrap = |source: ModelError| ModelError::LoadFailed {
+            path: path.to_path_buf(),
+            source: Box::new(source),
+        };
+        let text = std::fs::read_to_string(path).map_err(|e| wrap(e.into()))?;
+        Self::from_text(&text).map_err(wrap)
     }
 
     /// Evaluates prediction error on a labelled dataset.
@@ -487,6 +629,54 @@ mod tests {
             }
         }
         ds
+    }
+
+    #[test]
+    fn linear_text_roundtrip_preserves_predictions() {
+        let ds = linear_dataset();
+        for features in [
+            LinearFeatures::FirstOrder,
+            LinearFeatures::Interactions,
+            LinearFeatures::Quadratic,
+        ] {
+            let m = LinearModel::fit(&ds, features).unwrap();
+            let back = LinearModel::from_text(&m.to_text()).unwrap();
+            assert_eq!(back, m, "{features:?}");
+            let x = [2.5, 1.5];
+            assert_eq!(back.predict(&x).unwrap(), m.predict(&x).unwrap());
+        }
+    }
+
+    #[test]
+    fn linear_from_text_rejects_corruption() {
+        let m = LinearModel::fit(&linear_dataset(), LinearFeatures::FirstOrder).unwrap();
+        let text = m.to_text();
+        assert!(LinearModel::from_text(&text.replace("wlc-linear v1", "nope")).is_err());
+        assert!(
+            LinearModel::from_text(&text.replace("features first-order", "features x")).is_err()
+        );
+        // Truncated coefficient block.
+        let short: String = text.lines().take(6).collect::<Vec<_>>().join("\n");
+        assert!(LinearModel::from_text(&short).is_err());
+        // Non-finite coefficient.
+        let first_coef = text.lines().nth(5).unwrap();
+        let poisoned = text.replacen(first_coef, "NaN 1.0", 1);
+        assert!(LinearModel::from_text(&poisoned).is_err());
+        // Row count disagreeing with the feature expansion.
+        assert!(LinearModel::from_text(&text.replace("coef 3 2", "coef 2 2")).is_err());
+    }
+
+    #[test]
+    fn linear_file_roundtrip_and_load_error() {
+        let dir = std::env::temp_dir().join("wlc-linear-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("baseline.txt");
+        let m = LinearModel::fit(&linear_dataset(), LinearFeatures::Quadratic).unwrap();
+        m.save(&path).unwrap();
+        assert_eq!(LinearModel::load(&path).unwrap(), m);
+        std::fs::remove_file(&path).unwrap();
+        let err = LinearModel::load(&path).unwrap_err();
+        assert!(matches!(err, ModelError::LoadFailed { .. }), "{err}");
     }
 
     #[test]

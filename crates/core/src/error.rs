@@ -26,6 +26,16 @@ pub enum ModelError {
         /// Constraint that was violated.
         reason: &'static str,
     },
+    /// A prediction request contained (or standardized to) a non-finite
+    /// feature — a caller-input problem, reported instead of propagating
+    /// NaN through the network.
+    NonFiniteInput {
+        /// Index of the offending feature.
+        index: usize,
+        /// Where the non-finite value appeared (`"raw"` or
+        /// `"standardized"`).
+        stage: &'static str,
+    },
     /// Model deserialization failed.
     Parse {
         /// 1-based line number where parsing failed (0 if unknown).
@@ -72,6 +82,13 @@ impl fmt::Display for ModelError {
             ),
             ModelError::InvalidParameter { name, reason } => {
                 write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            ModelError::NonFiniteInput { index, stage } => {
+                write!(
+                    f,
+                    "configuration feature {index} is not finite ({stage}); \
+                     rejecting the request instead of predicting on NaN"
+                )
             }
             ModelError::Parse { line, reason } => {
                 write!(f, "model parse error at line {line}: {reason}")

@@ -60,6 +60,7 @@ pub mod classify;
 mod cv;
 mod ensemble;
 mod error;
+pub mod fallback;
 mod model;
 pub mod report;
 mod search;

@@ -189,6 +189,25 @@ impl WorkloadModel {
         })
     }
 
+    /// Validates the model before it is allowed to serve predictions —
+    /// the check a prediction server runs on every hot-reload candidate:
+    /// both scalers must be finite with non-zero divisors and every
+    /// network parameter must be finite. When `expected` dimensions are
+    /// given, the model must also provide exactly that `inputs → outputs`
+    /// mapping (so a reload cannot swap in a model of a different shape).
+    ///
+    /// # Errors
+    ///
+    /// - [`ModelError::Data`] for a degenerate scaler.
+    /// - [`ModelError::Nn`] for non-finite weights or a shape mismatch.
+    pub fn validate(&self, expected: Option<(usize, usize)>) -> Result<(), ModelError> {
+        self.input_scaler.validate()?;
+        self.output_scaler.validate()?;
+        let (inputs, outputs) = expected.unwrap_or((self.inputs(), self.outputs()));
+        self.mlp.validate(inputs, outputs)?;
+        Ok(())
+    }
+
     /// Writes the model to a file.
     ///
     /// # Errors
@@ -233,8 +252,23 @@ impl PerformanceModel for WorkloadModel {
                 what: "configuration",
             });
         }
+        if let Some(index) = x.iter().position(|v| !v.is_finite()) {
+            return Err(ModelError::NonFiniteInput {
+                index,
+                stage: "raw",
+            });
+        }
         let mut scaled = x.to_vec();
         self.input_scaler.transform_row(&mut scaled)?;
+        // Finite input can still standardize to ±inf (overflow against a
+        // tiny std) or NaN (degenerate file-loaded scaler) — reject here
+        // rather than letting NaN flood the network.
+        if let Some(index) = scaled.iter().position(|v| !v.is_finite()) {
+            return Err(ModelError::NonFiniteInput {
+                index,
+                stage: "standardized",
+            });
+        }
         let mut y = self.mlp.forward(&scaled)?;
         self.output_scaler.inverse_row(&mut y)?;
         Ok(y)
@@ -849,6 +883,65 @@ mod tests {
         assert_eq!(resumed.report.loss_history, full.report.loss_history);
         assert_eq!(resumed.report.resumed_from_epoch, Some(40));
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn predict_rejects_non_finite_inputs() {
+        let ds = synthetic_dataset();
+        let outcome = quick_builder().max_epochs(10).train(&ds).unwrap();
+        // Raw NaN / infinity are refused up front.
+        assert!(matches!(
+            outcome.model.predict(&[f64::NAN, 1.0]),
+            Err(ModelError::NonFiniteInput {
+                index: 0,
+                stage: "raw"
+            })
+        ));
+        assert!(matches!(
+            outcome.model.predict(&[1.0, f64::INFINITY]),
+            Err(ModelError::NonFiniteInput {
+                index: 1,
+                stage: "raw"
+            })
+        ));
+        // A finite value that *standardizes* to infinity (overflow against
+        // a tiny std, reachable via a file-loaded scaler) is refused too.
+        let mut tiny_std = outcome.model.clone();
+        tiny_std.input_scaler = Scaler::from_text("standard 0.0 0.0 | 1e-300 1.0").unwrap();
+        assert!(matches!(
+            tiny_std.predict(&[1e60, 1.0]),
+            Err(ModelError::NonFiniteInput {
+                index: 0,
+                stage: "standardized"
+            })
+        ));
+    }
+
+    #[test]
+    fn validate_guards_serving_models() {
+        let ds = synthetic_dataset();
+        let outcome = quick_builder().max_epochs(10).train(&ds).unwrap();
+        assert!(outcome.model.validate(None).is_ok());
+        assert!(outcome.model.validate(Some((2, 3))).is_ok());
+        // Dimension pinning catches shape swaps.
+        assert!(outcome.model.validate(Some((4, 3))).is_err());
+        assert!(outcome.model.validate(Some((2, 5))).is_err());
+        // Corrupt network parameters are rejected.
+        let mut corrupt = outcome.model.clone();
+        let mut params = corrupt.mlp.params_flat();
+        params[0] = f64::NAN;
+        corrupt.mlp.set_params_flat(&params).unwrap();
+        assert!(matches!(
+            corrupt.validate(None),
+            Err(ModelError::Nn(wlc_nn::NnError::NonFinite { .. }))
+        ));
+        // A degenerate (zero-std) scaler is rejected too.
+        let mut bad_scaler = outcome.model.clone();
+        bad_scaler.input_scaler = Scaler::from_text("standard 0.0 0.0 | 0.0 1.0").unwrap();
+        assert!(matches!(
+            bad_scaler.validate(None),
+            Err(ModelError::Data(_))
+        ));
     }
 
     #[test]

@@ -184,6 +184,45 @@ impl Scaler {
         Ok(out)
     }
 
+    /// Validates a scaler before it is allowed near live predictions —
+    /// run by a server's model-reload path: every parameter must be
+    /// finite and every divisor (standard deviation / range) non-zero,
+    /// so a transform of finite input can never manufacture NaN through
+    /// the scaler itself.
+    ///
+    /// Fitted scalers always satisfy this; scalers *parsed from a file*
+    /// ([`Scaler::from_text`]) may not.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::Validation`] (line 0) naming the offending
+    /// column.
+    pub fn validate(&self) -> Result<(), DataError> {
+        let bad = |reason: String| DataError::Validation { line: 0, reason };
+        let check = |values: &[f64], name: &str, divisor: bool| -> Result<(), DataError> {
+            for (col, &v) in values.iter().enumerate() {
+                if !v.is_finite() {
+                    return Err(bad(format!("scaler {name} for column {col} is not finite")));
+                }
+                if divisor && v == 0.0 {
+                    return Err(bad(format!("scaler {name} for column {col} is zero")));
+                }
+            }
+            Ok(())
+        };
+        match self {
+            Scaler::Standard { means, stds } => {
+                check(means, "mean", false)?;
+                check(stds, "standard deviation", true)
+            }
+            Scaler::MinMax { mins, ranges } => {
+                check(mins, "minimum", false)?;
+                check(ranges, "range", true)
+            }
+            Scaler::Identity { .. } => Ok(()),
+        }
+    }
+
     fn check_width(&self, width: usize) -> Result<(), DataError> {
         if width != self.cols() {
             return Err(DataError::WidthMismatch {
@@ -383,6 +422,22 @@ mod tests {
         assert!(Scaler::from_text("standard 1.0 | 1.0 2.0").is_err()); // lengths
         assert!(Scaler::from_text("identity abc").is_err());
         assert!(Scaler::from_text("standard x | y").is_err());
+    }
+
+    #[test]
+    fn validate_accepts_fitted_rejects_degenerate() {
+        assert!(Scaler::standard_fit(&sample()).unwrap().validate().is_ok());
+        assert!(Scaler::min_max_fit(&sample()).unwrap().validate().is_ok());
+        assert!(Scaler::identity(4).validate().is_ok());
+        // A zero std (only reachable via from_text) would divide to inf.
+        let zero_std = Scaler::from_text("standard 1.0 | 0.0").unwrap();
+        let err = zero_std.validate().unwrap_err();
+        assert!(err.to_string().contains("zero"), "{err}");
+        // Non-finite parameters are rejected too.
+        let inf_mean = Scaler::from_text("standard inf | 1.0").unwrap();
+        assert!(inf_mean.validate().is_err());
+        let nan_range = Scaler::from_text("minmax 0.0 | NaN").unwrap();
+        assert!(nan_range.validate().is_err());
     }
 
     #[test]

@@ -4,10 +4,13 @@
 //! Every hot path in the paper's pipeline is embarrassingly parallel: one
 //! independent DES run per configuration point, one independent MLP per
 //! cross-validation fold, one independent model evaluation per response-
-//! surface grid row. This crate provides the single primitive they all
-//! share — fan an indexed task set out over a fixed number of worker
-//! threads and collect the results *in index order* — built on
-//! `std::thread` + channels only, so the workspace stays dependency-free.
+//! surface grid row. This crate provides the primitive they all share —
+//! fan an indexed task set out over a fixed number of worker threads and
+//! collect the results *in index order* — built on `std::thread` +
+//! channels only, so the workspace stays dependency-free. For *open*
+//! workloads (a long-running server fed by arriving requests) it adds
+//! [`BoundedQueue`] + [`ServicePool`]: a strictly bounded request queue
+//! with explicit load shedding drained by persistent workers.
 //!
 //! Determinism: the pool never changes *what* is computed, only *where*.
 //! Callers derive any randomness from the task index (e.g.
@@ -29,8 +32,10 @@
 #![warn(missing_docs)]
 
 mod pool;
+mod service;
 
 pub use pool::{
     default_jobs, map_indexed, map_indexed_timed, try_map_indexed, try_map_indexed_retry,
     try_map_indexed_retry_timed, try_map_indexed_timed, RunReport, TaskTiming,
 };
+pub use service::{BoundedQueue, PushError, ServicePool};

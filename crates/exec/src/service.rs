@@ -1,0 +1,332 @@
+//! Long-running service primitives: a bounded request queue with explicit
+//! load shedding, and a persistent worker pool that drains it.
+//!
+//! Unlike the batch fan-out in [`crate::map_indexed`], these primitives
+//! serve an *open* workload: producers push jobs as they arrive and a
+//! fixed set of workers consumes them until the queue is closed. The
+//! queue is strictly bounded — when it is full, [`BoundedQueue::push`]
+//! returns the job to the caller instead of blocking or growing, so an
+//! overloaded server sheds deterministically rather than OOMing.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Why a [`BoundedQueue::push`] did not enqueue; the job is handed back.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity — shed the job (retriable by the caller).
+    Full(T),
+    /// The queue has been closed — no further work is accepted.
+    Closed(T),
+}
+
+impl<T> PushError<T> {
+    /// Recovers the job that was not enqueued.
+    pub fn into_inner(self) -> T {
+        match self {
+            PushError::Full(t) | PushError::Closed(t) => t,
+        }
+    }
+
+    /// Whether the rejection is transient (queue full) rather than
+    /// permanent (queue closed).
+    pub fn is_retriable(&self) -> bool {
+        matches!(self, PushError::Full(_))
+    }
+}
+
+impl<T> fmt::Display for PushError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PushError::Full(_) => write!(f, "queue full"),
+            PushError::Closed(_) => write!(f, "queue closed"),
+        }
+    }
+}
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer FIFO queue.
+///
+/// - [`BoundedQueue::push`] never blocks: at capacity it returns
+///   [`PushError::Full`] so the producer can shed the job explicitly.
+/// - [`BoundedQueue::pop`] blocks until a job arrives or the queue is
+///   closed *and* drained, making close-then-join a graceful drain.
+///
+/// # Examples
+///
+/// ```
+/// use wlc_exec::BoundedQueue;
+///
+/// let q = BoundedQueue::new(2);
+/// assert!(q.push(1).is_ok());
+/// assert!(q.push(2).is_ok());
+/// assert!(q.push(3).is_err()); // shed, not blocked
+/// q.close();
+/// assert_eq!(q.pop(), Some(1)); // closing still drains queued work
+/// assert_eq!(q.pop(), Some(2));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` jobs (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current queue depth.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue lock").items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Tries to enqueue a job without blocking, returning the depth after
+    /// the push.
+    ///
+    /// # Errors
+    ///
+    /// - [`PushError::Full`] at capacity (the caller sheds the job).
+    /// - [`PushError::Closed`] after [`BoundedQueue::close`].
+    pub fn push(&self, job: T) -> Result<usize, PushError<T>> {
+        let mut state = self.state.lock().expect("queue lock");
+        if state.closed {
+            return Err(PushError::Closed(job));
+        }
+        if state.items.len() >= self.capacity {
+            return Err(PushError::Full(job));
+        }
+        state.items.push_back(job);
+        let depth = state.items.len();
+        drop(state);
+        self.available.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocks until a job is available and dequeues it. Returns `None`
+    /// once the queue is closed and fully drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(job) = state.items.pop_front() {
+                return Some(job);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.available.wait(state).expect("queue lock");
+        }
+    }
+
+    /// Closes the queue: further pushes fail, waiting consumers finish
+    /// draining what is already queued and then observe `None`.
+    pub fn close(&self) {
+        self.state.lock().expect("queue lock").closed = true;
+        self.available.notify_all();
+    }
+
+    /// Whether [`BoundedQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().expect("queue lock").closed
+    }
+}
+
+/// A fixed set of worker threads draining a [`BoundedQueue`].
+///
+/// Workers run `handler(worker_index, job)` for every job until the queue
+/// is closed and drained. [`ServicePool::join`] then completes — so the
+/// graceful-shutdown sequence is: stop producing, `queue.close()`,
+/// `pool.join()`.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// use std::sync::Arc;
+/// use wlc_exec::{BoundedQueue, ServicePool};
+///
+/// let queue = Arc::new(BoundedQueue::new(16));
+/// let done = Arc::new(AtomicUsize::new(0));
+/// let counter = Arc::clone(&done);
+/// let pool = ServicePool::start(3, Arc::clone(&queue), move |_worker, job: usize| {
+///     counter.fetch_add(job, Ordering::Relaxed);
+/// });
+/// for j in 0..10 {
+///     queue.push(j).unwrap();
+/// }
+/// queue.close();
+/// pool.join();
+/// assert_eq!(done.load(Ordering::Relaxed), 45);
+/// ```
+pub struct ServicePool {
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl ServicePool {
+    /// Spawns `workers` threads (minimum 1) that drain `queue` through
+    /// `handler`.
+    pub fn start<T, F>(workers: usize, queue: Arc<BoundedQueue<T>>, handler: F) -> Self
+    where
+        T: Send + 'static,
+        F: Fn(usize, T) + Send + Sync + 'static,
+    {
+        let handler = Arc::new(handler);
+        let handles = (0..workers.max(1))
+            .map(|worker| {
+                let queue = Arc::clone(&queue);
+                let handler = Arc::clone(&handler);
+                std::thread::spawn(move || {
+                    while let Some(job) = queue.pop() {
+                        handler(worker, job);
+                    }
+                })
+            })
+            .collect();
+        ServicePool { handles }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Waits for every worker to finish (the queue must be closed first,
+    /// or this blocks until it is). Worker panics are propagated.
+    pub fn join(self) {
+        for handle in self.handles {
+            if let Err(panic) = handle.join() {
+                std::panic::resume_unwind(panic);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn push_sheds_at_capacity_instead_of_growing() {
+        let q = BoundedQueue::new(3);
+        for i in 0..3 {
+            assert_eq!(q.push(i).unwrap(), i + 1);
+        }
+        let err = q.push(99).unwrap_err();
+        assert!(err.is_retriable());
+        assert_eq!(err.into_inner(), 99);
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn capacity_is_at_least_one() {
+        let q = BoundedQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        assert!(q.push(1).is_ok());
+        assert!(q.push(2).is_err());
+    }
+
+    #[test]
+    fn close_rejects_new_work_but_drains_queued() {
+        let q = BoundedQueue::new(4);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.close();
+        assert!(q.is_closed());
+        let err = q.push(3).unwrap_err();
+        assert!(!err.is_retriable());
+        assert_eq!(format!("{err}"), "queue closed");
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pop_blocks_until_push() {
+        let q = Arc::new(BoundedQueue::new(1));
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                q.push(7usize).unwrap();
+            })
+        };
+        assert_eq!(q.pop(), Some(7));
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn pool_processes_all_jobs_then_joins() {
+        let queue = Arc::new(BoundedQueue::new(64));
+        let sum = Arc::new(AtomicUsize::new(0));
+        let seen = Arc::clone(&sum);
+        let pool = ServicePool::start(4, Arc::clone(&queue), move |_w, job: usize| {
+            seen.fetch_add(job, Ordering::Relaxed);
+        });
+        assert_eq!(pool.workers(), 4);
+        for j in 1..=50 {
+            queue.push(j).unwrap();
+        }
+        queue.close();
+        pool.join();
+        assert_eq!(sum.load(Ordering::Relaxed), (1..=50).sum());
+    }
+
+    #[test]
+    fn shutdown_drains_in_flight_and_queued_jobs() {
+        // One slow worker, several queued jobs: close + join must complete
+        // every queued job, not abandon them.
+        let queue = Arc::new(BoundedQueue::new(8));
+        let done = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&done);
+        let pool = ServicePool::start(1, Arc::clone(&queue), move |_w, _job: usize| {
+            std::thread::sleep(Duration::from_millis(5));
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        for j in 0..6 {
+            queue.push(j).unwrap();
+        }
+        queue.close();
+        pool.join();
+        assert_eq!(done.load(Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn worker_panic_propagates_on_join() {
+        let queue = Arc::new(BoundedQueue::new(4));
+        let pool = ServicePool::start(1, Arc::clone(&queue), |_w, job: usize| {
+            if job == 2 {
+                panic!("worker exploded");
+            }
+        });
+        queue.push(2).unwrap();
+        queue.close();
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| pool.join())).is_err());
+    }
+}

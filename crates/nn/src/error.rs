@@ -35,6 +35,12 @@ pub enum NnError {
         /// Epoch at which divergence was detected.
         epoch: usize,
     },
+    /// A network (e.g. one loaded from a file) holds non-finite
+    /// parameters and must not serve predictions.
+    NonFinite {
+        /// What was found to be non-finite (e.g. `"layer 2 weights"`).
+        what: String,
+    },
     /// The training set was empty.
     EmptyTrainingSet,
     /// Model deserialization failed.
@@ -76,6 +82,9 @@ impl fmt::Display for NnError {
                     f,
                     "training diverged at epoch {epoch} (non-finite parameters)"
                 )
+            }
+            NnError::NonFinite { what } => {
+                write!(f, "network holds non-finite parameters: {what}")
             }
             NnError::EmptyTrainingSet => write!(f, "training set must not be empty"),
             NnError::Parse { line, reason } => {

@@ -296,6 +296,47 @@ impl Mlp {
             .all(|l| l.weights().is_finite() && l.biases().iter().all(|b| b.is_finite()))
     }
 
+    /// Validates a network before it is allowed to serve predictions —
+    /// the entry point a server's hot-reload path runs on every candidate
+    /// model: the expected input/output widths must match and every
+    /// parameter must be finite.
+    ///
+    /// # Errors
+    ///
+    /// - [`NnError::ShapeMismatch`] if the topology does not provide
+    ///   `inputs → outputs`.
+    /// - [`NnError::NonFinite`] naming the first offending layer if any
+    ///   weight or bias is NaN or infinite.
+    pub fn validate(&self, inputs: usize, outputs: usize) -> Result<(), NnError> {
+        if self.inputs() != inputs {
+            return Err(NnError::ShapeMismatch {
+                expected: inputs,
+                actual: self.inputs(),
+                what: "network input width",
+            });
+        }
+        if self.outputs() != outputs {
+            return Err(NnError::ShapeMismatch {
+                expected: outputs,
+                actual: self.outputs(),
+                what: "network output width",
+            });
+        }
+        for (index, layer) in self.layers.iter().enumerate() {
+            if !layer.weights().is_finite() {
+                return Err(NnError::NonFinite {
+                    what: format!("layer {index} weights"),
+                });
+            }
+            if !layer.biases().iter().all(|b| b.is_finite()) {
+                return Err(NnError::NonFinite {
+                    what: format!("layer {index} biases"),
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Applies `update[i]` additively to parameter `i` (gradient-descent
     /// step helper used by the optimizers).
     ///
@@ -616,6 +657,28 @@ mod tests {
         params[0] = f64::NAN;
         mlp.set_params_flat(&params).unwrap();
         assert!(!mlp.is_finite());
+    }
+
+    #[test]
+    fn validate_checks_dims_and_finiteness() {
+        let mut mlp = tiny_mlp();
+        assert!(mlp.validate(2, 2).is_ok());
+        assert!(matches!(
+            mlp.validate(4, 2),
+            Err(NnError::ShapeMismatch { expected: 4, .. })
+        ));
+        assert!(matches!(
+            mlp.validate(2, 5),
+            Err(NnError::ShapeMismatch { expected: 5, .. })
+        ));
+        let mut params = mlp.params_flat();
+        params[0] = f64::INFINITY;
+        mlp.set_params_flat(&params).unwrap();
+        let err = mlp.validate(2, 2).unwrap_err();
+        assert!(
+            matches!(&err, NnError::NonFinite { what } if what.contains("layer 0")),
+            "{err}"
+        );
     }
 
     #[test]

@@ -1,0 +1,212 @@
+//! A circuit breaker guarding the primary (MLP) prediction path.
+//!
+//! Repeated primary failures flip the circuit **open**, routing requests
+//! straight to the linear-baseline fallback instead of hammering a model
+//! that keeps failing. After a cooldown the breaker moves to
+//! **half-open** and admits a single trial request: success closes the
+//! circuit, failure re-opens it and restarts the cooldown.
+//!
+//! Time is injected by the caller (as an [`Instant`]) so tests can drive
+//! state transitions deterministically without sleeping.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Observable breaker state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: primary requests flow normally.
+    Closed,
+    /// Tripped: primary is bypassed until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed: one trial request is probing the primary.
+    HalfOpen,
+}
+
+#[derive(Debug)]
+struct Inner {
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at: Option<Instant>,
+    /// Set while a half-open trial is in flight so concurrent requests
+    /// do not all stampede the primary at once.
+    trial_in_flight: bool,
+}
+
+/// Consecutive-failure circuit breaker (see module docs).
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    threshold: u32,
+    cooldown: Duration,
+    inner: Mutex<Inner>,
+}
+
+impl CircuitBreaker {
+    /// Creates a breaker that opens after `threshold` consecutive
+    /// failures (minimum 1) and half-opens after `cooldown`.
+    pub fn new(threshold: u32, cooldown: Duration) -> Self {
+        CircuitBreaker {
+            threshold: threshold.max(1),
+            cooldown,
+            inner: Mutex::new(Inner {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                opened_at: None,
+                trial_in_flight: false,
+            }),
+        }
+    }
+
+    /// Current state as of `now` (an open circuit whose cooldown has
+    /// elapsed reports [`BreakerState::HalfOpen`]).
+    pub fn state(&self, now: Instant) -> BreakerState {
+        let inner = self.inner.lock().unwrap();
+        match inner.state {
+            BreakerState::Open if self.cooled_down(&inner, now) => BreakerState::HalfOpen,
+            s => s,
+        }
+    }
+
+    fn cooled_down(&self, inner: &Inner, now: Instant) -> bool {
+        inner
+            .opened_at
+            .is_some_and(|t| now.duration_since(t) >= self.cooldown)
+    }
+
+    /// Decides whether this request may use the primary model.
+    ///
+    /// Closed → yes. Open within cooldown → no. Open past cooldown →
+    /// transition to half-open and admit exactly one trial; concurrent
+    /// requests keep using the fallback until the trial reports back.
+    pub fn allow_primary(&self, now: Instant) -> bool {
+        let mut inner = self.inner.lock().unwrap();
+        match inner.state {
+            BreakerState::Closed => true,
+            BreakerState::HalfOpen => {
+                if inner.trial_in_flight {
+                    false
+                } else {
+                    inner.trial_in_flight = true;
+                    true
+                }
+            }
+            BreakerState::Open => {
+                if self.cooled_down(&inner, now) {
+                    inner.state = BreakerState::HalfOpen;
+                    inner.trial_in_flight = true;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Releases a half-open trial slot without recording an outcome —
+    /// used when a request granted the trial turns out to be invalid
+    /// (a caller error says nothing about the primary model's health).
+    pub fn abandon_trial(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.trial_in_flight = false;
+    }
+
+    /// Records a successful primary prediction: closes the circuit and
+    /// resets the failure streak.
+    pub fn record_success(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.state = BreakerState::Closed;
+        inner.consecutive_failures = 0;
+        inner.opened_at = None;
+        inner.trial_in_flight = false;
+    }
+
+    /// Records a failed primary prediction as of `now`; returns `true`
+    /// if this failure opened (or re-opened) the circuit.
+    pub fn record_failure(&self, now: Instant) -> bool {
+        let mut inner = self.inner.lock().unwrap();
+        match inner.state {
+            BreakerState::HalfOpen => {
+                // Failed trial: straight back to open, fresh cooldown.
+                inner.state = BreakerState::Open;
+                inner.opened_at = Some(now);
+                inner.trial_in_flight = false;
+                true
+            }
+            BreakerState::Open => {
+                inner.opened_at = Some(now);
+                false
+            }
+            BreakerState::Closed => {
+                inner.consecutive_failures = inner.consecutive_failures.saturating_add(1);
+                if inner.consecutive_failures >= self.threshold {
+                    inner.state = BreakerState::Open;
+                    inner.opened_at = Some(now);
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const COOLDOWN: Duration = Duration::from_millis(100);
+
+    #[test]
+    fn opens_after_threshold_consecutive_failures() {
+        let b = CircuitBreaker::new(3, COOLDOWN);
+        let t = Instant::now();
+        assert!(b.allow_primary(t));
+        assert!(!b.record_failure(t));
+        assert!(!b.record_failure(t));
+        assert_eq!(b.state(t), BreakerState::Closed);
+        assert!(b.record_failure(t)); // third strike opens
+        assert_eq!(b.state(t), BreakerState::Open);
+        assert!(!b.allow_primary(t));
+    }
+
+    #[test]
+    fn success_resets_the_streak() {
+        let b = CircuitBreaker::new(2, COOLDOWN);
+        let t = Instant::now();
+        b.record_failure(t);
+        b.record_success();
+        assert!(!b.record_failure(t)); // streak restarted: 1 < 2
+        assert_eq!(b.state(t), BreakerState::Closed);
+    }
+
+    #[test]
+    fn half_opens_after_cooldown_and_admits_one_trial() {
+        let b = CircuitBreaker::new(1, COOLDOWN);
+        let t0 = Instant::now();
+        b.record_failure(t0);
+        assert!(!b.allow_primary(t0));
+
+        let t1 = t0 + COOLDOWN;
+        assert_eq!(b.state(t1), BreakerState::HalfOpen);
+        assert!(b.allow_primary(t1)); // the single trial
+        assert!(!b.allow_primary(t1)); // concurrent request: fallback
+        b.abandon_trial(); // trial request turned out invalid
+        assert!(b.allow_primary(t1)); // slot freed for the next probe
+        b.record_success();
+        assert_eq!(b.state(t1), BreakerState::Closed);
+        assert!(b.allow_primary(t1));
+    }
+
+    #[test]
+    fn failed_trial_reopens_with_fresh_cooldown() {
+        let b = CircuitBreaker::new(1, COOLDOWN);
+        let t0 = Instant::now();
+        b.record_failure(t0);
+        let t1 = t0 + COOLDOWN;
+        assert!(b.allow_primary(t1));
+        assert!(b.record_failure(t1)); // trial failed → open again
+        assert_eq!(b.state(t1), BreakerState::Open);
+        assert!(!b.allow_primary(t1 + COOLDOWN / 2)); // new cooldown running
+        assert!(b.allow_primary(t1 + COOLDOWN)); // ... until it elapses
+    }
+}

@@ -1,0 +1,293 @@
+//! A retrying client for the prediction server.
+//!
+//! The client honours the server's retriable/non-retriable distinction:
+//! connect failures, `503` (shed) and `504` (deadline) are retried with
+//! exponential backoff plus deterministic jitter (seeded
+//! [`Xoshiro256`], so tests replay exactly); validation errors (`4xx`)
+//! and protocol errors surface immediately.
+
+use std::net::TcpStream;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use wlc_math::rng::Xoshiro256;
+
+use crate::error::ServeError;
+use crate::http;
+use crate::json::Json;
+
+/// A successful `/predict` response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prediction {
+    /// Predicted performance indicators, in output order.
+    pub outputs: Vec<f64>,
+    /// Names of the outputs (parallel to `outputs`).
+    pub output_names: Vec<String>,
+    /// Whether the linear baseline answered instead of the MLP.
+    pub degraded: bool,
+    /// Which model answered (`"mlp"` or `"linear-baseline"`).
+    pub model: String,
+    /// Serving-model generation (bumped by each successful hot reload).
+    pub generation: u64,
+}
+
+/// Client configuration.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Maximum attempts per request (first try + retries, minimum 1).
+    pub max_attempts: usize,
+    /// Base backoff; attempt `k` sleeps `base * 2^k` plus jitter.
+    pub base_backoff: Duration,
+    /// Cap applied to any single backoff sleep.
+    pub max_backoff: Duration,
+    /// Seed for the jitter source (deterministic for tests).
+    pub jitter_seed: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            max_attempts: 5,
+            base_backoff: Duration::from_millis(25),
+            max_backoff: Duration::from_secs(1),
+            jitter_seed: 0x5eed,
+        }
+    }
+}
+
+/// A connection-per-request client with retry + backoff (see module docs).
+#[derive(Debug)]
+pub struct ServeClient {
+    addr: String,
+    config: ClientConfig,
+    rng: Mutex<Xoshiro256>,
+}
+
+impl ServeClient {
+    /// Creates a client for `addr` (e.g. `127.0.0.1:4321`).
+    pub fn new(addr: impl Into<String>, config: ClientConfig) -> Self {
+        let seed = config.jitter_seed;
+        ServeClient {
+            addr: addr.into(),
+            config,
+            rng: Mutex::new(Xoshiro256::seed_from(seed)),
+        }
+    }
+
+    /// Backoff before retry attempt `attempt` (0-based): exponential
+    /// with uniform jitter in `[0, base)`, capped at `max_backoff`.
+    fn backoff(&self, attempt: usize) -> Duration {
+        let base = self.config.base_backoff;
+        let exp = base.saturating_mul(1u32 << attempt.min(16) as u32);
+        let jitter = base.mul_f64(self.rng.lock().unwrap().next_f64());
+        (exp + jitter).min(self.config.max_backoff)
+    }
+
+    fn attempt(&self, method: &str, path: &str, body: &str) -> Result<http::Response, ServeError> {
+        let mut stream = TcpStream::connect(&self.addr)?;
+        http::configure(&stream)?;
+        http::write_request(&mut stream, method, path, body)?;
+        http::read_response(&mut stream)
+    }
+
+    /// Sends one request, retrying retriable failures (connect/IO
+    /// errors, 503 shed, 504 deadline) with backoff. Non-retriable
+    /// responses — including 2xx and 4xx — return on the first attempt.
+    /// When retries run out, the last retriable *response* is returned
+    /// as-is (so callers see the final 503/504 verbatim);
+    /// [`ServeError::RetriesExhausted`] is reserved for never having
+    /// reached the server at all.
+    pub fn request(
+        &self,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> Result<http::Response, ServeError> {
+        let attempts = self.config.max_attempts.max(1);
+        let mut last_io = String::new();
+        let mut last_response = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                std::thread::sleep(self.backoff(attempt - 1));
+            }
+            match self.attempt(method, path, body) {
+                Ok(response) if response.status == 503 || response.status == 504 => {
+                    last_response = Some(response);
+                }
+                Ok(response) => return Ok(response),
+                // Connection-level failures are retriable: the server
+                // may be draining, restarting, or mid-accept.
+                Err(ServeError::Io(err)) => last_io = format!("io error: {err}"),
+                Err(err) => return Err(err),
+            }
+        }
+        match last_response {
+            Some(response) => Ok(response),
+            None => Err(ServeError::RetriesExhausted {
+                attempts,
+                last: last_io,
+            }),
+        }
+    }
+
+    fn request_json(&self, method: &str, path: &str, body: &str) -> Result<Json, ServeError> {
+        let response = self.request(method, path, body)?;
+        let text = response.body_str()?;
+        let json = Json::parse(text)
+            .map_err(|reason| ServeError::Protocol(format!("bad response body: {reason}")))?;
+        if response.status == 200 {
+            return Ok(json);
+        }
+        let message = json
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap_or("unknown error")
+            .to_string();
+        let retriable = json
+            .get("retriable")
+            .and_then(Json::as_bool)
+            .unwrap_or(false);
+        Err(ServeError::Rejected {
+            status: response.status,
+            message,
+            retriable,
+        })
+    }
+
+    /// Requests a prediction for one configuration.
+    pub fn predict(&self, inputs: &[f64]) -> Result<Prediction, ServeError> {
+        self.predict_with_deadline(inputs, None)
+    }
+
+    /// Requests a prediction with an explicit deadline in milliseconds.
+    pub fn predict_with_deadline(
+        &self,
+        inputs: &[f64],
+        deadline_ms: Option<u64>,
+    ) -> Result<Prediction, ServeError> {
+        let mut body = vec![("inputs", Json::nums(inputs))];
+        if let Some(ms) = deadline_ms {
+            body.push(("deadline_ms", Json::Num(ms as f64)));
+        }
+        let body =
+            Json::Obj(body.into_iter().map(|(k, v)| (k.to_string(), v)).collect()).to_string();
+        let json = self.request_json("POST", "/predict", &body)?;
+        let outputs = json
+            .get("outputs")
+            .and_then(Json::as_f64_array)
+            .ok_or_else(|| ServeError::Protocol("response missing `outputs`".into()))?;
+        let output_names = json
+            .get("output_names")
+            .and_then(Json::as_arr)
+            .map(|items| {
+                items
+                    .iter()
+                    .filter_map(|v| v.as_str().map(str::to_string))
+                    .collect()
+            })
+            .unwrap_or_default();
+        Ok(Prediction {
+            outputs,
+            output_names,
+            degraded: json
+                .get("degraded")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
+            model: json
+                .get("model")
+                .and_then(Json::as_str)
+                .unwrap_or("unknown")
+                .to_string(),
+            generation: json.get("generation").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+        })
+    }
+
+    /// `GET /healthz` — liveness.
+    pub fn healthz(&self) -> Result<Json, ServeError> {
+        self.request_json("GET", "/healthz", "")
+    }
+
+    /// `GET /readyz` — readiness. `Ok` when ready; a 503 surfaces as
+    /// [`ServeError::Rejected`] after retries.
+    pub fn readyz(&self) -> Result<Json, ServeError> {
+        self.request_json("GET", "/readyz", "")
+    }
+
+    /// `GET /stats` — lifetime counters and breaker state.
+    pub fn stats(&self) -> Result<Json, ServeError> {
+        self.request_json("GET", "/stats", "")
+    }
+
+    /// `POST /reload` — validate and hot-swap the model at `path`;
+    /// returns the new generation.
+    pub fn reload(&self, path: &str) -> Result<u64, ServeError> {
+        let body = Json::obj([("path", Json::Str(path.into()))]).to_string();
+        let json = self.request_json("POST", "/reload", &body)?;
+        Ok(json.get("generation").and_then(Json::as_f64).unwrap_or(0.0) as u64)
+    }
+
+    /// `POST /shutdown` — request a graceful drain-and-exit.
+    pub fn shutdown(&self) -> Result<(), ServeError> {
+        self.request_json("POST", "/shutdown", "{}").map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_exponentially_with_bounded_jitter() {
+        let client = ServeClient::new(
+            "127.0.0.1:1",
+            ClientConfig {
+                base_backoff: Duration::from_millis(10),
+                max_backoff: Duration::from_millis(500),
+                ..ClientConfig::default()
+            },
+        );
+        let b0 = client.backoff(0);
+        let b3 = client.backoff(3);
+        assert!(b0 >= Duration::from_millis(10) && b0 < Duration::from_millis(20));
+        assert!(b3 >= Duration::from_millis(80) && b3 < Duration::from_millis(90));
+        // Deep attempts saturate at the cap instead of overflowing.
+        assert_eq!(client.backoff(40), Duration::from_millis(500));
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed() {
+        let mk = |seed| {
+            ServeClient::new(
+                "127.0.0.1:1",
+                ClientConfig {
+                    jitter_seed: seed,
+                    ..ClientConfig::default()
+                },
+            )
+        };
+        let (a, b, c) = (mk(7), mk(7), mk(8));
+        let seq_a: Vec<Duration> = (0..4).map(|i| a.backoff(i)).collect();
+        let seq_b: Vec<Duration> = (0..4).map(|i| b.backoff(i)).collect();
+        let seq_c: Vec<Duration> = (0..4).map(|i| c.backoff(i)).collect();
+        assert_eq!(seq_a, seq_b);
+        assert_ne!(seq_a, seq_c);
+    }
+
+    #[test]
+    fn connect_failure_to_unused_port_exhausts_retries() {
+        // Port 1 on loopback is essentially never listening; connects
+        // fail fast with ECONNREFUSED, which is retriable.
+        let client = ServeClient::new(
+            "127.0.0.1:1",
+            ClientConfig {
+                max_attempts: 2,
+                base_backoff: Duration::from_millis(1),
+                ..ClientConfig::default()
+            },
+        );
+        match client.healthz() {
+            Err(ServeError::RetriesExhausted { attempts, .. }) => assert_eq!(attempts, 2),
+            other => panic!("expected RetriesExhausted, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,340 @@
+//! Minimal HTTP/1.1 framing over [`TcpStream`].
+//!
+//! Just enough of the protocol for a loopback prediction service:
+//! request line + headers + `Content-Length` bodies, one request per
+//! connection (`Connection: close` on every response). Header and body
+//! sizes are bounded so a misbehaving peer cannot balloon memory, and
+//! sockets carry read/write timeouts so a stalled peer cannot wedge a
+//! worker.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crate::error::ServeError;
+
+/// Upper bound on request-line + header bytes.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Upper bound on body bytes.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+/// Socket read/write timeout: a stalled peer times out instead of
+/// pinning a worker forever.
+pub const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, ...), upper-cased as received.
+    pub method: String,
+    /// Request path (query strings are kept verbatim; the server's
+    /// routes do not use them).
+    pub path: String,
+    /// Headers with lower-cased names.
+    pub headers: BTreeMap<String, String>,
+    /// Raw body bytes (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The body decoded as UTF-8.
+    pub fn body_str(&self) -> Result<&str, ServeError> {
+        std::str::from_utf8(&self.body)
+            .map_err(|_| ServeError::Protocol("request body is not valid utf-8".into()))
+    }
+}
+
+/// A parsed HTTP response (client side).
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Headers with lower-cased names.
+    pub headers: BTreeMap<String, String>,
+    /// Raw body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// The body decoded as UTF-8.
+    pub fn body_str(&self) -> Result<&str, ServeError> {
+        std::str::from_utf8(&self.body)
+            .map_err(|_| ServeError::Protocol("response body is not valid utf-8".into()))
+    }
+}
+
+/// Applies the standard socket timeouts to a stream.
+pub fn configure(stream: &TcpStream) -> Result<(), ServeError> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    Ok(())
+}
+
+/// Reads bytes until the `\r\n\r\n` head terminator, bounded by
+/// [`MAX_HEAD_BYTES`]. Returns `(head, leftover-after-terminator)`.
+fn read_head(stream: &mut TcpStream) -> Result<(Vec<u8>, Vec<u8>), ServeError> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        if let Some(end) = find_terminator(&buf) {
+            let rest = buf.split_off(end + 4);
+            buf.truncate(end);
+            return Ok((buf, rest));
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(ServeError::Protocol("request head too large".into()));
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(ServeError::Protocol(
+                "connection closed before end of headers".into(),
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+fn find_terminator(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn parse_headers(lines: std::str::Lines<'_>) -> Result<BTreeMap<String, String>, ServeError> {
+    let mut headers = BTreeMap::new();
+    for line in lines {
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| ServeError::Protocol(format!("malformed header line `{line}`")))?;
+        headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+    }
+    Ok(headers)
+}
+
+fn read_body(
+    stream: &mut TcpStream,
+    headers: &BTreeMap<String, String>,
+    mut leftover: Vec<u8>,
+) -> Result<Vec<u8>, ServeError> {
+    let length = match headers.get("content-length") {
+        None => return Ok(Vec::new()),
+        Some(raw) => raw
+            .parse::<usize>()
+            .map_err(|_| ServeError::Protocol(format!("bad content-length `{raw}`")))?,
+    };
+    if length > MAX_BODY_BYTES {
+        return Err(ServeError::Protocol(format!(
+            "body of {length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+        )));
+    }
+    if leftover.len() < length {
+        let mut rest = vec![0u8; length - leftover.len()];
+        stream
+            .read_exact(&mut rest)
+            .map_err(|e| ServeError::Protocol(format!("connection closed mid-body: {e}")))?;
+        leftover.extend_from_slice(&rest);
+    }
+    leftover.truncate(length);
+    Ok(leftover)
+}
+
+/// Reads and parses one request from a connection.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, ServeError> {
+    let (head, leftover) = read_head(stream)?;
+    let head = std::str::from_utf8(&head)
+        .map_err(|_| ServeError::Protocol("request head is not valid utf-8".into()))?;
+    let mut lines = head.lines();
+    let request_line = lines
+        .next()
+        .ok_or_else(|| ServeError::Protocol("empty request".into()))?;
+    let mut parts = request_line.split_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) => (m, p, v),
+        _ => {
+            return Err(ServeError::Protocol(format!(
+                "malformed request line `{request_line}`"
+            )))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(ServeError::Protocol(format!(
+            "unsupported protocol version `{version}`"
+        )));
+    }
+    let headers = parse_headers(lines)?;
+    let body = read_body(stream, &headers, leftover)?;
+    Ok(Request {
+        method: method.to_ascii_uppercase(),
+        path: path.to_string(),
+        headers,
+        body,
+    })
+}
+
+/// Reads and parses one response from a connection.
+pub fn read_response(stream: &mut TcpStream) -> Result<Response, ServeError> {
+    let (head, leftover) = read_head(stream)?;
+    let head = std::str::from_utf8(&head)
+        .map_err(|_| ServeError::Protocol("response head is not valid utf-8".into()))?;
+    let mut lines = head.lines();
+    let status_line = lines
+        .next()
+        .ok_or_else(|| ServeError::Protocol("empty response".into()))?;
+    let mut parts = status_line.split_whitespace();
+    let status = match (parts.next(), parts.next()) {
+        (Some(version), Some(code)) if version.starts_with("HTTP/1.") => code
+            .parse::<u16>()
+            .map_err(|_| ServeError::Protocol(format!("bad status line `{status_line}`")))?,
+        _ => {
+            return Err(ServeError::Protocol(format!(
+                "bad status line `{status_line}`"
+            )))
+        }
+    };
+    let headers = parse_headers(lines)?;
+    let body = read_body(stream, &headers, leftover)?;
+    Ok(Response {
+        status,
+        headers,
+        body,
+    })
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one response and flushes. Adds `Connection: close`,
+/// `Content-Type: application/json` and a `Retry-After` hint on 503/504
+/// so well-behaved clients back off.
+pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> Result<(), ServeError> {
+    let retry_hint = if status == 503 || status == 504 {
+        "Retry-After: 1\r\n"
+    } else {
+        ""
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {len}\r\nConnection: close\r\n{retry_hint}\r\n",
+        reason = reason(status),
+        len = body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+    Ok(())
+}
+
+/// Writes one request and flushes (`Connection: close`).
+pub fn write_request(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> Result<(), ServeError> {
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: wlc\r\nContent-Type: application/json\r\nContent-Length: {len}\r\nConnection: close\r\n\r\n",
+        len = body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::thread;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let join = thread::spawn(move || TcpStream::connect(addr).unwrap());
+        let (server, _) = listener.accept().unwrap();
+        let client = join.join().unwrap();
+        (client, server)
+    }
+
+    #[test]
+    fn request_round_trip() {
+        let (mut client, mut server) = pair();
+        write_request(&mut client, "POST", "/predict", "{\"inputs\":[1.0]}").unwrap();
+        let req = read_request(&mut server).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/predict");
+        assert_eq!(req.body_str().unwrap(), "{\"inputs\":[1.0]}");
+        assert_eq!(
+            req.headers.get("connection").map(String::as_str),
+            Some("close")
+        );
+
+        write_response(&mut server, 200, "{\"ok\":true}").unwrap();
+        let resp = read_response(&mut client).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body_str().unwrap(), "{\"ok\":true}");
+    }
+
+    #[test]
+    fn shed_responses_carry_retry_after() {
+        let (mut client, mut server) = pair();
+        write_response(&mut server, 503, "{}").unwrap();
+        let resp = read_response(&mut client).unwrap();
+        assert_eq!(resp.status, 503);
+        assert_eq!(
+            resp.headers.get("retry-after").map(String::as_str),
+            Some("1")
+        );
+    }
+
+    #[test]
+    fn malformed_requests_are_protocol_errors() {
+        let (mut client, mut server) = pair();
+        client.write_all(b"NONSENSE\r\n\r\n").unwrap();
+        client.flush().unwrap();
+        assert!(matches!(
+            read_request(&mut server),
+            Err(ServeError::Protocol(_))
+        ));
+
+        let (mut client2, mut server2) = pair();
+        client2
+            .write_all(b"POST / HTTP/1.1\r\nContent-Length: zzz\r\n\r\n")
+            .unwrap();
+        assert!(matches!(
+            read_request(&mut server2),
+            Err(ServeError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_bodies_are_rejected_without_allocation() {
+        let (mut client, mut server) = pair();
+        let head = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", usize::MAX);
+        client.write_all(head.as_bytes()).unwrap();
+        assert!(matches!(
+            read_request(&mut server),
+            Err(ServeError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_body_reports_protocol_error() {
+        let (mut client, mut server) = pair();
+        client
+            .write_all(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc")
+            .unwrap();
+        drop(client); // close before the promised 10 bytes arrive
+        assert!(matches!(
+            read_request(&mut server),
+            Err(ServeError::Protocol(_))
+        ));
+    }
+}

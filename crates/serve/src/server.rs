@@ -1,0 +1,626 @@
+//! The fault-tolerant prediction server.
+//!
+//! A [`Server`] binds a loopback TCP port and serves predictions from a
+//! hot-swappable [`FallbackModel`] over minimal HTTP/1.1 + JSON. The
+//! design goals are the classic overload-robustness triad:
+//!
+//! - **Load shedding** — accepted connections enter a bounded queue
+//!   ([`wlc_exec::BoundedQueue`]); when it is full the acceptor answers
+//!   `503` (retriable) immediately instead of queueing unboundedly.
+//! - **Deadlines** — every request carries a deadline (default from
+//!   [`ServeConfig::default_deadline`], overridable per request); work
+//!   that misses it is answered `504` (retriable) rather than returned
+//!   arbitrarily late.
+//! - **Graceful degradation** — a [`CircuitBreaker`] guards the MLP;
+//!   repeated failures (or a missing/invalid model) route requests to
+//!   the linear baseline, tagged `"degraded": true` in the response.
+//!
+//! Model reloads go through [`ModelSlot`]: validated first, swapped
+//! atomically, rejected without disturbing the serving model. Shutdown
+//! (`POST /shutdown`) stops accepting, drains in-flight requests and
+//! returns cleanly.
+//!
+//! # Endpoints
+//!
+//! | Route            | Purpose                                          |
+//! |------------------|--------------------------------------------------|
+//! | `POST /predict`  | `{"inputs":[...], "deadline_ms":n?}` → prediction |
+//! | `GET /healthz`   | liveness (200 while the process serves)          |
+//! | `GET /readyz`    | readiness (model loaded, queue below watermark)  |
+//! | `GET /stats`     | counters, breaker state, model generation        |
+//! | `POST /reload`   | `{"path":"model.txt"}` → validate + hot swap      |
+//! | `POST /shutdown` | graceful drain and exit                          |
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use wlc_exec::{BoundedQueue, ServicePool};
+use wlc_model::fallback::{FallbackModel, Served};
+use wlc_model::{ModelError, PerformanceModel};
+
+use crate::breaker::{BreakerState, CircuitBreaker};
+use crate::error::ServeError;
+use crate::http;
+use crate::json::Json;
+use crate::state::ModelSlot;
+
+/// Server tuning knobs. [`Default`] gives sensible loopback settings.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads handling requests (minimum 1).
+    pub workers: usize,
+    /// Bounded queue capacity; connections beyond it are shed with 503.
+    pub queue_capacity: usize,
+    /// `/readyz` reports not-ready once the queue depth reaches this
+    /// watermark (0 = use half the queue capacity).
+    pub ready_watermark: usize,
+    /// Default per-request deadline when the request does not carry
+    /// `deadline_ms`.
+    pub default_deadline: Duration,
+    /// Consecutive primary failures that open the circuit breaker.
+    pub breaker_threshold: u32,
+    /// Cooldown before an open breaker half-opens to probe the primary.
+    pub breaker_cooldown: Duration,
+    /// Artificial per-request service time (test/benchmark hook for
+    /// driving the server into overload deterministically).
+    pub slow_per_request: Duration,
+    /// Fail this many primary predictions before behaving normally
+    /// (test hook for exercising the breaker, mirroring the trainer's
+    /// fault-injection flags).
+    pub force_fail: u64,
+    /// Emit one structured log line per request to stderr.
+    pub log: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            queue_capacity: 64,
+            ready_watermark: 0,
+            default_deadline: Duration::from_secs(2),
+            breaker_threshold: 5,
+            breaker_cooldown: Duration::from_secs(5),
+            slow_per_request: Duration::ZERO,
+            force_fail: 0,
+            log: false,
+        }
+    }
+}
+
+/// Counters accumulated over a server's lifetime, returned by
+/// [`Server::run`] and exposed at `GET /stats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests answered (any status) by worker threads.
+    pub handled: u64,
+    /// Connections shed by the acceptor with 503 (queue full).
+    pub shed: u64,
+    /// Predictions served by the linear baseline (degraded mode).
+    pub degraded: u64,
+    /// Requests rejected with 504 for missing their deadline.
+    pub deadline_missed: u64,
+}
+
+struct Conn {
+    stream: TcpStream,
+    accepted_at: Instant,
+}
+
+struct Shared {
+    config: ServeConfig,
+    addr: SocketAddr,
+    slot: ModelSlot,
+    breaker: CircuitBreaker,
+    queue: Arc<BoundedQueue<Conn>>,
+    shutting_down: AtomicBool,
+    force_fail: AtomicU64,
+    handled: AtomicU64,
+    shed: AtomicU64,
+    degraded: AtomicU64,
+    deadline_missed: AtomicU64,
+}
+
+impl Shared {
+    fn watermark(&self) -> usize {
+        match self.config.ready_watermark {
+            0 => (self.config.queue_capacity / 2).max(1),
+            w => w.min(self.config.queue_capacity),
+        }
+    }
+
+    fn stats(&self) -> ServeStats {
+        ServeStats {
+            handled: self.handled.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            deadline_missed: self.deadline_missed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Consumes one forced-failure token, if any remain.
+    fn take_forced_failure(&self) -> bool {
+        self.force_fail
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+            .is_ok()
+    }
+
+    fn log_request(
+        &self,
+        method: &str,
+        path: &str,
+        status: u16,
+        started: Instant,
+        degraded: bool,
+        shed: bool,
+    ) {
+        if !self.config.log {
+            return;
+        }
+        let latency_ms = started.elapsed().as_secs_f64() * 1e3;
+        eprintln!(
+            "wlc-serve method={method} path={path} status={status} \
+             latency_ms={latency_ms:.3} queue_depth={depth} degraded={degraded} shed={shed}",
+            depth = self.queue.len(),
+        );
+    }
+}
+
+fn error_body(message: &str, retriable: bool) -> String {
+    Json::obj([
+        ("error", Json::Str(message.to_string())),
+        ("retriable", Json::Bool(retriable)),
+    ])
+    .to_string()
+}
+
+fn breaker_state_name(state: BreakerState) -> &'static str {
+    match state {
+        BreakerState::Closed => "closed",
+        BreakerState::Open => "open",
+        BreakerState::HalfOpen => "half-open",
+    }
+}
+
+/// A bound, not-yet-running prediction server.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
+    /// prepares the serving state. Call [`Server::run`] to start.
+    pub fn bind(
+        addr: &str,
+        bundle: FallbackModel,
+        config: ServeConfig,
+    ) -> Result<Server, ServeError> {
+        if config.queue_capacity == 0 {
+            return Err(ServeError::InvalidParameter {
+                name: "queue_capacity",
+                reason: "must be at least 1",
+            });
+        }
+        let listener = TcpListener::bind(addr).map_err(|source| ServeError::Bind {
+            addr: addr.to_string(),
+            source,
+        })?;
+        let local = listener.local_addr()?;
+        let breaker = CircuitBreaker::new(config.breaker_threshold, config.breaker_cooldown);
+        let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
+        let force_fail = AtomicU64::new(config.force_fail);
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                config,
+                addr: local,
+                slot: ModelSlot::new(bundle),
+                breaker,
+                queue,
+                shutting_down: AtomicBool::new(false),
+                force_fail,
+                handled: AtomicU64::new(0),
+                shed: AtomicU64::new(0),
+                degraded: AtomicU64::new(0),
+                deadline_missed: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Runs the accept loop until a graceful shutdown is requested,
+    /// then drains in-flight and queued requests and returns the
+    /// lifetime counters.
+    pub fn run(self) -> Result<ServeStats, ServeError> {
+        let Server { listener, shared } = self;
+        let workers = shared.config.workers.max(1);
+        let pool = {
+            let shared = Arc::clone(&shared);
+            ServicePool::start(workers, Arc::clone(&shared.queue), move |_worker, conn| {
+                handle_connection(&shared, conn);
+            })
+        };
+
+        for incoming in listener.incoming() {
+            if shared.shutting_down.load(Ordering::SeqCst) {
+                // `incoming` may be the self-connection that unblocked
+                // the acceptor; either way, stop accepting.
+                break;
+            }
+            let stream = match incoming {
+                Ok(stream) => stream,
+                Err(_) => continue,
+            };
+            let _ = http::configure(&stream);
+            let conn = Conn {
+                stream,
+                accepted_at: Instant::now(),
+            };
+            if let Err(rejected) = shared.queue.push(conn) {
+                let mut conn = rejected.into_inner();
+                shared.shed.fetch_add(1, Ordering::Relaxed);
+                let body = error_body("server overloaded: request queue is full", true);
+                let _ = http::write_response(&mut conn.stream, 503, &body);
+                shared.log_request("-", "-", 503, conn.accepted_at, false, true);
+            }
+        }
+
+        // Drain: no new work is queued past this point; workers finish
+        // everything already accepted, then exit.
+        shared.queue.close();
+        pool.join();
+        Ok(shared.stats())
+    }
+}
+
+fn handle_connection(shared: &Shared, mut conn: Conn) {
+    let request = match http::read_request(&mut conn.stream) {
+        Ok(request) => request,
+        Err(err) => {
+            let body = error_body(&err.to_string(), false);
+            let _ = http::write_response(&mut conn.stream, 400, &body);
+            shared.handled.fetch_add(1, Ordering::Relaxed);
+            shared.log_request("-", "-", 400, conn.accepted_at, false, false);
+            return;
+        }
+    };
+    let (status, body, degraded) = route(shared, &request, conn.accepted_at);
+    let _ = http::write_response(&mut conn.stream, status, &body);
+    shared.handled.fetch_add(1, Ordering::Relaxed);
+    shared.log_request(
+        &request.method,
+        &request.path,
+        status,
+        conn.accepted_at,
+        degraded,
+        false,
+    );
+}
+
+fn route(shared: &Shared, request: &http::Request, accepted_at: Instant) -> (u16, String, bool) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/predict") => handle_predict(shared, request, accepted_at),
+        ("GET", "/healthz") => (
+            200,
+            Json::obj([("status", Json::Str("ok".into()))]).to_string(),
+            false,
+        ),
+        ("GET", "/readyz") => handle_readyz(shared),
+        ("GET", "/stats") => handle_stats(shared),
+        ("POST", "/reload") => handle_reload(shared, request),
+        ("POST", "/shutdown") => handle_shutdown(shared),
+        ("POST" | "GET", _) => (
+            404,
+            error_body(&format!("no such route: {}", request.path), false),
+            false,
+        ),
+        (method, _) => (
+            405,
+            error_body(&format!("method {method} not allowed"), false),
+            false,
+        ),
+    }
+}
+
+fn handle_readyz(shared: &Shared) -> (u16, String, bool) {
+    let depth = shared.queue.len();
+    let watermark = shared.watermark();
+    let snapshot = shared.slot.snapshot();
+    let shutting_down = shared.shutting_down.load(Ordering::SeqCst);
+    let model_loaded = snapshot.has_primary() || snapshot.has_baseline();
+    let ready = model_loaded && depth < watermark && !shutting_down;
+    let reason = if !model_loaded {
+        "no model loaded"
+    } else if shutting_down {
+        "shutting down"
+    } else if depth >= watermark {
+        "queue above watermark"
+    } else {
+        ""
+    };
+    let body = Json::obj([
+        ("ready", Json::Bool(ready)),
+        ("queue_depth", Json::Num(depth as f64)),
+        ("watermark", Json::Num(watermark as f64)),
+        ("primary_loaded", Json::Bool(snapshot.has_primary())),
+        ("baseline_loaded", Json::Bool(snapshot.has_baseline())),
+        ("reason", Json::Str(reason.into())),
+    ])
+    .to_string();
+    (if ready { 200 } else { 503 }, body, false)
+}
+
+fn handle_stats(shared: &Shared) -> (u16, String, bool) {
+    let stats = shared.stats();
+    let state = shared.breaker.state(Instant::now());
+    let body = Json::obj([
+        ("handled", Json::Num(stats.handled as f64)),
+        ("shed", Json::Num(stats.shed as f64)),
+        ("degraded", Json::Num(stats.degraded as f64)),
+        ("deadline_missed", Json::Num(stats.deadline_missed as f64)),
+        ("generation", Json::Num(shared.slot.generation() as f64)),
+        ("breaker", Json::Str(breaker_state_name(state).into())),
+        ("queue_depth", Json::Num(shared.queue.len() as f64)),
+        (
+            "queue_capacity",
+            Json::Num(shared.config.queue_capacity as f64),
+        ),
+    ])
+    .to_string();
+    (200, body, false)
+}
+
+fn handle_reload(shared: &Shared, request: &http::Request) -> (u16, String, bool) {
+    let parsed = request
+        .body_str()
+        .map_err(|e| e.to_string())
+        .and_then(Json::parse);
+    let path = match parsed {
+        Ok(json) => match json.get("path").and_then(Json::as_str) {
+            Some(path) if !path.is_empty() => PathBuf::from(path),
+            _ => {
+                return (
+                    400,
+                    error_body("reload body must be {\"path\":\"<model file>\"}", false),
+                    false,
+                )
+            }
+        },
+        Err(reason) => {
+            return (
+                400,
+                error_body(&format!("bad reload body: {reason}"), false),
+                false,
+            )
+        }
+    };
+    match shared.slot.reload_from(&path) {
+        Ok(generation) => (
+            200,
+            Json::obj([
+                ("status", Json::Str("reloaded".into())),
+                ("generation", Json::Num(generation as f64)),
+            ])
+            .to_string(),
+            false,
+        ),
+        // Rejected reloads leave the last-good model serving; the error
+        // is the caller's to fix, so it is non-retriable.
+        Err(err) => (
+            400,
+            error_body(&format!("reload rejected: {err}"), false),
+            false,
+        ),
+    }
+}
+
+fn handle_shutdown(shared: &Shared) -> (u16, String, bool) {
+    shared.shutting_down.store(true, Ordering::SeqCst);
+    // Unblock the acceptor's blocking accept() with a self-connection;
+    // it will observe the flag and stop accepting.
+    let _ = TcpStream::connect(shared.addr);
+    (
+        200,
+        Json::obj([("status", Json::Str("shutting down".into()))]).to_string(),
+        false,
+    )
+}
+
+fn deadline_for(shared: &Shared, body: &Json, accepted_at: Instant) -> Result<Instant, String> {
+    match body.get("deadline_ms") {
+        None => Ok(accepted_at + shared.config.default_deadline),
+        Some(value) => match value.as_f64() {
+            Some(ms) if ms.is_finite() && ms > 0.0 && ms <= 3_600_000.0 => {
+                Ok(accepted_at + Duration::from_secs_f64(ms / 1e3))
+            }
+            _ => Err("deadline_ms must be a positive number of milliseconds".into()),
+        },
+    }
+}
+
+fn handle_predict(
+    shared: &Shared,
+    request: &http::Request,
+    accepted_at: Instant,
+) -> (u16, String, bool) {
+    let body = match request
+        .body_str()
+        .map_err(|e| e.to_string())
+        .and_then(Json::parse)
+    {
+        Ok(json) => json,
+        Err(reason) => {
+            return (
+                400,
+                error_body(&format!("bad request body: {reason}"), false),
+                false,
+            )
+        }
+    };
+    let deadline = match deadline_for(shared, &body, accepted_at) {
+        Ok(deadline) => deadline,
+        Err(reason) => return (400, error_body(&reason, false), false),
+    };
+    // Time already burned in the queue counts against the deadline: a
+    // request that waited too long is answered 504 before any compute.
+    if Instant::now() >= deadline {
+        shared.deadline_missed.fetch_add(1, Ordering::Relaxed);
+        return (
+            504,
+            error_body("deadline exceeded while queued", true),
+            false,
+        );
+    }
+    let inputs = match body.get("inputs").and_then(Json::as_f64_array) {
+        Some(inputs) => inputs,
+        None => {
+            return (
+                400,
+                error_body("request must carry an `inputs` array of numbers", false),
+                false,
+            )
+        }
+    };
+
+    let snapshot = shared.slot.snapshot();
+    if inputs.len() != snapshot.inputs() {
+        return (
+            400,
+            error_body(
+                &format!(
+                    "configuration width mismatch: expected {}, got {}",
+                    snapshot.inputs(),
+                    inputs.len()
+                ),
+                false,
+            ),
+            false,
+        );
+    }
+    if let Some(index) = inputs.iter().position(|v| !v.is_finite()) {
+        return (
+            400,
+            error_body(
+                &format!("configuration feature {index} is not finite"),
+                false,
+            ),
+            false,
+        );
+    }
+
+    if !shared.config.slow_per_request.is_zero() {
+        std::thread::sleep(shared.config.slow_per_request);
+    }
+
+    let now = Instant::now();
+    // With no baseline to degrade to, bypassing the primary would leave
+    // nothing to answer with — try the primary even when the breaker is
+    // open.
+    let use_primary =
+        snapshot.has_primary() && (shared.breaker.allow_primary(now) || !snapshot.has_baseline());
+
+    let mut primary_error: Option<String> = None;
+    let mut outcome: Option<(Vec<f64>, Served)> = None;
+    if use_primary {
+        let forced = shared.take_forced_failure();
+        if forced {
+            shared.breaker.record_failure(Instant::now());
+            primary_error = Some("injected primary failure (--force-fail)".into());
+        } else {
+            match snapshot
+                .primary()
+                .expect("has_primary checked")
+                .predict(&inputs)
+            {
+                Ok(y) if y.iter().all(|v| v.is_finite()) => {
+                    shared.breaker.record_success();
+                    outcome = Some((y, Served::Primary));
+                }
+                Err(err @ ModelError::NonFiniteInput { .. })
+                | Err(err @ ModelError::WidthMismatch { .. }) => {
+                    // Caller-input problem: not a model failure, and not
+                    // something the baseline should paper over.
+                    shared.breaker.abandon_trial();
+                    return (400, error_body(&err.to_string(), false), false);
+                }
+                Ok(_) => {
+                    shared.breaker.record_failure(Instant::now());
+                    primary_error = Some("primary produced non-finite predictions".into());
+                }
+                Err(err) => {
+                    shared.breaker.record_failure(Instant::now());
+                    primary_error = Some(err.to_string());
+                }
+            }
+        }
+    }
+    if outcome.is_none() {
+        match snapshot.baseline() {
+            Some(baseline) => match baseline.predict(&inputs) {
+                Ok(y) if y.iter().all(|v| v.is_finite()) => {
+                    outcome = Some((y, Served::Baseline));
+                }
+                Ok(_) => {
+                    return (
+                        500,
+                        error_body("baseline produced non-finite predictions", false),
+                        false,
+                    )
+                }
+                Err(err) => return (500, error_body(&err.to_string(), false), false),
+            },
+            None => {
+                let reason = primary_error
+                    .unwrap_or_else(|| "no model available to serve this request".into());
+                return (500, error_body(&reason, false), false);
+            }
+        }
+    }
+    let (y, served) = outcome.expect("outcome set above");
+
+    // The answer must also *arrive* within the deadline.
+    if Instant::now() >= deadline {
+        shared.deadline_missed.fetch_add(1, Ordering::Relaxed);
+        return (
+            504,
+            error_body("deadline exceeded during computation", true),
+            false,
+        );
+    }
+
+    let degraded = served.is_degraded();
+    if degraded {
+        shared.degraded.fetch_add(1, Ordering::Relaxed);
+    }
+    let names = snapshot
+        .output_names()
+        .iter()
+        .map(|n| Json::Str(n.clone()))
+        .collect::<Vec<_>>();
+    let body = Json::obj([
+        ("outputs", Json::nums(&y)),
+        ("output_names", Json::Arr(names)),
+        ("degraded", Json::Bool(degraded)),
+        (
+            "model",
+            Json::Str(
+                match served {
+                    Served::Primary => "mlp",
+                    Served::Baseline => "linear-baseline",
+                }
+                .into(),
+            ),
+        ),
+        ("generation", Json::Num(shared.slot.generation() as f64)),
+    ])
+    .to_string();
+    (200, body, degraded)
+}

@@ -1,0 +1,193 @@
+//! The hot-swappable serving model: an atomic *last-good* slot.
+//!
+//! [`ModelSlot`] owns the [`FallbackModel`] bundle behind an
+//! `Mutex<Arc<...>>`. Request handlers clone the `Arc` once per request
+//! (a cheap pointer copy) and keep predicting from that snapshot even if
+//! a reload lands mid-request. Reloads are validated **before** the swap
+//! — parse, finiteness, scaler sanity and dimension agreement with the
+//! serving bundle — so a corrupt or mismatched file is rejected without
+//! ever disturbing the model that is currently serving.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use wlc_model::fallback::FallbackModel;
+use wlc_model::WorkloadModel;
+
+use crate::error::ServeError;
+
+/// Atomic last-good model slot (see module docs).
+#[derive(Debug)]
+pub struct ModelSlot {
+    current: Mutex<Arc<FallbackModel>>,
+    generation: AtomicU64,
+}
+
+impl ModelSlot {
+    /// Wraps an initial bundle as generation 0.
+    pub fn new(bundle: FallbackModel) -> Self {
+        ModelSlot {
+            current: Mutex::new(Arc::new(bundle)),
+            generation: AtomicU64::new(0),
+        }
+    }
+
+    /// A consistent snapshot of the serving bundle. Handlers call this
+    /// once per request so a concurrent reload cannot change the model
+    /// underneath a half-computed prediction.
+    pub fn snapshot(&self) -> Arc<FallbackModel> {
+        Arc::clone(&self.current.lock().unwrap())
+    }
+
+    /// Monotone reload counter: bumped once per successful swap.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::SeqCst)
+    }
+
+    /// Validates and installs a new primary model; returns the new
+    /// generation. On any error the serving bundle is left untouched.
+    pub fn install(&self, candidate: WorkloadModel) -> Result<u64, ServeError> {
+        // Hold the lock across validate+swap so two concurrent reloads
+        // cannot interleave their dimension checks and swaps.
+        let mut current = self.current.lock().unwrap();
+        let expected = match current.inputs() {
+            0 => None,
+            inputs => Some((inputs, current.outputs())),
+        };
+        candidate.validate(expected)?;
+        let next = current.with_primary(candidate)?;
+        *current = Arc::new(next);
+        Ok(self.generation.fetch_add(1, Ordering::SeqCst) + 1)
+    }
+
+    /// Loads a model file, validates it and installs it ([`Self::install`]).
+    ///
+    /// Rejection reasons — unreadable file, parse error, non-finite
+    /// parameters, degenerate scalers, input/output widths that disagree
+    /// with the serving bundle — all leave the previous model serving.
+    pub fn reload_from(&self, path: &Path) -> Result<u64, ServeError> {
+        let candidate = WorkloadModel::load(path)?;
+        self.install(candidate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wlc_data::{Dataset, Sample};
+    use wlc_model::baseline::{LinearFeatures, LinearModel};
+    use wlc_model::{PerformanceModel, WorkloadModelBuilder};
+
+    fn dataset(inputs: usize) -> Dataset {
+        let in_names: Vec<String> = (0..inputs).map(|i| format!("x{i}")).collect();
+        let mut ds = Dataset::new(in_names, vec!["y".into()]).unwrap();
+        for i in 0..12 {
+            let x: Vec<f64> = (0..inputs).map(|j| (i + j) as f64).collect();
+            let y = x.iter().sum::<f64>() * 0.5 + 1.0;
+            ds.push(Sample::new(x, vec![y])).unwrap();
+        }
+        ds
+    }
+
+    fn model(inputs: usize, seed: u64) -> WorkloadModel {
+        WorkloadModelBuilder::new()
+            .no_hidden_layers()
+            .hidden_layer(4)
+            .max_epochs(150)
+            .seed(seed)
+            .train(&dataset(inputs))
+            .unwrap()
+            .model
+    }
+
+    fn slot(inputs: usize) -> ModelSlot {
+        let baseline = LinearModel::fit(&dataset(inputs), LinearFeatures::FirstOrder).unwrap();
+        let bundle =
+            FallbackModel::new(Some(model(inputs, 1)), Some(baseline), vec![], vec![]).unwrap();
+        ModelSlot::new(bundle)
+    }
+
+    #[test]
+    fn install_bumps_generation_and_swaps() {
+        let slot = slot(2);
+        assert_eq!(slot.generation(), 0);
+        let before = slot.snapshot();
+        let replacement = model(2, 7);
+        let expected = replacement.predict(&[3.0, 4.0]).unwrap();
+        assert_eq!(slot.install(replacement).unwrap(), 1);
+        let after = slot.snapshot();
+        let (got, _) = after.predict_with(&[3.0, 4.0], true).unwrap();
+        assert_eq!(got, expected);
+        // Old snapshot still predicts: in-flight requests are unaffected.
+        assert!(before.predict_with(&[3.0, 4.0], true).is_ok());
+    }
+
+    #[test]
+    fn dimension_mismatch_is_rejected_without_disturbing_serving() {
+        let slot = slot(2);
+        let baseline_pred = {
+            let (y, _) = slot.snapshot().predict_with(&[3.0, 4.0], true).unwrap();
+            y
+        };
+        let err = slot.install(model(3, 2)).unwrap_err();
+        assert!(matches!(err, ServeError::Model(_)), "{err}");
+        assert_eq!(slot.generation(), 0);
+        let (still, _) = slot.snapshot().predict_with(&[3.0, 4.0], true).unwrap();
+        assert_eq!(still, baseline_pred, "serving model must be untouched");
+    }
+
+    #[test]
+    fn corrupt_and_truncated_files_are_rejected() {
+        let dir = std::env::temp_dir().join(format!(
+            "wlc-serve-slot-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let slot = slot(2);
+        let good = model(2, 3);
+        let path = dir.join("model.txt");
+        good.save(&path).unwrap();
+
+        // Baseline: a good file installs.
+        assert_eq!(slot.reload_from(&path).unwrap(), 1);
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        // Swap the xscaler line for one that parses but holds a
+        // non-finite mean: caught by validation, not by the parser.
+        let nonfinite: String = text
+            .lines()
+            .map(|line| {
+                if line.starts_with("xscaler ") {
+                    "xscaler standard inf 0.0 | 1.0 1.0".to_string()
+                } else {
+                    line.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let cases: Vec<(&str, String)> = vec![
+            ("missing", String::new()),
+            (
+                "truncated",
+                text.lines().take(3).collect::<Vec<_>>().join("\n"),
+            ),
+            (
+                "corrupt-header",
+                text.replacen("wlc-model", "not-a-model", 1),
+            ),
+            ("nonfinite-scaler", nonfinite),
+        ];
+        for (name, content) in cases {
+            let bad = dir.join(format!("{name}.txt"));
+            if name != "missing" {
+                std::fs::write(&bad, content).unwrap();
+            }
+            let err = slot.reload_from(&bad).unwrap_err();
+            assert!(matches!(err, ServeError::Model(_)), "{name}: {err}");
+            assert_eq!(slot.generation(), 1, "{name} must not swap");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,475 @@
+//! End-to-end tests for the prediction server: healthy serving,
+//! overload shedding, deadlines, circuit-breaker degradation, hot
+//! reload under concurrent load, and graceful shutdown draining.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use wlc_data::{Dataset, Sample};
+use wlc_model::baseline::{LinearFeatures, LinearModel};
+use wlc_model::fallback::FallbackModel;
+use wlc_model::{PerformanceModel, WorkloadModel, WorkloadModelBuilder};
+use wlc_serve::{ClientConfig, ServeClient, ServeConfig, ServeError, ServeStats, Server};
+
+fn dataset() -> Dataset {
+    let mut ds = Dataset::new(vec!["a".into(), "b".into()], vec!["y".into()]).unwrap();
+    for i in 0..6 {
+        for j in 0..6 {
+            let (a, b) = (i as f64 + 1.0, j as f64 + 1.0);
+            ds.push(Sample::new(vec![a, b], vec![a * 2.0 + b + a * b * 0.1]))
+                .unwrap();
+        }
+    }
+    ds
+}
+
+fn mlp(seed: u64) -> WorkloadModel {
+    WorkloadModelBuilder::new()
+        .no_hidden_layers()
+        .hidden_layer(6)
+        .max_epochs(200)
+        .seed(seed)
+        .train(&dataset())
+        .unwrap()
+        .model
+}
+
+fn baseline() -> LinearModel {
+    LinearModel::fit(&dataset(), LinearFeatures::FirstOrder).unwrap()
+}
+
+fn full_bundle(seed: u64) -> FallbackModel {
+    FallbackModel::new(Some(mlp(seed)), Some(baseline()), vec![], vec![]).unwrap()
+}
+
+/// Starts a server on an ephemeral port; returns its address and the
+/// thread that resolves to the lifetime stats when the server drains.
+fn start(bundle: FallbackModel, config: ServeConfig) -> (String, thread::JoinHandle<ServeStats>) {
+    let server = Server::bind("127.0.0.1:0", bundle, config).unwrap();
+    let addr = server.local_addr().to_string();
+    let handle = thread::spawn(move || server.run().unwrap());
+    (addr, handle)
+}
+
+fn quick_client(addr: &str) -> ServeClient {
+    ServeClient::new(
+        addr,
+        ClientConfig {
+            max_attempts: 1,
+            base_backoff: Duration::from_millis(1),
+            ..ClientConfig::default()
+        },
+    )
+}
+
+fn patient_client(addr: &str) -> ServeClient {
+    ServeClient::new(
+        addr,
+        ClientConfig {
+            max_attempts: 10,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(100),
+            ..ClientConfig::default()
+        },
+    )
+}
+
+#[test]
+fn healthy_serving_end_to_end() {
+    let model = mlp(1);
+    let expected = model.predict(&[2.0, 3.0]).unwrap();
+    let bundle = FallbackModel::new(Some(model), Some(baseline()), vec![], vec![]).unwrap();
+    let (addr, handle) = start(bundle, ServeConfig::default());
+    let client = patient_client(&addr);
+
+    assert_eq!(
+        client
+            .healthz()
+            .unwrap()
+            .get("status")
+            .and_then(|s| s.as_str()),
+        Some("ok")
+    );
+    assert_eq!(
+        client
+            .readyz()
+            .unwrap()
+            .get("ready")
+            .and_then(|r| r.as_bool()),
+        Some(true)
+    );
+
+    let prediction = client.predict(&[2.0, 3.0]).unwrap();
+    assert_eq!(
+        prediction.outputs, expected,
+        "server must match local predict"
+    );
+    assert!(!prediction.degraded);
+    assert_eq!(prediction.model, "mlp");
+    assert_eq!(prediction.output_names, vec!["y".to_string()]);
+
+    // Validation errors are non-retriable 400s.
+    match client.predict(&[1.0]) {
+        Err(ServeError::Rejected {
+            status, retriable, ..
+        }) => {
+            assert_eq!(status, 400);
+            assert!(!retriable);
+        }
+        other => panic!("width mismatch must reject, got {other:?}"),
+    }
+    // Non-finite features serialize as JSON null and are rejected, not
+    // propagated into the network as NaN.
+    match client.predict(&[f64::NAN, 1.0]) {
+        Err(ServeError::Rejected { status, .. }) => assert_eq!(status, 400),
+        other => panic!("non-finite input must reject, got {other:?}"),
+    }
+    match client.request("GET", "/nope", "") {
+        Ok(resp) => assert_eq!(resp.status, 404),
+        other => panic!("unexpected {other:?}"),
+    }
+
+    client.shutdown().unwrap();
+    let stats = handle.join().unwrap();
+    assert!(stats.handled >= 6);
+    assert_eq!(stats.shed, 0);
+}
+
+#[test]
+fn degraded_only_serving_matches_baseline_exactly() {
+    let base = baseline();
+    let expected = base.predict(&[3.0, 4.0]).unwrap();
+    let bundle = FallbackModel::new(
+        None,
+        Some(base),
+        vec!["a".into(), "b".into()],
+        vec!["y".into()],
+    )
+    .unwrap();
+    let (addr, handle) = start(bundle, ServeConfig::default());
+    let client = patient_client(&addr);
+
+    let prediction = client.predict(&[3.0, 4.0]).unwrap();
+    assert!(prediction.degraded);
+    assert_eq!(prediction.model, "linear-baseline");
+    assert_eq!(
+        prediction.outputs, expected,
+        "degraded responses must be byte-identical to the wlc-core baseline"
+    );
+    // A server with only a baseline still reports ready: it can answer.
+    assert_eq!(
+        client
+            .readyz()
+            .unwrap()
+            .get("ready")
+            .and_then(|r| r.as_bool()),
+        Some(true)
+    );
+
+    client.shutdown().unwrap();
+    let stats = handle.join().unwrap();
+    assert!(stats.degraded >= 1);
+}
+
+#[test]
+fn overload_soak_sheds_deterministically_and_recovers() {
+    let config = ServeConfig {
+        workers: 1,
+        queue_capacity: 2,
+        slow_per_request: Duration::from_millis(15),
+        default_deadline: Duration::from_secs(10),
+        ..ServeConfig::default()
+    };
+    let (addr, handle) = start(full_bundle(2), config);
+
+    // Sustained burst far beyond 1 worker x 2 queue slots.
+    let ok = Arc::new(AtomicU64::new(0));
+    let shed = Arc::new(AtomicU64::new(0));
+    let threads: Vec<_> = (0..8)
+        .map(|_| {
+            let (addr, ok, shed) = (addr.clone(), Arc::clone(&ok), Arc::clone(&shed));
+            thread::spawn(move || {
+                let client = quick_client(&addr);
+                for _ in 0..6 {
+                    match client.predict(&[2.0, 2.0]) {
+                        Ok(_) => {
+                            ok.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(ServeError::Rejected {
+                            status, retriable, ..
+                        }) => {
+                            assert_eq!(status, 503, "only shedding may reject under load");
+                            assert!(retriable, "shed responses must be marked retriable");
+                            shed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(ServeError::RetriesExhausted { .. }) => {
+                            shed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(other) => panic!("unexpected failure under load: {other:?}"),
+                    }
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    let (ok, shed) = (ok.load(Ordering::Relaxed), shed.load(Ordering::Relaxed));
+    assert_eq!(ok + shed, 48, "every request must resolve decisively");
+    assert!(ok > 0, "some requests must get through");
+    assert!(
+        shed > 0,
+        "a 3-slot pipeline cannot absorb 8x6 concurrent requests"
+    );
+
+    // After the burst drains, readiness recovers and requests succeed.
+    let client = patient_client(&addr);
+    let recovered = (0..100).any(|_| {
+        thread::sleep(Duration::from_millis(10));
+        client
+            .readyz()
+            .ok()
+            .and_then(|j| j.get("ready").and_then(|r| r.as_bool()))
+            == Some(true)
+    });
+    assert!(recovered, "/readyz must flip back after the burst");
+    assert!(client.predict(&[2.0, 2.0]).is_ok());
+
+    client.shutdown().unwrap();
+    let stats = handle.join().unwrap();
+    assert!(stats.shed >= shed, "acceptor must account for every shed");
+    assert!(stats.handled >= ok);
+}
+
+#[test]
+fn deadlines_fire_for_slow_requests() {
+    let config = ServeConfig {
+        workers: 2,
+        slow_per_request: Duration::from_millis(50),
+        ..ServeConfig::default()
+    };
+    let (addr, handle) = start(full_bundle(3), config);
+    let client = quick_client(&addr);
+
+    // 10ms deadline against 50ms service time: must time out, and the
+    // timeout must be marked retriable (504).
+    match client.predict_with_deadline(&[2.0, 2.0], Some(10)) {
+        Err(ServeError::Rejected {
+            status,
+            retriable,
+            message,
+        }) => {
+            assert_eq!(status, 504);
+            assert!(retriable, "timeouts must be marked retriable");
+            assert!(message.contains("deadline"), "got: {message}");
+        }
+        other => panic!("expected deadline miss, got {other:?}"),
+    }
+    // A generous deadline succeeds.
+    assert!(client
+        .predict_with_deadline(&[2.0, 2.0], Some(5000))
+        .is_ok());
+
+    client.shutdown().unwrap();
+    let stats = handle.join().unwrap();
+    assert!(stats.deadline_missed >= 1);
+}
+
+#[test]
+fn breaker_opens_degrades_then_half_open_probe_recovers() {
+    let base = baseline();
+    let expected_degraded = base.predict(&[2.0, 3.0]).unwrap();
+    let model = mlp(4);
+    let expected_primary = model.predict(&[2.0, 3.0]).unwrap();
+    let bundle = FallbackModel::new(Some(model), Some(base), vec![], vec![]).unwrap();
+    let config = ServeConfig {
+        force_fail: 3,
+        breaker_threshold: 3,
+        breaker_cooldown: Duration::from_millis(100),
+        ..ServeConfig::default()
+    };
+    let (addr, handle) = start(bundle, config);
+    let client = patient_client(&addr);
+
+    // The three injected failures each degrade to the baseline and
+    // count against the breaker.
+    for i in 0..3 {
+        let p = client.predict(&[2.0, 3.0]).unwrap();
+        assert!(p.degraded, "injected failure {i} must degrade");
+        assert_eq!(p.model, "linear-baseline");
+        assert_eq!(
+            p.outputs, expected_degraded,
+            "degraded output must match the wlc-core baseline"
+        );
+    }
+    // Circuit is now open: the injection budget is spent, but requests
+    // keep degrading without touching the primary.
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.get("breaker").and_then(|s| s.as_str()), Some("open"));
+    let p = client.predict(&[2.0, 3.0]).unwrap();
+    assert!(p.degraded, "open circuit must bypass the primary");
+
+    // After the cooldown a half-open probe succeeds and closes the
+    // circuit; primary serving resumes.
+    thread::sleep(Duration::from_millis(150));
+    let p = client.predict(&[2.0, 3.0]).unwrap();
+    assert!(!p.degraded, "half-open probe should recover the primary");
+    assert_eq!(p.outputs, expected_primary);
+    let stats = client.stats().unwrap();
+    assert_eq!(
+        stats.get("breaker").and_then(|s| s.as_str()),
+        Some("closed")
+    );
+
+    client.shutdown().unwrap();
+    let stats = handle.join().unwrap();
+    assert!(stats.degraded >= 4);
+}
+
+#[test]
+fn hot_reload_swaps_atomically_under_concurrent_load() {
+    let model_a = mlp(5);
+    let model_b = mlp(6);
+    let probe = [2.5, 3.5];
+    let pred_a = model_a.predict(&probe).unwrap();
+    let pred_b = model_b.predict(&probe).unwrap();
+    assert_ne!(pred_a, pred_b, "test needs distinguishable models");
+
+    let dir = std::env::temp_dir().join(format!("wlc-serve-reload-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path_b = dir.join("model-b.txt");
+    model_b.save(&path_b).unwrap();
+
+    let bundle = FallbackModel::new(Some(model_a), Some(baseline()), vec![], vec![]).unwrap();
+    let (addr, handle) = start(bundle, ServeConfig::default());
+    let client = patient_client(&addr);
+
+    // Hammer the server from background threads for the whole duration.
+    let stop = Arc::new(AtomicBool::new(false));
+    let hammers: Vec<_> = (0..3)
+        .map(|_| {
+            let (addr, stop) = (addr.clone(), Arc::clone(&stop));
+            thread::spawn(move || {
+                let client = patient_client(&addr);
+                let mut served = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let p = client.predict(&[2.5, 3.5]).unwrap();
+                    assert!(!p.degraded, "reload must never interrupt serving");
+                    served += 1;
+                }
+                served
+            })
+        })
+        .collect();
+
+    // Invalid reloads: every one rejected, generation pinned, serving
+    // predictions still byte-identical to model A.
+    let text = std::fs::read_to_string(&path_b).unwrap();
+    let corrupt = dir.join("corrupt.txt");
+    std::fs::write(&corrupt, text.replacen("wlc-model v1", "broken", 1)).unwrap();
+    let truncated = dir.join("truncated.txt");
+    std::fs::write(
+        &truncated,
+        text.lines().take(4).collect::<Vec<_>>().join("\n"),
+    )
+    .unwrap();
+    let missing = dir.join("missing.txt");
+    for bad in [&corrupt, &truncated, &missing] {
+        match client.reload(bad.to_str().unwrap()) {
+            Err(ServeError::Rejected {
+                status, retriable, ..
+            }) => {
+                assert_eq!(status, 400);
+                assert!(!retriable);
+            }
+            other => panic!("invalid reload must reject, got {other:?}"),
+        }
+    }
+    assert_eq!(client.predict(&probe).unwrap().outputs, pred_a);
+    assert_eq!(client.predict(&probe).unwrap().generation, 0);
+
+    // A dimension-mismatched model is rejected by validation.
+    let mut narrow = Dataset::new(vec!["a".into()], vec!["y".into()]).unwrap();
+    for i in 0..8 {
+        narrow
+            .push(Sample::new(vec![i as f64], vec![i as f64 * 3.0]))
+            .unwrap();
+    }
+    let wrong_dims = WorkloadModelBuilder::new()
+        .no_hidden_layers()
+        .hidden_layer(3)
+        .max_epochs(50)
+        .seed(9)
+        .train(&narrow)
+        .unwrap()
+        .model;
+    let path_wrong = dir.join("wrong-dims.txt");
+    wrong_dims.save(&path_wrong).unwrap();
+    match client.reload(path_wrong.to_str().unwrap()) {
+        Err(ServeError::Rejected { status, .. }) => assert_eq!(status, 400),
+        other => panic!("dim mismatch must reject, got {other:?}"),
+    }
+    assert_eq!(client.predict(&probe).unwrap().outputs, pred_a);
+
+    // The valid reload swaps atomically: generation bumps and new
+    // predictions come from model B.
+    assert_eq!(client.reload(path_b.to_str().unwrap()).unwrap(), 1);
+    let p = client.predict(&probe).unwrap();
+    assert_eq!(p.generation, 1);
+    assert_eq!(p.outputs, pred_b);
+
+    stop.store(true, Ordering::Relaxed);
+    let total: u64 = hammers.into_iter().map(|h| h.join().unwrap()).sum();
+    assert!(
+        total > 0,
+        "hammer threads must have exercised the swap window"
+    );
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_requests() {
+    let config = ServeConfig {
+        workers: 2,
+        queue_capacity: 16,
+        slow_per_request: Duration::from_millis(60),
+        default_deadline: Duration::from_secs(30),
+        ..ServeConfig::default()
+    };
+    let (addr, handle) = start(full_bundle(7), config);
+
+    // Six slow requests: two in flight, four queued behind them.
+    let inflight: Vec<_> = (0..6)
+        .map(|_| {
+            let addr = addr.clone();
+            thread::spawn(move || quick_client(&addr).predict(&[2.0, 2.0]))
+        })
+        .collect();
+    thread::sleep(Duration::from_millis(20)); // let them enqueue
+
+    // The shutdown request queues behind them and must still drain
+    // everything that was accepted.
+    let started = Instant::now();
+    quick_client(&addr).shutdown().unwrap();
+    let stats = handle.join().unwrap();
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "drain must terminate promptly"
+    );
+    for t in inflight {
+        let result = t.join().unwrap();
+        assert!(
+            result.is_ok(),
+            "accepted request dropped during shutdown: {result:?}"
+        );
+    }
+    assert!(stats.handled >= 7, "6 predicts + shutdown, got {stats:?}");
+
+    // The listener is gone: new connections fail.
+    assert!(quick_client(&addr).healthz().is_err());
+}

@@ -9,6 +9,10 @@
 //! - [`sim`] — the 3-tier web-service discrete-event simulator.
 //! - [`model`] — the paper's contribution: the non-linear workload model,
 //!   cross-validation harness, response surfaces and tuning advisor.
+//! - [`exec`] — deterministic worker pools and the bounded service queue.
+//! - [`serve`] — the fault-tolerant prediction server: load shedding,
+//!   deadlines, circuit-breaker degradation to the linear baseline, and
+//!   validated hot model reload.
 //!
 //! # Quickstart
 //!
@@ -30,7 +34,9 @@
 #![forbid(unsafe_code)]
 
 pub use wlc_data as data;
+pub use wlc_exec as exec;
 pub use wlc_math as math;
 pub use wlc_model as model;
 pub use wlc_nn as nn;
+pub use wlc_serve as serve;
 pub use wlc_sim as sim;
