@@ -12,6 +12,17 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (workspace, all targets, -D warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> wlc-lint (workspace static analysis, blocking)"
+cargo run -q -p wlc-lint -- --workspace
+
+echo "==> wlc-lint self-test (each seeded-bug fixture must fail)"
+for fixture in lock_cycle panic_serve instant_nn unmapped_variant; do
+    if cargo run -q -p wlc-lint -- --root "crates/lint/tests/fixtures/$fixture"; then
+        echo "fixture $fixture was unexpectedly clean"
+        exit 1
+    fi
+done
+
 if [ "${1:-}" != "quick" ]; then
     echo "==> cargo build --release (tier-1 default members)"
     cargo build --release

@@ -11,6 +11,8 @@
 //! The binaries in `src/bin/` each regenerate one artifact of the paper
 //! (see DESIGN.md for the index); EXPERIMENTS.md records their output.
 
+#![forbid(unsafe_code)]
+
 pub mod harness;
 
 use wlc_data::design::{latin_hypercube, round_to_integers, ParamRange};

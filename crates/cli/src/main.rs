@@ -15,6 +15,8 @@
 //! Run `wlc help` (or any subcommand with `--help`-style mistakes) for
 //! usage.
 
+#![forbid(unsafe_code)]
+
 mod args;
 mod commands;
 
@@ -157,6 +159,16 @@ fn serve_code(e: &ServeError) -> u8 {
         ServeError::Model(m) => model_code(m),
         // A 4xx means the server validated and rejected our input.
         ServeError::Rejected { status, .. } if (400..500).contains(status) => EXIT_VALIDATION,
+        // Transport-level failures are all "serving errors": could not
+        // bind, connection died, peer spoke garbage, retry budget spent,
+        // or a 5xx rejection (shed/deadline) that outlived the retries.
+        ServeError::Bind { .. }
+        | ServeError::Io(_)
+        | ServeError::Protocol(_)
+        | ServeError::Rejected { .. }
+        | ServeError::RetriesExhausted { .. } => EXIT_SERVE,
+        // `ServeError` is #[non_exhaustive]; future variants default to
+        // the generic serve failure code.
         _ => EXIT_SERVE,
     }
 }

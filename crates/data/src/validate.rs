@@ -177,6 +177,7 @@ impl Dataset {
             issues: Vec::new(),
         };
         // First line (1-based) at which each exact row text was kept.
+        // wlc-lint: allow(determinism, reason = "membership-only duplicate probe; the map is never iterated, so hash order cannot leak into results")
         let mut first_seen: HashMap<&str, usize> = HashMap::new();
         for (idx, raw) in lines {
             let line_no = idx + 1;

@@ -21,6 +21,11 @@
 //! in-flight tasks finish — a crashing task surfaces instead of hanging
 //! the run.
 //!
+//! Lock discipline: the crate's own locks (and the serve layer's, which
+//! build on them) are [`TrackedMutex`]/[`TrackedRwLock`] wrappers that
+//! detect lock-order inversions at runtime in debug builds, backing the
+//! static lock-order analysis run by `wlc-lint`.
+//!
 //! # Examples
 //!
 //! ```
@@ -33,9 +38,14 @@
 
 mod pool;
 mod service;
+mod tracked;
 
 pub use pool::{
     default_jobs, map_indexed, map_indexed_timed, try_map_indexed, try_map_indexed_retry,
     try_map_indexed_retry_timed, try_map_indexed_timed, RunReport, TaskTiming,
 };
 pub use service::{BoundedQueue, PushError, ServicePool};
+pub use tracked::{
+    tracked_acquisitions, TrackedCondvar, TrackedMutex, TrackedMutexGuard, TrackedReadGuard,
+    TrackedRwLock, TrackedWriteGuard,
+};

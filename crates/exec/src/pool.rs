@@ -3,7 +3,7 @@
 use std::convert::Infallible;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// The default worker count: the hardware's available parallelism, or 1
@@ -186,16 +186,24 @@ where
                     if out.is_err() {
                         stop.store(true, Ordering::Relaxed);
                     }
+                    // Poison recovery: a panicking sibling task is
+                    // re-raised by `thread::scope` anyway; the vectors
+                    // stay valid after any single push/assignment.
                     shared_timings
                         .lock()
-                        .expect("timings lock")
+                        .unwrap_or_else(PoisonError::into_inner)
                         .push(TaskTiming { index, elapsed });
-                    shared_slots.lock().expect("result lock")[index] = Some(out);
+                    // wlc-lint: allow(index, reason = "index comes from fetch_add bounded by the n-sized slot vector")
+                    shared_slots.lock().unwrap_or_else(PoisonError::into_inner)[index] = Some(out);
                 });
             }
         });
-        slots = shared_slots.into_inner().expect("result lock");
-        timings = shared_timings.into_inner().expect("timings lock");
+        slots = shared_slots
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner);
+        timings = shared_timings
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner);
         timings.sort_unstable_by_key(|t| t.index);
     }
 

@@ -10,8 +10,10 @@
 
 use std::collections::VecDeque;
 use std::fmt;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
+
+use crate::tracked::{TrackedCondvar, TrackedMutex};
 
 /// Why a [`BoundedQueue::push`] did not enqueue; the job is handed back.
 #[derive(Debug, PartialEq, Eq)]
@@ -73,8 +75,8 @@ struct QueueState<T> {
 /// assert_eq!(q.pop(), None);
 /// ```
 pub struct BoundedQueue<T> {
-    state: Mutex<QueueState<T>>,
-    available: Condvar,
+    state: TrackedMutex<QueueState<T>>,
+    available: TrackedCondvar,
     capacity: usize,
 }
 
@@ -82,11 +84,14 @@ impl<T> BoundedQueue<T> {
     /// Creates a queue holding at most `capacity` jobs (minimum 1).
     pub fn new(capacity: usize) -> Self {
         BoundedQueue {
-            state: Mutex::new(QueueState {
-                items: VecDeque::new(),
-                closed: false,
-            }),
-            available: Condvar::new(),
+            state: TrackedMutex::new(
+                "BoundedQueue.state",
+                QueueState {
+                    items: VecDeque::new(),
+                    closed: false,
+                },
+            ),
+            available: TrackedCondvar::new(),
             capacity: capacity.max(1),
         }
     }
@@ -98,7 +103,7 @@ impl<T> BoundedQueue<T> {
 
     /// Current queue depth.
     pub fn len(&self) -> usize {
-        self.state.lock().expect("queue lock").items.len()
+        self.state.lock().items.len()
     }
 
     /// Whether the queue is currently empty.
@@ -114,7 +119,7 @@ impl<T> BoundedQueue<T> {
     /// - [`PushError::Full`] at capacity (the caller sheds the job).
     /// - [`PushError::Closed`] after [`BoundedQueue::close`].
     pub fn push(&self, job: T) -> Result<usize, PushError<T>> {
-        let mut state = self.state.lock().expect("queue lock");
+        let mut state = self.state.lock();
         if state.closed {
             return Err(PushError::Closed(job));
         }
@@ -131,7 +136,7 @@ impl<T> BoundedQueue<T> {
     /// Blocks until a job is available and dequeues it. Returns `None`
     /// once the queue is closed and fully drained.
     pub fn pop(&self) -> Option<T> {
-        let mut state = self.state.lock().expect("queue lock");
+        let mut state = self.state.lock();
         loop {
             if let Some(job) = state.items.pop_front() {
                 return Some(job);
@@ -139,20 +144,20 @@ impl<T> BoundedQueue<T> {
             if state.closed {
                 return None;
             }
-            state = self.available.wait(state).expect("queue lock");
+            state = self.available.wait(state);
         }
     }
 
     /// Closes the queue: further pushes fail, waiting consumers finish
     /// draining what is already queued and then observe `None`.
     pub fn close(&self) {
-        self.state.lock().expect("queue lock").closed = true;
+        self.state.lock().closed = true;
         self.available.notify_all();
     }
 
     /// Whether [`BoundedQueue::close`] has been called.
     pub fn is_closed(&self) -> bool {
-        self.state.lock().expect("queue lock").closed
+        self.state.lock().closed
     }
 }
 

@@ -1,0 +1,282 @@
+//! Exit-code / HTTP-status / documentation consistency analysis.
+//!
+//! Four cross-file agreements are checked, each skipped gracefully when
+//! a participating file is absent (so the analysis also runs on the
+//! reduced fixture trees used by the self-tests):
+//!
+//! 1. Every `ServeError` variant declared in `crates/serve/src/error.rs`
+//!    is named in the CLI's exit-code mapping (`crates/cli/src/main.rs`).
+//! 2. Every `EXIT_*` constant in the CLI appears, by value, in the
+//!    CLI's `EXIT CODES` usage section and in the README exit-code
+//!    table (`| <code> |` row).
+//! 3. Every HTTP status literal the server responds with is documented
+//!    in the README status table.
+//! 4. Every crate root (`lib.rs` / `main.rs`) carries
+//!    `#![forbid(unsafe_code)]`.
+
+use std::path::Path;
+
+use crate::lexer::TokKind;
+use crate::{Finding, Rule, SourceFile};
+
+fn find<'a>(files: &'a [SourceFile], rel: &str) -> Option<&'a SourceFile> {
+    files.iter().find(|f| f.rel == rel)
+}
+
+fn finding(path: &str, line: u32, message: String) -> Finding {
+    Finding {
+        rule: Rule::Consistency,
+        path: path.to_string(),
+        line,
+        message,
+    }
+}
+
+/// Runs all consistency checks.
+pub fn analyze(root: &Path, files: &[SourceFile]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let readme = std::fs::read_to_string(root.join("README.md")).ok();
+
+    check_serve_error_mapping(files, &mut findings);
+    check_exit_codes(files, readme.as_deref(), &mut findings);
+    check_http_statuses(files, readme.as_deref(), &mut findings);
+    check_unsafe_forbidden(files, &mut findings);
+    findings
+}
+
+/// Check 1: ServeError variants all appear in the CLI mapping.
+fn check_serve_error_mapping(files: &[SourceFile], findings: &mut Vec<Finding>) {
+    let (Some(error_rs), Some(cli)) = (
+        find(files, "crates/serve/src/error.rs"),
+        find(files, "crates/cli/src/main.rs"),
+    ) else {
+        return;
+    };
+    let Some(serve_error) = error_rs.model.enums.iter().find(|e| e.name == "ServeError") else {
+        return;
+    };
+    for (variant, line) in &serve_error.variants {
+        let mapped = cli
+            .tokens
+            .iter()
+            .enumerate()
+            .any(|(i, t)| t.is_ident(variant) && !cli.model.in_test(i));
+        if !mapped {
+            findings.push(finding(
+                &error_rs.rel,
+                *line,
+                format!(
+                    "ServeError::{variant} has no exit-code mapping in \
+                     crates/cli/src/main.rs; add an explicit match arm"
+                ),
+            ));
+        }
+    }
+}
+
+/// Extracts `const EXIT_X: u8 = N;` constants from the CLI tokens.
+fn exit_constants(cli: &SourceFile) -> Vec<(String, u32, u32)> {
+    let toks = &cli.tokens;
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("const") {
+            continue;
+        }
+        let Some(name) = toks.get(i + 1).filter(|n| n.kind == TokKind::Ident) else {
+            continue;
+        };
+        if !name.text.starts_with("EXIT_") {
+            continue;
+        }
+        // const EXIT_X : u8 = N ;
+        let value = toks
+            .get(i + 5)
+            .filter(|v| v.kind == TokKind::Num)
+            .and_then(|v| v.text.parse::<u32>().ok());
+        if let Some(value) = value {
+            out.push((name.text.clone(), name.line, value));
+        }
+    }
+    out
+}
+
+/// Check 2: EXIT_* constants vs the usage text and the README table.
+fn check_exit_codes(files: &[SourceFile], readme: Option<&str>, findings: &mut Vec<Finding>) {
+    let Some(cli) = find(files, "crates/cli/src/main.rs") else {
+        return;
+    };
+    let consts = exit_constants(cli);
+    if consts.is_empty() {
+        return;
+    }
+
+    // The usage text is a string literal, so read the raw source: the
+    // section runs from `EXIT CODES` to the next blank line.
+    let section = cli.text.find("EXIT CODES").map(|start| {
+        let rest = &cli.text[start..];
+        match rest.find("\n\n") {
+            Some(end) => &rest[..end],
+            None => rest,
+        }
+    });
+    match section {
+        None => findings.push(finding(
+            &cli.rel,
+            1,
+            "the CLI usage text has no `EXIT CODES` section documenting exit codes".into(),
+        )),
+        Some(section) => {
+            let numbers: Vec<u32> = section
+                .split(|c: char| !c.is_ascii_digit())
+                .filter(|s| !s.is_empty())
+                .filter_map(|s| s.parse().ok())
+                .collect();
+            for (name, line, value) in &consts {
+                if !numbers.contains(value) {
+                    findings.push(finding(
+                        &cli.rel,
+                        *line,
+                        format!(
+                            "{name} = {value} is not documented in the usage `EXIT CODES` section"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    if let Some(readme) = readme {
+        for (name, line, value) in &consts {
+            if !readme.contains(&format!("| {value} |")) {
+                findings.push(finding(
+                    &cli.rel,
+                    *line,
+                    format!(
+                        "{name} = {value} has no `| {value} |` row in the README exit-code table"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Check 3: HTTP statuses emitted by the server are documented.
+fn check_http_statuses(files: &[SourceFile], readme: Option<&str>, findings: &mut Vec<Finding>) {
+    let (Some(server), Some(readme)) = (find(files, "crates/serve/src/server.rs"), readme) else {
+        return;
+    };
+    let mut statuses: Vec<(u32, u32)> = Vec::new();
+    for (i, t) in server.tokens.iter().enumerate() {
+        if t.kind != TokKind::Num || server.model.in_test(i) {
+            continue;
+        }
+        let digits: String = t.text.chars().filter(|c| c.is_ascii_digit()).collect();
+        if digits.len() != t.text.len() {
+            continue; // underscores / suffixes: not a status literal
+        }
+        if let Ok(v) = digits.parse::<u32>() {
+            if (100..=599).contains(&v) && !statuses.iter().any(|&(s, _)| s == v) {
+                statuses.push((v, t.line));
+            }
+        }
+    }
+    for (status, line) in statuses {
+        if !readme.contains(&format!("| {status} |")) {
+            findings.push(finding(
+                &server.rel,
+                line,
+                format!(
+                    "the server answers HTTP {status} but the README has no `| {status} |` \
+                     row documenting it"
+                ),
+            ));
+        }
+    }
+}
+
+/// Check 4: every crate root forbids `unsafe`.
+fn check_unsafe_forbidden(files: &[SourceFile], findings: &mut Vec<Finding>) {
+    for file in files {
+        let is_crate_root = match file.rel.strip_prefix("crates/") {
+            Some(rest) => {
+                let mut parts = rest.split('/');
+                let (_, src, leaf) = (parts.next(), parts.next(), parts.next());
+                src == Some("src")
+                    && matches!(leaf, Some("lib.rs") | Some("main.rs"))
+                    && parts.next().is_none()
+            }
+            None => file.rel == "src/lib.rs" || file.rel == "src/main.rs",
+        };
+        if !is_crate_root {
+            continue;
+        }
+        let has_forbid = file
+            .tokens
+            .windows(3)
+            .any(|w| w[0].is_ident("forbid") && w[1].is_punct('(') && w[2].is_ident("unsafe_code"));
+        if !has_forbid {
+            findings.push(finding(
+                &file.rel,
+                1,
+                "crate root is missing `#![forbid(unsafe_code)]`".into(),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source_from_str;
+    use std::path::PathBuf;
+
+    fn run(files: Vec<SourceFile>) -> Vec<Finding> {
+        // A root with no README: README-dependent checks are skipped.
+        analyze(&PathBuf::from("/nonexistent-for-test"), &files)
+    }
+
+    #[test]
+    fn unmapped_variant_is_reported() {
+        let error_rs = source_from_str(
+            "crates/serve/src/error.rs",
+            "pub enum ServeError { Bind, Protocol, }",
+        );
+        let cli = source_from_str(
+            "crates/cli/src/main.rs",
+            "#![forbid(unsafe_code)]\nfn code(e: &ServeError) -> u8 { match e { ServeError::Bind => 5, _ => 5 } }",
+        );
+        let findings = run(vec![error_rs, cli]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("ServeError::Protocol"));
+    }
+
+    #[test]
+    fn undocumented_exit_const_is_reported() {
+        let cli = source_from_str(
+            "crates/cli/src/main.rs",
+            r#"#![forbid(unsafe_code)]
+const USAGE: &str = "EXIT CODES:\n    0 success 2 usage";
+
+const EXIT_USAGE: u8 = 2;
+const EXIT_WEIRD: u8 = 7;
+"#,
+        );
+        let findings = run(vec![cli]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("EXIT_WEIRD = 7"));
+    }
+
+    #[test]
+    fn missing_forbid_unsafe_is_reported() {
+        let lib = source_from_str("crates/demo/src/lib.rs", "pub fn f() {}");
+        let findings = run(vec![lib]);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("forbid(unsafe_code)"));
+    }
+
+    #[test]
+    fn non_root_files_do_not_need_the_attribute() {
+        let module = source_from_str("crates/demo/src/inner/util.rs", "pub fn f() {}");
+        assert!(run(vec![module]).is_empty());
+    }
+}

@@ -1,0 +1,136 @@
+//! Determinism analysis for the seeded crates.
+//!
+//! `wlc-math`, `wlc-nn`, `wlc-sim`, and `wlc-data` promise bit-identical
+//! results for a fixed seed regardless of thread count. Non-test code in
+//! those crates therefore must not read wall/monotonic clocks
+//! (`Instant::now`, `SystemTime::now`) or construct hash containers with
+//! the randomly-seeded default hasher (`HashMap::new`, `HashSet::new`,
+//! `RandomState`), whose iteration order varies across processes.
+//! Suppress a justified use with
+//! `// wlc-lint: allow(determinism, reason = "...")`.
+
+use crate::lexer::TokKind;
+use crate::{Finding, Rule, SourceFile};
+
+/// Crate source prefixes the determinism rule applies to.
+pub const SEEDED_SCOPES: [&str; 4] = [
+    "crates/math/src/",
+    "crates/nn/src/",
+    "crates/sim/src/",
+    "crates/data/src/",
+];
+
+/// Constructors of randomly-seeded hash containers.
+const HASH_CTORS: [&str; 5] = ["new", "default", "with_capacity", "from", "from_iter"];
+
+/// Whether the determinism rule covers `rel`.
+pub fn in_scope(rel: &str) -> bool {
+    SEEDED_SCOPES.iter().any(|p| rel.starts_with(p))
+}
+
+/// Scans one in-scope file for nondeterminism sources.
+pub fn analyze(file: &SourceFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let toks = &file.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || file.model.in_test(i) {
+            continue;
+        }
+        let path_call_to = |name: &str| {
+            toks.get(i + 1).is_some_and(|a| a.is_punct(':'))
+                && toks.get(i + 2).is_some_and(|b| b.is_punct(':'))
+                && toks.get(i + 3).is_some_and(|c| c.is_ident(name))
+        };
+        match t.text.as_str() {
+            "Instant" | "SystemTime"
+                if path_call_to("now") && !file.model.allowed("determinism", t.line) =>
+            {
+                findings.push(Finding {
+                    rule: Rule::Determinism,
+                    path: file.rel.clone(),
+                    line: t.line,
+                    message: format!(
+                        "`{}::now()` in a seeded crate breaks run-to-run reproducibility; \
+                         thread timing through parameters or annotate \
+                         `// wlc-lint: allow(determinism, reason = \"...\")`",
+                        t.text
+                    ),
+                });
+            }
+            "HashMap" | "HashSet" => {
+                let ctor = HASH_CTORS.iter().any(|c| path_call_to(c));
+                if ctor && !file.model.allowed("determinism", t.line) {
+                    findings.push(Finding {
+                        rule: Rule::Determinism,
+                        path: file.rel.clone(),
+                        line: t.line,
+                        message: format!(
+                            "`{}` uses the randomly-seeded default hasher; iteration order \
+                             is nondeterministic — use `BTreeMap`/`BTreeSet` or annotate \
+                             `// wlc-lint: allow(determinism, reason = \"...\")`",
+                            t.text
+                        ),
+                    });
+                }
+            }
+            "RandomState" if !file.model.allowed("determinism", t.line) => {
+                findings.push(Finding {
+                    rule: Rule::Determinism,
+                    path: file.rel.clone(),
+                    line: t.line,
+                    message: "`RandomState` is seeded from the OS at process start; \
+                              seeded crates must hash deterministically"
+                        .into(),
+                });
+            }
+            _ => {}
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source_from_str;
+
+    #[test]
+    fn clocks_and_hashers_are_flagged() {
+        let src = r#"
+fn live() {
+    let t0 = Instant::now();
+    let walltime = SystemTime::now();
+    let mut m: HashMap<u32, u32> = HashMap::new();
+}
+"#;
+        let file = source_from_str("crates/nn/src/train.rs", src);
+        assert_eq!(analyze(&file).len(), 3);
+    }
+
+    #[test]
+    fn tests_and_annotations_are_exempt() {
+        let src = r#"
+fn live() {
+    // wlc-lint: allow(determinism, reason = "membership only; never iterated")
+    let mut seen: HashMap<&str, usize> = HashMap::new();
+}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let t0 = Instant::now();
+        let s = std::collections::HashSet::new();
+    }
+}
+"#;
+        let file = source_from_str("crates/data/src/validate.rs", src);
+        assert!(analyze(&file).is_empty(), "{:?}", analyze(&file));
+    }
+
+    #[test]
+    fn instant_as_type_annotation_is_fine() {
+        let src = "fn f(deadline: Instant) -> Instant { deadline }";
+        let file = source_from_str("crates/sim/src/queue.rs", src);
+        assert!(analyze(&file).is_empty());
+    }
+}

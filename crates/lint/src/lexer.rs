@@ -1,0 +1,410 @@
+//! A hand-rolled Rust lexer, sufficient for token-level static analysis.
+//!
+//! The goal is *not* to parse Rust — it is to produce a stream of
+//! identifiers, literals and punctuation with line numbers, such that
+//! string/char/raw-string contents and comments can never be mistaken
+//! for code. Line comments are collected separately so `// wlc-lint:`
+//! annotations can be read back; everything inside literals is dropped.
+
+/// Kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `self`, `unwrap`, ...).
+    Ident,
+    /// Numeric literal (`42`, `1e3`, `0xff`, `3_600_000.0`).
+    Num,
+    /// String literal of any flavor (`"..."`, `r#"..."#`, `b"..."`).
+    /// Contents are dropped.
+    Str,
+    /// Character literal (`'x'`, `'\n'`). Contents are dropped.
+    Char,
+    /// Lifetime (`'a`, `'_`).
+    Lifetime,
+    /// Single punctuation character (`.`, `:`, `{`, `!`, ...).
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token kind.
+    pub kind: TokKind,
+    /// Token text (empty for `Str`/`Char`; the single char for `Punct`).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this token is the given punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+
+    /// Whether this token is the given identifier.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+}
+
+/// A `//` line comment (doc comments included), text without the `//`.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text after the leading slashes.
+    pub text: String,
+    /// 1-based line the comment is on.
+    pub line: u32,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Lexes `src` into tokens plus line comments.
+pub fn lex(src: &str) -> (Vec<Token>, Vec<Comment>) {
+    let mut tokens = Vec::new();
+    let mut comments = Vec::new();
+    let chars: Vec<char> = src.chars().collect();
+    let n = chars.len();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment.
+        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            let start = i + 2;
+            let mut j = start;
+            while j < n && chars[j] != '\n' {
+                j += 1;
+            }
+            comments.push(Comment {
+                text: chars[start..j].iter().collect(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Block comment (nested).
+        if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            let mut depth = 1usize;
+            let mut j = i + 2;
+            while j < n && depth > 0 {
+                if chars[j] == '\n' {
+                    line += 1;
+                    j += 1;
+                } else if chars[j] == '/' && j + 1 < n && chars[j + 1] == '*' {
+                    depth += 1;
+                    j += 2;
+                } else if chars[j] == '*' && j + 1 < n && chars[j + 1] == '/' {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            i = j;
+            continue;
+        }
+        // Cooked string.
+        if c == '"' {
+            let start_line = line;
+            i = lex_cooked_string(&chars, i + 1, &mut line);
+            tokens.push(Token {
+                kind: TokKind::Str,
+                text: String::new(),
+                line: start_line,
+            });
+            continue;
+        }
+        // Lifetime or char literal.
+        if c == '\'' {
+            let start_line = line;
+            if i + 1 < n && chars[i + 1] == '\\' {
+                // Escaped char literal: consume to the closing quote.
+                let mut j = i + 2;
+                if j < n {
+                    j += 1; // the escaped character itself
+                }
+                // \u{...} escapes
+                while j < n && chars[j] != '\'' {
+                    j += 1;
+                }
+                i = j + 1;
+                tokens.push(Token {
+                    kind: TokKind::Char,
+                    text: String::new(),
+                    line: start_line,
+                });
+                continue;
+            }
+            if i + 2 < n && chars[i + 2] == '\'' && chars[i + 1] != '\'' {
+                // 'x' — a plain char literal.
+                i += 3;
+                tokens.push(Token {
+                    kind: TokKind::Char,
+                    text: String::new(),
+                    line: start_line,
+                });
+                continue;
+            }
+            // Lifetime: 'ident (not followed by a closing quote).
+            let mut j = i + 1;
+            let mut text = String::from("'");
+            while j < n && is_ident_continue(chars[j]) {
+                text.push(chars[j]);
+                j += 1;
+            }
+            i = j;
+            tokens.push(Token {
+                kind: TokKind::Lifetime,
+                text,
+                line: start_line,
+            });
+            continue;
+        }
+        // Identifier, possibly a string prefix (r", br", b", c") or a
+        // raw identifier (r#name).
+        if is_ident_start(c) {
+            let start_line = line;
+            let mut j = i;
+            let mut text = String::new();
+            while j < n && is_ident_continue(chars[j]) {
+                text.push(chars[j]);
+                j += 1;
+            }
+            let prefix_ok = matches!(text.as_str(), "r" | "b" | "br" | "c" | "cr" | "rb");
+            if prefix_ok && j < n && chars[j] == '"' {
+                // Prefixed cooked string (b"..", c"..").
+                if text.contains('r') {
+                    i = lex_raw_string(&chars, j + 1, 0, &mut line);
+                } else {
+                    i = lex_cooked_string(&chars, j + 1, &mut line);
+                }
+                tokens.push(Token {
+                    kind: TokKind::Str,
+                    text: String::new(),
+                    line: start_line,
+                });
+                continue;
+            }
+            if prefix_ok && text.contains('r') && j < n && chars[j] == '#' {
+                // Raw string r#".."# — count hashes; if a quote follows
+                // it is a raw string, otherwise r#ident (raw identifier).
+                let mut hashes = 0usize;
+                let mut k = j;
+                while k < n && chars[k] == '#' {
+                    hashes += 1;
+                    k += 1;
+                }
+                if k < n && chars[k] == '"' {
+                    i = lex_raw_string(&chars, k + 1, hashes, &mut line);
+                    tokens.push(Token {
+                        kind: TokKind::Str,
+                        text: String::new(),
+                        line: start_line,
+                    });
+                    continue;
+                }
+                if text == "r" && hashes == 1 && k < n && is_ident_start(chars[k]) {
+                    // Raw identifier: emit the identifier without r#.
+                    let mut t = String::new();
+                    let mut m = k;
+                    while m < n && is_ident_continue(chars[m]) {
+                        t.push(chars[m]);
+                        m += 1;
+                    }
+                    i = m;
+                    tokens.push(Token {
+                        kind: TokKind::Ident,
+                        text: t,
+                        line: start_line,
+                    });
+                    continue;
+                }
+            }
+            i = j;
+            tokens.push(Token {
+                kind: TokKind::Ident,
+                text,
+                line: start_line,
+            });
+            continue;
+        }
+        // Number.
+        if c.is_ascii_digit() {
+            let start_line = line;
+            let mut j = i;
+            let mut text = String::new();
+            let mut seen_dot = false;
+            while j < n {
+                let d = chars[j];
+                if d.is_ascii_alphanumeric() || d == '_' {
+                    text.push(d);
+                    j += 1;
+                } else if d == '.' && !seen_dot && j + 1 < n && chars[j + 1].is_ascii_digit() {
+                    seen_dot = true;
+                    text.push(d);
+                    j += 1;
+                } else if (d == '+' || d == '-')
+                    && matches!(text.chars().last(), Some('e') | Some('E'))
+                    && j + 1 < n
+                    && chars[j + 1].is_ascii_digit()
+                {
+                    text.push(d);
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            i = j;
+            tokens.push(Token {
+                kind: TokKind::Num,
+                text,
+                line: start_line,
+            });
+            continue;
+        }
+        // Anything else: single punctuation character.
+        tokens.push(Token {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+
+    (tokens, comments)
+}
+
+/// Consumes a cooked string body starting just after the opening quote;
+/// returns the index just past the closing quote.
+fn lex_cooked_string(chars: &[char], mut i: usize, line: &mut u32) -> usize {
+    let n = chars.len();
+    while i < n {
+        match chars[i] {
+            '\\' => i += 2,
+            '"' => return i + 1,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Consumes a raw string body (already past `r#*"`); returns the index
+/// just past the closing `"#*`.
+fn lex_raw_string(chars: &[char], mut i: usize, hashes: usize, line: &mut u32) -> usize {
+    let n = chars.len();
+    while i < n {
+        if chars[i] == '\n' {
+            *line += 1;
+            i += 1;
+            continue;
+        }
+        if chars[i] == '"' {
+            let mut k = 0usize;
+            while k < hashes && i + 1 + k < n && chars[i + 1 + k] == '#' {
+                k += 1;
+            }
+            if k == hashes {
+                return i + 1 + hashes;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .0
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let src = r####"
+// a comment with unwrap() inside
+let s = "unwrap() in a string";
+let r = r#"panic! in a raw string"#;
+let c = 'x';
+real_ident();
+"####;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"panic".to_string()));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_strings() {
+        let src = "let a = \"one\ntwo\nthree\";\nmarker();";
+        let (tokens, _) = lex(src);
+        let marker = tokens
+            .iter()
+            .find(|t| t.is_ident("marker"))
+            .expect("marker");
+        assert_eq!(marker.line, 4);
+    }
+
+    #[test]
+    fn comments_are_collected_with_lines() {
+        let src = "fn a() {}\n// wlc-lint: allow(panic, reason = \"x\")\nfn b() {}\n";
+        let (_, comments) = lex(src);
+        assert_eq!(comments.len(), 1);
+        assert_eq!(comments[0].line, 2);
+        assert!(comments[0].text.contains("wlc-lint"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let (tokens, _) = lex("fn f<'a>(x: &'a str) -> &'a str { x }");
+        let lifetimes: Vec<_> = tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 3);
+        assert!(lifetimes.iter().all(|t| t.text == "'a"));
+    }
+
+    #[test]
+    fn nested_block_comments_and_raw_idents() {
+        let ids = idents("/* outer /* inner */ still comment */ r#fn x");
+        assert_eq!(ids, vec!["fn".to_string(), "x".to_string()]);
+    }
+
+    #[test]
+    fn numbers_lex_as_single_tokens() {
+        let (tokens, _) = lex("3_600_000.0 1e3 0..10");
+        let nums: Vec<_> = tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(nums, vec!["3_600_000.0", "1e3", "0", "10"]);
+    }
+}

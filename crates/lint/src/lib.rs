@@ -1,0 +1,268 @@
+//! `wlc-lint` — workspace static analysis for the wlc repository.
+//!
+//! Runs four repo-specific analyses over the workspace's Rust sources,
+//! using a hand-rolled lexer (no external parser dependencies):
+//!
+//! - **lock-order** ([`locks`]): builds an inter-procedural lock
+//!   acquisition graph over `wlc-exec` + `wlc-serve` and fails on any
+//!   cycle (potential ABBA deadlock), with `file:line` provenance.
+//! - **panic** / **index** ([`panics`]): forbids `unwrap`/`expect`/
+//!   `panic!`-family macros in fault-tolerant non-test code, and slice
+//!   indexing in hot-path files.
+//! - **determinism** ([`determinism`]): forbids wall clocks and
+//!   randomly-seeded hash containers in the seeded crates.
+//! - **consistency** ([`consistency`]): exit codes, HTTP statuses, and
+//!   `#![forbid(unsafe_code)]` stay in sync with the documentation.
+//!
+//! Findings are suppressed per occurrence with
+//! `// wlc-lint: allow(<rule>, reason = "...")` on the same line or the
+//! line above; a reason is mandatory and malformed annotations are
+//! themselves findings.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub mod consistency;
+pub mod determinism;
+pub mod lexer;
+pub mod locks;
+pub mod model;
+pub mod panics;
+
+/// Which analysis produced a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Lock-acquisition-order cycle or self-deadlock.
+    LockOrder,
+    /// Panicking construct in fault-tolerant code.
+    Panic,
+    /// Slice/array indexing in a hot path.
+    Index,
+    /// Nondeterminism source in a seeded crate.
+    Determinism,
+    /// Exit-code / status / doc inconsistency.
+    Consistency,
+    /// Malformed or unknown `wlc-lint:` annotation.
+    Annotation,
+}
+
+impl Rule {
+    /// Stable rule name, as used by `--only` and annotations.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::LockOrder => "lock-order",
+            Rule::Panic => "panic",
+            Rule::Index => "index",
+            Rule::Determinism => "determinism",
+            Rule::Consistency => "consistency",
+            Rule::Annotation => "annotation",
+        }
+    }
+
+    /// Parses a rule name (the inverse of [`Rule::name`]).
+    pub fn from_name(s: &str) -> Option<Rule> {
+        match s {
+            "lock-order" => Some(Rule::LockOrder),
+            "panic" => Some(Rule::Panic),
+            "index" => Some(Rule::Index),
+            "determinism" => Some(Rule::Determinism),
+            "consistency" => Some(Rule::Consistency),
+            "annotation" => Some(Rule::Annotation),
+            _ => None,
+        }
+    }
+}
+
+/// Rules that may be suppressed with an `allow(...)` annotation.
+pub const SUPPRESSIBLE: [&str; 3] = ["panic", "index", "determinism"];
+
+/// One diagnostic.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Analysis that produced it.
+    pub rule: Rule,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path,
+            self.line,
+            self.rule.name(),
+            self.message
+        )
+    }
+}
+
+/// One lexed + modeled source file.
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub rel: String,
+    /// Raw file contents.
+    pub text: String,
+    /// Token stream.
+    pub tokens: Vec<lexer::Token>,
+    /// Structural model.
+    pub model: model::FileModel,
+}
+
+/// Builds a [`SourceFile`] from an in-memory string (used by tests).
+pub fn source_from_str(rel: &str, src: &str) -> SourceFile {
+    let (tokens, comments) = lexer::lex(src);
+    let model = model::build(&tokens, &comments);
+    SourceFile {
+        rel: rel.to_string(),
+        text: src.to_string(),
+        tokens,
+        model,
+    }
+}
+
+/// Recursively collects `.rs` files under `dir` into `out`, sorted.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Loads every workspace source file: `crates/*/src/**/*.rs` plus the
+/// facade crate's `src/**/*.rs`. Test directories (`crates/*/tests`,
+/// including this crate's self-test fixtures) are intentionally not
+/// visited.
+pub fn load_workspace(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut crates: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        crates.sort();
+        for krate in crates {
+            collect_rs(&krate.join("src"), &mut paths)?;
+        }
+    }
+    collect_rs(&root.join("src"), &mut paths)?;
+
+    let mut files = Vec::new();
+    for path in paths {
+        let text = std::fs::read_to_string(&path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let (tokens, comments) = lexer::lex(&text);
+        let model = model::build(&tokens, &comments);
+        files.push(SourceFile {
+            rel,
+            text,
+            tokens,
+            model,
+        });
+    }
+    Ok(files)
+}
+
+/// Runs every analysis (or just `only`, when given) over the workspace
+/// rooted at `root`. Findings come back sorted by path, line, rule.
+pub fn analyze(root: &Path, only: Option<Rule>) -> io::Result<Vec<Finding>> {
+    let files = load_workspace(root)?;
+    let mut findings: Vec<Finding> = Vec::new();
+    let run = |rule: Rule| only.is_none() || only == Some(rule);
+
+    if run(Rule::Annotation) {
+        for file in &files {
+            for allow in &file.model.allows {
+                if let Some(err) = &allow.error {
+                    findings.push(Finding {
+                        rule: Rule::Annotation,
+                        path: file.rel.clone(),
+                        line: allow.line,
+                        message: err.clone(),
+                    });
+                } else if !SUPPRESSIBLE.contains(&allow.rule.as_str()) {
+                    findings.push(Finding {
+                        rule: Rule::Annotation,
+                        path: file.rel.clone(),
+                        line: allow.line,
+                        message: format!(
+                            "allow({}) names an unknown rule; suppressible rules are {}",
+                            allow.rule,
+                            SUPPRESSIBLE.join(", ")
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    if run(Rule::LockOrder) {
+        let lock_files: Vec<&SourceFile> = files
+            .iter()
+            .filter(|f| {
+                f.rel.starts_with("crates/exec/src/") || f.rel.starts_with("crates/serve/src/")
+            })
+            .collect();
+        findings.extend(locks::analyze(&lock_files));
+    }
+
+    if run(Rule::Panic) || run(Rule::Index) {
+        for file in &files {
+            if panics::in_panic_scope(&file.rel) {
+                findings.extend(panics::analyze(file));
+            }
+        }
+    }
+
+    if run(Rule::Determinism) {
+        for file in &files {
+            if determinism::in_scope(&file.rel) {
+                findings.extend(determinism::analyze(file));
+            }
+        }
+    }
+
+    if run(Rule::Consistency) {
+        findings.extend(consistency::analyze(root, &files));
+    }
+
+    if let Some(rule) = only {
+        findings.retain(|f| f.rule == rule);
+    }
+    findings.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.rule, a.message.as_str()).cmp(&(
+            b.path.as_str(),
+            b.line,
+            b.rule,
+            b.message.as_str(),
+        ))
+    });
+    findings.dedup_by(|a, b| a.path == b.path && a.line == b.line && a.message == b.message);
+    Ok(findings)
+}

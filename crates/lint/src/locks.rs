@@ -1,0 +1,828 @@
+//! Inter-procedural lock-order analysis.
+//!
+//! Builds a lock-acquisition graph over the analyzed files: nodes are
+//! lock classes (`Struct.field` for lock-typed struct fields, the
+//! static's name for lock statics, `?name` for locks reached through an
+//! unresolvable receiver), and there is an edge `A -> B` whenever some
+//! code path acquires `B` while holding `A` — either directly or by
+//! calling a function that (transitively) acquires `B`. Any cycle in
+//! the graph is a potential ABBA deadlock and is reported with the
+//! `file:line` provenance of every participating edge.
+//!
+//! The analysis is token-based and deliberately over-approximates hold
+//! durations (a `let`-bound guard is assumed held to the end of its
+//! block unless explicitly `drop`ped) while under-approximating
+//! receiver aliasing (a `.read()`/`.write()` on an unknown receiver is
+//! ignored rather than guessed, so `io::Read`/`io::Write` calls never
+//! become phantom locks).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{TokKind, Token};
+use crate::model::FuncDef;
+use crate::{Finding, Rule, SourceFile};
+
+/// Method names that are never treated as calls into analyzed code:
+/// they are either acquisition primitives (handled separately) or std
+/// methods whose names collide with workspace functions too easily.
+const CALL_STOPLIST: [&str; 38] = [
+    "lock",
+    "read",
+    "write",
+    "wait",
+    "wait_timeout",
+    "notify_all",
+    "notify_one",
+    "push",
+    "pop",
+    "len",
+    "get",
+    "insert",
+    "remove",
+    "contains",
+    "clone",
+    "next",
+    "iter",
+    "collect",
+    "map",
+    "take",
+    "send",
+    "recv",
+    "join",
+    "spawn",
+    "new",
+    "default",
+    "with",
+    "drop",
+    "min",
+    "max",
+    "flush",
+    "clear",
+    "parse",
+    "into",
+    "from",
+    "fmt",
+    "is_empty",
+    "unwrap_or_else",
+];
+
+/// What a `.lock()/.read()/.write()` receiver resolved to.
+enum Recv {
+    /// A known lock class.
+    Node(String),
+    /// A condition variable — not an order node.
+    Condvar,
+    /// Unresolvable receiver.
+    Unknown(Option<String>),
+}
+
+/// One acquisition or call event observed while scanning a body.
+struct CallEv {
+    callee: String,
+    recv_base: Option<String>,
+    line: u32,
+    held: Vec<String>,
+}
+
+#[derive(Default)]
+struct Summary {
+    /// Lock classes acquired directly in this function.
+    direct: BTreeSet<String>,
+    /// Calls made, with the held set at the call site.
+    calls: Vec<CallEv>,
+    /// Direct edges `(from, to, provenance)`.
+    edges: Vec<(String, String, String)>,
+    /// Recursive-acquisition findings.
+    findings: Vec<Finding>,
+}
+
+struct Ctx<'a> {
+    /// `(owner, field) -> is_condvar` for all lock fields.
+    fields: BTreeMap<(String, String), bool>,
+    /// Field name -> owners declaring a lock field with that name.
+    field_owners: BTreeMap<String, Vec<String>>,
+    /// Names of lock statics.
+    statics: BTreeSet<String>,
+    /// Function qual -> definitions (file index, def index).
+    by_qual: BTreeMap<String, Vec<(usize, usize)>>,
+    /// Bare function name -> quals.
+    by_name: BTreeMap<String, Vec<String>>,
+    files: &'a [&'a SourceFile],
+}
+
+/// Runs the lock-order analysis over `files` (wlc-exec + wlc-serve).
+pub fn analyze(files: &[&SourceFile]) -> Vec<Finding> {
+    let mut ctx = Ctx {
+        fields: BTreeMap::new(),
+        field_owners: BTreeMap::new(),
+        statics: BTreeSet::new(),
+        by_qual: BTreeMap::new(),
+        by_name: BTreeMap::new(),
+        files,
+    };
+    for (fi, file) in files.iter().enumerate() {
+        for lf in &file.model.lock_fields {
+            ctx.fields
+                .insert((lf.owner.clone(), lf.field.clone()), lf.is_condvar());
+            ctx.field_owners
+                .entry(lf.field.clone())
+                .or_default()
+                .push(lf.owner.clone());
+        }
+        for (name, _) in &file.model.lock_statics {
+            ctx.statics.insert(name.clone());
+        }
+        for (di, def) in file.model.functions.iter().enumerate() {
+            if def.is_test {
+                continue;
+            }
+            ctx.by_qual
+                .entry(def.qual.clone())
+                .or_default()
+                .push((fi, di));
+            ctx.by_name
+                .entry(def.name.clone())
+                .or_default()
+                .push(def.qual.clone());
+        }
+    }
+
+    let mut findings = Vec::new();
+    let mut summaries: BTreeMap<String, Summary> = BTreeMap::new();
+    for (fi, file) in files.iter().enumerate() {
+        for def in &file.model.functions {
+            if def.is_test {
+                continue;
+            }
+            let mut s = scan_body(file, def, &ctx);
+            findings.append(&mut s.findings);
+            let entry = summaries.entry(def.qual.clone()).or_default();
+            entry.direct.extend(s.direct);
+            entry.calls.extend(s.calls);
+            entry.edges.extend(s.edges);
+        }
+        let _ = fi;
+    }
+
+    // Fixpoint: `enters(f)` = locks acquired by f or anything it calls.
+    let mut enters: BTreeMap<String, BTreeSet<String>> = summaries
+        .iter()
+        .map(|(q, s)| (q.clone(), s.direct.clone()))
+        .collect();
+    loop {
+        let mut changed = false;
+        let quals: Vec<String> = summaries.keys().cloned().collect();
+        for q in &quals {
+            let mut add: BTreeSet<String> = BTreeSet::new();
+            for call in &summaries[q].calls {
+                for callee in resolve_call(call, &ctx) {
+                    if let Some(set) = enters.get(&callee) {
+                        add.extend(set.iter().cloned());
+                    }
+                }
+            }
+            let cur = enters.entry(q.clone()).or_default();
+            for n in add {
+                changed |= cur.insert(n);
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Edge set: direct edges plus call-mediated edges.
+    let mut edges: BTreeMap<(String, String), String> = BTreeMap::new();
+    for (q, s) in &summaries {
+        for (a, b, prov) in &s.edges {
+            edges
+                .entry((a.clone(), b.clone()))
+                .or_insert_with(|| prov.clone());
+        }
+        for call in &s.calls {
+            if call.held.is_empty() {
+                continue;
+            }
+            for callee in resolve_call(call, &ctx) {
+                let Some(inner) = enters.get(&callee) else {
+                    continue;
+                };
+                let file = &ctx.files[file_of(q, &ctx)];
+                for b in inner {
+                    for a in &call.held {
+                        if a != b {
+                            edges.entry((a.clone(), b.clone())).or_insert_with(|| {
+                                format!("{}:{} (via call to {})", file.rel, call.line, callee)
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    findings.extend(report_cycles(&edges));
+    findings
+}
+
+fn file_of(qual: &str, ctx: &Ctx) -> usize {
+    ctx.by_qual
+        .get(qual)
+        .and_then(|v| v.first())
+        .map(|&(fi, _)| fi)
+        .unwrap_or(0)
+}
+
+/// Resolves a call event to candidate function quals.
+fn resolve_call(call: &CallEv, ctx: &Ctx) -> Vec<String> {
+    if CALL_STOPLIST.contains(&call.callee.as_str()) {
+        return Vec::new();
+    }
+    // `self.method(..)` resolves within the impl type via the qual the
+    // scanner already formed (`Type::method`); plain names resolve to a
+    // free function first, then fall back to a unique bare-name match.
+    if let Some(base) = &call.recv_base {
+        let qual = format!("{base}::{}", call.callee);
+        if ctx.by_qual.contains_key(&qual) {
+            return vec![qual];
+        }
+    }
+    if ctx.by_qual.contains_key(&call.callee) {
+        return vec![call.callee.clone()];
+    }
+    match ctx.by_name.get(&call.callee) {
+        Some(quals) => quals.clone(),
+        None => Vec::new(),
+    }
+}
+
+struct Guard {
+    node: String,
+    named: Option<String>,
+    depth: i64,
+    temp: bool,
+}
+
+fn scan_body(file: &SourceFile, def: &FuncDef, ctx: &Ctx) -> Summary {
+    let toks = &file.tokens;
+    let (open, close) = def.body;
+    let mut s = Summary::default();
+    let mut held: Vec<Guard> = Vec::new();
+    let mut depth = 0i64;
+    let mut paren = 0i64;
+    let mut pending_let = false;
+    let mut stmt_let: Option<String> = None;
+
+    let mut i = open + 1;
+    while i < close {
+        let t = &toks[i];
+        match t.kind {
+            TokKind::Punct => match t.text.as_bytes().first() {
+                Some(b'{') => depth += 1,
+                Some(b'}') => {
+                    depth -= 1;
+                    held.retain(|g| g.depth <= depth);
+                }
+                Some(b'(') => paren += 1,
+                Some(b')') => paren = paren.saturating_sub(1).max(0),
+                Some(b';') if paren == 0 => {
+                    held.retain(|g| !g.temp);
+                    stmt_let = None;
+                    pending_let = false;
+                }
+                _ => {}
+            },
+            TokKind::Ident => {
+                if pending_let {
+                    if t.text == "mut" {
+                        i += 1;
+                        continue;
+                    }
+                    stmt_let = Some(t.text.clone());
+                    pending_let = false;
+                    i += 1;
+                    continue;
+                }
+                match t.text.as_str() {
+                    "let" => {
+                        pending_let = true;
+                        stmt_let = None;
+                    }
+                    "drop"
+                        if toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+                            && toks.get(i + 3).is_some_and(|n| n.is_punct(')')) =>
+                    {
+                        if let Some(var) = toks.get(i + 2).filter(|v| v.kind == TokKind::Ident) {
+                            if let Some(pos) = held
+                                .iter()
+                                .rposition(|g| g.named.as_deref() == Some(&var.text))
+                            {
+                                held.remove(pos);
+                            }
+                        }
+                        i += 4;
+                        continue;
+                    }
+                    "lock" | "read" | "write"
+                        if toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+                            && i > open + 1
+                            && toks[i - 1].is_punct('.') =>
+                    {
+                        let method = t.text.clone();
+                        match resolve_receiver(toks, i, def, ctx) {
+                            Recv::Condvar => {}
+                            Recv::Unknown(base) => {
+                                // Only a bare `.lock()` on a simple local
+                                // becomes an opaque node; `.read/.write`
+                                // on unknown receivers are I/O, not locks.
+                                if method == "lock" {
+                                    if let Some(b) = base {
+                                        acquire(
+                                            &mut s,
+                                            &mut held,
+                                            format!("?{b}"),
+                                            file,
+                                            t.line,
+                                            depth,
+                                            &stmt_let,
+                                            &method,
+                                        );
+                                    }
+                                }
+                            }
+                            Recv::Node(id) => {
+                                acquire(
+                                    &mut s, &mut held, id, file, t.line, depth, &stmt_let, &method,
+                                );
+                            }
+                        }
+                        i += 2;
+                        continue;
+                    }
+                    _ if toks.get(i + 1).is_some_and(|n| n.is_punct('(')) => {
+                        // A call. Method call if preceded by `.`; free or
+                        // path call otherwise. Skip control-flow keywords.
+                        let kw = matches!(
+                            t.text.as_str(),
+                            "if" | "while"
+                                | "match"
+                                | "for"
+                                | "return"
+                                | "loop"
+                                | "fn"
+                                | "move"
+                                | "in"
+                                | "impl"
+                                | "else"
+                                | "Some"
+                                | "Ok"
+                                | "Err"
+                                | "None"
+                        );
+                        if !kw {
+                            let is_method = toks[i - 1].is_punct('.');
+                            let recv_base = if is_method {
+                                chain_base(toks, i).or(def.self_type.clone())
+                            } else {
+                                None
+                            };
+                            s.calls.push(CallEv {
+                                callee: t.text.clone(),
+                                recv_base,
+                                line: t.line,
+                                held: held.iter().map(|g| g.node.clone()).collect(),
+                            });
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            _ => {
+                if pending_let {
+                    pending_let = false; // pattern binding; treat as temp
+                }
+            }
+        }
+        i += 1;
+    }
+    s
+}
+
+#[allow(clippy::too_many_arguments)]
+fn acquire(
+    s: &mut Summary,
+    held: &mut Vec<Guard>,
+    node: String,
+    file: &SourceFile,
+    line: u32,
+    depth: i64,
+    stmt_let: &Option<String>,
+    method: &str,
+) {
+    if method == "lock" && held.iter().any(|g| g.node == node) {
+        s.findings.push(Finding {
+            rule: Rule::LockOrder,
+            path: file.rel.clone(),
+            line,
+            message: format!("lock `{node}` re-acquired while already held (self-deadlock)"),
+        });
+        return;
+    }
+    for g in held.iter() {
+        if g.node != node {
+            s.edges
+                .push((g.node.clone(), node.clone(), format!("{}:{line}", file.rel)));
+        }
+    }
+    s.direct.insert(node.clone());
+    held.push(Guard {
+        node,
+        named: stmt_let.clone(),
+        depth,
+        temp: stmt_let.is_none(),
+    });
+}
+
+/// Walks back from the `lock`/`read`/`write` ident to the start of the
+/// receiver chain. Returns the resolved lock class.
+fn resolve_receiver(toks: &[Token], method_idx: usize, def: &FuncDef, ctx: &Ctx) -> Recv {
+    // Collect the chain segments right-to-left, e.g. for
+    // `self.state.lock()` -> ["state", "self"]; for
+    // `EDGES.get_or_init(..).lock()` -> ["get_or_init()", "EDGES"].
+    let mut segs: Vec<String> = Vec::new();
+    let mut j = method_idx as i64 - 2; // skip the `.` at method_idx - 1
+    while j >= 0 {
+        let t = &toks[j as usize];
+        if t.is_punct(')') {
+            // Skip the balanced call arguments.
+            let mut d = 0i64;
+            while j >= 0 {
+                let u = &toks[j as usize];
+                if u.is_punct(')') {
+                    d += 1;
+                } else if u.is_punct('(') {
+                    d -= 1;
+                    if d == 0 {
+                        break;
+                    }
+                }
+                j -= 1;
+            }
+            j -= 1;
+            if j >= 0 && toks[j as usize].kind == TokKind::Ident {
+                segs.push(format!("{}()", toks[j as usize].text));
+                j -= 1;
+            } else {
+                return Recv::Unknown(None);
+            }
+        } else if t.kind == TokKind::Ident {
+            segs.push(t.text.clone());
+            j -= 1;
+        } else {
+            return Recv::Unknown(None);
+        }
+        // Continue only through `.` or `::`.
+        if j >= 0 && toks[j as usize].is_punct('.') {
+            j -= 1;
+            continue;
+        }
+        if j >= 1 && toks[j as usize].is_punct(':') && toks[j as usize - 1].is_punct(':') {
+            j -= 2;
+            continue;
+        }
+        break;
+    }
+    segs.reverse();
+    let Some(base) = segs.first() else {
+        return Recv::Unknown(None);
+    };
+
+    // `self.field.lock()` — resolve against the impl type's lock fields.
+    if base == "self" && segs.len() >= 2 {
+        let field = segs[1].trim_end_matches("()").to_string();
+        if let Some(ty) = &def.self_type {
+            if let Some(&condvar) = ctx.fields.get(&(ty.clone(), field.clone())) {
+                return if condvar {
+                    Recv::Condvar
+                } else {
+                    Recv::Node(format!("{ty}.{field}"))
+                };
+            }
+        }
+        // Fall back to a globally-unique field name.
+        if let Some(owners) = ctx.field_owners.get(&field) {
+            if owners.len() == 1 {
+                let owner = &owners[0];
+                let condvar = ctx.fields[&(owner.clone(), field.clone())];
+                return if condvar {
+                    Recv::Condvar
+                } else {
+                    Recv::Node(format!("{owner}.{field}"))
+                };
+            }
+        }
+        return Recv::Unknown(Some(format!("self.{field}")));
+    }
+
+    // `STATIC.lock()` or `STATIC.get_or_init(..).lock()`.
+    let base_name = base.trim_end_matches("()").to_string();
+    if ctx.statics.contains(&base_name) {
+        return Recv::Node(base_name);
+    }
+
+    // `var.field.lock()` where `field` is a globally-unique lock field.
+    if segs.len() >= 2 {
+        let field = segs[segs.len() - 1].trim_end_matches("()").to_string();
+        if let Some(owners) = ctx.field_owners.get(&field) {
+            if owners.len() == 1 {
+                let owner = &owners[0];
+                let condvar = ctx.fields[&(owner.clone(), field.clone())];
+                return if condvar {
+                    Recv::Condvar
+                } else {
+                    Recv::Node(format!("{owner}.{field}"))
+                };
+            }
+        }
+    }
+
+    // `local.lock()` — a lock behind a local binding (e.g. Arc<Mutex<..>>).
+    if segs.len() == 1 && !base.ends_with("()") {
+        return Recv::Unknown(Some(base_name));
+    }
+    Recv::Unknown(None)
+}
+
+/// Extracts the receiver base for an ordinary method call (for `self`
+/// dispatch). Only `self.method(..)` matters; everything else is None.
+fn chain_base(toks: &[Token], method_idx: usize) -> Option<String> {
+    if method_idx >= 2 {
+        let recv = &toks[method_idx - 2];
+        if recv.is_ident("self") {
+            return None; // caller substitutes the impl type
+        }
+        if recv.kind == TokKind::Ident {
+            let first = recv.text.chars().next().unwrap_or('_');
+            if first.is_uppercase() {
+                // `Type::method(..)` is handled via path calls; receivers
+                // that are values don't name a type.
+                return Some(recv.text.clone());
+            }
+        }
+    }
+    None
+}
+
+/// Finds strongly-connected components with more than one node (or a
+/// self-loop) and reports each as one finding.
+fn report_cycles(edges: &BTreeMap<(String, String), String>) -> Vec<Finding> {
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    let mut nodes: BTreeSet<&str> = BTreeSet::new();
+    for (a, b) in edges.keys() {
+        adj.entry(a.as_str()).or_default().insert(b.as_str());
+        nodes.insert(a.as_str());
+        nodes.insert(b.as_str());
+    }
+
+    // Tarjan's SCC, iterative to keep the lint itself panic-free on deep
+    // graphs.
+    let idx_of: BTreeMap<&str, usize> = nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+    let node_list: Vec<&str> = nodes.iter().copied().collect();
+    let n = node_list.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut sccs: Vec<Vec<usize>> = Vec::new();
+    let mut counter = 0usize;
+
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        // Explicit DFS stack: (node, neighbor iterator position).
+        let mut dfs: Vec<(usize, usize)> = vec![(start, 0)];
+        while let Some(&(v, pos)) = dfs.last() {
+            if pos == 0 {
+                index[v] = counter;
+                low[v] = counter;
+                counter += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            let neighbors: Vec<usize> = adj
+                .get(node_list[v])
+                .map(|s| s.iter().map(|t| idx_of[t]).collect())
+                .unwrap_or_default();
+            if pos < neighbors.len() {
+                if let Some(top) = dfs.last_mut() {
+                    top.1 += 1;
+                }
+                let w = neighbors[pos];
+                if index[w] == usize::MAX {
+                    dfs.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                dfs.pop();
+                if let Some(&(p, _)) = dfs.last() {
+                    low[p] = low[p].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut comp = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    sccs.push(comp);
+                }
+            }
+        }
+    }
+
+    let mut findings = Vec::new();
+    for comp in sccs {
+        let members: BTreeSet<&str> = comp.iter().map(|&i| node_list[i]).collect();
+        let cyclic = members.len() > 1
+            || members
+                .iter()
+                .any(|m| adj.get(m).is_some_and(|s| s.contains(m)));
+        if !cyclic {
+            continue;
+        }
+        let mut inner: Vec<String> = Vec::new();
+        let mut first_prov: Option<(String, u32)> = None;
+        for ((a, b), prov) in edges {
+            if members.contains(a.as_str()) && members.contains(b.as_str()) {
+                inner.push(format!("`{a}` -> `{b}` at {prov}"));
+                if first_prov.is_none() {
+                    let (path, line) = split_prov(prov);
+                    first_prov = Some((path, line));
+                }
+            }
+        }
+        let (path, line) = first_prov.unwrap_or_else(|| (String::from("<workspace>"), 0));
+        let names: Vec<&str> = members.iter().copied().collect();
+        findings.push(Finding {
+            rule: Rule::LockOrder,
+            path,
+            line,
+            message: format!(
+                "lock-order cycle among {{{}}}: {}",
+                names.join(", "),
+                inner.join("; ")
+            ),
+        });
+    }
+    findings
+}
+
+fn split_prov(prov: &str) -> (String, u32) {
+    let head = prov.split(' ').next().unwrap_or(prov);
+    match head.rsplit_once(':') {
+        Some((path, line)) => (path.to_string(), line.parse().unwrap_or(0)),
+        None => (head.to_string(), 0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source_from_str;
+
+    #[test]
+    fn abba_cycle_is_reported_with_provenance() {
+        let src = r#"
+use std::sync::Mutex;
+static A: Mutex<u32> = Mutex::new(0);
+static B: Mutex<u32> = Mutex::new(0);
+fn ab() {
+    let a = A.lock();
+    let b = B.lock();
+}
+fn ba() {
+    let b = B.lock();
+    let a = A.lock();
+}
+"#;
+        let file = source_from_str("crates/exec/src/lib.rs", src);
+        let findings = analyze(&[&file]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        let f = &findings[0];
+        assert!(f.message.contains("lock-order cycle"));
+        assert!(f.message.contains("`A` -> `B`"));
+        assert!(f.message.contains("`B` -> `A`"));
+        assert!(f.message.contains("crates/exec/src/lib.rs:"));
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let src = r#"
+use std::sync::Mutex;
+static A: Mutex<u32> = Mutex::new(0);
+static B: Mutex<u32> = Mutex::new(0);
+fn ab() {
+    let a = A.lock();
+    let b = B.lock();
+}
+fn also_ab() {
+    let a = A.lock();
+    drop(a);
+    let b = B.lock();
+}
+"#;
+        let file = source_from_str("crates/exec/src/lib.rs", src);
+        assert!(analyze(&[&file]).is_empty());
+    }
+
+    #[test]
+    fn cycle_through_a_call_is_found() {
+        let src = r#"
+use std::sync::Mutex;
+static A: Mutex<u32> = Mutex::new(0);
+static B: Mutex<u32> = Mutex::new(0);
+fn takes_b() {
+    let b = B.lock();
+    helper();
+}
+fn helper() {
+    let a = A.lock();
+}
+fn takes_a() {
+    let a = A.lock();
+    let b = B.lock();
+}
+"#;
+        let file = source_from_str("crates/exec/src/lib.rs", src);
+        let findings = analyze(&[&file]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("via call to helper"));
+    }
+
+    #[test]
+    fn struct_fields_and_self_receivers_resolve() {
+        let src = r#"
+use std::sync::{Condvar, Mutex};
+struct Q {
+    state: Mutex<u32>,
+    cv: Condvar,
+}
+impl Q {
+    fn pop(&self) {
+        let mut state = self.state.lock();
+        state = self.cv.wait(state);
+    }
+    fn push(&self) {
+        let state = self.state.lock();
+    }
+}
+"#;
+        let file = source_from_str("crates/exec/src/lib.rs", src);
+        assert!(analyze(&[&file]).is_empty());
+    }
+
+    #[test]
+    fn self_deadlock_is_reported() {
+        let src = r#"
+use std::sync::Mutex;
+struct S { inner: Mutex<u32> }
+impl S {
+    fn bad(&self) {
+        let a = self.inner.lock();
+        let b = self.inner.lock();
+    }
+}
+"#;
+        let file = source_from_str("crates/exec/src/lib.rs", src);
+        let findings = analyze(&[&file]);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("re-acquired"));
+    }
+
+    #[test]
+    fn test_code_is_ignored() {
+        let src = r#"
+use std::sync::Mutex;
+static A: Mutex<u32> = Mutex::new(0);
+static B: Mutex<u32> = Mutex::new(0);
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn inversion_on_purpose() {
+        let a = super::A.lock();
+        let b = super::B.lock();
+        drop(a);
+        drop(b);
+        let b = super::B.lock();
+        let a = super::A.lock();
+    }
+}
+"#;
+        let file = source_from_str("crates/exec/src/lib.rs", src);
+        assert!(analyze(&[&file]).is_empty());
+    }
+}

@@ -1,0 +1,127 @@
+//! `wlc-lint` command-line driver.
+//!
+//! ```text
+//! wlc-lint --workspace            # lint the enclosing cargo workspace
+//! wlc-lint --root path/to/tree    # lint an explicit tree (fixtures)
+//! wlc-lint --workspace --only panic
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings reported, `2` usage error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use wlc_lint::{analyze, Rule};
+
+const USAGE: &str = "\
+wlc-lint — workspace static analysis (lock order, panic-freedom,
+determinism, exit-code consistency)
+
+USAGE:
+    wlc-lint [--workspace | --root <PATH>] [--only <RULE>]
+
+OPTIONS:
+    --workspace      Locate the enclosing cargo workspace root (default)
+    --root <PATH>    Analyze the tree rooted at PATH instead
+    --only <RULE>    Run a single rule: lock-order | panic | index |
+                     determinism | consistency | annotation
+
+EXIT CODES:
+    0 clean   1 findings reported   2 bad usage";
+
+/// Walks upward from the current directory to the first `Cargo.toml`
+/// that declares `[workspace]`.
+fn workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root: Option<PathBuf> = None;
+    let mut only: Option<Rule> = None;
+    let mut use_workspace = false;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workspace" => use_workspace = true,
+            "--root" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => root = Some(PathBuf::from(p)),
+                    None => {
+                        eprintln!("--root requires a path\n\n{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--only" => {
+                i += 1;
+                match args.get(i).and_then(|r| Rule::from_name(r)) {
+                    Some(rule) => only = Some(rule),
+                    None => {
+                        eprintln!("--only requires a known rule name\n\n{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--help" | "-h" | "help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown flag `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+
+    if use_workspace && root.is_some() {
+        eprintln!("--workspace and --root are mutually exclusive\n\n{USAGE}");
+        return ExitCode::from(2);
+    }
+    let root = match root {
+        Some(r) => r,
+        None => match workspace_root() {
+            Some(r) => r,
+            None => {
+                eprintln!(
+                    "no enclosing cargo workspace found (run inside the repo or pass --root)"
+                );
+                return ExitCode::from(2);
+            }
+        },
+    };
+
+    match analyze(&root, only) {
+        Ok(findings) if findings.is_empty() => {
+            eprintln!("wlc-lint: clean ({})", root.display());
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            eprintln!("wlc-lint: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("wlc-lint: io error under {}: {e}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}

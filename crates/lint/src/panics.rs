@@ -1,0 +1,185 @@
+//! Panic-freedom analysis.
+//!
+//! Non-test code in the fault-tolerant layers (`wlc-serve`, `wlc-exec`,
+//! and the `wlc-core` fallback path) must not contain `unwrap()`,
+//! `expect()`, `panic!`, `todo!`, `unimplemented!`, or `unreachable!`.
+//! Hot-path files additionally forbid slice/array indexing (`x[i]`),
+//! which panics on out-of-bounds. Both rules can be suppressed per
+//! occurrence with `// wlc-lint: allow(panic, reason = "...")` or
+//! `// wlc-lint: allow(index, reason = "...")` on the same line or the
+//! line above.
+
+use crate::lexer::TokKind;
+use crate::{Finding, Rule, SourceFile};
+
+/// File prefixes the panic rule applies to (non-test code).
+pub const PANIC_SCOPES: [&str; 3] = [
+    "crates/serve/src/",
+    "crates/exec/src/",
+    "crates/core/src/fallback.rs",
+];
+
+/// Hot-path files where indexing is also forbidden.
+pub const HOT_PATHS: [&str; 4] = [
+    "crates/serve/src/server.rs",
+    "crates/exec/src/service.rs",
+    "crates/exec/src/pool.rs",
+    "crates/core/src/fallback.rs",
+];
+
+/// Panicking macros (the `!` sigil is matched separately).
+const PANIC_MACROS: [&str; 4] = ["panic", "todo", "unimplemented", "unreachable"];
+
+/// Keywords that can legally precede `[` without it being an index
+/// expression (`&mut [f64]`, `return [a, b]`, `in [..]`, ...).
+const NONINDEX_KEYWORDS: [&str; 11] = [
+    "mut", "dyn", "as", "return", "in", "else", "match", "if", "while", "let", "const",
+];
+
+/// Whether the panic rule covers `rel`.
+pub fn in_panic_scope(rel: &str) -> bool {
+    PANIC_SCOPES
+        .iter()
+        .any(|p| rel == *p || (p.ends_with('/') && rel.starts_with(p)))
+}
+
+/// Whether the index rule covers `rel`.
+pub fn is_hot_path(rel: &str) -> bool {
+    HOT_PATHS.contains(&rel)
+}
+
+/// Scans one in-scope file for panic sites.
+pub fn analyze(file: &SourceFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let toks = &file.tokens;
+    let hot = is_hot_path(&file.rel);
+    for (i, t) in toks.iter().enumerate() {
+        if file.model.in_test(i) {
+            continue;
+        }
+        match t.kind {
+            TokKind::Ident if t.text == "unwrap" || t.text == "expect" => {
+                let is_call = i > 0
+                    && toks[i - 1].is_punct('.')
+                    && toks.get(i + 1).is_some_and(|n| n.is_punct('('));
+                if is_call && !file.model.allowed("panic", t.line) {
+                    findings.push(Finding {
+                        rule: Rule::Panic,
+                        path: file.rel.clone(),
+                        line: t.line,
+                        message: format!(
+                            "`.{}()` in fault-tolerant non-test code can panic; handle the \
+                             error or annotate `// wlc-lint: allow(panic, reason = \"...\")`",
+                            t.text
+                        ),
+                    });
+                }
+            }
+            TokKind::Ident if PANIC_MACROS.contains(&t.text.as_str()) => {
+                let is_macro = toks.get(i + 1).is_some_and(|n| n.is_punct('!'));
+                if is_macro && !file.model.allowed("panic", t.line) {
+                    findings.push(Finding {
+                        rule: Rule::Panic,
+                        path: file.rel.clone(),
+                        line: t.line,
+                        message: format!(
+                            "`{}!` in fault-tolerant non-test code; return an error instead \
+                             or annotate `// wlc-lint: allow(panic, reason = \"...\")`",
+                            t.text
+                        ),
+                    });
+                }
+            }
+            TokKind::Punct if hot && t.is_punct('[') && i > 0 => {
+                let prev = &toks[i - 1];
+                let indexing = match prev.kind {
+                    TokKind::Ident => !NONINDEX_KEYWORDS.contains(&prev.text.as_str()),
+                    TokKind::Punct => prev.is_punct(')') || prev.is_punct(']'),
+                    _ => false,
+                };
+                if indexing && !file.model.allowed("index", t.line) {
+                    findings.push(Finding {
+                        rule: Rule::Index,
+                        path: file.rel.clone(),
+                        line: t.line,
+                        message: "slice/array indexing in a hot path can panic on \
+                                  out-of-bounds; use `.get(..)` or annotate \
+                                  `// wlc-lint: allow(index, reason = \"...\")`"
+                            .into(),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source_from_str;
+
+    #[test]
+    fn unwrap_and_macros_are_flagged_outside_tests() {
+        let src = r#"
+fn live() {
+    let x = compute().unwrap();
+    let y = compute().expect("y");
+    panic!("boom");
+    todo!();
+}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        compute().unwrap();
+        panic!("fine in tests");
+    }
+}
+"#;
+        let file = source_from_str("crates/serve/src/state.rs", src);
+        let findings = analyze(&file);
+        assert_eq!(findings.len(), 4, "{findings:?}");
+    }
+
+    #[test]
+    fn allow_annotation_suppresses() {
+        let src = r#"
+fn live() {
+    // wlc-lint: allow(panic, reason = "invariant: always Some here")
+    let x = compute().unwrap();
+}
+"#;
+        let file = source_from_str("crates/exec/src/pool.rs", src);
+        assert!(analyze(&file).is_empty());
+    }
+
+    #[test]
+    fn std_panic_path_is_not_a_macro() {
+        let src = "fn f() { let loc = std::panic::Location::caller(); }";
+        let file = source_from_str("crates/exec/src/tracked.rs", src);
+        assert!(analyze(&file).is_empty());
+    }
+
+    #[test]
+    fn indexing_flagged_only_in_hot_paths() {
+        let hot = source_from_str(
+            "crates/exec/src/pool.rs",
+            "fn f(v: &[f64]) { let x = v[0]; }",
+        );
+        assert_eq!(analyze(&hot).len(), 1);
+        let cold = source_from_str(
+            "crates/exec/src/tracked.rs",
+            "fn f(v: &[f64]) { let x = v[0]; }",
+        );
+        assert!(analyze(&cold).is_empty());
+    }
+
+    #[test]
+    fn slice_types_are_not_indexing() {
+        let src = "fn f(xs: &mut [f64], g: fn(&[u8])) -> [f64; 3] { make() }";
+        let file = source_from_str("crates/exec/src/service.rs", src);
+        assert!(analyze(&file).is_empty(), "{:?}", analyze(&file));
+    }
+}

@@ -1,0 +1,31 @@
+//! Self-test fixture: a wall clock inside a seeded crate.
+//!
+//! wlc-lint must report the `Instant::now()` call in non-test code of
+//! `crates/nn`; the annotated one and the test-module one must pass.
+
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+pub fn train_epoch(weights: &mut [f64]) -> f64 {
+    let t0 = Instant::now();
+    for w in weights.iter_mut() {
+        *w *= 0.99;
+    }
+    t0.elapsed().as_secs_f64()
+}
+
+pub fn justified_timing() -> Instant {
+    // wlc-lint: allow(determinism, reason = "fixture: demonstrates a justified suppression")
+    Instant::now()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clocks_are_fine_in_tests() {
+        let _t0 = Instant::now();
+    }
+}

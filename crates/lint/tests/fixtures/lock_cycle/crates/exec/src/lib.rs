@@ -1,0 +1,26 @@
+//! Self-test fixture: a seeded ABBA lock-order cycle.
+//!
+//! `record_order` acquires ORDERS then METRICS; `flush_metrics` acquires
+//! them in the opposite order. wlc-lint must report a lock-order cycle
+//! with both provenances. This file only needs to lex, not compile.
+
+#![forbid(unsafe_code)]
+
+use std::sync::Mutex;
+
+pub static ORDERS: Mutex<u64> = Mutex::new(0);
+pub static METRICS: Mutex<u64> = Mutex::new(0);
+
+pub fn record_order() {
+    let mut orders = ORDERS.lock();
+    let mut metrics = METRICS.lock();
+    *orders += 1;
+    *metrics += 1;
+}
+
+pub fn flush_metrics() {
+    let mut metrics = METRICS.lock();
+    let mut orders = ORDERS.lock();
+    *metrics = 0;
+    *orders = 0;
+}

@@ -1,0 +1,20 @@
+//! Self-test fixture: bare `unwrap`/`expect` in serve non-test code.
+//!
+//! wlc-lint must report both panic sites with file:line; the test-module
+//! unwrap must NOT be reported.
+
+#![forbid(unsafe_code)]
+
+pub fn parse_request_line(line: &str) -> (u32, u32) {
+    let status: u32 = line.split(' ').next().unwrap().parse().expect("status");
+    (status, line.len() as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_here() {
+        let x: Option<u32> = Some(1);
+        assert_eq!(x.unwrap(), 1);
+    }
+}

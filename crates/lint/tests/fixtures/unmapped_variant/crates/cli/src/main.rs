@@ -1,0 +1,14 @@
+//! Self-test fixture CLI: maps only two of the three ServeError
+//! variants, so wlc-lint must flag `ServeError::Protocol` as unmapped.
+
+#![forbid(unsafe_code)]
+
+fn serve_code(e: &ServeError) -> u8 {
+    match e {
+        ServeError::Bind { .. } => 5,
+        ServeError::Rejected { .. } => 3,
+        _ => 5,
+    }
+}
+
+fn main() {}

@@ -1,0 +1,10 @@
+//! Self-test fixture: a ServeError variant with no CLI exit-code arm.
+
+pub enum ServeError {
+    /// Mapped in the fixture CLI.
+    Bind { addr: String },
+    /// Mapped in the fixture CLI.
+    Rejected { status: u16 },
+    /// NOT mapped anywhere — wlc-lint must report this variant.
+    Protocol(String),
+}

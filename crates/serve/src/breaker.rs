@@ -9,8 +9,9 @@
 //! Time is injected by the caller (as an [`Instant`]) so tests can drive
 //! state transitions deterministically without sleeping.
 
-use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+use wlc_exec::TrackedMutex;
 
 /// Observable breaker state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,7 +39,7 @@ struct Inner {
 pub struct CircuitBreaker {
     threshold: u32,
     cooldown: Duration,
-    inner: Mutex<Inner>,
+    inner: TrackedMutex<Inner>,
 }
 
 impl CircuitBreaker {
@@ -48,19 +49,22 @@ impl CircuitBreaker {
         CircuitBreaker {
             threshold: threshold.max(1),
             cooldown,
-            inner: Mutex::new(Inner {
-                state: BreakerState::Closed,
-                consecutive_failures: 0,
-                opened_at: None,
-                trial_in_flight: false,
-            }),
+            inner: TrackedMutex::new(
+                "CircuitBreaker.inner",
+                Inner {
+                    state: BreakerState::Closed,
+                    consecutive_failures: 0,
+                    opened_at: None,
+                    trial_in_flight: false,
+                },
+            ),
         }
     }
 
     /// Current state as of `now` (an open circuit whose cooldown has
     /// elapsed reports [`BreakerState::HalfOpen`]).
     pub fn state(&self, now: Instant) -> BreakerState {
-        let inner = self.inner.lock().unwrap();
+        let inner = self.inner.lock();
         match inner.state {
             BreakerState::Open if self.cooled_down(&inner, now) => BreakerState::HalfOpen,
             s => s,
@@ -79,7 +83,7 @@ impl CircuitBreaker {
     /// transition to half-open and admit exactly one trial; concurrent
     /// requests keep using the fallback until the trial reports back.
     pub fn allow_primary(&self, now: Instant) -> bool {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock();
         match inner.state {
             BreakerState::Closed => true,
             BreakerState::HalfOpen => {
@@ -106,14 +110,14 @@ impl CircuitBreaker {
     /// used when a request granted the trial turns out to be invalid
     /// (a caller error says nothing about the primary model's health).
     pub fn abandon_trial(&self) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock();
         inner.trial_in_flight = false;
     }
 
     /// Records a successful primary prediction: closes the circuit and
     /// resets the failure streak.
     pub fn record_success(&self) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock();
         inner.state = BreakerState::Closed;
         inner.consecutive_failures = 0;
         inner.opened_at = None;
@@ -123,7 +127,7 @@ impl CircuitBreaker {
     /// Records a failed primary prediction as of `now`; returns `true`
     /// if this failure opened (or re-opened) the circuit.
     pub fn record_failure(&self, now: Instant) -> bool {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock();
         match inner.state {
             BreakerState::HalfOpen => {
                 // Failed trial: straight back to open, fresh cooldown.

@@ -7,9 +7,9 @@
 //! and protocol errors surface immediately.
 
 use std::net::TcpStream;
-use std::sync::Mutex;
 use std::time::Duration;
 
+use wlc_exec::TrackedMutex;
 use wlc_math::rng::Xoshiro256;
 
 use crate::error::ServeError;
@@ -60,7 +60,7 @@ impl Default for ClientConfig {
 pub struct ServeClient {
     addr: String,
     config: ClientConfig,
-    rng: Mutex<Xoshiro256>,
+    rng: TrackedMutex<Xoshiro256>,
 }
 
 impl ServeClient {
@@ -70,7 +70,7 @@ impl ServeClient {
         ServeClient {
             addr: addr.into(),
             config,
-            rng: Mutex::new(Xoshiro256::seed_from(seed)),
+            rng: TrackedMutex::new("ServeClient.rng", Xoshiro256::seed_from(seed)),
         }
     }
 
@@ -79,7 +79,7 @@ impl ServeClient {
     fn backoff(&self, attempt: usize) -> Duration {
         let base = self.config.base_backoff;
         let exp = base.saturating_mul(1u32 << attempt.min(16) as u32);
-        let jitter = base.mul_f64(self.rng.lock().unwrap().next_f64());
+        let jitter = base.mul_f64(self.rng.lock().next_f64());
         (exp + jitter).min(self.config.max_backoff)
     }
 

@@ -253,10 +253,13 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
             }
             Some(_) => {
                 // Consume one UTF-8 scalar (the input is a &str, so
-                // slicing on char boundaries is safe).
+                // slicing on char boundaries is safe). The byte at `pos`
+                // exists (this arm matched), so the decoded text is
+                // non-empty; the `None` arm is unreachable but stays
+                // panic-free anyway.
                 let rest =
                     std::str::from_utf8(&bytes[*pos..]).map_err(|_| "invalid utf-8 in string")?;
-                let c = rest.chars().next().unwrap();
+                let c = rest.chars().next().ok_or("unterminated string")?;
                 out.push(c);
                 *pos += c.len_utf8();
             }

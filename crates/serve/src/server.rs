@@ -523,23 +523,22 @@ fn handle_predict(
     let now = Instant::now();
     // With no baseline to degrade to, bypassing the primary would leave
     // nothing to answer with — try the primary even when the breaker is
-    // open.
-    let use_primary =
-        snapshot.has_primary() && (shared.breaker.allow_primary(now) || !snapshot.has_baseline());
+    // open. The breaker is only consulted (it consumes the half-open
+    // trial slot) when a primary actually exists.
+    let chosen = match snapshot.primary() {
+        Some(model) if shared.breaker.allow_primary(now) || !snapshot.has_baseline() => Some(model),
+        _ => None,
+    };
 
     let mut primary_error: Option<String> = None;
     let mut outcome: Option<(Vec<f64>, Served)> = None;
-    if use_primary {
+    if let Some(model) = chosen {
         let forced = shared.take_forced_failure();
         if forced {
             shared.breaker.record_failure(Instant::now());
             primary_error = Some("injected primary failure (--force-fail)".into());
         } else {
-            match snapshot
-                .primary()
-                .expect("has_primary checked")
-                .predict(&inputs)
-            {
+            match model.predict(&inputs) {
                 Ok(y) if y.iter().all(|v| v.is_finite()) => {
                     shared.breaker.record_success();
                     outcome = Some((y, Served::Primary));
@@ -562,12 +561,11 @@ fn handle_predict(
             }
         }
     }
-    if outcome.is_none() {
-        match snapshot.baseline() {
+    let (y, served) = match outcome {
+        Some(pair) => pair,
+        None => match snapshot.baseline() {
             Some(baseline) => match baseline.predict(&inputs) {
-                Ok(y) if y.iter().all(|v| v.is_finite()) => {
-                    outcome = Some((y, Served::Baseline));
-                }
+                Ok(y) if y.iter().all(|v| v.is_finite()) => (y, Served::Baseline),
                 Ok(_) => {
                     return (
                         500,
@@ -582,9 +580,8 @@ fn handle_predict(
                     .unwrap_or_else(|| "no model available to serve this request".into());
                 return (500, error_body(&reason, false), false);
             }
-        }
-    }
-    let (y, served) = outcome.expect("outcome set above");
+        },
+    };
 
     // The answer must also *arrive* within the deadline.
     if Instant::now() >= deadline {

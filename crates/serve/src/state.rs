@@ -1,16 +1,21 @@
 //! The hot-swappable serving model: an atomic *last-good* slot.
 //!
-//! [`ModelSlot`] owns the [`FallbackModel`] bundle behind an
-//! `Mutex<Arc<...>>`. Request handlers clone the `Arc` once per request
-//! (a cheap pointer copy) and keep predicting from that snapshot even if
-//! a reload lands mid-request. Reloads are validated **before** the swap
-//! — parse, finiteness, scaler sanity and dimension agreement with the
+//! [`ModelSlot`] owns the [`FallbackModel`] bundle behind a
+//! [`TrackedRwLock`]`<Arc<...>>`: request handlers take the shared read
+//! side and clone the `Arc` once per request (a cheap pointer copy), so
+//! concurrent snapshots never serialize against each other, and keep
+//! predicting from that snapshot even if a reload lands mid-request.
+//! Reloads take the write side and are validated **before** the swap —
+//! parse, finiteness, scaler sanity and dimension agreement with the
 //! serving bundle — so a corrupt or mismatched file is rejected without
-//! ever disturbing the model that is currently serving.
+//! ever disturbing the model that is currently serving. In debug builds
+//! the tracked lock participates in the workspace lock-order checker.
 
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+use wlc_exec::TrackedRwLock;
 
 use wlc_model::fallback::FallbackModel;
 use wlc_model::WorkloadModel;
@@ -20,7 +25,7 @@ use crate::error::ServeError;
 /// Atomic last-good model slot (see module docs).
 #[derive(Debug)]
 pub struct ModelSlot {
-    current: Mutex<Arc<FallbackModel>>,
+    current: TrackedRwLock<Arc<FallbackModel>>,
     generation: AtomicU64,
 }
 
@@ -28,7 +33,7 @@ impl ModelSlot {
     /// Wraps an initial bundle as generation 0.
     pub fn new(bundle: FallbackModel) -> Self {
         ModelSlot {
-            current: Mutex::new(Arc::new(bundle)),
+            current: TrackedRwLock::new("ModelSlot.current", Arc::new(bundle)),
             generation: AtomicU64::new(0),
         }
     }
@@ -37,7 +42,7 @@ impl ModelSlot {
     /// once per request so a concurrent reload cannot change the model
     /// underneath a half-computed prediction.
     pub fn snapshot(&self) -> Arc<FallbackModel> {
-        Arc::clone(&self.current.lock().unwrap())
+        Arc::clone(&self.current.read())
     }
 
     /// Monotone reload counter: bumped once per successful swap.
@@ -48,9 +53,9 @@ impl ModelSlot {
     /// Validates and installs a new primary model; returns the new
     /// generation. On any error the serving bundle is left untouched.
     pub fn install(&self, candidate: WorkloadModel) -> Result<u64, ServeError> {
-        // Hold the lock across validate+swap so two concurrent reloads
-        // cannot interleave their dimension checks and swaps.
-        let mut current = self.current.lock().unwrap();
+        // Hold the write lock across validate+swap so two concurrent
+        // reloads cannot interleave their dimension checks and swaps.
+        let mut current = self.current.write();
         let expected = match current.inputs() {
             0 => None,
             inputs => Some((inputs, current.outputs())),
