@@ -16,7 +16,7 @@ echo "==> wlc-lint (workspace static analysis, blocking)"
 cargo run -q -p wlc-lint -- --workspace
 
 echo "==> wlc-lint self-test (each seeded-bug fixture must fail)"
-for fixture in lock_cycle panic_serve instant_nn unmapped_variant; do
+for fixture in lock_cycle panic_serve instant_nn unmapped_variant alloc_hot; do
     if cargo run -q -p wlc-lint -- --root "crates/lint/tests/fixtures/$fixture"; then
         echo "fixture $fixture was unexpectedly clean"
         exit 1
@@ -26,6 +26,12 @@ done
 if [ "${1:-}" != "quick" ]; then
     echo "==> cargo build --release (tier-1 default members)"
     cargo build --release
+
+    echo "==> bench regression guard (speedup ratios vs BENCH_nn.json)"
+    # Ratios (batched vs legacy arm, interleaved same-run) are machine-
+    # independent; absolute throughput is not compared. Writes the fresh
+    # measurement to BENCH_nn.new.json for inspection.
+    ./target/release/wlc bench --quick --check BENCH_nn.json --no-serve
 fi
 
 echo "==> cargo test -q (tier-1 default members)"

@@ -1,5 +1,6 @@
 //! Subcommand implementations.
 
+pub mod bench;
 pub mod collect;
 pub mod cv;
 pub mod predict;

@@ -43,6 +43,7 @@ COMMANDS:
     cv         k-fold cross validation on a CSV dataset (paper Table 2)
     surface    Evaluate + classify a response surface of a saved model
     serve      Run the fault-tolerant prediction server (HTTP + JSON)
+    bench      Benchmark the train/predict hot path; track BENCH_nn.json
     help       Show this message
 
 EXIT CODES:
@@ -65,6 +66,7 @@ fn main() -> ExitCode {
         "cv" => commands::cv::run(rest),
         "surface" => commands::surface::run(rest),
         "serve" => commands::serve::run(rest),
+        "bench" => commands::bench::run(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;

@@ -71,7 +71,10 @@ mod tuning;
 pub use cv::{CrossValidator, CvReport, CvTrial, QuarantinedFold};
 pub use ensemble::EnsembleModel;
 pub use error::ModelError;
-pub use model::{PerformanceModel, ScalingKind, TrainedModel, WorkloadModel, WorkloadModelBuilder};
+pub use model::{
+    PerformanceModel, PredictScratch, ScalingKind, TrainedModel, WorkloadModel,
+    WorkloadModelBuilder,
+};
 pub use search::{HyperParameterSearch, SearchCandidate, SearchOutcome};
 pub use surface::{
     evaluate_all, evaluate_all_jobs, evaluate_all_timed, ResponseSurface, SurfaceGrid,

@@ -4,7 +4,8 @@ use wlc_data::metrics::ErrorReport;
 use wlc_data::{Dataset, Scaler};
 use wlc_math::Matrix;
 use wlc_nn::{
-    Activation, Checkpoint, Loss, Mlp, MlpBuilder, OptimizerKind, TrainConfig, TrainReport, Trainer,
+    Activation, Checkpoint, Loss, Mlp, MlpBuilder, OptimizerKind, TrainConfig, TrainReport,
+    Trainer, Workspace,
 };
 
 use crate::ModelError;
@@ -39,6 +40,37 @@ pub trait PerformanceModel {
             out.row_mut(r).copy_from_slice(&y);
         }
         Ok(out)
+    }
+}
+
+/// Reusable scratch for [`WorkloadModel::predict_batch_with`] —
+/// a serving worker keeps one of these alive across requests so the
+/// steady-state batch-prediction path performs no heap allocations.
+///
+/// The scratch adapts itself: if the served model's topology changes
+/// (hot reload) or a request carries a different batch size, the buffers
+/// are rebuilt/regrown on the next call, then reused again.
+#[derive(Debug, Clone)]
+pub struct PredictScratch {
+    scaled: Matrix,
+    out: Matrix,
+    ws: Option<Workspace>,
+}
+
+impl PredictScratch {
+    /// Creates an empty scratch; buffers are sized on first use.
+    pub fn new() -> Self {
+        PredictScratch {
+            scaled: Matrix::zeros(0, 0),
+            out: Matrix::zeros(0, 0),
+            ws: None,
+        }
+    }
+}
+
+impl Default for PredictScratch {
+    fn default() -> Self {
+        PredictScratch::new()
     }
 }
 
@@ -98,6 +130,74 @@ impl WorkloadModel {
     /// The underlying network topology, e.g. `[4, 16, 12, 5]`.
     pub fn topology(&self) -> Vec<usize> {
         self.mlp.topology()
+    }
+
+    /// Batched prediction through caller-owned scratch buffers — the
+    /// allocation-free serving path.
+    ///
+    /// Bit-identical to calling [`PerformanceModel::predict`] on each row
+    /// (the batched forward pass is a GEMM with the same fixed
+    /// accumulation order as the per-row path). Once `scratch` has been
+    /// warmed by a call of the same batch size and topology, no heap
+    /// allocation occurs. The returned matrix borrows from `scratch` and
+    /// is valid until the next call.
+    ///
+    /// # Errors
+    ///
+    /// - [`ModelError::WidthMismatch`] if `xs.cols() != self.inputs()`.
+    /// - [`ModelError::NonFiniteInput`] for non-finite raw or
+    ///   standardized features (same checks as `predict`).
+    pub fn predict_batch_with<'s>(
+        &self,
+        xs: &Matrix,
+        scratch: &'s mut PredictScratch,
+    ) -> Result<&'s Matrix, ModelError> {
+        if xs.cols() != self.inputs() {
+            return Err(ModelError::WidthMismatch {
+                expected: self.inputs(),
+                actual: xs.cols(),
+                what: "configuration",
+            });
+        }
+        let PredictScratch { scaled, out, ws } = scratch;
+        if scaled.cols() != xs.cols() {
+            *scaled = Matrix::zeros(0, xs.cols());
+        }
+        scaled.resize_rows(xs.rows());
+        for r in 0..xs.rows() {
+            let row = scaled.row_mut(r);
+            row.copy_from_slice(xs.row(r));
+            if let Some(index) = row.iter().position(|v| !v.is_finite()) {
+                return Err(ModelError::NonFiniteInput {
+                    index,
+                    stage: "raw",
+                });
+            }
+            self.input_scaler.transform_row(row)?;
+            // Finite input can still standardize to ±inf or NaN against a
+            // degenerate scaler — reject before it floods the network.
+            if let Some(index) = row.iter().position(|v| !v.is_finite()) {
+                return Err(ModelError::NonFiniteInput {
+                    index,
+                    stage: "standardized",
+                });
+            }
+        }
+        let workspace = match ws {
+            Some(w) if w.matches(&self.mlp) => w,
+            _ => ws.insert(Workspace::for_mlp(&self.mlp)),
+        };
+        let acts = self.mlp.forward_batch_with(scaled, workspace)?;
+        if out.cols() != acts.cols() {
+            *out = Matrix::zeros(0, acts.cols());
+        }
+        out.resize_rows(acts.rows());
+        for r in 0..acts.rows() {
+            let row = out.row_mut(r);
+            row.copy_from_slice(acts.row(r));
+            self.output_scaler.inverse_row(row)?;
+        }
+        Ok(out)
     }
 
     /// Evaluates prediction error on a labelled dataset, producing the
@@ -698,6 +798,47 @@ mod tests {
         let batch = outcome.model.predict_batch(&xs).unwrap();
         let single = outcome.model.predict(xs.row(3)).unwrap();
         assert_eq!(batch.row(3), single.as_slice());
+    }
+
+    #[test]
+    fn predict_batch_with_is_bitwise_predict_and_survives_reload() {
+        let ds = synthetic_dataset();
+        let outcome = quick_builder().max_epochs(50).train(&ds).unwrap();
+        let (xs, _) = ds.to_matrices();
+        let mut scratch = PredictScratch::new();
+        let batch = outcome
+            .model
+            .predict_batch_with(&xs, &mut scratch)
+            .unwrap()
+            .clone();
+        for r in 0..xs.rows() {
+            let single = outcome.model.predict(xs.row(r)).unwrap();
+            let batch_bits: Vec<u64> = batch.row(r).iter().map(|v| v.to_bits()).collect();
+            let single_bits: Vec<u64> = single.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(batch_bits, single_bits, "row {r}");
+        }
+        // A different topology (hot reload) must rebuild the workspace
+        // transparently rather than erroring or answering garbage.
+        let other = quick_builder()
+            .no_hidden_layers()
+            .hidden_layer(6)
+            .max_epochs(10)
+            .train(&ds)
+            .unwrap();
+        let swapped = other.model.predict_batch_with(&xs, &mut scratch).unwrap();
+        assert_eq!(swapped.row(2), other.model.predict(xs.row(2)).unwrap());
+        // Errors mirror `predict`: width and finiteness checks.
+        let narrow = Matrix::zeros(2, 1);
+        assert!(matches!(
+            outcome.model.predict_batch_with(&narrow, &mut scratch),
+            Err(ModelError::WidthMismatch { .. })
+        ));
+        let mut bad = xs.clone();
+        bad.row_mut(1)[0] = f64::NAN;
+        assert!(matches!(
+            outcome.model.predict_batch_with(&bad, &mut scratch),
+            Err(ModelError::NonFiniteInput { stage: "raw", .. })
+        ));
     }
 
     #[test]

@@ -215,6 +215,71 @@ impl ServicePool {
         ServicePool { handles }
     }
 
+    /// Spawns `workers` threads (minimum 1) that each own a mutable state
+    /// value built by `init(worker_index)` and drain `queue` through
+    /// `handler(worker_index, &mut state, job)`.
+    ///
+    /// The state lives for the worker's whole lifetime, so expensive
+    /// scratch (buffers, workspaces, connections) is built once per
+    /// worker and reused across jobs instead of being reallocated per
+    /// request.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use std::sync::atomic::{AtomicUsize, Ordering};
+    /// use std::sync::Arc;
+    /// use wlc_exec::{BoundedQueue, ServicePool};
+    ///
+    /// let queue = Arc::new(BoundedQueue::new(16));
+    /// let total = Arc::new(AtomicUsize::new(0));
+    /// let sink = Arc::clone(&total);
+    /// let pool = ServicePool::start_with_state(
+    ///     2,
+    ///     Arc::clone(&queue),
+    ///     |_worker| Vec::<usize>::new(), // per-worker scratch
+    ///     move |_worker, scratch, job: usize| {
+    ///         scratch.push(job); // reused buffer, never shared
+    ///         sink.fetch_add(job, Ordering::Relaxed);
+    ///     },
+    /// );
+    /// for j in 1..=4 {
+    ///     queue.push(j).unwrap();
+    /// }
+    /// queue.close();
+    /// pool.join();
+    /// assert_eq!(total.load(Ordering::Relaxed), 10);
+    /// ```
+    pub fn start_with_state<T, S, I, F>(
+        workers: usize,
+        queue: Arc<BoundedQueue<T>>,
+        init: I,
+        handler: F,
+    ) -> Self
+    where
+        T: Send + 'static,
+        S: Send + 'static,
+        I: Fn(usize) -> S + Send + Sync + 'static,
+        F: Fn(usize, &mut S, T) + Send + Sync + 'static,
+    {
+        let init = Arc::new(init);
+        let handler = Arc::new(handler);
+        let handles = (0..workers.max(1))
+            .map(|worker| {
+                let queue = Arc::clone(&queue);
+                let init = Arc::clone(&init);
+                let handler = Arc::clone(&handler);
+                std::thread::spawn(move || {
+                    let mut state = init(worker);
+                    while let Some(job) = queue.pop() {
+                        handler(worker, &mut state, job);
+                    }
+                })
+            })
+            .collect();
+        ServicePool { handles }
+    }
+
     /// Number of worker threads.
     pub fn workers(&self) -> usize {
         self.handles.len()
@@ -320,6 +385,35 @@ mod tests {
         queue.close();
         pool.join();
         assert_eq!(done.load(Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn per_worker_state_is_initialized_once_and_reused() {
+        let queue = Arc::new(BoundedQueue::new(64));
+        let inits = Arc::new(AtomicUsize::new(0));
+        let jobs_via_state = Arc::new(AtomicUsize::new(0));
+        let init_counter = Arc::clone(&inits);
+        let sink = Arc::clone(&jobs_via_state);
+        let pool = ServicePool::start_with_state(
+            3,
+            Arc::clone(&queue),
+            move |worker| {
+                init_counter.fetch_add(1, Ordering::Relaxed);
+                (worker, 0usize) // per-worker mutable scratch
+            },
+            move |worker, state, _job: usize| {
+                assert_eq!(state.0, worker, "state belongs to its worker");
+                state.1 += 1;
+                sink.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        for j in 0..30 {
+            queue.push(j).unwrap();
+        }
+        queue.close();
+        pool.join();
+        assert_eq!(inits.load(Ordering::Relaxed), 3, "one init per worker");
+        assert_eq!(jobs_via_state.load(Ordering::Relaxed), 30);
     }
 
     #[test]

@@ -1,0 +1,26 @@
+//! The `#[wlc_hot]` marker attribute for allocation-free hot paths.
+//!
+//! Functions on the batched training / inference / serving hot path are
+//! annotated `#[wlc_hot]`. The attribute is deliberately inert — it
+//! expands to the unchanged item and adds zero runtime or compile-time
+//! behaviour. Its only purpose is to be visible to `wlc-lint`, whose
+//! `alloc-in-hot-path` rule scans marked functions and flags heap
+//! allocations (`Vec::new`, `to_vec()`, `clone()`, `vec![]`, ...)
+//! inside them.
+//!
+//! Intentional allocations (e.g. one-time workspace construction) can be
+//! suppressed with the usual grammar:
+//! `// wlc-lint: allow(alloc-in-hot-path, reason = "...")`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use proc_macro::TokenStream;
+
+/// Marks a function as hot-path: `wlc-lint` forbids heap allocation inside.
+///
+/// The macro returns the item unchanged.
+#[proc_macro_attribute]
+pub fn wlc_hot(_attr: TokenStream, item: TokenStream) -> TokenStream {
+    item
+}

@@ -1,0 +1,193 @@
+//! Allocation-freedom analysis for `#[wlc_hot]` functions.
+//!
+//! Functions on the batched training / inference / serving hot path are
+//! marked with the inert `#[wlc_hot]` attribute (crate `wlc-hot`). The
+//! performance contract (see `docs/performance.md`) is that these
+//! functions perform **zero heap allocations** in steady state: buffers
+//! come from a pre-sized [`Workspace`], never from the allocator.
+//!
+//! This rule scans every marked function body for allocating constructs:
+//! allocating method calls (`.to_vec()`, `.clone()`, `.collect()`, ...),
+//! allocating-type constructor paths (`Vec::new`, `String::from`, ...),
+//! and allocating macros (`vec![]`, `format!`). Intentional one-time
+//! allocations can be suppressed per occurrence with
+//! `// wlc-lint: allow(alloc-in-hot-path, reason = "...")` on the same
+//! line or the line above.
+//!
+//! [`Workspace`]: ../wlc_nn/struct.Workspace.html
+
+use crate::lexer::TokKind;
+use crate::{Finding, Rule, SourceFile};
+
+/// Methods that allocate when called as `.name(...)`.
+const ALLOC_METHODS: [&str; 5] = ["to_vec", "to_owned", "to_string", "clone", "collect"];
+
+/// Owned container / heap types whose associated functions allocate
+/// (matched as `Type::`).
+const ALLOC_TYPES: [&str; 6] = ["Vec", "VecDeque", "Box", "String", "BTreeMap", "HashMap"];
+
+/// Macros that allocate (the `!` sigil is matched separately).
+const ALLOC_MACROS: [&str; 2] = ["vec", "format"];
+
+/// Returns the token-index body ranges of every non-test function
+/// annotated `#[wlc_hot]` in `file`.
+fn hot_bodies(file: &SourceFile) -> Vec<(usize, usize)> {
+    let toks = &file.tokens;
+    let mut bodies = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        // The attribute form `#[wlc_hot]`: a `use wlc_hot::wlc_hot;` or a
+        // prose mention never has `[` immediately before the identifier.
+        let is_attr = t.kind == TokKind::Ident
+            && t.text == "wlc_hot"
+            && i >= 2
+            && toks[i - 1].is_punct('[')
+            && toks[i - 2].is_punct('#');
+        if !is_attr {
+            continue;
+        }
+        // Functions are recorded in source order; the annotated item is
+        // the first one whose body opens after the attribute.
+        if let Some(f) = file.model.functions.iter().find(|f| f.body.0 > i) {
+            if !f.is_test {
+                bodies.push(f.body);
+            }
+        }
+    }
+    bodies
+}
+
+/// Scans one file for allocations inside `#[wlc_hot]` functions.
+pub fn analyze(file: &SourceFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let toks = &file.tokens;
+    for (open, close) in hot_bodies(file) {
+        for i in open..=close.min(toks.len().saturating_sub(1)) {
+            let t = &toks[i];
+            if t.kind != TokKind::Ident || file.model.in_test(i) {
+                continue;
+            }
+            let construct = if ALLOC_METHODS.contains(&t.text.as_str())
+                && toks[i - 1].is_punct('.')
+                && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+            {
+                Some(format!(".{}()", t.text))
+            } else if ALLOC_TYPES.contains(&t.text.as_str())
+                && toks.get(i + 1).is_some_and(|n| n.is_punct(':'))
+                && toks.get(i + 2).is_some_and(|n| n.is_punct(':'))
+            {
+                Some(format!("{}::", t.text))
+            } else if ALLOC_MACROS.contains(&t.text.as_str())
+                && toks.get(i + 1).is_some_and(|n| n.is_punct('!'))
+            {
+                Some(format!("{}!", t.text))
+            } else {
+                None
+            };
+            if let Some(construct) = construct {
+                if !file.model.allowed("alloc-in-hot-path", t.line) {
+                    findings.push(Finding {
+                        rule: Rule::HotAlloc,
+                        path: file.rel.clone(),
+                        line: t.line,
+                        message: format!(
+                            "`{construct}` allocates inside a `#[wlc_hot]` function; reuse a \
+                             workspace buffer or annotate \
+                             `// wlc-lint: allow(alloc-in-hot-path, reason = \"...\")`"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source_from_str;
+
+    #[test]
+    fn allocations_in_hot_fn_are_flagged() {
+        let src = r#"
+use wlc_hot::wlc_hot;
+#[wlc_hot]
+fn hot(xs: &[f64]) -> f64 {
+    let v = xs.to_vec();
+    let w: Vec<f64> = xs.iter().copied().collect();
+    let b = Vec::with_capacity(4);
+    let m = vec![0.0; 4];
+    v[0] + w[0]
+}
+"#;
+        let file = source_from_str("crates/nn/src/x.rs", src);
+        let findings = analyze(&file);
+        assert_eq!(findings.len(), 4, "{findings:?}");
+        assert!(findings.iter().all(|f| f.rule == Rule::HotAlloc));
+    }
+
+    #[test]
+    fn unmarked_fn_may_allocate() {
+        let src = r#"
+fn cold(xs: &[f64]) -> Vec<f64> {
+    xs.to_vec()
+}
+"#;
+        let file = source_from_str("crates/nn/src/x.rs", src);
+        assert!(analyze(&file).is_empty());
+    }
+
+    #[test]
+    fn use_statement_is_not_a_marker() {
+        let src = r#"
+use wlc_hot::wlc_hot;
+fn cold(xs: &[f64]) -> Vec<f64> {
+    xs.to_vec()
+}
+"#;
+        let file = source_from_str("crates/nn/src/x.rs", src);
+        assert!(analyze(&file).is_empty());
+    }
+
+    #[test]
+    fn allow_annotation_suppresses() {
+        let src = r#"
+#[wlc_hot]
+fn hot(xs: &[f64]) -> f64 {
+    // wlc-lint: allow(alloc-in-hot-path, reason = "one-time workspace growth")
+    let v = xs.to_vec();
+    v[0]
+}
+"#;
+        let file = source_from_str("crates/nn/src/x.rs", src);
+        assert!(analyze(&file).is_empty());
+    }
+
+    #[test]
+    fn type_annotations_do_not_trip_the_path_check() {
+        let src = r#"
+#[wlc_hot]
+fn hot(out: &mut Vec<f64>, xs: &[f64]) {
+    let first: Vec<f64>;
+    out.copy_from_slice(xs);
+}
+"#;
+        let file = source_from_str("crates/nn/src/x.rs", src);
+        assert!(analyze(&file).is_empty(), "{:?}", analyze(&file));
+    }
+
+    #[test]
+    fn test_functions_are_exempt() {
+        let src = r#"
+#[cfg(test)]
+mod tests {
+    #[wlc_hot]
+    fn hot_in_test(xs: &[f64]) -> Vec<f64> {
+        xs.to_vec()
+    }
+}
+"#;
+        let file = source_from_str("crates/nn/src/x.rs", src);
+        assert!(analyze(&file).is_empty());
+    }
+}

@@ -1,6 +1,6 @@
 //! `wlc-lint` — workspace static analysis for the wlc repository.
 //!
-//! Runs four repo-specific analyses over the workspace's Rust sources,
+//! Runs the repo-specific analyses over the workspace's Rust sources,
 //! using a hand-rolled lexer (no external parser dependencies):
 //!
 //! - **lock-order** ([`locks`]): builds an inter-procedural lock
@@ -13,6 +13,8 @@
 //!   randomly-seeded hash containers in the seeded crates.
 //! - **consistency** ([`consistency`]): exit codes, HTTP statuses, and
 //!   `#![forbid(unsafe_code)]` stay in sync with the documentation.
+//! - **alloc-in-hot-path** ([`hotalloc`]): forbids heap allocation inside
+//!   functions marked `#[wlc_hot]` (the batched train/predict hot path).
 //!
 //! Findings are suppressed per occurrence with
 //! `// wlc-lint: allow(<rule>, reason = "...")` on the same line or the
@@ -27,6 +29,7 @@ use std::path::{Path, PathBuf};
 
 pub mod consistency;
 pub mod determinism;
+pub mod hotalloc;
 pub mod lexer;
 pub mod locks;
 pub mod model;
@@ -45,6 +48,8 @@ pub enum Rule {
     Determinism,
     /// Exit-code / status / doc inconsistency.
     Consistency,
+    /// Heap allocation inside a `#[wlc_hot]` function.
+    HotAlloc,
     /// Malformed or unknown `wlc-lint:` annotation.
     Annotation,
 }
@@ -58,6 +63,7 @@ impl Rule {
             Rule::Index => "index",
             Rule::Determinism => "determinism",
             Rule::Consistency => "consistency",
+            Rule::HotAlloc => "alloc-in-hot-path",
             Rule::Annotation => "annotation",
         }
     }
@@ -70,6 +76,7 @@ impl Rule {
             "index" => Some(Rule::Index),
             "determinism" => Some(Rule::Determinism),
             "consistency" => Some(Rule::Consistency),
+            "alloc-in-hot-path" => Some(Rule::HotAlloc),
             "annotation" => Some(Rule::Annotation),
             _ => None,
         }
@@ -77,7 +84,7 @@ impl Rule {
 }
 
 /// Rules that may be suppressed with an `allow(...)` annotation.
-pub const SUPPRESSIBLE: [&str; 3] = ["panic", "index", "determinism"];
+pub const SUPPRESSIBLE: [&str; 4] = ["panic", "index", "determinism", "alloc-in-hot-path"];
 
 /// One diagnostic.
 #[derive(Debug, Clone)]
@@ -250,6 +257,13 @@ pub fn analyze(root: &Path, only: Option<Rule>) -> io::Result<Vec<Finding>> {
 
     if run(Rule::Consistency) {
         findings.extend(consistency::analyze(root, &files));
+    }
+
+    if run(Rule::HotAlloc) {
+        // Workspace-wide: any crate may mark functions `#[wlc_hot]`.
+        for file in &files {
+            findings.extend(hotalloc::analyze(file));
+        }
     }
 
     if let Some(rule) = only {

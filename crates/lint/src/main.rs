@@ -17,7 +17,7 @@ use wlc_lint::{analyze, Rule};
 
 const USAGE: &str = "\
 wlc-lint — workspace static analysis (lock order, panic-freedom,
-determinism, exit-code consistency)
+determinism, exit-code consistency, hot-path allocation-freedom)
 
 USAGE:
     wlc-lint [--workspace | --root <PATH>] [--only <RULE>]
@@ -26,7 +26,8 @@ OPTIONS:
     --workspace      Locate the enclosing cargo workspace root (default)
     --root <PATH>    Analyze the tree rooted at PATH instead
     --only <RULE>    Run a single rule: lock-order | panic | index |
-                     determinism | consistency | annotation
+                     determinism | consistency | alloc-in-hot-path |
+                     annotation
 
 EXIT CODES:
     0 clean   1 findings reported   2 bad usage";

@@ -1,0 +1,18 @@
+//! Fixture: a `#[wlc_hot]` function that heap-allocates. Must trip the
+//! `alloc-in-hot-path` rule (and only that rule).
+
+#![forbid(unsafe_code)]
+
+use wlc_hot::wlc_hot;
+
+/// Copies the input before summing — an allocation the hot path forbids.
+#[wlc_hot]
+pub fn hot_sum(xs: &[f64]) -> f64 {
+    let copy = xs.to_vec();
+    copy.iter().sum()
+}
+
+/// Cold helper: allocating here is fine.
+pub fn cold_copy(xs: &[f64]) -> Vec<f64> {
+    xs.to_vec()
+}

@@ -85,6 +85,19 @@ fn unmapped_variant_fixture_reports_the_missing_arm() {
 }
 
 #[test]
+fn alloc_hot_fixture_reports_the_hot_allocation() {
+    let findings = run(&fixture("alloc_hot"));
+    let hot: Vec<&Finding> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::HotAlloc)
+        .collect();
+    assert_eq!(hot.len(), 1, "{findings:?}");
+    assert!(hot[0].message.contains("`.to_vec()`"), "{}", hot[0].message);
+    assert_eq!(hot[0].path, "crates/nn/src/lib.rs");
+    assert!(hot[0].line > 0);
+}
+
+#[test]
 fn fixtures_fire_nothing_outside_their_seeded_rule() {
     // Each fixture is constructed to trip exactly one rule; incidental
     // findings from the other analyses would mean the fixture trees (or
@@ -94,6 +107,7 @@ fn fixtures_fire_nothing_outside_their_seeded_rule() {
         ("panic_serve", Rule::Panic),
         ("instant_nn", Rule::Determinism),
         ("unmapped_variant", Rule::Consistency),
+        ("alloc_hot", Rule::HotAlloc),
     ] {
         let stray: Vec<Finding> = run(&fixture(name))
             .into_iter()

@@ -1,0 +1,494 @@
+//! Cache-blocked, transpose-aware matrix-multiply kernels writing into
+//! caller-provided buffers.
+//!
+//! These are the hot-path primitives behind batched neural-network
+//! training and inference. Two contracts distinguish them from a
+//! classical BLAS:
+//!
+//! 1. **No allocation** — every kernel writes into an `out` buffer owned
+//!    by the caller, so steady-state training can reuse the same
+//!    workspace forever.
+//! 2. **Fixed accumulation order** — each output element is accumulated
+//!    from `k = 0` upward, starting from `0.0`, exactly like the naive
+//!    triple loop and [`Matrix::matvec`]. Blocking tiles only the output
+//!    rows and columns, never the shared `k` dimension, so IEEE-754
+//!    rounding — and therefore every seeded training run — is
+//!    bit-identical to the unblocked reference. See
+//!    `docs/performance.md` for the full determinism argument.
+//!
+//! Unlike [`Matrix::matmul`], the kernels never skip zero operands:
+//! a `0.0 * b` product is still added, keeping the per-element addition
+//! sequence independent of the data.
+
+use crate::{MathError, Matrix};
+use wlc_hot::wlc_hot;
+
+/// Edge length of the output tiles processed by the blocked kernels.
+///
+/// A `BLOCK x BLOCK` f64 tile is 32 KiB — sized so the output tile plus
+/// the operand panels it touches stay cache-resident. Correctness never
+/// depends on this value because the `k` loop is not split.
+const BLOCK: usize = 64;
+
+/// `out = a * b` (no transposes). `a` is `m x k`, `b` is `k x n`, `out`
+/// must be `m x n`.
+///
+/// Accumulation order per output element matches the naive `i/j/k` loop
+/// (and [`Matrix::matvec`]): contributions arrive with `k` ascending.
+///
+/// # Errors
+///
+/// Returns [`MathError::DimensionMismatch`] if the inner dimensions
+/// disagree or `out` has the wrong shape.
+#[wlc_hot]
+pub fn matmul_into(a: &Matrix, b: &Matrix, out: &mut Matrix) -> Result<(), MathError> {
+    matmul_rows_into(a, 0, a.rows(), b, out)
+}
+
+/// `out = a[a_r0..a_r1] * b` — [`matmul_into`] restricted to a row band
+/// of `a`, so strip-mined callers can walk a large input matrix without
+/// copying each strip. `out` must be `(a_r1 - a_r0) x n`.
+///
+/// # Errors
+///
+/// Returns [`MathError::DimensionMismatch`] if the inner dimensions
+/// disagree, the row range is out of bounds, or `out` has the wrong
+/// shape.
+#[wlc_hot]
+pub fn matmul_rows_into(
+    a: &Matrix,
+    a_r0: usize,
+    a_r1: usize,
+    b: &Matrix,
+    out: &mut Matrix,
+) -> Result<(), MathError> {
+    let (rows, ka) = a.shape();
+    let (kb, n) = b.shape();
+    if ka != kb || a_r0 > a_r1 || a_r1 > rows {
+        return Err(MathError::DimensionMismatch {
+            left: a.shape(),
+            right: b.shape(),
+            op: "matmul_rows_into",
+        });
+    }
+    let m = a_r1 - a_r0;
+    if out.shape() != (m, n) {
+        return Err(MathError::DimensionMismatch {
+            left: (m, n),
+            right: out.shape(),
+            op: "matmul_rows_into out",
+        });
+    }
+    out.as_mut_slice().fill(0.0);
+    if m == 0 || n == 0 {
+        return Ok(());
+    }
+    let ad = a.as_slice();
+    let bd = b.as_slice();
+    // Tile the output rows: a `BLOCK x n` band of `out` stays hot across
+    // the whole `k` sweep, and the `b`-row slices for each `k` step are
+    // set up once per band instead of once per output row (the row
+    // widths in MLP training are small, so that setup would otherwise
+    // dominate).
+    //
+    // The `k` loop is unrolled by four; each output element still
+    // receives its four adds sequentially with `k` ascending — the
+    // parenthesised chain is the same value sequence as four separate
+    // `+=` passes. Equal-length pre-sliced operands + indexed loops are
+    // the shape LLVM's vectorizer handles (deep `zip` chains it does
+    // not).
+    for br0 in (0..m).step_by(BLOCK) {
+        let br1 = (br0 + BLOCK).min(m);
+        let band = &mut out.as_mut_slice()[br0 * n..br1 * n];
+        let mut k = 0;
+        while k + 4 <= ka {
+            let b0 = &bd[k * n..(k + 1) * n];
+            let b1 = &bd[(k + 1) * n..(k + 2) * n];
+            let b2 = &bd[(k + 2) * n..(k + 3) * n];
+            let b3 = &bd[(k + 3) * n..(k + 4) * n];
+            for (r, orow) in band.chunks_exact_mut(n).enumerate() {
+                let abase = (a_r0 + br0 + r) * ka + k;
+                if let &[a0, a1, a2, a3] = &ad[abase..abase + 4] {
+                    for j in 0..n {
+                        orow[j] = (((orow[j] + a0 * b0[j]) + a1 * b1[j]) + a2 * b2[j]) + a3 * b3[j];
+                    }
+                }
+            }
+            k += 4;
+        }
+        while k < ka {
+            let bk = &bd[k * n..(k + 1) * n];
+            for (r, orow) in band.chunks_exact_mut(n).enumerate() {
+                let av = ad[(a_r0 + br0 + r) * ka + k];
+                for (o, &bv) in orow.iter_mut().zip(bk) {
+                    *o += av * bv;
+                }
+            }
+            k += 1;
+        }
+    }
+    Ok(())
+}
+
+/// `out = a * b^T`. `a` is `m x k`, `b` is `n x k`, `out` must be
+/// `m x n`.
+///
+/// Every output element is a dot product of two contiguous rows with a
+/// single accumulator over `k` ascending — bitwise the same arithmetic
+/// as [`Matrix::matvec`] of `b` against each row of `a`.
+///
+/// # Errors
+///
+/// Returns [`MathError::DimensionMismatch`] if the inner dimensions
+/// disagree or `out` has the wrong shape.
+#[wlc_hot]
+pub fn matmul_nt_into(a: &Matrix, b: &Matrix, out: &mut Matrix) -> Result<(), MathError> {
+    let (m, ka) = a.shape();
+    let (n, kb) = b.shape();
+    if ka != kb {
+        return Err(MathError::DimensionMismatch {
+            left: a.shape(),
+            right: b.shape(),
+            op: "matmul_nt_into",
+        });
+    }
+    if out.shape() != (m, n) {
+        return Err(MathError::DimensionMismatch {
+            left: (m, n),
+            right: out.shape(),
+            op: "matmul_nt_into out",
+        });
+    }
+    for r0 in (0..m).step_by(BLOCK) {
+        let r1 = (r0 + BLOCK).min(m);
+        for c0 in (0..n).step_by(BLOCK) {
+            let c1 = (c0 + BLOCK).min(n);
+            for r in r0..r1 {
+                let arow = a.row(r);
+                let orow = &mut out.row_mut(r)[c0..c1];
+                // Four output columns at a time: each accumulator still
+                // sums its own dot product with `k` ascending (bitwise
+                // the single-column result), but the four independent
+                // add chains overlap instead of serialising on FP-add
+                // latency.
+                let mut chunks = orow.chunks_exact_mut(4);
+                let mut c = c0;
+                for quad in &mut chunks {
+                    let (b0, b1, b2) = (b.row(c), b.row(c + 1), b.row(c + 2));
+                    let b3 = b.row(c + 3);
+                    let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+                    for ((((&x, &y0), &y1), &y2), &y3) in
+                        arow.iter().zip(b0).zip(b1).zip(b2).zip(b3)
+                    {
+                        s0 += x * y0;
+                        s1 += x * y1;
+                        s2 += x * y2;
+                        s3 += x * y3;
+                    }
+                    if let [o0, o1, o2, o3] = quad {
+                        (*o0, *o1, *o2, *o3) = (s0, s1, s2, s3);
+                    }
+                    c += 4;
+                }
+                for (o, cc) in chunks.into_remainder().iter_mut().zip(c..c1) {
+                    let mut acc = 0.0;
+                    for (&x, &y) in arow.iter().zip(b.row(cc)) {
+                        acc += x * y;
+                    }
+                    *o = acc;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `out = a^T * b`. `a` is `k x m`, `b` is `k x n`, `out` must be
+/// `m x n`.
+///
+/// The `k` loop runs outermost (both operands are then read along
+/// contiguous rows), but each output element still receives its adds
+/// with `k` ascending from a `0.0` start — the same value sequence a
+/// register accumulator would see, so rounding is unchanged.
+///
+/// # Errors
+///
+/// Returns [`MathError::DimensionMismatch`] if the inner dimensions
+/// disagree or `out` has the wrong shape.
+#[wlc_hot]
+pub fn matmul_tn_into(a: &Matrix, b: &Matrix, out: &mut Matrix) -> Result<(), MathError> {
+    let (ka, m) = a.shape();
+    let (kb, n) = b.shape();
+    if ka != kb {
+        return Err(MathError::DimensionMismatch {
+            left: a.shape(),
+            right: b.shape(),
+            op: "matmul_tn_into",
+        });
+    }
+    if out.shape() != (m, n) {
+        return Err(MathError::DimensionMismatch {
+            left: (m, n),
+            right: out.shape(),
+            op: "matmul_tn_into out",
+        });
+    }
+    out.as_mut_slice().fill(0.0);
+    if m == 0 || n == 0 {
+        return Ok(());
+    }
+    let ad = a.as_slice();
+    let bd = b.as_slice();
+    // Tile the output rows: the `BLOCK x n` band of `out` stays hot
+    // across the full `k` sweep. As in [`matmul_into`], `k` is unrolled
+    // by four — each output element gets its four contributions as a
+    // sequential `k`-ascending chain, bitwise the one-at-a-time order.
+    // The band is walked through one contiguous slice per `k` step
+    // (`chunks_exact_mut`) instead of per-row `row_mut` calls.
+    for r0 in (0..m).step_by(BLOCK) {
+        let r1 = (r0 + BLOCK).min(m);
+        let band = &mut out.as_mut_slice()[r0 * n..r1 * n];
+        let mut k = 0;
+        while k + 4 <= ka {
+            let a0 = &ad[k * m + r0..k * m + r1];
+            let a1 = &ad[(k + 1) * m + r0..(k + 1) * m + r1];
+            let a2 = &ad[(k + 2) * m + r0..(k + 2) * m + r1];
+            let a3 = &ad[(k + 3) * m + r0..(k + 3) * m + r1];
+            let b0 = &bd[k * n..(k + 1) * n];
+            let b1 = &bd[(k + 1) * n..(k + 2) * n];
+            let b2 = &bd[(k + 2) * n..(k + 3) * n];
+            let b3 = &bd[(k + 3) * n..(k + 4) * n];
+            for ((((orow, &a0r), &a1r), &a2r), &a3r) in
+                band.chunks_exact_mut(n).zip(a0).zip(a1).zip(a2).zip(a3)
+            {
+                for j in 0..n {
+                    orow[j] = (((orow[j] + a0r * b0[j]) + a1r * b1[j]) + a2r * b2[j]) + a3r * b3[j];
+                }
+            }
+            k += 4;
+        }
+        while k < ka {
+            let arow = &ad[k * m + r0..k * m + r1];
+            let brow = &bd[k * n..(k + 1) * n];
+            for (orow, &a_kr) in band.chunks_exact_mut(n).zip(arow) {
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += a_kr * bv;
+                }
+            }
+            k += 1;
+        }
+    }
+    Ok(())
+}
+
+/// `y += alpha * x`, element-wise.
+///
+/// # Errors
+///
+/// Returns [`MathError::DimensionMismatch`] if the lengths differ.
+#[wlc_hot]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) -> Result<(), MathError> {
+    if x.len() != y.len() {
+        return Err(MathError::DimensionMismatch {
+            left: (x.len(), 1),
+            right: (y.len(), 1),
+            op: "axpy",
+        });
+    }
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+    Ok(())
+}
+
+/// `out = alpha * x`, element-wise, into a caller-provided buffer.
+///
+/// # Errors
+///
+/// Returns [`MathError::DimensionMismatch`] if the lengths differ.
+#[wlc_hot]
+pub fn scale_into(x: &[f64], alpha: f64, out: &mut [f64]) -> Result<(), MathError> {
+    if x.len() != out.len() {
+        return Err(MathError::DimensionMismatch {
+            left: (x.len(), 1),
+            right: (out.len(), 1),
+            op: "scale_into",
+        });
+    }
+    for (o, &xi) in out.iter_mut().zip(x) {
+        *o = alpha * xi;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256;
+
+    /// Unblocked, skip-free reference: single accumulator per element,
+    /// `k` ascending — the order contract every kernel must match.
+    fn naive(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for r in 0..a.rows() {
+            for c in 0..b.cols() {
+                let mut acc = 0.0;
+                for k in 0..a.cols() {
+                    acc += a.get(r, k) * b.get(k, c);
+                }
+                out.set(r, c, acc);
+            }
+        }
+        out
+    }
+
+    fn random_matrix(rows: usize, cols: usize, rng: &mut Xoshiro256) -> Matrix {
+        Matrix::from_fn(rows, cols, |_, _| rng.next_f64() * 2.0 - 1.0)
+    }
+
+    /// Shapes chosen to exercise 1xN, Nx1, block-multiple, and
+    /// non-multiple-of-block dimensions.
+    const SHAPES: [(usize, usize, usize); 8] = [
+        (1, 1, 1),
+        (1, 7, 1),
+        (5, 1, 9),
+        (3, 4, 5),
+        (64, 64, 64),
+        (65, 64, 63),
+        (130, 70, 67),
+        (2, 200, 3),
+    ];
+
+    #[test]
+    fn matmul_into_is_bitwise_naive() {
+        let mut rng = Xoshiro256::seed_from(11);
+        for &(m, k, n) in &SHAPES {
+            let a = random_matrix(m, k, &mut rng);
+            let b = random_matrix(k, n, &mut rng);
+            let mut out = Matrix::zeros(m, n);
+            matmul_into(&a, &b, &mut out).unwrap();
+            let expect = naive(&a, &b);
+            assert_eq!(out.as_slice(), expect.as_slice(), "shape {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn matmul_nt_into_is_bitwise_naive() {
+        let mut rng = Xoshiro256::seed_from(12);
+        for &(m, k, n) in &SHAPES {
+            let a = random_matrix(m, k, &mut rng);
+            let b = random_matrix(n, k, &mut rng);
+            let mut out = Matrix::zeros(m, n);
+            matmul_nt_into(&a, &b, &mut out).unwrap();
+            let expect = naive(&a, &b.transpose());
+            assert_eq!(out.as_slice(), expect.as_slice(), "shape {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn matmul_tn_into_is_bitwise_naive() {
+        let mut rng = Xoshiro256::seed_from(13);
+        for &(m, k, n) in &SHAPES {
+            let a = random_matrix(k, m, &mut rng);
+            let b = random_matrix(k, n, &mut rng);
+            let mut out = Matrix::zeros(m, n);
+            matmul_tn_into(&a, &b, &mut out).unwrap();
+            let expect = naive(&a.transpose(), &b);
+            assert_eq!(out.as_slice(), expect.as_slice(), "shape {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn matmul_rows_into_matches_copied_band_bitwise() {
+        // A row-range product must equal running the plain kernel over a
+        // physically copied band — including ranges that straddle block
+        // boundaries and the empty range.
+        let mut rng = Xoshiro256::seed_from(15);
+        let a = random_matrix(130, 19, &mut rng);
+        let b = random_matrix(19, 7, &mut rng);
+        for &(r0, r1) in &[(0, 130), (0, 1), (17, 93), (63, 65), (128, 130), (40, 40)] {
+            let band = Matrix::from_fn(r1 - r0, a.cols(), |r, c| a.get(r0 + r, c));
+            let mut expect = Matrix::zeros(r1 - r0, b.cols());
+            matmul_into(&band, &b, &mut expect).unwrap();
+            let mut out = Matrix::zeros(r1 - r0, b.cols());
+            matmul_rows_into(&a, r0, r1, &b, &mut out).unwrap();
+            assert_eq!(out.as_slice(), expect.as_slice(), "rows {r0}..{r1}");
+        }
+    }
+
+    #[test]
+    fn matmul_rows_into_rejects_bad_ranges() {
+        let a = Matrix::zeros(4, 3);
+        let b = Matrix::zeros(3, 2);
+        let mut out = Matrix::zeros(2, 2);
+        assert!(matmul_rows_into(&a, 3, 5, &b, &mut out).is_err());
+        assert!(matmul_rows_into(&a, 2, 1, &b, &mut out).is_err());
+        assert!(matmul_rows_into(&a, 0, 3, &b, &mut out).is_err());
+    }
+
+    #[test]
+    fn nt_matches_matvec_per_row_bitwise() {
+        // The forward pass computes Z = X * W^T; each output row must be
+        // bit-identical to the per-sample matvec it replaces.
+        let mut rng = Xoshiro256::seed_from(14);
+        let x = random_matrix(33, 17, &mut rng);
+        let w = random_matrix(9, 17, &mut rng);
+        let mut z = Matrix::zeros(33, 9);
+        matmul_nt_into(&x, &w, &mut z).unwrap();
+        for r in 0..x.rows() {
+            assert_eq!(z.row(r), w.matvec(x.row(r)).unwrap().as_slice());
+        }
+    }
+
+    #[test]
+    fn zero_operands_are_not_skipped() {
+        // `Matrix::matmul` skips `a == 0.0` terms; the kernels must not,
+        // so a 0.0 * inf product still poisons the sum.
+        let a = Matrix::from_rows(&[&[0.0, 1.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[f64::INFINITY], &[2.0]]).unwrap();
+        let mut out = Matrix::zeros(1, 1);
+        matmul_into(&a, &b, &mut out).unwrap();
+        assert!(out.get(0, 0).is_nan());
+    }
+
+    #[test]
+    fn kernels_reject_bad_shapes() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        let mut out = Matrix::zeros(2, 2);
+        assert!(matmul_into(&a, &b, &mut out).is_err());
+        assert!(matmul_nt_into(&a, &b, &mut out).is_err());
+        assert!(matmul_tn_into(&a, &b, &mut out).is_err());
+        let b_ok = Matrix::zeros(3, 2);
+        let mut wrong_out = Matrix::zeros(3, 2);
+        assert!(matmul_into(&a, &b_ok, &mut wrong_out).is_err());
+    }
+
+    #[test]
+    fn axpy_and_scale_into() {
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [10.0, 20.0, 30.0];
+        axpy(2.0, &x, &mut y).unwrap();
+        assert_eq!(y, [12.0, 24.0, 36.0]);
+        let mut out = [0.0; 3];
+        scale_into(&x, -1.0, &mut out).unwrap();
+        assert_eq!(out, [-1.0, -2.0, -3.0]);
+        assert!(axpy(1.0, &x, &mut [0.0; 2]).is_err());
+        assert!(scale_into(&x, 1.0, &mut [0.0; 2]).is_err());
+    }
+
+    #[test]
+    fn overwrites_stale_output_contents() {
+        let a = Matrix::identity(3);
+        let b = Matrix::from_fn(3, 3, |r, c| (r * 3 + c) as f64);
+        let mut out = Matrix::filled(3, 3, f64::NAN);
+        matmul_into(&a, &b, &mut out).unwrap();
+        assert_eq!(out, b);
+        let mut out2 = Matrix::filled(3, 3, f64::NAN);
+        matmul_nt_into(&a, &b.transpose(), &mut out2).unwrap();
+        assert_eq!(out2, b);
+        let mut out3 = Matrix::filled(3, 3, f64::NAN);
+        matmul_tn_into(&a, &b, &mut out3).unwrap();
+        assert_eq!(out3, b);
+    }
+}

@@ -5,6 +5,8 @@
 //! dependency-free and bit-reproducible:
 //!
 //! - [`Matrix`] — a dense, row-major matrix with the usual arithmetic.
+//! - [`gemm`] — allocation-free, cache-blocked matrix-multiply kernels
+//!   with a fixed accumulation order (the batched-training hot path).
 //! - [`linalg`] — linear solvers (Gaussian elimination, Cholesky) and
 //!   least-squares fitting used by the linear baseline models.
 //! - [`rng`] — seeded, splittable pseudo-random number generators
@@ -38,6 +40,7 @@
 
 pub mod distributions;
 mod error;
+pub mod gemm;
 pub mod linalg;
 mod matrix;
 pub mod propcheck;

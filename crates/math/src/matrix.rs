@@ -1,5 +1,5 @@
 use std::fmt;
-use std::ops::{Add, Mul, Neg, Sub};
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
 
 use crate::MathError;
 
@@ -429,6 +429,83 @@ impl Matrix {
         self.map(|x| x * scalar)
     }
 
+    /// Multiplies every element by `scalar` in place — the
+    /// allocation-free variant of [`Matrix::scale`].
+    pub fn scale_in_place(&mut self, scalar: f64) {
+        for x in &mut self.data {
+            *x *= scalar;
+        }
+    }
+
+    /// Applies `f` to every element in place — the allocation-free
+    /// variant of [`Matrix::map`].
+    pub fn map_in_place<F: FnMut(f64) -> f64>(&mut self, mut f: F) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Sets every element to `value`, keeping the allocation.
+    pub fn fill(&mut self, value: f64) {
+        self.data.fill(value);
+    }
+
+    /// Element-wise `self += other` in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::DimensionMismatch`] if shapes differ.
+    pub fn add_assign_matrix(&mut self, other: &Matrix) -> Result<(), MathError> {
+        self.zip_assign(other, "add_assign", |a, b| *a += b)
+    }
+
+    /// Element-wise `self -= other` in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::DimensionMismatch`] if shapes differ.
+    pub fn sub_assign_matrix(&mut self, other: &Matrix) -> Result<(), MathError> {
+        self.zip_assign(other, "sub_assign", |a, b| *a -= b)
+    }
+
+    /// Element-wise `self *= other` (Hadamard) in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::DimensionMismatch`] if shapes differ.
+    pub fn hadamard_assign(&mut self, other: &Matrix) -> Result<(), MathError> {
+        self.zip_assign(other, "hadamard_assign", |a, b| *a *= b)
+    }
+
+    fn zip_assign<F: Fn(&mut f64, f64)>(
+        &mut self,
+        other: &Matrix,
+        op: &'static str,
+        f: F,
+    ) -> Result<(), MathError> {
+        if self.shape() != other.shape() {
+            return Err(MathError::DimensionMismatch {
+                left: self.shape(),
+                right: other.shape(),
+                op,
+            });
+        }
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            f(a, b);
+        }
+        Ok(())
+    }
+
+    /// Changes the row count in place, zero-filling any added rows.
+    ///
+    /// Shrinking keeps the backing allocation, so workspaces can resize
+    /// down for a ragged final minibatch and back up for the next epoch
+    /// without touching the heap.
+    pub fn resize_rows(&mut self, rows: usize) {
+        self.data.resize(rows * self.cols, 0.0);
+        self.rows = rows;
+    }
+
     /// Returns the Frobenius norm (square root of the sum of squares).
     ///
     /// # Examples
@@ -502,6 +579,34 @@ impl Neg for &Matrix {
 
     fn neg(self) -> Matrix {
         self.scale(-1.0)
+    }
+}
+
+impl MulAssign<f64> for Matrix {
+    fn mul_assign(&mut self, rhs: f64) {
+        self.scale_in_place(rhs);
+    }
+}
+
+impl AddAssign<&Matrix> for Matrix {
+    /// # Panics
+    ///
+    /// Panics if the shapes differ; use [`Matrix::add_assign_matrix`]
+    /// for a fallible version.
+    fn add_assign(&mut self, rhs: &Matrix) {
+        self.add_assign_matrix(rhs)
+            .expect("matrix shapes must match for +=");
+    }
+}
+
+impl SubAssign<&Matrix> for Matrix {
+    /// # Panics
+    ///
+    /// Panics if the shapes differ; use [`Matrix::sub_assign_matrix`]
+    /// for a fallible version.
+    fn sub_assign(&mut self, rhs: &Matrix) {
+        self.sub_assign_matrix(rhs)
+            .expect("matrix shapes must match for -=");
     }
 }
 
@@ -629,6 +734,68 @@ mod tests {
         assert_eq!(&a - &b, Matrix::filled(2, 2, 1.0));
         assert_eq!(&a * 2.0, Matrix::filled(2, 2, 6.0));
         assert_eq!(-(&a), Matrix::filled(2, 2, -3.0));
+    }
+
+    #[test]
+    fn in_place_ops_match_allocating_ops() {
+        let a = Matrix::from_fn(3, 4, |r, c| (r * 4 + c) as f64 - 5.0);
+        let b = Matrix::from_fn(3, 4, |r, c| (c * 3 + r) as f64 * 0.5);
+
+        let mut m = a.clone();
+        m.scale_in_place(2.5);
+        assert_eq!(m, a.scale(2.5));
+
+        let mut m = a.clone();
+        m.add_assign_matrix(&b).unwrap();
+        assert_eq!(m, a.add_matrix(&b).unwrap());
+
+        let mut m = a.clone();
+        m.sub_assign_matrix(&b).unwrap();
+        assert_eq!(m, a.sub_matrix(&b).unwrap());
+
+        let mut m = a.clone();
+        m.hadamard_assign(&b).unwrap();
+        assert_eq!(m, a.hadamard(&b).unwrap());
+
+        let mut m = a.clone();
+        m.map_in_place(|x| x * x + 1.0);
+        assert_eq!(m, a.map(|x| x * x + 1.0));
+    }
+
+    #[test]
+    fn assign_operators_and_shape_errors() {
+        let a = Matrix::filled(2, 2, 3.0);
+        let b = Matrix::filled(2, 2, 2.0);
+        let mut m = a.clone();
+        m += &b;
+        assert_eq!(m, Matrix::filled(2, 2, 5.0));
+        m -= &b;
+        assert_eq!(m, a);
+        m *= 2.0;
+        assert_eq!(m, Matrix::filled(2, 2, 6.0));
+        let wrong = Matrix::zeros(2, 3);
+        assert!(m.add_assign_matrix(&wrong).is_err());
+        assert!(m.sub_assign_matrix(&wrong).is_err());
+        assert!(m.hadamard_assign(&wrong).is_err());
+    }
+
+    #[test]
+    fn fill_and_resize_rows_keep_allocation() {
+        let mut m = Matrix::from_fn(4, 3, |r, c| (r + c) as f64);
+        let cap = {
+            m.resize_rows(4);
+            m.data.capacity()
+        };
+        m.resize_rows(2);
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m.row(1), &[1.0, 2.0, 3.0]);
+        m.resize_rows(4);
+        assert_eq!(m.shape(), (4, 3));
+        // Rows regrown after a shrink come back zeroed.
+        assert_eq!(m.row(3), &[0.0, 0.0, 0.0]);
+        assert_eq!(m.data.capacity(), cap);
+        m.fill(7.0);
+        assert!(m.as_slice().iter().all(|&x| x == 7.0));
     }
 
     #[test]

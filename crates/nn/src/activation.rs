@@ -156,6 +156,95 @@ impl Activation {
         }
     }
 
+    /// Out-of-place [`Activation::apply_slice`]: writes `apply(src[i])`
+    /// into `dst[i]`, saving the batched forward pass a separate copy
+    /// pass. Matches on the variant once per slice; each element is
+    /// bit-identical to [`Activation::apply`].
+    pub fn apply_slice_into(&self, src: &[f64], dst: &mut [f64]) {
+        match *self {
+            Activation::Logistic { slope } => {
+                for (d, &x) in dst.iter_mut().zip(src) {
+                    *d = 1.0 / (1.0 + (-slope * x).exp());
+                }
+            }
+            Activation::Tanh => {
+                for (d, &x) in dst.iter_mut().zip(src) {
+                    *d = x.tanh();
+                }
+            }
+            Activation::Relu => {
+                for (d, &x) in dst.iter_mut().zip(src) {
+                    *d = x.max(0.0);
+                }
+            }
+            Activation::LeakyRelu { alpha } => {
+                for (d, &x) in dst.iter_mut().zip(src) {
+                    *d = if x >= 0.0 { x } else { alpha * x };
+                }
+            }
+            Activation::Identity => {
+                for (d, &x) in dst.iter_mut().zip(src) {
+                    *d = x;
+                }
+            }
+            Activation::Softplus => {
+                for (d, &x) in dst.iter_mut().zip(src) {
+                    *d = x.max(0.0) + (-x.abs()).exp().ln_1p();
+                }
+            }
+            Activation::HardLimiter => {
+                for (d, &x) in dst.iter_mut().zip(src) {
+                    *d = if x >= 0.0 { 1.0 } else { 0.0 };
+                }
+            }
+        }
+    }
+
+    /// Element-wise `delta[i] *= derivative(pre[i], acts[i])` over whole
+    /// slices — the batched-backprop form of [`Activation::derivative`].
+    /// Matching on the variant once per slice (instead of per element)
+    /// lets the per-variant loops vectorize; each element's arithmetic is
+    /// bit-identical to the scalar call.
+    pub fn mul_derivative_slice(&self, pre: &[f64], acts: &[f64], delta: &mut [f64]) {
+        match *self {
+            Activation::Logistic { slope } => {
+                for (d, &fx) in delta.iter_mut().zip(acts) {
+                    *d *= slope * fx * (1.0 - fx);
+                }
+            }
+            Activation::Tanh => {
+                for (d, &fx) in delta.iter_mut().zip(acts) {
+                    *d *= 1.0 - fx * fx;
+                }
+            }
+            Activation::Relu => {
+                for (d, &x) in delta.iter_mut().zip(pre) {
+                    *d *= if x > 0.0 { 1.0 } else { 0.0 };
+                }
+            }
+            Activation::LeakyRelu { alpha } => {
+                for (d, &x) in delta.iter_mut().zip(pre) {
+                    *d *= if x > 0.0 { 1.0 } else { alpha };
+                }
+            }
+            Activation::Identity => {
+                for d in delta.iter_mut() {
+                    *d *= 1.0;
+                }
+            }
+            Activation::Softplus => {
+                for (d, &x) in delta.iter_mut().zip(pre) {
+                    *d *= 1.0 / (1.0 + (-x).exp());
+                }
+            }
+            Activation::HardLimiter => {
+                for d in delta.iter_mut() {
+                    *d *= 0.0;
+                }
+            }
+        }
+    }
+
     /// The range `(min, max)` of the activation's output, using infinities
     /// for unbounded sides.
     pub fn output_range(&self) -> (f64, f64) {

@@ -1,3 +1,4 @@
+use wlc_hot::wlc_hot;
 use wlc_math::rng::Xoshiro256;
 use wlc_math::Matrix;
 
@@ -145,6 +146,39 @@ impl DenseLayer {
         Ok(z)
     }
 
+    /// Writes the pre-activation `z = W·x + b` into `out` without
+    /// allocating; bit-identical to [`DenseLayer::pre_activation`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if `input.len() != self.inputs()`
+    /// or `out.len() != self.outputs()`.
+    #[wlc_hot]
+    pub fn pre_activation_into(&self, input: &[f64], out: &mut [f64]) -> Result<(), NnError> {
+        if input.len() != self.inputs() {
+            return Err(NnError::ShapeMismatch {
+                expected: self.inputs(),
+                actual: input.len(),
+                what: "input width",
+            });
+        }
+        if out.len() != self.outputs() {
+            return Err(NnError::ShapeMismatch {
+                expected: self.outputs(),
+                actual: out.len(),
+                what: "pre-activation buffer length",
+            });
+        }
+        for (r, (o, &bi)) in out.iter_mut().zip(self.biases.iter()).enumerate() {
+            let mut acc = 0.0;
+            for (&w, &x) in self.weights.row(r).iter().zip(input) {
+                acc += w * x;
+            }
+            *o = acc + bi;
+        }
+        Ok(())
+    }
+
     /// Full forward pass `f(W·x + b)`.
     ///
     /// # Errors
@@ -154,6 +188,19 @@ impl DenseLayer {
         let mut z = self.pre_activation(input)?;
         self.activation.apply_slice(&mut z);
         Ok(z)
+    }
+
+    /// Writes `f(W·x + b)` into `out` without allocating; bit-identical
+    /// to [`DenseLayer::forward`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`DenseLayer::pre_activation_into`].
+    #[wlc_hot]
+    pub fn forward_into(&self, input: &[f64], out: &mut [f64]) -> Result<(), NnError> {
+        self.pre_activation_into(input, out)?;
+        self.activation.apply_slice(out);
+        Ok(())
     }
 
     /// Copies the parameters (row-major weights, then biases) into `out`.
@@ -266,6 +313,26 @@ mod tests {
         let before = a.clone();
         a.read_params(&flat);
         assert_eq!(a, before);
+    }
+
+    #[test]
+    fn into_variants_are_bitwise_allocating_variants() {
+        let mut r = rng();
+        let layer =
+            DenseLayer::new(5, 3, Activation::tanh(), Initializer::default(), &mut r).unwrap();
+        let input = [0.3, -0.8, 1.5, 0.0, -0.1];
+        let mut z = [f64::NAN; 3];
+        layer.pre_activation_into(&input, &mut z).unwrap();
+        assert_eq!(
+            z.as_slice(),
+            layer.pre_activation(&input).unwrap().as_slice()
+        );
+        let mut a = [f64::NAN; 3];
+        layer.forward_into(&input, &mut a).unwrap();
+        assert_eq!(a.as_slice(), layer.forward(&input).unwrap().as_slice());
+        // Wrong widths are rejected, not panicked on.
+        assert!(layer.pre_activation_into(&input[..3], &mut z).is_err());
+        assert!(layer.forward_into(&input, &mut a[..2]).is_err());
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //! - [`RbfNetwork`] — the radial-basis-function family §2.1 names as the
 //!   other common function approximator (k-means centers + ridge output).
 //! - [`gradcheck`] — finite-difference gradient verification.
+//! - [`Workspace`] — reusable scratch buffers making batched training
+//!   and inference allocation-free ([`Mlp::batch_gradient_with`],
+//!   [`Mlp::forward_batch_with`]), bit-identical to the per-sample path.
 //!
 //! # Examples
 //!
@@ -62,6 +65,7 @@ mod rbf;
 mod schedule;
 mod serialize;
 mod train;
+mod workspace;
 
 pub use activation::Activation;
 pub use checkpoint::Checkpoint;
@@ -75,3 +79,4 @@ pub use optimizer::{Optimizer, OptimizerKind};
 pub use rbf::RbfNetwork;
 pub use schedule::LearningRateSchedule;
 pub use train::{StopReason, TrainConfig, TrainReport, Trainer};
+pub use workspace::Workspace;

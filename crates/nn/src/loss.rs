@@ -1,5 +1,7 @@
 use std::fmt;
 
+use wlc_math::Matrix;
+
 use crate::NnError;
 
 /// A training loss over one prediction/target pair.
@@ -79,6 +81,120 @@ impl Loss {
             .zip(target.iter())
             .map(|(&p, &t)| self.pointwise_grad(p - t) / n)
             .collect())
+    }
+
+    /// Writes the gradient of the loss into `out` — the allocation-free
+    /// variant of [`Loss::gradient`], with bit-identical arithmetic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] for unequal lengths, empty
+    /// inputs, or an `out` buffer of the wrong length.
+    pub fn gradient_into(
+        &self,
+        predicted: &[f64],
+        target: &[f64],
+        out: &mut [f64],
+    ) -> Result<(), NnError> {
+        self.check(predicted, target)?;
+        if out.len() != predicted.len() {
+            return Err(NnError::ShapeMismatch {
+                expected: predicted.len(),
+                actual: out.len(),
+                what: "gradient buffer length",
+            });
+        }
+        let n = predicted.len() as f64;
+        for ((o, &p), &t) in out.iter_mut().zip(predicted).zip(target) {
+            *o = self.pointwise_grad(p - t) / n;
+        }
+        Ok(())
+    }
+
+    /// Row-batched loss value + gradient: adds up each row's
+    /// [`Loss::value`] (rows ascending) while writing each row's
+    /// [`Loss::gradient_into`] result into the matching row of
+    /// `grad_out`. Bit-identical to the per-row calls — this exists so
+    /// the batched training hot path pays the shape checks and the
+    /// variant dispatch once per minibatch instead of twice per sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] unless all three matrices share
+    /// one non-empty shape.
+    pub fn value_gradient_rows(
+        &self,
+        predicted: &Matrix,
+        target: &Matrix,
+        grad_out: &mut Matrix,
+    ) -> Result<f64, NnError> {
+        if predicted.shape() != target.shape() || predicted.cols() == 0 {
+            return Err(NnError::ShapeMismatch {
+                expected: target.cols(),
+                actual: predicted.cols(),
+                what: "prediction width",
+            });
+        }
+        if grad_out.shape() != predicted.shape() {
+            return Err(NnError::ShapeMismatch {
+                expected: predicted.cols(),
+                actual: grad_out.cols(),
+                what: "gradient buffer length",
+            });
+        }
+        let n = predicted.cols() as f64;
+        let mut total = 0.0;
+        for r in 0..predicted.rows() {
+            let p = predicted.row(r);
+            let t = target.row(r);
+            let o = grad_out.row_mut(r);
+            let mut row_total = 0.0;
+            for j in 0..p.len() {
+                let d = p[j] - t[j];
+                row_total += self.pointwise(d);
+                o[j] = self.pointwise_grad(d) / n;
+            }
+            total += row_total / n;
+        }
+        Ok(total)
+    }
+
+    /// Sum of per-row [`Loss::value`]s (rows ascending) of `predicted`
+    /// against rows `t_r0..t_r0 + predicted.rows()` of `targets` — the
+    /// batched form used by strip-mined whole-dataset evaluation, where
+    /// the predictions live in a strip-sized scratch matrix but the
+    /// targets are the full dataset. Bit-identical to the per-row calls.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] for a width mismatch, a zero
+    /// width, or a row range outside `targets`.
+    pub fn value_rows(
+        &self,
+        predicted: &Matrix,
+        targets: &Matrix,
+        t_r0: usize,
+    ) -> Result<f64, NnError> {
+        let (m, width) = predicted.shape();
+        if targets.cols() != width || width == 0 || t_r0 + m > targets.rows() {
+            return Err(NnError::ShapeMismatch {
+                expected: targets.cols(),
+                actual: width,
+                what: "prediction width",
+            });
+        }
+        let n = width as f64;
+        let mut total = 0.0;
+        for r in 0..m {
+            let p = predicted.row(r);
+            let t = targets.row(t_r0 + r);
+            let mut row_total = 0.0;
+            for j in 0..p.len() {
+                row_total += self.pointwise(p[j] - t[j]);
+            }
+            total += row_total / n;
+        }
+        Ok(total)
     }
 
     fn check(&self, predicted: &[f64], target: &[f64]) -> Result<(), NnError> {
@@ -215,6 +331,27 @@ mod tests {
         assert!(g[0] > 0.0);
         assert!(g[1] < 0.0);
         assert_eq!(g[2], 0.0);
+    }
+
+    #[test]
+    fn gradient_into_is_bitwise_gradient() {
+        let losses = [
+            Loss::MeanSquared,
+            Loss::MeanAbsolute,
+            Loss::huber(0.7).unwrap(),
+        ];
+        let predicted = [0.3, -1.2, 2.0];
+        let target = [0.0, 0.5, 1.8];
+        for l in losses {
+            let expect = l.gradient(&predicted, &target).unwrap();
+            let mut out = [f64::NAN; 3];
+            l.gradient_into(&predicted, &target, &mut out).unwrap();
+            assert_eq!(out.as_slice(), expect.as_slice(), "{l}");
+        }
+        let mut short = [0.0; 2];
+        assert!(Loss::MeanSquared
+            .gradient_into(&predicted, &target, &mut short)
+            .is_err());
     }
 
     #[test]

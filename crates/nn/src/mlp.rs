@@ -1,11 +1,7 @@
 use wlc_math::rng::{Seed, Xoshiro256};
 use wlc_math::Matrix;
 
-use crate::{Activation, DenseLayer, Initializer, Loss, NnError};
-
-/// Per-layer pre-activations and activations captured by the forward
-/// pass for back-propagation (`activations[0]` is the input).
-type ForwardTrace = (Vec<Vec<f64>>, Vec<Vec<f64>>);
+use crate::{Activation, DenseLayer, Initializer, Loss, NnError, Workspace};
 
 /// A multilayer perceptron: a stack of [`DenseLayer`]s.
 ///
@@ -93,11 +89,49 @@ impl Mlp {
     ///
     /// Returns [`NnError::ShapeMismatch`] if `input.len() != self.inputs()`.
     pub fn forward(&self, input: &[f64]) -> Result<Vec<f64>, NnError> {
-        let mut current = input.to_vec();
-        for layer in &self.layers {
-            current = layer.forward(&current)?;
+        let max_w = self.max_layer_width();
+        let mut ping = vec![0.0; max_w];
+        let mut pong = vec![0.0; max_w];
+        let (in_ping, width) = self.forward_ping_pong(input, &mut ping, &mut pong)?;
+        let mut out = if in_ping { ping } else { pong };
+        out.truncate(width);
+        Ok(out)
+    }
+
+    /// Widest layer output (sizing for ping-pong buffers).
+    pub(crate) fn max_layer_width(&self) -> usize {
+        self.layers
+            .iter()
+            .map(DenseLayer::outputs)
+            .max()
+            .expect("non-empty network")
+    }
+
+    /// Runs the layers through two ping-pong buffers (each at least
+    /// [`Mlp::max_layer_width`] long), allocating nothing. Returns
+    /// `(true, width)` if the final activation sits in `ping[..width]`,
+    /// `(false, width)` if it sits in `pong[..width]`.
+    pub(crate) fn forward_ping_pong(
+        &self,
+        input: &[f64],
+        ping: &mut [f64],
+        pong: &mut [f64],
+    ) -> Result<(bool, usize), NnError> {
+        let first = &self.layers[0];
+        first.forward_into(input, &mut ping[..first.outputs()])?;
+        let mut width = first.outputs();
+        let mut in_ping = true;
+        for layer in &self.layers[1..] {
+            let outs = layer.outputs();
+            if in_ping {
+                layer.forward_into(&ping[..width], &mut pong[..outs])?;
+            } else {
+                layer.forward_into(&pong[..width], &mut ping[..outs])?;
+            }
+            width = outs;
+            in_ping = !in_ping;
         }
-        Ok(current)
+        Ok((in_ping, width))
     }
 
     /// Runs the forward pass for every row of `inputs`, returning one
@@ -107,31 +141,11 @@ impl Mlp {
     ///
     /// Returns [`NnError::ShapeMismatch`] if `inputs.cols() != self.inputs()`.
     pub fn forward_batch(&self, inputs: &Matrix) -> Result<Matrix, NnError> {
-        let mut out = Matrix::zeros(inputs.rows(), self.outputs());
-        for r in 0..inputs.rows() {
-            let y = self.forward(inputs.row(r))?;
-            out.row_mut(r).copy_from_slice(&y);
+        if inputs.rows() == 0 {
+            return Ok(Matrix::zeros(0, self.outputs()));
         }
-        Ok(out)
-    }
-
-    /// Forward pass retaining every layer's pre-activation and activation,
-    /// as needed by back-propagation.
-    ///
-    /// Returns `(pre_activations, activations)` where `activations[0]` is
-    /// the input itself and `activations[l + 1]` is layer `l`'s output.
-    fn forward_trace(&self, input: &[f64]) -> Result<ForwardTrace, NnError> {
-        let mut pre = Vec::with_capacity(self.layers.len());
-        let mut acts = Vec::with_capacity(self.layers.len() + 1);
-        acts.push(input.to_vec());
-        for layer in &self.layers {
-            let z = layer.pre_activation(acts.last().expect("non-empty"))?;
-            let mut a = z.clone();
-            layer.activation().apply_slice(&mut a);
-            pre.push(z);
-            acts.push(a);
-        }
-        Ok((pre, acts))
+        let mut ws = Workspace::for_mlp(self);
+        Ok(self.forward_batch_with(inputs, &mut ws)?.clone())
     }
 
     /// Average loss and flat parameter gradient over a batch, computed by
@@ -151,6 +165,18 @@ impl Mlp {
         targets: &Matrix,
         loss: Loss,
     ) -> Result<(f64, Vec<f64>), NnError> {
+        let mut ws = Workspace::for_mlp(self);
+        let loss_value = self.batch_gradient_scalar_with(inputs, targets, loss, &mut ws)?;
+        Ok((loss_value, ws.take_grad()))
+    }
+
+    /// Shape validation shared by the gradient entry points; matches the
+    /// errors the per-sample path historically produced.
+    pub(crate) fn check_batch_shapes(
+        &self,
+        inputs: &Matrix,
+        targets: &Matrix,
+    ) -> Result<(), NnError> {
         if inputs.rows() == 0 {
             return Err(NnError::EmptyTrainingSet);
         }
@@ -168,84 +194,14 @@ impl Mlp {
                 what: "target width",
             });
         }
-
-        let mut grad = vec![0.0; self.param_count()];
-        let mut total_loss = 0.0;
-        for r in 0..inputs.rows() {
-            total_loss +=
-                self.accumulate_sample_gradient(inputs.row(r), targets.row(r), loss, &mut grad)?;
+        if inputs.cols() != self.inputs() {
+            return Err(NnError::ShapeMismatch {
+                expected: self.inputs(),
+                actual: inputs.cols(),
+                what: "input width",
+            });
         }
-        let scale = 1.0 / inputs.rows() as f64;
-        for g in &mut grad {
-            *g *= scale;
-        }
-        Ok((total_loss * scale, grad))
-    }
-
-    /// Back-propagates one sample, adding its gradient into `grad`.
-    fn accumulate_sample_gradient(
-        &self,
-        input: &[f64],
-        target: &[f64],
-        loss: Loss,
-        grad: &mut [f64],
-    ) -> Result<f64, NnError> {
-        let (pre, acts) = self.forward_trace(input)?;
-        let prediction = acts.last().expect("non-empty");
-        let loss_value = loss.value(prediction, target)?;
-
-        // delta for the output layer: dL/da ⊙ f'(z).
-        let dl_da = loss.gradient(prediction, target)?;
-        let last = self.layers.len() - 1;
-        let mut delta: Vec<f64> = dl_da
-            .iter()
-            .zip(pre[last].iter().zip(acts[last + 1].iter()))
-            .map(|(&g, (&z, &a))| g * self.layers[last].activation().derivative(z, a))
-            .collect();
-
-        // Walk backwards accumulating dW = delta ⊗ a_prev, db = delta.
-        let mut offsets = Vec::with_capacity(self.layers.len());
-        let mut off = 0;
-        for layer in &self.layers {
-            offsets.push(off);
-            off += layer.param_count();
-        }
-
-        for l in (0..self.layers.len()).rev() {
-            let layer = &self.layers[l];
-            let a_prev = &acts[l];
-            let base = offsets[l];
-            let in_w = layer.inputs();
-            for (i, &d) in delta.iter().enumerate() {
-                let row_base = base + i * in_w;
-                for (j, &ap) in a_prev.iter().enumerate() {
-                    grad[row_base + j] += d * ap;
-                }
-            }
-            let bias_base = base + layer.outputs() * in_w;
-            for (i, &d) in delta.iter().enumerate() {
-                grad[bias_base + i] += d;
-            }
-
-            if l > 0 {
-                // delta_{l-1} = (W_l^T delta_l) ⊙ f'(z_{l-1}).
-                let prev_layer = &self.layers[l - 1];
-                let mut next_delta = vec![0.0; layer.inputs()];
-                for (i, &d) in delta.iter().enumerate() {
-                    let row = layer.weights().row(i);
-                    for (j, &w) in row.iter().enumerate() {
-                        next_delta[j] += w * d;
-                    }
-                }
-                for (j, nd) in next_delta.iter_mut().enumerate() {
-                    let z = pre[l - 1][j];
-                    let a = acts[l][j];
-                    *nd *= prev_layer.activation().derivative(z, a);
-                }
-                delta = next_delta;
-            }
-        }
-        Ok(loss_value)
+        Ok(())
     }
 
     /// Copies all parameters into one flat vector (per layer: row-major

@@ -3,7 +3,9 @@ use std::path::PathBuf;
 use wlc_math::rng::{Seed, Xoshiro256};
 use wlc_math::Matrix;
 
-use crate::{Checkpoint, Initializer, LearningRateSchedule, Loss, Mlp, NnError, OptimizerKind};
+use crate::{
+    Checkpoint, Initializer, LearningRateSchedule, Loss, Mlp, NnError, OptimizerKind, Workspace,
+};
 
 /// Why training stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -552,8 +554,18 @@ impl Trainer {
             .scaled(self.config.retry_lr_backoff.powi(attempt as i32));
         let mut params = mlp.params_flat();
 
-        let mut loss_history = Vec::new();
-        let mut val_history = Vec::new();
+        // All per-epoch scratch is allocated up front; the epoch loop then
+        // runs allocation-free (asserted by `tests/alloc.rs`).
+        let mut ws = Workspace::for_mlp(mlp);
+        let mut bx = Matrix::zeros(0, xs.cols());
+        let mut by = Matrix::zeros(0, ys.cols());
+
+        let mut loss_history = Vec::with_capacity(self.config.max_epochs);
+        let mut val_history = Vec::with_capacity(if validation.is_some() {
+            self.config.max_epochs
+        } else {
+            0
+        });
         let mut best_val = f64::INFINITY;
         let mut best_params: Option<Vec<f64>> = None;
         let mut epochs_without_improvement = 0usize;
@@ -563,8 +575,8 @@ impl Trainer {
         if let Some(ck) = resume {
             start_epoch = ck.epoch;
             optimizer.restore_state(ck.opt_velocity.clone(), ck.opt_second.clone(), ck.opt_step);
-            loss_history = ck.loss_history.clone();
-            val_history = ck.val_history.clone();
+            loss_history.clone_from(&ck.loss_history);
+            val_history.clone_from(&ck.val_history);
             best_val = ck.best_val.unwrap_or(f64::INFINITY);
             best_params = ck.best_params.clone();
             epochs_without_improvement = ck.stall;
@@ -592,8 +604,9 @@ impl Trainer {
             let mut exploded = false;
             for chunk in indices.chunks(batch) {
                 mlp.set_params_flat(&params)?;
-                let (bx, by) = gather(xs, ys, chunk);
-                let (_, mut grads) = mlp.batch_gradient(&bx, &by, self.config.loss)?;
+                gather_into(xs, ys, chunk, &mut bx, &mut by);
+                mlp.batch_gradient_with(&bx, &by, self.config.loss, &mut ws)?;
+                let grads = ws.grad_mut();
                 if self.config.weight_decay > 0.0 {
                     for (g, p) in grads.iter_mut().zip(params.iter()) {
                         *g += self.config.weight_decay * p;
@@ -603,7 +616,7 @@ impl Trainer {
                     let norm = grads.iter().map(|g| g * g).sum::<f64>().sqrt();
                     if norm > max_norm {
                         let scale = max_norm / norm;
-                        for g in &mut grads {
+                        for g in grads.iter_mut() {
                             *g *= scale;
                         }
                     }
@@ -614,14 +627,14 @@ impl Trainer {
                     exploded = true;
                     break;
                 }
-                optimizer.step(&mut params, &grads, lr)?;
+                optimizer.step(&mut params, grads, lr)?;
             }
 
             let mut train_loss = f64::NAN;
             let mut diverged = exploded || params.iter().any(|p| !p.is_finite());
             if !diverged {
                 mlp.set_params_flat(&params)?;
-                train_loss = evaluate_loss(mlp, xs, ys, self.config.loss)?;
+                train_loss = mlp.batch_loss_with(xs, ys, self.config.loss, &mut ws)?;
                 diverged = !train_loss.is_finite();
             }
             if diverged {
@@ -629,9 +642,11 @@ impl Trainer {
                 // NaNs in the network.
                 params = last_finite;
                 mlp.set_params_flat(&params)?;
-                let final_train_loss = evaluate_loss(mlp, xs, ys, self.config.loss)?;
+                let final_train_loss = mlp.batch_loss_with(xs, ys, self.config.loss, &mut ws)?;
                 let final_val_loss = match validation {
-                    Some((vx, vy)) => Some(evaluate_loss(mlp, vx, vy, self.config.loss)?),
+                    Some((vx, vy)) => {
+                        Some(mlp.batch_loss_with(vx, vy, self.config.loss, &mut ws)?)
+                    }
                     None => None,
                 };
                 return Ok(TrainReport {
@@ -649,11 +664,16 @@ impl Trainer {
             loss_history.push(train_loss);
 
             if let Some((vx, vy)) = validation {
-                let val_loss = evaluate_loss(mlp, vx, vy, self.config.loss)?;
+                let val_loss = mlp.batch_loss_with(vx, vy, self.config.loss, &mut ws)?;
                 val_history.push(val_loss);
                 if val_loss + self.config.min_delta < best_val {
                     best_val = val_loss;
-                    best_params = Some(params.clone());
+                    // clone_from reuses the existing buffer after the
+                    // first improvement.
+                    match &mut best_params {
+                        Some(b) => b.clone_from(&params),
+                        None => best_params = Some(params.clone()),
+                    }
                     epochs_without_improvement = 0;
                 } else {
                     epochs_without_improvement += 1;
@@ -706,9 +726,9 @@ impl Trainer {
         }
         mlp.set_params_flat(&params)?;
 
-        let final_train_loss = evaluate_loss(mlp, xs, ys, self.config.loss)?;
+        let final_train_loss = mlp.batch_loss_with(xs, ys, self.config.loss, &mut ws)?;
         let final_val_loss = match validation {
-            Some((vx, vy)) => Some(evaluate_loss(mlp, vx, vy, self.config.loss)?),
+            Some((vx, vy)) => Some(mlp.batch_loss_with(vx, vy, self.config.loss, &mut ws)?),
             None => None,
         };
 
@@ -748,14 +768,15 @@ pub(crate) fn evaluate_loss(
     Ok(total / xs.rows() as f64)
 }
 
-fn gather(xs: &Matrix, ys: &Matrix, idx: &[usize]) -> (Matrix, Matrix) {
-    let mut bx = Matrix::zeros(idx.len(), xs.cols());
-    let mut by = Matrix::zeros(idx.len(), ys.cols());
+/// Copies the selected sample rows into reusable minibatch matrices —
+/// after the first (largest) chunk this never allocates.
+fn gather_into(xs: &Matrix, ys: &Matrix, idx: &[usize], bx: &mut Matrix, by: &mut Matrix) {
+    bx.resize_rows(idx.len());
+    by.resize_rows(idx.len());
     for (out_r, &r) in idx.iter().enumerate() {
         bx.row_mut(out_r).copy_from_slice(xs.row(r));
         by.row_mut(out_r).copy_from_slice(ys.row(r));
     }
-    (bx, by)
 }
 
 #[cfg(test)]
@@ -874,6 +895,62 @@ mod tests {
             .rng_seed(1);
         let report = Trainer::new(config).fit(&mut mlp, &xs, &ys).unwrap();
         assert!(report.final_train_loss < 0.1, "{}", report.final_train_loss);
+    }
+
+    #[test]
+    fn batched_training_is_bitwise_scalar_training() {
+        // The Trainer now runs the GEMM-batched workspace path. Replicate
+        // its epoch loop with the legacy per-sample scalar gradient
+        // (`Mlp::batch_gradient`) and allocating per-row evaluation
+        // (`evaluate_loss`), and require byte-identical parameters and
+        // loss history.
+        let (xs, ys) = xor_data();
+        let n = xs.rows();
+        for (opt, batch, seed, lr, epochs) in [
+            (OptimizerKind::Sgd, 2usize, 11u64, 0.1, 40usize),
+            (OptimizerKind::Sgd, 3, 5, 0.2, 25), // ragged last chunk
+            (OptimizerKind::adam(), 2, 23, 0.05, 40),
+        ] {
+            let mut trained = xor_mlp(9);
+            let config = TrainConfig::new()
+                .max_epochs(epochs)
+                .learning_rate(lr)
+                .batch_size(batch)
+                .optimizer(opt)
+                .rng_seed(seed);
+            let report = Trainer::new(config).fit(&mut trained, &xs, &ys).unwrap();
+
+            let mut manual = xor_mlp(9);
+            let mut rng = Xoshiro256::seed_from(seed);
+            let mut optimizer = opt.into_optimizer();
+            let mut params = manual.params_flat();
+            let mut indices: Vec<usize> = (0..n).collect();
+            let mut losses = Vec::new();
+            for _ in 0..epochs {
+                rng.shuffle(&mut indices);
+                for chunk in indices.chunks(batch) {
+                    manual.set_params_flat(&params).unwrap();
+                    let mut bx = Matrix::zeros(chunk.len(), xs.cols());
+                    let mut by = Matrix::zeros(chunk.len(), ys.cols());
+                    for (out_r, &r) in chunk.iter().enumerate() {
+                        bx.row_mut(out_r).copy_from_slice(xs.row(r));
+                        by.row_mut(out_r).copy_from_slice(ys.row(r));
+                    }
+                    let (_, grads) = manual.batch_gradient(&bx, &by, Loss::MeanSquared).unwrap();
+                    optimizer.step(&mut params, &grads, lr).unwrap();
+                }
+                manual.set_params_flat(&params).unwrap();
+                losses.push(evaluate_loss(&manual, &xs, &ys, Loss::MeanSquared).unwrap());
+            }
+
+            let trained_bits: Vec<u64> =
+                trained.params_flat().iter().map(|p| p.to_bits()).collect();
+            let manual_bits: Vec<u64> = params.iter().map(|p| p.to_bits()).collect();
+            assert_eq!(trained_bits, manual_bits, "params differ ({opt:?})");
+            let hist_bits: Vec<u64> = report.loss_history.iter().map(|l| l.to_bits()).collect();
+            let manual_hist: Vec<u64> = losses.iter().map(|l| l.to_bits()).collect();
+            assert_eq!(hist_bits, manual_hist, "loss history differs ({opt:?})");
+        }
     }
 
     #[test]

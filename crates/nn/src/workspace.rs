@@ -1,0 +1,816 @@
+//! Reusable scratch buffers for allocation-free training and inference.
+//!
+//! A [`Workspace`] owns every intermediate buffer the forward and
+//! backward passes need — batched activation/pre-activation/delta
+//! matrices, per-layer gradient matrices, a flat gradient vector,
+//! single-sample ping-pong buffers and the scalar reference path's
+//! trace. Constructed once per network topology, it lets steady-state
+//! training run with **zero heap allocations per epoch**: buffers are
+//! grown on first use and thereafter only resized within their existing
+//! capacity.
+//!
+//! Two gradient implementations share the workspace:
+//!
+//! - [`Mlp::batch_gradient_with`] — the batched hot path: the minibatch
+//!   forward/backward expressed as GEMMs ([`wlc_math::gemm`]) over the
+//!   batch matrix.
+//! - [`Mlp::batch_gradient_scalar_with`] — the per-sample reference
+//!   implementation (the pre-workspace algorithm, minus its per-sample
+//!   allocations).
+//!
+//! The two are **bit-identical**: every output element of the batched
+//! kernels receives its floating-point additions in the same order the
+//! scalar loops produce them (see `docs/performance.md` for the
+//! argument, and the tests below for the enforcement).
+
+use wlc_hot::wlc_hot;
+use wlc_math::gemm;
+use wlc_math::Matrix;
+
+use crate::{Loss, Mlp, NnError};
+
+/// Row-strip width for whole-dataset passes ([`Mlp::forward_batch_with`]
+/// and [`Mlp::batch_loss_with`]). Large batches are processed in strips
+/// of this many rows so every per-layer intermediate stays
+/// cache-resident — a strip's activations for a paper-sized topology are
+/// a few hundred KiB instead of the megabytes a 4096-row batch needs.
+/// Strips advance in ascending row order and rows never interact, so
+/// results are bit-identical to the unstripped pass.
+const STRIP: usize = 256;
+
+/// Scratch buffers for allocation-free forward/backward passes over one
+/// network topology.
+///
+/// Create one per [`Mlp`] shape with [`Workspace::for_mlp`] and reuse it
+/// across calls; passing it to a network with a different topology is an
+/// error. Batch-sized buffers grow on demand and are reused afterwards.
+///
+/// # Examples
+///
+/// ```
+/// use wlc_math::Matrix;
+/// use wlc_nn::{Activation, Loss, MlpBuilder, Workspace};
+///
+/// let mlp = MlpBuilder::new(2)
+///     .hidden(4, Activation::tanh())
+///     .output(1, Activation::identity())
+///     .seed(7)
+///     .build()?;
+/// let mut ws = Workspace::for_mlp(&mlp);
+/// let xs = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+/// let ys = Matrix::from_rows(&[&[1.0], &[1.0]]).unwrap();
+/// let loss = mlp.batch_gradient_with(&xs, &ys, Loss::MeanSquared, &mut ws)?;
+/// assert!(loss.is_finite());
+/// assert_eq!(ws.grad().len(), mlp.param_count());
+/// # Ok::<(), wlc_nn::NnError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Workspace {
+    /// Layer widths including the input layer, e.g. `[4, 16, 16, 5]`.
+    topology: Vec<usize>,
+    param_count: usize,
+    /// Flat-gradient offset of each layer's parameter block.
+    offsets: Vec<usize>,
+    /// Rows currently materialized in the batch-sized matrices.
+    rows: usize,
+    /// Batched activations, one `rows x outputs(l)` matrix per layer.
+    acts: Vec<Matrix>,
+    /// Batched pre-activations, same shapes as `acts`.
+    pre: Vec<Matrix>,
+    /// Batched back-propagated deltas, same shapes as `acts`.
+    deltas: Vec<Matrix>,
+    /// Per-layer transposed weights (`inputs x outputs`), refreshed at
+    /// the start of each batched forward pass. Holding W^T lets the
+    /// forward GEMM run with the output column innermost — contiguous,
+    /// vectorizable — instead of one latency-bound dot product per
+    /// element, while each element still accumulates with `k` ascending.
+    wts: Vec<Matrix>,
+    /// Per-layer weight-gradient matrices (`outputs x inputs`); their
+    /// row-major layout equals the weight block of the flat gradient.
+    wgrads: Vec<Matrix>,
+    /// Per-layer bias gradients.
+    bgrads: Vec<Vec<f64>>,
+    /// Flat gradient, laid out like [`Mlp::params_flat`].
+    grad: Vec<f64>,
+    /// Full-size prediction matrix returned by the strip-mined
+    /// [`Mlp::forward_batch_with`].
+    out: Matrix,
+    /// Single-sample ping-pong activation buffers (max layer width).
+    ping: Vec<f64>,
+    pong: Vec<f64>,
+    /// Scalar reference path: per-layer pre-activation trace.
+    trace_pre: Vec<Vec<f64>>,
+    /// Scalar reference path: activations (`trace_acts[0]` is the input).
+    trace_acts: Vec<Vec<f64>>,
+    /// Scalar reference path: current/next delta scratch (max width).
+    delta_a: Vec<f64>,
+    delta_b: Vec<f64>,
+}
+
+impl Workspace {
+    /// Builds a workspace sized for `mlp`'s topology. Batch-sized buffers
+    /// start empty and grow on first use.
+    pub fn for_mlp(mlp: &Mlp) -> Self {
+        let topology = mlp.topology();
+        let param_count = mlp.param_count();
+        let mut offsets = Vec::with_capacity(mlp.layers().len());
+        let mut off = 0;
+        for layer in mlp.layers() {
+            offsets.push(off);
+            off += layer.param_count();
+        }
+        let max_width = topology[1..].iter().copied().max().unwrap_or(0);
+        let acts: Vec<Matrix> = mlp
+            .layers()
+            .iter()
+            .map(|l| Matrix::zeros(0, l.outputs()))
+            .collect();
+        let mut trace_acts = Vec::with_capacity(mlp.layers().len() + 1);
+        trace_acts.push(vec![0.0; mlp.inputs()]);
+        trace_acts.extend(mlp.layers().iter().map(|l| vec![0.0; l.outputs()]));
+        Workspace {
+            pre: acts.clone(),
+            deltas: acts.clone(),
+            acts,
+            wts: mlp
+                .layers()
+                .iter()
+                .map(|l| Matrix::zeros(l.inputs(), l.outputs()))
+                .collect(),
+            wgrads: mlp
+                .layers()
+                .iter()
+                .map(|l| Matrix::zeros(l.outputs(), l.inputs()))
+                .collect(),
+            bgrads: mlp
+                .layers()
+                .iter()
+                .map(|l| vec![0.0; l.outputs()])
+                .collect(),
+            grad: vec![0.0; param_count],
+            out: Matrix::zeros(0, mlp.outputs()),
+            ping: vec![0.0; max_width],
+            pong: vec![0.0; max_width],
+            trace_pre: mlp
+                .layers()
+                .iter()
+                .map(|l| vec![0.0; l.outputs()])
+                .collect(),
+            trace_acts,
+            delta_a: vec![0.0; max_width],
+            delta_b: vec![0.0; max_width],
+            topology,
+            param_count,
+            offsets,
+            rows: 0,
+        }
+    }
+
+    /// The flat gradient left by the last gradient call (layout of
+    /// [`Mlp::params_flat`]).
+    pub fn grad(&self) -> &[f64] {
+        &self.grad
+    }
+
+    /// Mutable access to the flat gradient — the training loop applies
+    /// weight decay and clipping in place.
+    pub fn grad_mut(&mut self) -> &mut [f64] {
+        &mut self.grad
+    }
+
+    /// Layer widths this workspace was sized for.
+    pub fn topology(&self) -> &[usize] {
+        &self.topology
+    }
+
+    /// Moves the flat gradient out, leaving an empty vector behind (used
+    /// by the compatibility API that returns an owned gradient).
+    pub(crate) fn take_grad(&mut self) -> Vec<f64> {
+        std::mem::take(&mut self.grad)
+    }
+
+    /// Whether this workspace was built for exactly `mlp`'s topology.
+    /// Performs no allocation — long-lived callers (e.g. serving workers
+    /// holding a workspace across hot model reloads) use this to decide
+    /// when to rebuild.
+    pub fn matches(&self, mlp: &Mlp) -> bool {
+        self.check(mlp).is_ok()
+    }
+
+    /// Errors unless `mlp` has exactly the topology this workspace was
+    /// built for. Performs no allocation.
+    pub(crate) fn check(&self, mlp: &Mlp) -> Result<(), NnError> {
+        let ok = self.param_count == mlp.param_count()
+            && self.topology.len() == mlp.layers().len() + 1
+            && self.topology[0] == mlp.inputs()
+            && mlp
+                .layers()
+                .iter()
+                .zip(self.topology[1..].iter())
+                .all(|(l, &w)| l.outputs() == w);
+        if ok {
+            Ok(())
+        } else {
+            Err(NnError::ShapeMismatch {
+                expected: mlp.param_count(),
+                actual: self.param_count,
+                what: "workspace topology",
+            })
+        }
+    }
+
+    /// Resizes the batch-dimension buffers to `rows`, reusing capacity.
+    fn ensure_batch(&mut self, rows: usize) {
+        if self.rows != rows {
+            for m in self
+                .acts
+                .iter_mut()
+                .chain(self.pre.iter_mut())
+                .chain(self.deltas.iter_mut())
+            {
+                m.resize_rows(rows);
+            }
+            self.rows = rows;
+        }
+    }
+}
+
+impl Mlp {
+    /// Allocation-free single-sample forward pass through `ws`'s
+    /// ping-pong buffers; bit-identical to [`Mlp::forward`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] for a wrong input width or a
+    /// workspace built for a different topology.
+    #[wlc_hot]
+    pub fn forward_with<'ws>(
+        &self,
+        input: &[f64],
+        ws: &'ws mut Workspace,
+    ) -> Result<&'ws [f64], NnError> {
+        ws.check(self)?;
+        let (in_ping, width) = self.forward_ping_pong(input, &mut ws.ping, &mut ws.pong)?;
+        Ok(if in_ping {
+            &ws.ping[..width]
+        } else {
+            &ws.pong[..width]
+        })
+    }
+
+    /// Allocation-free batched forward pass: one GEMM per layer over the
+    /// batch, strip-mined over [`STRIP`]-row bands so the intermediates
+    /// stay cache-resident. Returns the `rows x outputs` prediction
+    /// matrix held inside `ws`; every row is bit-identical to
+    /// [`Mlp::forward`] of the corresponding input row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if `inputs.cols() != self.inputs()`
+    /// or the workspace has a different topology.
+    #[wlc_hot]
+    pub fn forward_batch_with<'ws>(
+        &self,
+        inputs: &Matrix,
+        ws: &'ws mut Workspace,
+    ) -> Result<&'ws Matrix, NnError> {
+        ws.check(self)?;
+        if inputs.cols() != self.inputs() {
+            return Err(NnError::ShapeMismatch {
+                expected: self.inputs(),
+                actual: inputs.cols(),
+                what: "input width",
+            });
+        }
+        let rows = inputs.rows();
+        let last = self.layers().len() - 1;
+        ws.out.resize_rows(rows);
+        self.transpose_weights(ws);
+        let mut r0 = 0;
+        while r0 < rows {
+            let r1 = (r0 + STRIP).min(rows);
+            ws.ensure_batch(r1 - r0);
+            self.batched_forward(inputs, r0, r1, ws)?;
+            for (sr, r) in (r0..r1).enumerate() {
+                ws.out.row_mut(r).copy_from_slice(ws.acts[last].row(sr));
+            }
+            r0 = r1;
+        }
+        Ok(&ws.out)
+    }
+
+    /// Mean loss over a dataset via the batched forward pass —
+    /// bit-identical to evaluating [`Mlp::forward`] row by row.
+    ///
+    /// # Errors
+    ///
+    /// - [`NnError::EmptyTrainingSet`] if `xs` has no rows.
+    /// - [`NnError::ShapeMismatch`] for width or workspace mismatches.
+    #[wlc_hot]
+    pub fn batch_loss_with(
+        &self,
+        xs: &Matrix,
+        ys: &Matrix,
+        loss: Loss,
+        ws: &mut Workspace,
+    ) -> Result<f64, NnError> {
+        if xs.rows() == 0 {
+            return Err(NnError::EmptyTrainingSet);
+        }
+        ws.check(self)?;
+        if xs.cols() != self.inputs() {
+            return Err(NnError::ShapeMismatch {
+                expected: self.inputs(),
+                actual: xs.cols(),
+                what: "input width",
+            });
+        }
+        let rows = xs.rows();
+        let last = self.layers().len() - 1;
+        self.transpose_weights(ws);
+        let mut total = 0.0;
+        let mut r0 = 0;
+        while r0 < rows {
+            let r1 = (r0 + STRIP).min(rows);
+            ws.ensure_batch(r1 - r0);
+            self.batched_forward(xs, r0, r1, ws)?;
+            // Consume the strip's predictions in place — no copy into a
+            // dataset-sized output matrix just to read it back once.
+            total += loss.value_rows(&ws.acts[last], ys, r0)?;
+            r0 = r1;
+        }
+        Ok(total / rows as f64)
+    }
+
+    /// Batched backpropagation: average loss over the minibatch, leaving
+    /// the flat parameter gradient in [`Workspace::grad`].
+    ///
+    /// This is the hot path behind [`crate::Trainer`]. It is bit-identical
+    /// to [`Mlp::batch_gradient`] — the GEMM kernels preserve the scalar
+    /// loops' per-element accumulation order — and performs no heap
+    /// allocation once the workspace has seen the batch size.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Mlp::batch_gradient`], plus [`NnError::ShapeMismatch`]
+    /// for a workspace with a different topology.
+    #[wlc_hot]
+    pub fn batch_gradient_with(
+        &self,
+        inputs: &Matrix,
+        targets: &Matrix,
+        loss: Loss,
+        ws: &mut Workspace,
+    ) -> Result<f64, NnError> {
+        self.check_batch_shapes(inputs, targets)?;
+        ws.check(self)?;
+        ws.ensure_batch(inputs.rows());
+        self.transpose_weights(ws);
+        self.batched_forward(inputs, 0, inputs.rows(), ws)?;
+
+        let rows = inputs.rows();
+        let len = self.layers().len();
+        let last = len - 1;
+
+        // Loss and output deltas, sample-row ascending like the scalar path.
+        let total_loss = loss.value_gradient_rows(&ws.acts[last], targets, &mut ws.deltas[last])?;
+        apply_derivative(
+            &mut ws.deltas[last],
+            &ws.pre[last],
+            &ws.acts[last],
+            self.layers()[last].activation(),
+        );
+
+        for l in (0..len).rev() {
+            let layer = &self.layers()[l];
+            // dW_l = delta_l^T * a_{l-1}: `k` in the TN kernel is the
+            // sample row, ascending — the order the scalar loop adds in.
+            {
+                let a_prev: &Matrix = if l == 0 { inputs } else { &ws.acts[l - 1] };
+                gemm::matmul_tn_into(&ws.deltas[l], a_prev, &mut ws.wgrads[l])?;
+            }
+            // db_l = column sums of delta_l, sample rows ascending.
+            {
+                let bg = &mut ws.bgrads[l];
+                let dl = &ws.deltas[l];
+                bg.fill(0.0);
+                for r in 0..rows {
+                    for (b, &d) in bg.iter_mut().zip(dl.row(r)) {
+                        *b += d;
+                    }
+                }
+            }
+            if l > 0 {
+                // delta_{l-1} = (delta_l * W_l) ⊙ f'(z_{l-1}): the NN
+                // kernel's `k` is the out-neuron index, ascending — again
+                // the scalar order.
+                {
+                    let (head, tail) = ws.deltas.split_at_mut(l);
+                    gemm::matmul_into(&tail[0], layer.weights(), &mut head[l - 1])?;
+                }
+                apply_derivative(
+                    &mut ws.deltas[l - 1],
+                    &ws.pre[l - 1],
+                    &ws.acts[l - 1],
+                    self.layers()[l - 1].activation(),
+                );
+            }
+        }
+
+        // Flatten per-layer gradients into the params_flat layout, then
+        // scale by 1/n exactly like the scalar path (accumulate, then
+        // multiply).
+        for l in 0..len {
+            let base = ws.offsets[l];
+            let w_len = ws.wgrads[l].rows() * ws.wgrads[l].cols();
+            ws.grad[base..base + w_len].copy_from_slice(ws.wgrads[l].as_slice());
+            let b_len = ws.bgrads[l].len();
+            ws.grad[base + w_len..base + w_len + b_len].copy_from_slice(&ws.bgrads[l]);
+        }
+        let scale = 1.0 / rows as f64;
+        for g in &mut ws.grad {
+            *g *= scale;
+        }
+        Ok(total_loss * scale)
+    }
+
+    /// Per-sample reference implementation of the batch gradient — the
+    /// pre-workspace algorithm with its allocations replaced by workspace
+    /// scratch. Kept as the ground truth the batched GEMM path is tested
+    /// bit-identical against, and as the benchmark baseline.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Mlp::batch_gradient_with`].
+    pub fn batch_gradient_scalar_with(
+        &self,
+        inputs: &Matrix,
+        targets: &Matrix,
+        loss: Loss,
+        ws: &mut Workspace,
+    ) -> Result<f64, NnError> {
+        self.check_batch_shapes(inputs, targets)?;
+        ws.check(self)?;
+        ws.grad.fill(0.0);
+        let mut total_loss = 0.0;
+        for r in 0..inputs.rows() {
+            total_loss += self.accumulate_sample(inputs.row(r), targets.row(r), loss, ws)?;
+        }
+        let scale = 1.0 / inputs.rows() as f64;
+        for g in &mut ws.grad {
+            *g *= scale;
+        }
+        Ok(total_loss * scale)
+    }
+
+    /// Refreshes the per-layer transposed weight scratch (`ws.wts`).
+    /// Hoisted out of [`Mlp::batched_forward`] so strip-mined passes
+    /// transpose once per call, not once per strip.
+    fn transpose_weights(&self, ws: &mut Workspace) {
+        for (l, layer) in self.layers().iter().enumerate() {
+            let w = layer.weights();
+            let wt = &mut ws.wts[l];
+            for r in 0..w.rows() {
+                for (c, &v) in w.row(r).iter().enumerate() {
+                    wt.row_mut(c)[r] = v;
+                }
+            }
+        }
+    }
+
+    /// Batched forward over `inputs[r0..r1]` into `ws.pre`/`ws.acts`
+    /// (buffers already sized to `r1 - r0` rows, `ws.wts` already
+    /// refreshed by [`Mlp::transpose_weights`]).
+    fn batched_forward(
+        &self,
+        inputs: &Matrix,
+        r0: usize,
+        r1: usize,
+        ws: &mut Workspace,
+    ) -> Result<(), NnError> {
+        let rows = r1 - r0;
+        for (l, layer) in self.layers().iter().enumerate() {
+            // Z_l = A_{l-1} * W_l^T: each output row is the matvec the
+            // per-sample path computes, bit for bit. The weights were
+            // pre-transposed into workspace scratch so the GEMM can
+            // run column-innermost (`matmul_into`); the per-element
+            // `k`-ascending accumulation order — and therefore every
+            // bit of the result — is unchanged. Layer 0 reads the input
+            // band in place (`matmul_rows_into`) — no strip copy.
+            if l == 0 {
+                gemm::matmul_rows_into(inputs, r0, r1, &ws.wts[0], &mut ws.pre[0])?;
+            } else {
+                gemm::matmul_into(&ws.acts[l - 1], &ws.wts[l], &mut ws.pre[l])?;
+            }
+            {
+                let biases = layer.biases();
+                let pre_l = &mut ws.pre[l];
+                for r in 0..rows {
+                    for (zi, &bi) in pre_l.row_mut(r).iter_mut().zip(biases) {
+                        *zi += bi;
+                    }
+                }
+            }
+            {
+                let (pre_l, act_l) = (&ws.pre[l], &mut ws.acts[l]);
+                layer
+                    .activation()
+                    .apply_slice_into(pre_l.as_slice(), act_l.as_mut_slice());
+            }
+        }
+        Ok(())
+    }
+
+    /// Back-propagates one sample through the workspace trace, adding its
+    /// gradient into `ws.grad` (the scalar reference step).
+    fn accumulate_sample(
+        &self,
+        input: &[f64],
+        target: &[f64],
+        loss: Loss,
+        ws: &mut Workspace,
+    ) -> Result<f64, NnError> {
+        let len = self.layers().len();
+        // Forward trace: trace_acts[0] is the input, trace_acts[l + 1] is
+        // layer l's activation.
+        ws.trace_acts[0].copy_from_slice(input);
+        for (l, layer) in self.layers().iter().enumerate() {
+            layer.pre_activation_into(&ws.trace_acts[l], &mut ws.trace_pre[l])?;
+            ws.trace_acts[l + 1].copy_from_slice(&ws.trace_pre[l]);
+            layer.activation().apply_slice(&mut ws.trace_acts[l + 1]);
+        }
+
+        let loss_value;
+        let mut width = self.outputs();
+        {
+            let prediction = &ws.trace_acts[len];
+            loss_value = loss.value(prediction, target)?;
+            // delta for the output layer: dL/da ⊙ f'(z).
+            loss.gradient_into(prediction, target, &mut ws.delta_a[..width])?;
+        }
+        {
+            let act = self.layers()[len - 1].activation();
+            let pre_z = &ws.trace_pre[len - 1];
+            let a_out = &ws.trace_acts[len];
+            for ((d, &z), &a) in ws.delta_a[..width].iter_mut().zip(pre_z).zip(a_out) {
+                *d *= act.derivative(z, a);
+            }
+        }
+
+        // Walk backwards accumulating dW = delta ⊗ a_prev, db = delta.
+        // The current delta always lives in `delta_a`; the next one is
+        // built in `delta_b` and the buffers are swapped (no allocation).
+        for l in (0..len).rev() {
+            let layer = &self.layers()[l];
+            let base = ws.offsets[l];
+            let in_w = layer.inputs();
+            {
+                let delta = &ws.delta_a[..width];
+                let a_prev = &ws.trace_acts[l];
+                let grad = &mut ws.grad;
+                for (i, &d) in delta.iter().enumerate() {
+                    let row_base = base + i * in_w;
+                    for (j, &ap) in a_prev.iter().enumerate() {
+                        grad[row_base + j] += d * ap;
+                    }
+                }
+                let bias_base = base + layer.outputs() * in_w;
+                for (i, &d) in delta.iter().enumerate() {
+                    grad[bias_base + i] += d;
+                }
+            }
+            if l > 0 {
+                // delta_{l-1} = (W_l^T delta_l) ⊙ f'(z_{l-1}).
+                {
+                    let cur = &ws.delta_a[..width];
+                    let next = &mut ws.delta_b[..in_w];
+                    next.fill(0.0);
+                    for (i, &d) in cur.iter().enumerate() {
+                        for (j, &w) in layer.weights().row(i).iter().enumerate() {
+                            next[j] += w * d;
+                        }
+                    }
+                }
+                {
+                    let act = self.layers()[l - 1].activation();
+                    let pre_prev = &ws.trace_pre[l - 1];
+                    let act_prev = &ws.trace_acts[l];
+                    for ((nd, &z), &a) in ws.delta_b[..in_w].iter_mut().zip(pre_prev).zip(act_prev)
+                    {
+                        *nd *= act.derivative(z, a);
+                    }
+                }
+                std::mem::swap(&mut ws.delta_a, &mut ws.delta_b);
+                width = in_w;
+            }
+        }
+        Ok(loss_value)
+    }
+}
+
+/// `delta ⊙= f'(z, a)` element-wise over whole batch matrices.
+fn apply_derivative(delta: &mut Matrix, pre: &Matrix, acts: &Matrix, act: crate::Activation) {
+    act.mul_derivative_slice(pre.as_slice(), acts.as_slice(), delta.as_mut_slice());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Activation, MlpBuilder};
+    use wlc_math::rng::Xoshiro256;
+
+    /// Odd topologies and batch sizes: 1-sample batches, 1-wide layers,
+    /// widths straddling the GEMM block size.
+    fn cases() -> Vec<(Mlp, usize)> {
+        let mk = |inputs: usize, hidden: &[(usize, Activation)], out: usize, seed: u64| {
+            let mut b = MlpBuilder::new(inputs);
+            for &(w, a) in hidden {
+                b = b.hidden(w, a);
+            }
+            b.output(out, Activation::identity())
+                .seed(seed)
+                .build()
+                .unwrap()
+        };
+        vec![
+            (mk(1, &[(1, Activation::tanh())], 1, 1), 1),
+            (mk(3, &[(5, Activation::logistic())], 2, 2), 7),
+            (
+                mk(
+                    4,
+                    &[(16, Activation::tanh()), (12, Activation::logistic())],
+                    5,
+                    3,
+                ),
+                64,
+            ),
+            (mk(2, &[(70, Activation::Relu)], 1, 4), 65),
+            (mk(9, &[], 4, 5), 33),
+            (
+                mk(
+                    2,
+                    &[
+                        (8, Activation::tanh()),
+                        (8, Activation::tanh()),
+                        (3, Activation::logistic()),
+                    ],
+                    2,
+                    6,
+                ),
+                130,
+            ),
+            // Larger than one whole-dataset strip (STRIP = 256), with a
+            // ragged final strip, to cover the strip-mined forward.
+            (mk(3, &[(6, Activation::tanh())], 2, 8), 523),
+        ]
+    }
+
+    fn random_batch(rows: usize, cols: usize, rng: &mut Xoshiro256) -> Matrix {
+        Matrix::from_fn(rows, cols, |_, _| rng.next_f64() * 2.0 - 1.0)
+    }
+
+    #[test]
+    fn forward_batch_with_is_bitwise_forward() {
+        let mut rng = Xoshiro256::seed_from(21);
+        for (mlp, rows) in cases() {
+            let xs = random_batch(rows, mlp.inputs(), &mut rng);
+            let mut ws = Workspace::for_mlp(&mlp);
+            let batch = mlp.forward_batch_with(&xs, &mut ws).unwrap().clone();
+            for r in 0..rows {
+                let single = mlp.forward(xs.row(r)).unwrap();
+                assert_eq!(batch.row(r), single.as_slice(), "row {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn forward_with_is_bitwise_forward() {
+        let mut rng = Xoshiro256::seed_from(22);
+        for (mlp, _) in cases() {
+            let xs = random_batch(4, mlp.inputs(), &mut rng);
+            let mut ws = Workspace::for_mlp(&mlp);
+            for r in 0..4 {
+                let expect = mlp.forward(xs.row(r)).unwrap();
+                let got = mlp.forward_with(xs.row(r), &mut ws).unwrap();
+                assert_eq!(got, expect.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn batched_gradient_is_bitwise_scalar() {
+        let mut rng = Xoshiro256::seed_from(23);
+        let losses = [
+            Loss::MeanSquared,
+            Loss::MeanAbsolute,
+            Loss::huber(0.4).unwrap(),
+        ];
+        for (mlp, rows) in cases() {
+            let xs = random_batch(rows, mlp.inputs(), &mut rng);
+            let ys = random_batch(rows, mlp.outputs(), &mut rng);
+            for loss in losses {
+                let mut ws_a = Workspace::for_mlp(&mlp);
+                let mut ws_b = Workspace::for_mlp(&mlp);
+                let la = mlp
+                    .batch_gradient_scalar_with(&xs, &ys, loss, &mut ws_a)
+                    .unwrap();
+                let lb = mlp.batch_gradient_with(&xs, &ys, loss, &mut ws_b).unwrap();
+                assert_eq!(la.to_bits(), lb.to_bits(), "{loss} loss value");
+                assert_eq!(ws_a.grad(), ws_b.grad(), "{loss} gradient");
+            }
+        }
+    }
+
+    #[test]
+    fn compat_batch_gradient_matches_workspace_paths() {
+        let mut rng = Xoshiro256::seed_from(24);
+        for (mlp, rows) in cases() {
+            let xs = random_batch(rows, mlp.inputs(), &mut rng);
+            let ys = random_batch(rows, mlp.outputs(), &mut rng);
+            let (l0, g0) = mlp.batch_gradient(&xs, &ys, Loss::MeanSquared).unwrap();
+            let mut ws = Workspace::for_mlp(&mlp);
+            let l1 = mlp
+                .batch_gradient_with(&xs, &ys, Loss::MeanSquared, &mut ws)
+                .unwrap();
+            assert_eq!(l0.to_bits(), l1.to_bits());
+            assert_eq!(g0.as_slice(), ws.grad());
+        }
+    }
+
+    #[test]
+    fn batch_loss_with_is_bitwise_per_row_eval() {
+        let mut rng = Xoshiro256::seed_from(25);
+        for (mlp, rows) in cases() {
+            let xs = random_batch(rows, mlp.inputs(), &mut rng);
+            let ys = random_batch(rows, mlp.outputs(), &mut rng);
+            let mut ws = Workspace::for_mlp(&mlp);
+            let batched = mlp
+                .batch_loss_with(&xs, &ys, Loss::MeanSquared, &mut ws)
+                .unwrap();
+            let mut total = 0.0;
+            for r in 0..rows {
+                let pred = mlp.forward(xs.row(r)).unwrap();
+                total += Loss::MeanSquared.value(&pred, ys.row(r)).unwrap();
+            }
+            let scalar = total / rows as f64;
+            assert_eq!(batched.to_bits(), scalar.to_bits());
+        }
+    }
+
+    #[test]
+    fn workspace_rejects_other_topology() {
+        let (mlp_a, _) = cases().remove(0);
+        let mlp_b = MlpBuilder::new(3)
+            .hidden(5, Activation::logistic())
+            .output(2, Activation::identity())
+            .seed(2)
+            .build()
+            .unwrap();
+        let mut ws = Workspace::for_mlp(&mlp_a);
+        assert!(matches!(
+            mlp_b.forward_with(&[0.0; 3], &mut ws),
+            Err(NnError::ShapeMismatch { .. })
+        ));
+        let xs = Matrix::zeros(2, 3);
+        let ys = Matrix::zeros(2, 2);
+        assert!(mlp_b.forward_batch_with(&xs, &mut ws).is_err());
+        assert!(mlp_b
+            .batch_gradient_with(&xs, &ys, Loss::MeanSquared, &mut ws)
+            .is_err());
+    }
+
+    #[test]
+    fn workspace_reuse_across_batch_sizes_is_stable() {
+        // Shrinking then regrowing the batch dimension must not change
+        // results (stale row contents are fully overwritten).
+        let (mlp, _) = cases().remove(2);
+        let mut rng = Xoshiro256::seed_from(26);
+        let big = random_batch(64, mlp.inputs(), &mut rng);
+        let big_y = random_batch(64, mlp.outputs(), &mut rng);
+        let small = random_batch(3, mlp.inputs(), &mut rng);
+        let small_y = random_batch(3, mlp.outputs(), &mut rng);
+
+        let mut ws = Workspace::for_mlp(&mlp);
+        let mut fresh = Workspace::for_mlp(&mlp);
+        mlp.batch_gradient_with(&big, &big_y, Loss::MeanSquared, &mut ws)
+            .unwrap();
+        let reused = mlp
+            .batch_gradient_with(&small, &small_y, Loss::MeanSquared, &mut ws)
+            .unwrap();
+        let clean = mlp
+            .batch_gradient_with(&small, &small_y, Loss::MeanSquared, &mut fresh)
+            .unwrap();
+        assert_eq!(reused.to_bits(), clean.to_bits());
+        assert_eq!(ws.grad(), fresh.grad());
+        // And growing back to the large batch still matches a fresh run.
+        let mut fresh2 = Workspace::for_mlp(&mlp);
+        let regrown = mlp
+            .batch_gradient_with(&big, &big_y, Loss::MeanSquared, &mut ws)
+            .unwrap();
+        let clean2 = mlp
+            .batch_gradient_with(&big, &big_y, Loss::MeanSquared, &mut fresh2)
+            .unwrap();
+        assert_eq!(regrown.to_bits(), clean2.to_bits());
+        assert_eq!(ws.grad(), fresh2.grad());
+    }
+}

@@ -1,0 +1,172 @@
+//! Counting-allocator proof that steady-state training is allocation-free.
+//!
+//! The workspace refactor's core claim is that after the first epoch warms
+//! the scratch buffers, the train/predict hot path performs **zero** heap
+//! allocations per epoch. This integration test installs a counting global
+//! allocator and asserts exactly that, at two levels:
+//!
+//! 1. the raw epoch cycle (`gather → batch_gradient_with → optimizer.step
+//!    → batch_loss_with`) allocates nothing once warm, and
+//! 2. a full [`Trainer::fit`] run allocates the same total count whether it
+//!    trains 20 epochs or 120 — i.e. all allocation is setup, none per epoch.
+//!
+//! Everything lives in a single `#[test]` so no sibling test thread can
+//! perturb the global counter. This is an integration test (its own crate)
+//! because the library itself is `#![forbid(unsafe_code)]` and a
+//! `GlobalAlloc` impl requires `unsafe`.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use wlc_math::Matrix;
+use wlc_nn::{Activation, Loss, MlpBuilder, OptimizerKind, TrainConfig, Trainer, Workspace};
+
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn alloc_calls() -> usize {
+    ALLOC_CALLS.load(Ordering::Relaxed)
+}
+
+fn training_data() -> (Matrix, Matrix) {
+    // y = (x0², x0·x1) on a small grid — shape (9, 2) → (9, 2).
+    let mut xs = Matrix::zeros(9, 2);
+    let mut ys = Matrix::zeros(9, 2);
+    for i in 0..3 {
+        for j in 0..3 {
+            let r = i * 3 + j;
+            let (a, b) = (i as f64 - 1.0, j as f64 - 1.0);
+            xs.row_mut(r).copy_from_slice(&[a, b]);
+            ys.row_mut(r).copy_from_slice(&[a * a, a * b]);
+        }
+    }
+    (xs, ys)
+}
+
+fn fit_alloc_count(epochs: usize) -> usize {
+    let (xs, ys) = training_data();
+    let mut mlp = MlpBuilder::new(2)
+        .hidden(6, Activation::tanh())
+        .output(2, Activation::identity())
+        .seed(3)
+        .build()
+        .unwrap();
+    let config = TrainConfig::new()
+        .max_epochs(epochs)
+        .learning_rate(0.05)
+        .batch_size(4)
+        .optimizer(OptimizerKind::adam())
+        .rng_seed(7);
+    let before = alloc_calls();
+    Trainer::new(config).fit(&mut mlp, &xs, &ys).unwrap();
+    alloc_calls() - before
+}
+
+#[test]
+fn steady_state_training_does_not_allocate() {
+    let (xs, ys) = training_data();
+    let mlp = MlpBuilder::new(2)
+        .hidden(6, Activation::tanh())
+        .output(2, Activation::identity())
+        .seed(1)
+        .build()
+        .unwrap();
+
+    // --- Level 1: the raw epoch cycle, warmed then measured. ---
+    let mut ws = Workspace::for_mlp(&mlp);
+    let mut optimizer = OptimizerKind::adam().into_optimizer();
+    let mut params = mlp.params_flat();
+    let mut model = mlp.clone();
+    let mut bx = Matrix::zeros(0, xs.cols());
+    let mut by = Matrix::zeros(0, ys.cols());
+    let indices: Vec<usize> = (0..xs.rows()).collect();
+    let batch = 4;
+
+    let cycle = |model: &mut wlc_nn::Mlp,
+                 params: &mut Vec<f64>,
+                 ws: &mut Workspace,
+                 bx: &mut Matrix,
+                 by: &mut Matrix,
+                 optimizer: &mut wlc_nn::Optimizer| {
+        for chunk in indices.chunks(batch) {
+            model.set_params_flat(params).unwrap();
+            bx.resize_rows(chunk.len());
+            by.resize_rows(chunk.len());
+            for (out_r, &r) in chunk.iter().enumerate() {
+                bx.row_mut(out_r).copy_from_slice(xs.row(r));
+                by.row_mut(out_r).copy_from_slice(ys.row(r));
+            }
+            model
+                .batch_gradient_with(bx, by, Loss::MeanSquared, ws)
+                .unwrap();
+            let norm_sq = ws.grad().iter().map(|g| g * g).sum::<f64>();
+            assert!(norm_sq.is_finite());
+            optimizer.step(params, ws.grad(), 0.05).unwrap();
+        }
+        model.set_params_flat(params).unwrap();
+        model
+            .batch_loss_with(&xs, &ys, Loss::MeanSquared, ws)
+            .unwrap()
+    };
+
+    // Warm up: workspace growth, minibatch buffers, lazy optimizer state.
+    for _ in 0..3 {
+        cycle(
+            &mut model,
+            &mut params,
+            &mut ws,
+            &mut bx,
+            &mut by,
+            &mut optimizer,
+        );
+    }
+
+    let before = alloc_calls();
+    let mut last_loss = f64::INFINITY;
+    for _ in 0..200 {
+        last_loss = cycle(
+            &mut model,
+            &mut params,
+            &mut ws,
+            &mut bx,
+            &mut by,
+            &mut optimizer,
+        );
+    }
+    let during = alloc_calls() - before;
+    assert!(last_loss.is_finite());
+    assert_eq!(
+        during, 0,
+        "steady-state epoch cycle performed {during} heap allocations over 200 epochs"
+    );
+
+    // --- Level 2: Trainer::fit allocation count is epoch-independent
+    // (modulo the loss-history reserve, which is one allocation either
+    // way). 20 vs 120 epochs must cost the identical number of calls. ---
+    let short = fit_alloc_count(20);
+    let long = fit_alloc_count(120);
+    assert_eq!(
+        short, long,
+        "Trainer::fit allocation count grew with epochs: 20 epochs = {short}, 120 epochs = {long}"
+    );
+}

@@ -31,6 +31,21 @@ pub struct Prediction {
     pub generation: u64,
 }
 
+/// A successful `/predict_batch` response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchPrediction {
+    /// One prediction row per input configuration, in request order.
+    pub outputs: Vec<Vec<f64>>,
+    /// Names of the outputs (parallel to each row of `outputs`).
+    pub output_names: Vec<String>,
+    /// Whether the linear baseline answered instead of the MLP.
+    pub degraded: bool,
+    /// Which model answered (`"mlp"` or `"linear-baseline"`).
+    pub model: String,
+    /// Serving-model generation (bumped by each successful hot reload).
+    pub generation: u64,
+}
+
 /// Client configuration.
 #[derive(Debug, Clone)]
 pub struct ClientConfig {
@@ -187,6 +202,63 @@ impl ServeClient {
             })
             .unwrap_or_default();
         Ok(Prediction {
+            outputs,
+            output_names,
+            degraded: json
+                .get("degraded")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
+            model: json
+                .get("model")
+                .and_then(Json::as_str)
+                .unwrap_or("unknown")
+                .to_string(),
+            generation: json.get("generation").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+        })
+    }
+
+    /// Requests predictions for many configurations in one round trip
+    /// (`POST /predict_batch`): the server answers every row through its
+    /// allocation-free batched forward pass.
+    pub fn predict_batch(&self, inputs: &[Vec<f64>]) -> Result<BatchPrediction, ServeError> {
+        self.predict_batch_with_deadline(inputs, None)
+    }
+
+    /// Batched prediction with an explicit deadline in milliseconds.
+    pub fn predict_batch_with_deadline(
+        &self,
+        inputs: &[Vec<f64>],
+        deadline_ms: Option<u64>,
+    ) -> Result<BatchPrediction, ServeError> {
+        let rows = Json::Arr(inputs.iter().map(|row| Json::nums(row)).collect());
+        let mut body = vec![("inputs", rows)];
+        if let Some(ms) = deadline_ms {
+            body.push(("deadline_ms", Json::Num(ms as f64)));
+        }
+        let body =
+            Json::Obj(body.into_iter().map(|(k, v)| (k.to_string(), v)).collect()).to_string();
+        let json = self.request_json("POST", "/predict_batch", &body)?;
+        let outputs = json
+            .get("outputs")
+            .and_then(Json::as_arr)
+            .map(|rows| {
+                rows.iter()
+                    .map(Json::as_f64_array)
+                    .collect::<Option<Vec<_>>>()
+            })
+            .and_then(|rows| rows)
+            .ok_or_else(|| ServeError::Protocol("response missing `outputs` rows".into()))?;
+        let output_names = json
+            .get("output_names")
+            .and_then(Json::as_arr)
+            .map(|items| {
+                items
+                    .iter()
+                    .filter_map(|v| v.as_str().map(str::to_string))
+                    .collect()
+            })
+            .unwrap_or_default();
+        Ok(BatchPrediction {
             outputs,
             output_names,
             degraded: json

@@ -55,7 +55,7 @@ mod server;
 mod state;
 
 pub use breaker::{BreakerState, CircuitBreaker};
-pub use client::{ClientConfig, Prediction, ServeClient};
+pub use client::{BatchPrediction, ClientConfig, Prediction, ServeClient};
 pub use error::ServeError;
 pub use json::Json;
 pub use server::{ServeConfig, ServeStats, Server};

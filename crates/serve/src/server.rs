@@ -25,6 +25,7 @@
 //! | Route            | Purpose                                          |
 //! |------------------|--------------------------------------------------|
 //! | `POST /predict`  | `{"inputs":[...], "deadline_ms":n?}` → prediction |
+//! | `POST /predict_batch` | `{"inputs":[[...],...], "deadline_ms":n?}` → one prediction per row, served through the worker's reusable [`PredictScratch`] (allocation-free model pass) |
 //! | `GET /healthz`   | liveness (200 while the process serves)          |
 //! | `GET /readyz`    | readiness (model loaded, queue below watermark)  |
 //! | `GET /stats`     | counters, breaker state, model generation        |
@@ -38,8 +39,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use wlc_exec::{BoundedQueue, ServicePool};
+use wlc_math::Matrix;
 use wlc_model::fallback::{FallbackModel, Served};
-use wlc_model::{ModelError, PerformanceModel};
+use wlc_model::{ModelError, PerformanceModel, PredictScratch};
 
 use crate::breaker::{BreakerState, CircuitBreaker};
 use crate::error::ServeError;
@@ -244,9 +246,17 @@ impl Server {
         let workers = shared.config.workers.max(1);
         let pool = {
             let shared = Arc::clone(&shared);
-            ServicePool::start(workers, Arc::clone(&shared.queue), move |_worker, conn| {
-                handle_connection(&shared, conn);
-            })
+            // Each worker owns a PredictScratch for its whole lifetime, so
+            // the batched model pass reuses warm buffers across requests
+            // instead of allocating per call.
+            ServicePool::start_with_state(
+                workers,
+                Arc::clone(&shared.queue),
+                |_worker| PredictScratch::new(),
+                move |_worker, scratch, conn| {
+                    handle_connection(&shared, scratch, conn);
+                },
+            )
         };
 
         for incoming in listener.incoming() {
@@ -281,7 +291,7 @@ impl Server {
     }
 }
 
-fn handle_connection(shared: &Shared, mut conn: Conn) {
+fn handle_connection(shared: &Shared, scratch: &mut PredictScratch, mut conn: Conn) {
     let request = match http::read_request(&mut conn.stream) {
         Ok(request) => request,
         Err(err) => {
@@ -292,7 +302,7 @@ fn handle_connection(shared: &Shared, mut conn: Conn) {
             return;
         }
     };
-    let (status, body, degraded) = route(shared, &request, conn.accepted_at);
+    let (status, body, degraded) = route(shared, scratch, &request, conn.accepted_at);
     let _ = http::write_response(&mut conn.stream, status, &body);
     shared.handled.fetch_add(1, Ordering::Relaxed);
     shared.log_request(
@@ -305,9 +315,15 @@ fn handle_connection(shared: &Shared, mut conn: Conn) {
     );
 }
 
-fn route(shared: &Shared, request: &http::Request, accepted_at: Instant) -> (u16, String, bool) {
+fn route(
+    shared: &Shared,
+    scratch: &mut PredictScratch,
+    request: &http::Request,
+    accepted_at: Instant,
+) -> (u16, String, bool) {
     match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/predict") => handle_predict(shared, request, accepted_at),
+        ("POST", "/predict_batch") => handle_predict_batch(shared, scratch, request, accepted_at),
         ("GET", "/healthz") => (
             200,
             Json::obj([("status", Json::Str("ok".into()))]).to_string(),
@@ -605,6 +621,204 @@ fn handle_predict(
     let body = Json::obj([
         ("outputs", Json::nums(&y)),
         ("output_names", Json::Arr(names)),
+        ("degraded", Json::Bool(degraded)),
+        (
+            "model",
+            Json::Str(
+                match served {
+                    Served::Primary => "mlp",
+                    Served::Baseline => "linear-baseline",
+                }
+                .into(),
+            ),
+        ),
+        ("generation", Json::Num(shared.slot.generation() as f64)),
+    ])
+    .to_string();
+    (200, body, degraded)
+}
+
+/// `POST /predict_batch`: one prediction per input row, computed by the
+/// batched GEMM forward pass through the worker's reusable scratch. The
+/// breaker/degradation policy is the same as `/predict`, applied to the
+/// whole batch (it either all comes from the primary or all from the
+/// baseline — never mixed, so `degraded` stays a single flag).
+fn handle_predict_batch(
+    shared: &Shared,
+    scratch: &mut PredictScratch,
+    request: &http::Request,
+    accepted_at: Instant,
+) -> (u16, String, bool) {
+    let body = match request
+        .body_str()
+        .map_err(|e| e.to_string())
+        .and_then(Json::parse)
+    {
+        Ok(json) => json,
+        Err(reason) => {
+            return (
+                400,
+                error_body(&format!("bad request body: {reason}"), false),
+                false,
+            )
+        }
+    };
+    let deadline = match deadline_for(shared, &body, accepted_at) {
+        Ok(deadline) => deadline,
+        Err(reason) => return (400, error_body(&reason, false), false),
+    };
+    if Instant::now() >= deadline {
+        shared.deadline_missed.fetch_add(1, Ordering::Relaxed);
+        return (
+            504,
+            error_body("deadline exceeded while queued", true),
+            false,
+        );
+    }
+    let rows = match body.get("inputs").and_then(Json::as_arr) {
+        Some(rows) if !rows.is_empty() => rows,
+        _ => {
+            return (
+                400,
+                error_body(
+                    "request must carry a non-empty `inputs` array of configuration rows",
+                    false,
+                ),
+                false,
+            )
+        }
+    };
+
+    let snapshot = shared.slot.snapshot();
+    let width = snapshot.inputs();
+    let mut xs = Matrix::zeros(rows.len(), width);
+    for (r, row) in rows.iter().enumerate() {
+        let values = match row.as_f64_array() {
+            Some(values) => values,
+            None => {
+                return (
+                    400,
+                    error_body(
+                        &format!("inputs row {r} must be an array of numbers"),
+                        false,
+                    ),
+                    false,
+                )
+            }
+        };
+        if values.len() != width {
+            return (
+                400,
+                error_body(
+                    &format!(
+                        "configuration width mismatch in row {r}: expected {width}, got {}",
+                        values.len()
+                    ),
+                    false,
+                ),
+                false,
+            );
+        }
+        if let Some(index) = values.iter().position(|v| !v.is_finite()) {
+            return (
+                400,
+                error_body(
+                    &format!("configuration feature {index} in row {r} is not finite"),
+                    false,
+                ),
+                false,
+            );
+        }
+        xs.row_mut(r).copy_from_slice(&values);
+    }
+
+    if !shared.config.slow_per_request.is_zero() {
+        std::thread::sleep(shared.config.slow_per_request);
+    }
+
+    let now = Instant::now();
+    let chosen = match snapshot.primary() {
+        Some(model) if shared.breaker.allow_primary(now) || !snapshot.has_baseline() => Some(model),
+        _ => None,
+    };
+
+    let mut primary_error: Option<String> = None;
+    let mut outcome: Option<(Vec<Json>, Served)> = None;
+    if let Some(model) = chosen {
+        let forced = shared.take_forced_failure();
+        if forced {
+            shared.breaker.record_failure(Instant::now());
+            primary_error = Some("injected primary failure (--force-fail)".into());
+        } else {
+            match model.predict_batch_with(&xs, scratch) {
+                Ok(out) if out.as_slice().iter().all(|v| v.is_finite()) => {
+                    shared.breaker.record_success();
+                    let json_rows = (0..out.rows()).map(|r| Json::nums(out.row(r))).collect();
+                    outcome = Some((json_rows, Served::Primary));
+                }
+                Err(err @ ModelError::NonFiniteInput { .. })
+                | Err(err @ ModelError::WidthMismatch { .. }) => {
+                    shared.breaker.abandon_trial();
+                    return (400, error_body(&err.to_string(), false), false);
+                }
+                Ok(_) => {
+                    shared.breaker.record_failure(Instant::now());
+                    primary_error = Some("primary produced non-finite predictions".into());
+                }
+                Err(err) => {
+                    shared.breaker.record_failure(Instant::now());
+                    primary_error = Some(err.to_string());
+                }
+            }
+        }
+    }
+    let (json_rows, served) = match outcome {
+        Some(pair) => pair,
+        None => match snapshot.baseline() {
+            Some(baseline) => match baseline.predict_batch(&xs) {
+                Ok(out) if out.as_slice().iter().all(|v| v.is_finite()) => {
+                    let json_rows = (0..out.rows()).map(|r| Json::nums(out.row(r))).collect();
+                    (json_rows, Served::Baseline)
+                }
+                Ok(_) => {
+                    return (
+                        500,
+                        error_body("baseline produced non-finite predictions", false),
+                        false,
+                    )
+                }
+                Err(err) => return (500, error_body(&err.to_string(), false), false),
+            },
+            None => {
+                let reason = primary_error
+                    .unwrap_or_else(|| "no model available to serve this request".into());
+                return (500, error_body(&reason, false), false);
+            }
+        },
+    };
+
+    if Instant::now() >= deadline {
+        shared.deadline_missed.fetch_add(1, Ordering::Relaxed);
+        return (
+            504,
+            error_body("deadline exceeded during computation", true),
+            false,
+        );
+    }
+
+    let degraded = served.is_degraded();
+    if degraded {
+        shared.degraded.fetch_add(1, Ordering::Relaxed);
+    }
+    let names = snapshot
+        .output_names()
+        .iter()
+        .map(|n| Json::Str(n.clone()))
+        .collect::<Vec<_>>();
+    let body = Json::obj([
+        ("outputs", Json::Arr(json_rows)),
+        ("output_names", Json::Arr(names)),
+        ("rows", Json::Num(rows.len() as f64)),
         ("degraded", Json::Bool(degraded)),
         (
             "model",

@@ -138,6 +138,83 @@ fn healthy_serving_end_to_end() {
 }
 
 #[test]
+fn predict_batch_matches_single_predictions_bitwise() {
+    let model = mlp(9);
+    let inputs: Vec<Vec<f64>> = vec![
+        vec![1.0, 1.0],
+        vec![2.0, 3.0],
+        vec![5.5, 2.5],
+        vec![4.0, 6.0],
+        vec![3.0, 3.0],
+    ];
+    let expected: Vec<Vec<f64>> = inputs.iter().map(|x| model.predict(x).unwrap()).collect();
+    let bundle = FallbackModel::new(Some(model), Some(baseline()), vec![], vec![]).unwrap();
+    let (addr, handle) = start(bundle, ServeConfig::default());
+    let client = patient_client(&addr);
+
+    // Repeated batches through the same worker exercise the reused
+    // per-worker scratch; every row must stay bitwise equal to the
+    // single-row path.
+    for _ in 0..3 {
+        let batch = client.predict_batch(&inputs).unwrap();
+        assert_eq!(
+            batch.outputs, expected,
+            "batched predictions must match per-row predict exactly"
+        );
+        assert!(!batch.degraded);
+        assert_eq!(batch.model, "mlp");
+        assert_eq!(batch.output_names, vec!["y".to_string()]);
+    }
+
+    // Ragged and malformed batches are non-retriable 400s.
+    match client.predict_batch(&[vec![1.0, 2.0], vec![1.0]]) {
+        Err(ServeError::Rejected {
+            status, retriable, ..
+        }) => {
+            assert_eq!(status, 400);
+            assert!(!retriable);
+        }
+        other => panic!("ragged batch must reject, got {other:?}"),
+    }
+    match client.predict_batch(&[]) {
+        Err(ServeError::Rejected { status, .. }) => assert_eq!(status, 400),
+        other => panic!("empty batch must reject, got {other:?}"),
+    }
+    match client.predict_batch(&[vec![f64::NAN, 1.0]]) {
+        Err(ServeError::Rejected { status, .. }) => assert_eq!(status, 400),
+        other => panic!("non-finite batch must reject, got {other:?}"),
+    }
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn predict_batch_degrades_to_baseline_when_no_primary() {
+    let base = baseline();
+    let inputs: Vec<Vec<f64>> = vec![vec![3.0, 4.0], vec![1.0, 2.0]];
+    let expected: Vec<Vec<f64>> = inputs.iter().map(|x| base.predict(x).unwrap()).collect();
+    let bundle = FallbackModel::new(
+        None,
+        Some(base),
+        vec!["a".into(), "b".into()],
+        vec!["y".into()],
+    )
+    .unwrap();
+    let (addr, handle) = start(bundle, ServeConfig::default());
+    let client = patient_client(&addr);
+
+    let batch = client.predict_batch(&inputs).unwrap();
+    assert!(batch.degraded);
+    assert_eq!(batch.model, "linear-baseline");
+    assert_eq!(batch.outputs, expected);
+
+    client.shutdown().unwrap();
+    let stats = handle.join().unwrap();
+    assert!(stats.degraded >= 1);
+}
+
+#[test]
 fn degraded_only_serving_matches_baseline_exactly() {
     let base = baseline();
     let expected = base.predict(&[3.0, 4.0]).unwrap();
