@@ -68,14 +68,20 @@ if [ "${1:-}" != "quick" ]; then
     done
     addr=$(sed -n 's/^listening on //p' "$smoke_dir/serve.out" | head -n 1)
     [ -n "$addr" ] || { echo "server did not start"; exit 1; }
+    # Capture first, grep after: `cmd | grep -q` closes the pipe on the
+    # first match and the CLI would die on EPIPE mid-print.
+    wlc_expect() {
+        want=$1
+        shift
+        out=$(./target/release/wlc "$@")
+        echo "$out" | grep -q "$want" \
+            || { echo "expected \`$want\` in: $out"; exit 1; }
+    }
     # Injected failures serve the baseline, tagged DEGRADED ...
-    ./target/release/wlc predict --server "$addr" --config 450,10,16,10 \
-        | grep -q DEGRADED
-    ./target/release/wlc predict --server "$addr" --config 450,10,16,10 \
-        | grep -q DEGRADED
+    wlc_expect DEGRADED predict --server "$addr" --config 450,10,16,10
+    wlc_expect DEGRADED predict --server "$addr" --config 450,10,16,10
     # ... then the primary recovers.
-    ./target/release/wlc predict --server "$addr" --config 450,10,16,10 \
-        | grep -q "model: mlp"
+    wlc_expect "model: mlp" predict --server "$addr" --config 450,10,16,10
     # An impossible deadline is a retriable 504 -> serve-error exit 5.
     set +e
     ./target/release/wlc predict --server "$addr" --config 450,10,16,10 \
@@ -98,14 +104,42 @@ if [ "${1:-}" != "quick" ]; then
     # Hot reload: corrupt file rejected, valid file swaps to generation 1.
     ! ./target/release/wlc predict --server "$addr" \
         --reload "$smoke_dir/serve.csv" >/dev/null 2>&1
-    ./target/release/wlc predict --server "$addr" \
-        --reload "$smoke_dir/model-b.txt" | grep -q "generation 1"
-    ./target/release/wlc predict --server "$addr" --config 450,10,16,10 \
-        | grep -q "generation 1"
+    wlc_expect "generation 1" predict --server "$addr" \
+        --reload "$smoke_dir/model-b.txt"
+    wlc_expect "generation 1" predict --server "$addr" --config 450,10,16,10
     # Graceful shutdown: drains and exits 0 with a summary.
     ./target/release/wlc predict --server "$addr" --shutdown >/dev/null
     wait "$serve_pid"
     grep -q "server drained:" "$smoke_dir/serve.out"
+
+    echo "==> multi-replica fleet smoke (kill, rolling reload, recovery)"
+    ./target/release/wlc serve --model "$smoke_dir/model-a.txt" \
+        --data "$smoke_dir/serve.csv" --addr 127.0.0.1:0 \
+        --replicas 3 --workers 1 --queue 8 \
+        > "$smoke_dir/fleet.out" 2> "$smoke_dir/fleet.log" &
+    fleet_pid=$!
+    for _ in $(seq 1 100); do
+        grep -q "listening on" "$smoke_dir/fleet.out" 2>/dev/null && break
+        sleep 0.1
+    done
+    fleet_addr=$(sed -n 's/^listening on //p' "$smoke_dir/fleet.out" | head -n 1)
+    [ -n "$fleet_addr" ] || { echo "fleet server did not start"; exit 1; }
+    # All three replicas report ready.
+    wlc_expect "replicas_ready.*3" predict --server "$fleet_addr" --status
+    # Kill one replica: readiness degrades to 2/3, serving continues.
+    wlc_expect "replica 1 killed" predict --server "$fleet_addr" --kill-replica 1
+    wlc_expect "replicas_ready.*2" predict --server "$fleet_addr" --status
+    wlc_expect "model: mlp" predict --server "$fleet_addr" --config 450,10,16,10
+    # Rolling reload swaps the whole fleet (dead replica included).
+    wlc_expect "generation 1" predict --server "$fleet_addr" \
+        --reload "$smoke_dir/model-b.txt"
+    wlc_expect "generation 1" predict --server "$fleet_addr" --config 450,10,16,10
+    # Revive the killed replica: readiness recovers to 3/3.
+    wlc_expect "replica 1 revived" predict --server "$fleet_addr" --revive-replica 1
+    wlc_expect "replicas_ready.*3" predict --server "$fleet_addr" --status
+    ./target/release/wlc predict --server "$fleet_addr" --shutdown >/dev/null
+    wait "$fleet_pid"
+    grep -q "server drained:" "$smoke_dir/fleet.out"
 fi
 
 echo "==> OK"

@@ -23,7 +23,10 @@ SERVER MODE (against a running `wlc serve`):
                         504 deadline, connect errors) back off
                         exponentially with jitter      [default: 5]
     --status            print health/readiness/stats and exit
-    --reload <path>     hot-reload the server's model file and exit
+    --reload <path>     rolling hot reload of the server's model file
+                        (drains and swaps one replica at a time), exit
+    --kill-replica <n>  take replica n out of rotation and exit
+    --revive-replica <n>  bring a killed replica back and exit
     --shutdown          gracefully stop the server and exit
 
 Exits 3 when the server rejects the request as invalid (400), 5 on
@@ -64,8 +67,25 @@ fn server_mode(flags: &Flags, addr: &str) -> CmdResult {
     }
     let reload: String = flags.get_or("reload", String::new())?;
     if !reload.is_empty() {
-        let generation = client.reload(&reload)?;
-        println!("reloaded: generation {generation}");
+        let outcome = client.reload_detailed(&reload)?;
+        println!("reloaded: generation {}", outcome.generation);
+        for (id, generation) in outcome.generations.iter().enumerate() {
+            println!("  replica {id:<16} generation {generation}");
+        }
+        return Ok(());
+    }
+    let kill: String = flags.get_or("kill-replica", String::new())?;
+    if !kill.is_empty() {
+        let id: usize = kill.parse()?;
+        client.kill_replica(id)?;
+        println!("replica {id} killed");
+        return Ok(());
+    }
+    let revive: String = flags.get_or("revive-replica", String::new())?;
+    if !revive.is_empty() {
+        let id: usize = revive.parse()?;
+        client.revive_replica(id)?;
+        println!("replica {id} revived");
         return Ok(());
     }
     if flags.switch("shutdown") {

@@ -25,15 +25,21 @@ MODEL SOURCES (at least one required):
 
 SERVER:
     --addr <ip:port>    bind address            [default: 127.0.0.1:0]
-    --workers <n>       worker threads          [default: 4]
-    --queue <n>         bounded queue capacity; overflow is shed
-                        with a retriable 503    [default: 64]
+    --replicas <n>      serving replicas behind the least-loaded
+                        router; each owns its own model slot,
+                        breaker, queue and workers      [default: 1]
+    --workers <n>       worker threads per replica      [default: 4]
+    --queue <n>         per-replica queue capacity; requests are shed
+                        with a retriable 503 only when every
+                        replica's queue is full         [default: 64]
     --watermark <n>     /readyz not-ready queue depth  [default: queue/2]
     --deadline-ms <n>   default per-request deadline   [default: 2000]
     --breaker-threshold <n>    consecutive primary failures that trip
-                               the circuit breaker     [default: 5]
+                               a replica's circuit breaker  [default: 5]
     --breaker-cooldown-ms <n>  cooldown before a half-open probe
                                [default: 5000]
+    --reload-drain-ms <n>      rolling reload: max wait for one replica
+                               to drain before aborting  [default: 5000]
     --quiet             suppress per-request log lines on stderr
 
 TEST HOOKS (fault injection, mirroring `wlc train --force-diverge`):
@@ -42,8 +48,10 @@ TEST HOOKS (fault injection, mirroring `wlc train --force-diverge`):
 
 ENDPOINTS:
     POST /predict {\"inputs\":[...],\"deadline_ms\":n?}   prediction
-    GET  /healthz | /readyz | /stats                   probes
-    POST /reload {\"path\":\"model.txt\"}                 validated hot swap
+    GET  /healthz | /readyz | /stats                   probes (per-replica)
+    POST /reload {\"path\":\"model.txt\"}                 rolling hot swap,
+                                                       one replica at a time
+    POST /replica {\"replica\":n,\"action\":\"kill\"}       admin/test hook
     POST /shutdown                                     graceful drain
 
 Prints `listening on <addr>` on stdout once ready. Exits 0 after a
@@ -119,12 +127,14 @@ pub fn run(raw: &[String]) -> CmdResult {
     let bundle = build_bundle(&flags)?;
 
     let config = ServeConfig {
+        replicas: flags.get_or("replicas", 1usize)?,
         workers: flags.get_or("workers", 4usize)?,
         queue_capacity: flags.get_or("queue", 64usize)?,
         ready_watermark: flags.get_or("watermark", 0usize)?,
         default_deadline: Duration::from_millis(flags.get_or("deadline-ms", 2000u64)?),
         breaker_threshold: flags.get_or("breaker-threshold", 5u32)?,
         breaker_cooldown: Duration::from_millis(flags.get_or("breaker-cooldown-ms", 5000u64)?),
+        reload_drain_timeout: Duration::from_millis(flags.get_or("reload-drain-ms", 5000u64)?),
         slow_per_request: Duration::from_millis(flags.get_or("slow-ms", 0u64)?),
         force_fail: flags.get_or("force-fail", 0u64)?,
         log: !flags.switch("quiet"),

@@ -20,8 +20,10 @@ pub const PANIC_SCOPES: [&str; 3] = [
 ];
 
 /// Hot-path files where indexing is also forbidden.
-pub const HOT_PATHS: [&str; 4] = [
+pub const HOT_PATHS: [&str; 6] = [
     "crates/serve/src/server.rs",
+    "crates/serve/src/replica.rs",
+    "crates/serve/src/router.rs",
     "crates/exec/src/service.rs",
     "crates/exec/src/pool.rs",
     "crates/core/src/fallback.rs",

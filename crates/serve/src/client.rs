@@ -29,6 +29,8 @@ pub struct Prediction {
     pub model: String,
     /// Serving-model generation (bumped by each successful hot reload).
     pub generation: u64,
+    /// Which replica answered.
+    pub replica: u64,
 }
 
 /// A successful `/predict_batch` response.
@@ -44,6 +46,20 @@ pub struct BatchPrediction {
     pub model: String,
     /// Serving-model generation (bumped by each successful hot reload).
     pub generation: u64,
+    /// Which replica answered.
+    pub replica: u64,
+}
+
+/// A completed rolling reload, as reported by `POST /reload`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReloadOutcome {
+    /// The fleet's committed generation (minimum across replicas).
+    pub generation: u64,
+    /// Final per-replica generations, in replica order.
+    pub generations: Vec<u64>,
+    /// Generation vector after each single-replica swap: step `i`
+    /// shows exactly `i + 1` replicas advanced.
+    pub steps: Vec<Vec<u64>>,
 }
 
 /// Client configuration.
@@ -214,6 +230,7 @@ impl ServeClient {
                 .unwrap_or("unknown")
                 .to_string(),
             generation: json.get("generation").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+            replica: json.get("replica").and_then(Json::as_f64).unwrap_or(0.0) as u64,
         })
     }
 
@@ -271,6 +288,7 @@ impl ServeClient {
                 .unwrap_or("unknown")
                 .to_string(),
             generation: json.get("generation").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+            replica: json.get("replica").and_then(Json::as_f64).unwrap_or(0.0) as u64,
         })
     }
 
@@ -290,12 +308,58 @@ impl ServeClient {
         self.request_json("GET", "/stats", "")
     }
 
-    /// `POST /reload` — validate and hot-swap the model at `path`;
-    /// returns the new generation.
+    /// `POST /reload` — validated rolling hot swap of the model at
+    /// `path` across every replica; returns the fleet's committed
+    /// generation (the minimum across replicas).
     pub fn reload(&self, path: &str) -> Result<u64, ServeError> {
+        Ok(self.reload_detailed(path)?.generation)
+    }
+
+    /// `POST /reload` with the full rolling-reload report: final
+    /// per-replica generations and the per-swap step snapshots that
+    /// prove the one-replica-at-a-time barrier.
+    pub fn reload_detailed(&self, path: &str) -> Result<ReloadOutcome, ServeError> {
         let body = Json::obj([("path", Json::Str(path.into()))]).to_string();
         let json = self.request_json("POST", "/reload", &body)?;
-        Ok(json.get("generation").and_then(Json::as_f64).unwrap_or(0.0) as u64)
+        let nums = |v: &Json| -> Vec<u64> {
+            v.as_arr()
+                .map(|items| {
+                    items
+                        .iter()
+                        .filter_map(|n| n.as_f64().map(|f| f as u64))
+                        .collect()
+                })
+                .unwrap_or_default()
+        };
+        Ok(ReloadOutcome {
+            generation: json.get("generation").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+            generations: json.get("generations").map(nums).unwrap_or_default(),
+            steps: json
+                .get("steps")
+                .and_then(Json::as_arr)
+                .map(|steps| steps.iter().map(nums).collect())
+                .unwrap_or_default(),
+        })
+    }
+
+    /// `POST /replica` — take replica `id` out of rotation (admin/test
+    /// hook; queued work still drains, the router routes around it).
+    pub fn kill_replica(&self, id: usize) -> Result<(), ServeError> {
+        self.replica_action(id, "kill")
+    }
+
+    /// `POST /replica` — bring a killed replica back into rotation.
+    pub fn revive_replica(&self, id: usize) -> Result<(), ServeError> {
+        self.replica_action(id, "revive")
+    }
+
+    fn replica_action(&self, id: usize, action: &str) -> Result<(), ServeError> {
+        let body = Json::obj([
+            ("replica", Json::Num(id as f64)),
+            ("action", Json::Str(action.into())),
+        ])
+        .to_string();
+        self.request_json("POST", "/replica", &body).map(|_| ())
     }
 
     /// `POST /shutdown` — request a graceful drain-and-exit.

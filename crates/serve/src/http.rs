@@ -8,7 +8,7 @@
 //! worker.
 
 use std::collections::BTreeMap;
-use std::io::{Read, Write};
+use std::io::{self, Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
@@ -72,19 +72,26 @@ pub fn configure(stream: &TcpStream) -> Result<(), ServeError> {
 
 /// Reads bytes until the `\r\n\r\n` head terminator, bounded by
 /// [`MAX_HEAD_BYTES`]. Returns `(head, leftover-after-terminator)`.
+///
+/// The head may arrive across any number of TCP segments — even split
+/// mid-terminator — so the loop keeps reading until the delimiter is
+/// seen, rescanning only the bytes a new segment could complete (the
+/// terminator can start at most 3 bytes before the old buffer end).
 fn read_head(stream: &mut TcpStream) -> Result<(Vec<u8>, Vec<u8>), ServeError> {
     let mut buf = Vec::with_capacity(512);
     let mut chunk = [0u8; 512];
+    let mut scanned = 0usize;
     loop {
-        if let Some(end) = find_terminator(&buf) {
+        if let Some(end) = find_terminator(&buf, scanned) {
             let rest = buf.split_off(end + 4);
             buf.truncate(end);
             return Ok((buf, rest));
         }
+        scanned = buf.len().saturating_sub(3);
         if buf.len() > MAX_HEAD_BYTES {
             return Err(ServeError::Protocol("request head too large".into()));
         }
-        let n = stream.read(&mut chunk)?;
+        let n = read_some(stream, &mut chunk)?;
         if n == 0 {
             return Err(ServeError::Protocol(
                 "connection closed before end of headers".into(),
@@ -94,8 +101,25 @@ fn read_head(stream: &mut TcpStream) -> Result<(Vec<u8>, Vec<u8>), ServeError> {
     }
 }
 
-fn find_terminator(buf: &[u8]) -> Option<usize> {
-    buf.windows(4).position(|w| w == b"\r\n\r\n")
+/// One `read`, retrying [`io::ErrorKind::Interrupted`]: a signal
+/// landing mid-read must not tear down the connection as a protocol
+/// error.
+fn read_some(stream: &mut TcpStream, chunk: &mut [u8]) -> Result<usize, ServeError> {
+    loop {
+        match stream.read(chunk) {
+            Ok(n) => return Ok(n),
+            Err(err) if err.kind() == io::ErrorKind::Interrupted => continue,
+            Err(err) => return Err(err.into()),
+        }
+    }
+}
+
+/// First `\r\n\r\n` at or after byte `from` (absolute index).
+fn find_terminator(buf: &[u8], from: usize) -> Option<usize> {
+    buf.get(from..)?
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|i| from + i)
 }
 
 fn parse_headers(lines: std::str::Lines<'_>) -> Result<BTreeMap<String, String>, ServeError> {
@@ -292,6 +316,71 @@ mod tests {
             resp.headers.get("retry-after").map(String::as_str),
             Some("1")
         );
+    }
+
+    #[test]
+    fn request_split_across_many_tcp_writes_is_reassembled() {
+        // Regression: the reader must tolerate heads and bodies arriving
+        // across arbitrarily many TCP segments, including a split in the
+        // middle of the `\r\n\r\n` terminator, not assume one read
+        // yields the full head.
+        let (mut client, mut server) = pair();
+        let raw =
+            b"POST /predict HTTP/1.1\r\nHost: wlc\r\nContent-Length: 16\r\n\r\n{\"inputs\":[1.0]}";
+        let writer = thread::spawn(move || {
+            // 3-byte chunks with pauses: every boundary lands somewhere
+            // interesting at least once, including inside `\r\n\r\n`.
+            for chunk in raw.chunks(3) {
+                client.write_all(chunk).unwrap();
+                client.flush().unwrap();
+                thread::sleep(std::time::Duration::from_millis(1));
+            }
+            client
+        });
+        let req = read_request(&mut server).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/predict");
+        assert_eq!(req.body_str().unwrap(), "{\"inputs\":[1.0]}");
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn terminator_split_exactly_at_segment_boundary() {
+        // The nastiest split: `\r\n` then, in a later segment, `\r\n`
+        // plus the body. The incremental rescan must still find the
+        // terminator that straddles the boundary.
+        let (mut client, mut server) = pair();
+        let writer = thread::spawn(move || {
+            client.write_all(b"GET /healthz HTTP/1.1\r\n").unwrap();
+            client.flush().unwrap();
+            thread::sleep(std::time::Duration::from_millis(5));
+            client.write_all(b"\r\n").unwrap();
+            client.flush().unwrap();
+            client
+        });
+        let req = read_request(&mut server).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn response_split_across_tcp_writes_is_reassembled() {
+        let (mut client, mut server) = pair();
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 11\r\n\r\n{\"ok\":true}".to_vec();
+        let writer = thread::spawn(move || {
+            for chunk in raw.chunks(7) {
+                server.write_all(chunk).unwrap();
+                server.flush().unwrap();
+                thread::sleep(std::time::Duration::from_millis(1));
+            }
+            server
+        });
+        let resp = read_response(&mut client).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body_str().unwrap(), "{\"ok\":true}");
+        writer.join().unwrap();
     }
 
     #[test]

@@ -13,12 +13,18 @@
 //!
 //! Robustness mechanisms, each independently testable:
 //!
-//! - [`Server`] — accept loop feeding a bounded queue
-//!   ([`wlc_exec::BoundedQueue`]) drained by a persistent worker pool;
-//!   overflow is shed with a retriable `503`.
-//! - [`CircuitBreaker`] — consecutive primary-model failures open the
-//!   circuit; requests degrade to the linear baseline (tagged
-//!   `degraded`) until a half-open probe succeeds.
+//! - [`Server`] — accept loop dispatching over a fleet of replicas;
+//!   when no replica can take a job it is shed with a retriable `503`.
+//! - [`Replica`] — one serving unit: its own model slot, breaker,
+//!   bounded queue ([`wlc_exec::BoundedQueue`]) and worker threads, so
+//!   failure domains are exactly the replicas.
+//! - [`Router`] — least-loaded dispatch (round-robin on ties) and
+//!   rolling hot reload: drain and swap one replica at a time, so at
+//!   most one replica is ever out of rotation during an update.
+//! - [`CircuitBreaker`] — consecutive primary-model failures open that
+//!   replica's circuit; its requests degrade to the linear baseline
+//!   (tagged `degraded`) until a half-open probe succeeds. The
+//!   accounting rule is pinned by [`counts_against_breaker`].
 //! - [`ModelSlot`] — validated, atomic last-good hot reload; corrupt or
 //!   mismatched files never disturb the serving model.
 //! - [`ServeClient`] — retry with exponential backoff and seeded
@@ -51,12 +57,16 @@ mod client;
 mod error;
 pub mod http;
 mod json;
+mod replica;
+mod router;
 mod server;
 mod state;
 
 pub use breaker::{BreakerState, CircuitBreaker};
-pub use client::{BatchPrediction, ClientConfig, Prediction, ServeClient};
+pub use client::{BatchPrediction, ClientConfig, Prediction, ReloadOutcome, ServeClient};
 pub use error::ServeError;
 pub use json::Json;
-pub use server::{ServeConfig, ServeStats, Server};
+pub use replica::{Replica, ReplicaHealth};
+pub use router::{ReloadError, ReloadReport, RouteError, Router};
+pub use server::{counts_against_breaker, FailurePhase, ServeConfig, ServeStats, Server};
 pub use state::ModelSlot;

@@ -1,24 +1,30 @@
-//! The fault-tolerant prediction server.
+//! The fault-tolerant, multi-replica prediction server.
 //!
 //! A [`Server`] binds a loopback TCP port and serves predictions from a
-//! hot-swappable [`FallbackModel`] over minimal HTTP/1.1 + JSON. The
-//! design goals are the classic overload-robustness triad:
+//! fleet of [`Replica`]s — each owning its own hot-swappable
+//! [`crate::ModelSlot`], circuit breaker, bounded queue and worker
+//! threads — behind a least-loaded [`Router`]. The design goals are the
+//! classic overload-robustness triad, now per failure domain:
 //!
-//! - **Load shedding** — accepted connections enter a bounded queue
-//!   ([`wlc_exec::BoundedQueue`]); when it is full the acceptor answers
-//!   `503` (retriable) immediately instead of queueing unboundedly.
+//! - **Load shedding** — accepted connections are dispatched to the
+//!   least-loaded routable replica's bounded queue
+//!   ([`wlc_exec::BoundedQueue`]); when every queue is full the
+//!   acceptor answers `503` (retriable) immediately instead of queueing
+//!   unboundedly.
 //! - **Deadlines** — every request carries a deadline (default from
 //!   [`ServeConfig::default_deadline`], overridable per request); work
 //!   that misses it is answered `504` (retriable) rather than returned
 //!   arbitrarily late.
-//! - **Graceful degradation** — a [`CircuitBreaker`] guards the MLP;
-//!   repeated failures (or a missing/invalid model) route requests to
-//!   the linear baseline, tagged `"degraded": true` in the response.
+//! - **Graceful degradation** — each replica's [`CircuitBreaker`]
+//!   guards its MLP; repeated failures route that replica's requests to
+//!   the linear baseline, tagged `"degraded": true`, without touching
+//!   the other replicas.
 //!
-//! Model reloads go through [`ModelSlot`]: validated first, swapped
-//! atomically, rejected without disturbing the serving model. Shutdown
-//! (`POST /shutdown`) stops accepting, drains in-flight requests and
-//! returns cleanly.
+//! Model updates are **rolling**: `POST /reload` drains and swaps one
+//! replica at a time ([`Router::rolling_reload`]) so the fleet never
+//! has more than one replica out of rotation and zero accepted
+//! requests fail during an update. Shutdown (`POST /shutdown`) stops
+//! accepting, drains every replica and returns cleanly.
 //!
 //! # Endpoints
 //!
@@ -27,9 +33,10 @@
 //! | `POST /predict`  | `{"inputs":[...], "deadline_ms":n?}` → prediction |
 //! | `POST /predict_batch` | `{"inputs":[[...],...], "deadline_ms":n?}` → one prediction per row, served through the worker's reusable [`PredictScratch`] (allocation-free model pass) |
 //! | `GET /healthz`   | liveness (200 while the process serves)          |
-//! | `GET /readyz`    | readiness (model loaded, queue below watermark)  |
-//! | `GET /stats`     | counters, breaker state, model generation        |
-//! | `POST /reload`   | `{"path":"model.txt"}` → validate + hot swap      |
+//! | `GET /readyz`    | readiness: per-replica health, ready while ≥ 1 replica can answer |
+//! | `GET /stats`     | fleet counters plus a per-replica breakdown      |
+//! | `POST /reload`   | `{"path":"model.txt"}` → validated rolling swap   |
+//! | `POST /replica`  | `{"replica":n,"action":"kill"\|"revive"}` admin/test hook |
 //! | `POST /shutdown` | graceful drain and exit                          |
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -38,7 +45,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use wlc_exec::{BoundedQueue, ServicePool};
+use wlc_exec::ServicePool;
 use wlc_math::Matrix;
 use wlc_model::fallback::{FallbackModel, Served};
 use wlc_model::{ModelError, PerformanceModel, PredictScratch};
@@ -47,25 +54,33 @@ use crate::breaker::{BreakerState, CircuitBreaker};
 use crate::error::ServeError;
 use crate::http;
 use crate::json::Json;
-use crate::state::ModelSlot;
+use crate::replica::{Replica, ReplicaHealth};
+use crate::router::{ReloadError, Router};
 
 /// Server tuning knobs. [`Default`] gives sensible loopback settings.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
-    /// Worker threads handling requests (minimum 1).
+    /// Serving replicas, each with its own model slot, breaker, queue
+    /// and worker threads (minimum 1).
+    pub replicas: usize,
+    /// Worker threads handling requests *per replica* (minimum 1).
     pub workers: usize,
-    /// Bounded queue capacity; connections beyond it are shed with 503.
+    /// Per-replica bounded queue capacity; when every routable
+    /// replica's queue is full, connections are shed with 503.
     pub queue_capacity: usize,
-    /// `/readyz` reports not-ready once the queue depth reaches this
+    /// A replica reports not-ready once its queue depth reaches this
     /// watermark (0 = use half the queue capacity).
     pub ready_watermark: usize,
     /// Default per-request deadline when the request does not carry
     /// `deadline_ms`.
     pub default_deadline: Duration,
-    /// Consecutive primary failures that open the circuit breaker.
+    /// Consecutive primary failures that open a replica's breaker.
     pub breaker_threshold: u32,
     /// Cooldown before an open breaker half-opens to probe the primary.
     pub breaker_cooldown: Duration,
+    /// How long a rolling reload waits for each replica's in-flight
+    /// work to drain before aborting with a retriable 503.
+    pub reload_drain_timeout: Duration,
     /// Artificial per-request service time (test/benchmark hook for
     /// driving the server into overload deterministically).
     pub slow_per_request: Duration,
@@ -80,12 +95,14 @@ pub struct ServeConfig {
 impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
+            replicas: 1,
             workers: 4,
             queue_capacity: 64,
             ready_watermark: 0,
             default_deadline: Duration::from_secs(2),
             breaker_threshold: 5,
             breaker_cooldown: Duration::from_secs(5),
+            reload_drain_timeout: Duration::from_secs(5),
             slow_per_request: Duration::ZERO,
             force_fail: 0,
             log: false,
@@ -94,17 +111,49 @@ impl Default for ServeConfig {
 }
 
 /// Counters accumulated over a server's lifetime, returned by
-/// [`Server::run`] and exposed at `GET /stats`.
+/// [`Server::run`] and exposed at `GET /stats` (summed over replicas).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServeStats {
     /// Requests answered (any status) by worker threads.
     pub handled: u64,
-    /// Connections shed by the acceptor with 503 (queue full).
+    /// Connections shed by the acceptor with 503 (no replica could
+    /// take the job).
     pub shed: u64,
     /// Predictions served by the linear baseline (degraded mode).
     pub degraded: u64,
     /// Requests rejected with 504 for missing their deadline.
     pub deadline_missed: u64,
+}
+
+/// The phase of request handling in which a failure surfaced, for
+/// [`counts_against_breaker`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailurePhase {
+    /// The acceptor shed the connection (503) before any replica saw
+    /// it.
+    RouterShed,
+    /// The request itself was invalid (4xx): malformed body, width
+    /// mismatch, non-finite features.
+    CallerError,
+    /// The deadline expired while the request was still queued — the
+    /// model was never invoked.
+    QueuedDeadline,
+    /// The primary model was actually invoked: compute errors,
+    /// non-finite outputs, and answers that arrived past the deadline.
+    Compute,
+}
+
+/// The breaker-accounting rule, pinned: only compute-phase failures
+/// with a 5xx status count against a replica's circuit breaker.
+///
+/// Router-level sheds and caller errors say nothing about the model's
+/// health, and a deadline that expired while the request sat in the
+/// queue blames the queue, not the model — none of those may open the
+/// breaker. A primary answer that arrives past its deadline (a
+/// compute-phase 504) does count: a model too slow to be useful is as
+/// failed as one that errors.
+pub fn counts_against_breaker(status: u16, phase: FailurePhase) -> bool {
+    matches!(phase, FailurePhase::Compute) && status >= 500
 }
 
 struct Conn {
@@ -115,15 +164,10 @@ struct Conn {
 struct Shared {
     config: ServeConfig,
     addr: SocketAddr,
-    slot: ModelSlot,
-    breaker: CircuitBreaker,
-    queue: Arc<BoundedQueue<Conn>>,
+    router: Router<Conn>,
     shutting_down: AtomicBool,
     force_fail: AtomicU64,
-    handled: AtomicU64,
     shed: AtomicU64,
-    degraded: AtomicU64,
-    deadline_missed: AtomicU64,
 }
 
 impl Shared {
@@ -135,12 +179,22 @@ impl Shared {
     }
 
     fn stats(&self) -> ServeStats {
-        ServeStats {
-            handled: self.handled.load(Ordering::Relaxed),
+        let mut stats = ServeStats {
             shed: self.shed.load(Ordering::Relaxed),
-            degraded: self.degraded.load(Ordering::Relaxed),
-            deadline_missed: self.deadline_missed.load(Ordering::Relaxed),
+            ..ServeStats::default()
+        };
+        for replica in self.router.replicas() {
+            let (handled, degraded, deadline_missed) = replica.counters();
+            stats.handled += handled;
+            stats.degraded += degraded;
+            stats.deadline_missed += deadline_missed;
         }
+        stats
+    }
+
+    /// The fleet's committed generation: the minimum across replicas.
+    fn fleet_generation(&self) -> u64 {
+        self.router.generations().into_iter().min().unwrap_or(0)
     }
 
     /// Consumes one forced-failure token, if any remain.
@@ -150,8 +204,10 @@ impl Shared {
             .is_ok()
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn log_request(
         &self,
+        replica: Option<usize>,
         method: &str,
         path: &str,
         status: u16,
@@ -163,10 +219,14 @@ impl Shared {
             return;
         }
         let latency_ms = started.elapsed().as_secs_f64() * 1e3;
+        let depth: usize = self.router.replicas().iter().map(|r| r.queue().len()).sum();
+        let replica = match replica {
+            Some(id) => id.to_string(),
+            None => "-".to_string(),
+        };
         eprintln!(
-            "wlc-serve method={method} path={path} status={status} \
+            "wlc-serve method={method} path={path} status={status} replica={replica} \
              latency_ms={latency_ms:.3} queue_depth={depth} degraded={degraded} shed={shed}",
-            depth = self.queue.len(),
         );
     }
 }
@@ -187,6 +247,34 @@ fn breaker_state_name(state: BreakerState) -> &'static str {
     }
 }
 
+/// The fleet's worst breaker state: any open replica reports `open`,
+/// else any half-open reports `half-open`, else `closed`.
+fn fleet_breaker_name(health: &[ReplicaHealth]) -> &'static str {
+    if health.iter().any(|h| h.breaker == BreakerState::Open) {
+        "open"
+    } else if health.iter().any(|h| h.breaker == BreakerState::HalfOpen) {
+        "half-open"
+    } else {
+        "closed"
+    }
+}
+
+fn replica_health_json(h: &ReplicaHealth) -> Json {
+    Json::obj([
+        ("id", Json::Num(h.id as f64)),
+        ("alive", Json::Bool(h.alive)),
+        ("draining", Json::Bool(h.draining)),
+        ("ready", Json::Bool(h.ready)),
+        ("queue_depth", Json::Num(h.queue_depth as f64)),
+        ("in_flight", Json::Num(h.in_flight as f64)),
+        ("generation", Json::Num(h.generation as f64)),
+        ("breaker", Json::Str(breaker_state_name(h.breaker).into())),
+        ("handled", Json::Num(h.handled as f64)),
+        ("degraded", Json::Num(h.degraded as f64)),
+        ("deadline_missed", Json::Num(h.deadline_missed as f64)),
+    ])
+}
+
 /// A bound, not-yet-running prediction server.
 pub struct Server {
     listener: TcpListener,
@@ -195,7 +283,9 @@ pub struct Server {
 
 impl Server {
     /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
-    /// prepares the serving state. Call [`Server::run`] to start.
+    /// prepares the serving state: one [`Replica`] per
+    /// [`ServeConfig::replicas`], each with its own copy of the bundle.
+    /// Call [`Server::run`] to start.
     pub fn bind(
         addr: &str,
         bundle: FallbackModel,
@@ -207,28 +297,38 @@ impl Server {
                 reason: "must be at least 1",
             });
         }
+        if config.replicas == 0 {
+            return Err(ServeError::InvalidParameter {
+                name: "replicas",
+                reason: "must be at least 1",
+            });
+        }
         let listener = TcpListener::bind(addr).map_err(|source| ServeError::Bind {
             addr: addr.to_string(),
             source,
         })?;
         let local = listener.local_addr()?;
-        let breaker = CircuitBreaker::new(config.breaker_threshold, config.breaker_cooldown);
-        let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
+        let replicas: Vec<Arc<Replica<Conn>>> = (0..config.replicas)
+            .map(|id| {
+                Arc::new(Replica::new(
+                    id,
+                    bundle.clone(),
+                    config.breaker_threshold,
+                    config.breaker_cooldown,
+                    config.queue_capacity,
+                ))
+            })
+            .collect();
         let force_fail = AtomicU64::new(config.force_fail);
         Ok(Server {
             listener,
             shared: Arc::new(Shared {
                 config,
                 addr: local,
-                slot: ModelSlot::new(bundle),
-                breaker,
-                queue,
+                router: Router::new(replicas),
                 shutting_down: AtomicBool::new(false),
                 force_fail,
-                handled: AtomicU64::new(0),
                 shed: AtomicU64::new(0),
-                degraded: AtomicU64::new(0),
-                deadline_missed: AtomicU64::new(0),
             }),
         })
     }
@@ -239,25 +339,36 @@ impl Server {
     }
 
     /// Runs the accept loop until a graceful shutdown is requested,
-    /// then drains in-flight and queued requests and returns the
-    /// lifetime counters.
+    /// then drains every replica's in-flight and queued requests and
+    /// returns the lifetime counters.
     pub fn run(self) -> Result<ServeStats, ServeError> {
         let Server { listener, shared } = self;
         let workers = shared.config.workers.max(1);
-        let pool = {
-            let shared = Arc::clone(&shared);
-            // Each worker owns a PredictScratch for its whole lifetime, so
-            // the batched model pass reuses warm buffers across requests
-            // instead of allocating per call.
-            ServicePool::start_with_state(
-                workers,
-                Arc::clone(&shared.queue),
-                |_worker| PredictScratch::new(),
-                move |_worker, scratch, conn| {
-                    handle_connection(&shared, scratch, conn);
-                },
-            )
-        };
+        // One worker pool per replica, each draining that replica's own
+        // queue. Each worker owns a PredictScratch for its whole
+        // lifetime, so the batched model pass reuses warm buffers
+        // across requests instead of allocating per call.
+        let pools: Vec<ServicePool> = shared
+            .router
+            .replicas()
+            .iter()
+            .map(|replica| {
+                let shared = Arc::clone(&shared);
+                let replica = Arc::clone(replica);
+                ServicePool::start_with_state(
+                    workers,
+                    replica.queue(),
+                    |_worker| PredictScratch::new(),
+                    move |_worker, scratch, conn| {
+                        handle_connection(&shared, &replica, scratch, conn);
+                        // The response is written: this replica's
+                        // in-flight count (the rolling-reload drain
+                        // condition) drops only now.
+                        replica.finish_request();
+                    },
+                )
+            })
+            .collect();
 
         for incoming in listener.incoming() {
             if shared.shutting_down.load(Ordering::SeqCst) {
@@ -274,38 +385,60 @@ impl Server {
                 stream,
                 accepted_at: Instant::now(),
             };
-            if let Err(rejected) = shared.queue.push(conn) {
-                let mut conn = rejected.into_inner();
+            if let Err(routed) = shared.router.dispatch(conn) {
+                // Router-level shed: never touches any replica's
+                // breaker (counts_against_breaker is false for
+                // FailurePhase::RouterShed).
+                let reason = routed.reason();
+                let mut conn = routed.into_inner();
                 shared.shed.fetch_add(1, Ordering::Relaxed);
-                let body = error_body("server overloaded: request queue is full", true);
+                let body = error_body(reason, true);
                 let _ = http::write_response(&mut conn.stream, 503, &body);
-                shared.log_request("-", "-", 503, conn.accepted_at, false, true);
+                shared.log_request(None, "-", "-", 503, conn.accepted_at, false, true);
             }
         }
 
-        // Drain: no new work is queued past this point; workers finish
-        // everything already accepted, then exit.
-        shared.queue.close();
-        pool.join();
+        // Drain: no new work is queued past this point; every replica's
+        // workers finish everything already accepted, then exit.
+        for replica in shared.router.replicas() {
+            replica.close();
+        }
+        for pool in pools {
+            pool.join();
+        }
         Ok(shared.stats())
     }
 }
 
-fn handle_connection(shared: &Shared, scratch: &mut PredictScratch, mut conn: Conn) {
+fn handle_connection(
+    shared: &Shared,
+    replica: &Replica<Conn>,
+    scratch: &mut PredictScratch,
+    mut conn: Conn,
+) {
     let request = match http::read_request(&mut conn.stream) {
         Ok(request) => request,
         Err(err) => {
             let body = error_body(&err.to_string(), false);
             let _ = http::write_response(&mut conn.stream, 400, &body);
-            shared.handled.fetch_add(1, Ordering::Relaxed);
-            shared.log_request("-", "-", 400, conn.accepted_at, false, false);
+            replica.count_handled();
+            shared.log_request(
+                Some(replica.id()),
+                "-",
+                "-",
+                400,
+                conn.accepted_at,
+                false,
+                false,
+            );
             return;
         }
     };
-    let (status, body, degraded) = route(shared, scratch, &request, conn.accepted_at);
+    let (status, body, degraded) = route(shared, replica, scratch, &request, conn.accepted_at);
     let _ = http::write_response(&mut conn.stream, status, &body);
-    shared.handled.fetch_add(1, Ordering::Relaxed);
+    replica.count_handled();
     shared.log_request(
+        Some(replica.id()),
         &request.method,
         &request.path,
         status,
@@ -317,13 +450,16 @@ fn handle_connection(shared: &Shared, scratch: &mut PredictScratch, mut conn: Co
 
 fn route(
     shared: &Shared,
+    replica: &Replica<Conn>,
     scratch: &mut PredictScratch,
     request: &http::Request,
     accepted_at: Instant,
 ) -> (u16, String, bool) {
     match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/predict") => handle_predict(shared, request, accepted_at),
-        ("POST", "/predict_batch") => handle_predict_batch(shared, scratch, request, accepted_at),
+        ("POST", "/predict") => handle_predict(shared, replica, request, accepted_at),
+        ("POST", "/predict_batch") => {
+            handle_predict_batch(shared, replica, scratch, request, accepted_at)
+        }
         ("GET", "/healthz") => (
             200,
             Json::obj([("status", Json::Str("ok".into()))]).to_string(),
@@ -331,7 +467,8 @@ fn route(
         ),
         ("GET", "/readyz") => handle_readyz(shared),
         ("GET", "/stats") => handle_stats(shared),
-        ("POST", "/reload") => handle_reload(shared, request),
+        ("POST", "/reload") => handle_reload(shared, replica, request),
+        ("POST", "/replica") => handle_replica(shared, request),
         ("POST", "/shutdown") => handle_shutdown(shared),
         ("POST" | "GET", _) => (
             404,
@@ -347,27 +484,48 @@ fn route(
 }
 
 fn handle_readyz(shared: &Shared) -> (u16, String, bool) {
-    let depth = shared.queue.len();
     let watermark = shared.watermark();
-    let snapshot = shared.slot.snapshot();
+    let health = shared.router.health(watermark, Instant::now());
     let shutting_down = shared.shutting_down.load(Ordering::SeqCst);
-    let model_loaded = snapshot.has_primary() || snapshot.has_baseline();
-    let ready = model_loaded && depth < watermark && !shutting_down;
+    let ready_count = health.iter().filter(|h| h.ready).count();
+    let queue_depth: usize = health.iter().map(|h| h.queue_depth).sum();
+    // Every replica serves a copy of the same bundle, so the first
+    // replica is representative for the loaded-model flags.
+    let (primary_loaded, baseline_loaded) = match shared.router.replica(0) {
+        Some(replica) => {
+            let snapshot = replica.slot().snapshot();
+            (snapshot.has_primary(), snapshot.has_baseline())
+        }
+        None => (false, false),
+    };
+    let model_loaded = primary_loaded || baseline_loaded;
+    // The fleet is ready while at least one replica can answer.
+    let ready = ready_count > 0 && !shutting_down;
     let reason = if !model_loaded {
         "no model loaded"
     } else if shutting_down {
         "shutting down"
-    } else if depth >= watermark {
-        "queue above watermark"
+    } else if ready_count == 0 {
+        if health.iter().all(|h| h.alive && !h.draining) {
+            "queue above watermark"
+        } else {
+            "no replica ready"
+        }
     } else {
         ""
     };
     let body = Json::obj([
         ("ready", Json::Bool(ready)),
-        ("queue_depth", Json::Num(depth as f64)),
+        ("queue_depth", Json::Num(queue_depth as f64)),
         ("watermark", Json::Num(watermark as f64)),
-        ("primary_loaded", Json::Bool(snapshot.has_primary())),
-        ("baseline_loaded", Json::Bool(snapshot.has_baseline())),
+        ("primary_loaded", Json::Bool(primary_loaded)),
+        ("baseline_loaded", Json::Bool(baseline_loaded)),
+        ("replicas_total", Json::Num(health.len() as f64)),
+        ("replicas_ready", Json::Num(ready_count as f64)),
+        (
+            "replicas",
+            Json::Arr(health.iter().map(replica_health_json).collect()),
+        ),
         ("reason", Json::Str(reason.into())),
     ])
     .to_string();
@@ -376,25 +534,35 @@ fn handle_readyz(shared: &Shared) -> (u16, String, bool) {
 
 fn handle_stats(shared: &Shared) -> (u16, String, bool) {
     let stats = shared.stats();
-    let state = shared.breaker.state(Instant::now());
+    let health = shared.router.health(shared.watermark(), Instant::now());
+    let queue_depth: usize = health.iter().map(|h| h.queue_depth).sum();
     let body = Json::obj([
         ("handled", Json::Num(stats.handled as f64)),
         ("shed", Json::Num(stats.shed as f64)),
         ("degraded", Json::Num(stats.degraded as f64)),
         ("deadline_missed", Json::Num(stats.deadline_missed as f64)),
-        ("generation", Json::Num(shared.slot.generation() as f64)),
-        ("breaker", Json::Str(breaker_state_name(state).into())),
-        ("queue_depth", Json::Num(shared.queue.len() as f64)),
+        ("generation", Json::Num(shared.fleet_generation() as f64)),
+        ("breaker", Json::Str(fleet_breaker_name(&health).into())),
+        ("queue_depth", Json::Num(queue_depth as f64)),
         (
             "queue_capacity",
             Json::Num(shared.config.queue_capacity as f64),
+        ),
+        ("replicas_total", Json::Num(health.len() as f64)),
+        (
+            "replicas",
+            Json::Arr(health.iter().map(replica_health_json).collect()),
         ),
     ])
     .to_string();
     (200, body, false)
 }
 
-fn handle_reload(shared: &Shared, request: &http::Request) -> (u16, String, bool) {
+fn handle_reload(
+    shared: &Shared,
+    replica: &Replica<Conn>,
+    request: &http::Request,
+) -> (u16, String, bool) {
     let parsed = request
         .body_str()
         .map_err(|e| e.to_string())
@@ -418,24 +586,114 @@ fn handle_reload(shared: &Shared, request: &http::Request) -> (u16, String, bool
             )
         }
     };
-    match shared.slot.reload_from(&path) {
-        Ok(generation) => (
-            200,
-            Json::obj([
-                ("status", Json::Str("reloaded".into())),
-                ("generation", Json::Num(generation as f64)),
-            ])
-            .to_string(),
-            false,
-        ),
-        // Rejected reloads leave the last-good model serving; the error
-        // is the caller's to fix, so it is non-retriable.
-        Err(err) => (
+    // Rolling reload across the fleet. This request occupies one
+    // in-flight slot on its own replica, so it names itself as the
+    // requester: that replica's drain waits for in-flight == 1.
+    match shared.router.rolling_reload(
+        &path,
+        Some(replica.id()),
+        shared.config.reload_drain_timeout,
+    ) {
+        Ok(report) => {
+            let generations = report
+                .generations
+                .iter()
+                .map(|g| Json::Num(*g as f64))
+                .collect();
+            let steps = report
+                .steps
+                .iter()
+                .map(|step| Json::Arr(step.iter().map(|g| Json::Num(*g as f64)).collect()))
+                .collect();
+            (
+                200,
+                Json::obj([
+                    ("status", Json::Str("reloaded".into())),
+                    ("generation", Json::Num(report.fleet_generation() as f64)),
+                    ("generations", Json::Arr(generations)),
+                    ("steps", Json::Arr(steps)),
+                ])
+                .to_string(),
+                false,
+            )
+        }
+        // Rejected reloads leave the last-good models serving; the
+        // error is the caller's to fix, so it is non-retriable.
+        Err(ReloadError::Rejected(err)) => (
             400,
             error_body(&format!("reload rejected: {err}"), false),
             false,
         ),
+        // A drain timeout is transient (in-flight work outlasted the
+        // window): already-swapped replicas keep the new model, the
+        // rest keep the old one, and a retry finishes the roll.
+        Err(ReloadError::DrainTimeout { replica }) => (
+            503,
+            error_body(
+                &format!("reload aborted: replica {replica} did not drain in time"),
+                true,
+            ),
+            false,
+        ),
     }
+}
+
+/// `POST /replica` — admin/test hook to kill or revive one replica.
+fn handle_replica(shared: &Shared, request: &http::Request) -> (u16, String, bool) {
+    let parsed = request
+        .body_str()
+        .map_err(|e| e.to_string())
+        .and_then(Json::parse);
+    let json = match parsed {
+        Ok(json) => json,
+        Err(reason) => {
+            return (
+                400,
+                error_body(&format!("bad replica body: {reason}"), false),
+                false,
+            )
+        }
+    };
+    let id = match json.get("replica").and_then(Json::as_f64) {
+        Some(v) if v >= 0.0 && v.fract() == 0.0 => v as usize,
+        _ => {
+            return (
+                400,
+                error_body("replica body must carry an integer `replica` index", false),
+                false,
+            )
+        }
+    };
+    let (verb, done) = match json.get("action").and_then(Json::as_str) {
+        Some("kill") => ("killed", shared.router.kill(id)),
+        Some("revive") => ("revived", shared.router.revive(id)),
+        _ => {
+            return (
+                400,
+                error_body("`action` must be \"kill\" or \"revive\"", false),
+                false,
+            )
+        }
+    };
+    if !done {
+        return (
+            400,
+            error_body(
+                &format!("no such replica {id} (fleet has {})", shared.router.len()),
+                false,
+            ),
+            false,
+        );
+    }
+    (
+        200,
+        Json::obj([
+            ("status", Json::Str(verb.into())),
+            ("replica", Json::Num(id as f64)),
+        ])
+        .to_string(),
+        false,
+    )
 }
 
 fn handle_shutdown(shared: &Shared) -> (u16, String, bool) {
@@ -462,8 +720,30 @@ fn deadline_for(shared: &Shared, body: &Json, accepted_at: Instant) -> Result<In
     }
 }
 
+/// Records a queued-phase deadline miss. Pinned by
+/// [`counts_against_breaker`]: the model was never invoked, so the
+/// breaker is untouched.
+fn record_queued_deadline(replica: &Replica<Conn>) {
+    replica.count_deadline_missed();
+    if counts_against_breaker(504, FailurePhase::QueuedDeadline) {
+        replica.breaker().record_failure(Instant::now());
+    }
+}
+
+/// Records a compute-phase deadline miss: the deadline expired after
+/// the model ran. When the *primary* produced the late answer this
+/// counts against the breaker (a primary too slow to answer in time
+/// has failed); a late baseline answer does not touch it.
+fn record_compute_deadline(replica: &Replica<Conn>, breaker: &CircuitBreaker, served: Served) {
+    replica.count_deadline_missed();
+    if served == Served::Primary && counts_against_breaker(504, FailurePhase::Compute) {
+        breaker.record_failure(Instant::now());
+    }
+}
+
 fn handle_predict(
     shared: &Shared,
+    replica: &Replica<Conn>,
     request: &http::Request,
     accepted_at: Instant,
 ) -> (u16, String, bool) {
@@ -488,7 +768,7 @@ fn handle_predict(
     // Time already burned in the queue counts against the deadline: a
     // request that waited too long is answered 504 before any compute.
     if Instant::now() >= deadline {
-        shared.deadline_missed.fetch_add(1, Ordering::Relaxed);
+        record_queued_deadline(replica);
         return (
             504,
             error_body("deadline exceeded while queued", true),
@@ -506,7 +786,8 @@ fn handle_predict(
         }
     };
 
-    let snapshot = shared.slot.snapshot();
+    let breaker = replica.breaker();
+    let snapshot = replica.slot().snapshot();
     if inputs.len() != snapshot.inputs() {
         return (
             400,
@@ -542,7 +823,7 @@ fn handle_predict(
     // open. The breaker is only consulted (it consumes the half-open
     // trial slot) when a primary actually exists.
     let chosen = match snapshot.primary() {
-        Some(model) if shared.breaker.allow_primary(now) || !snapshot.has_baseline() => Some(model),
+        Some(model) if breaker.allow_primary(now) || !snapshot.has_baseline() => Some(model),
         _ => None,
     };
 
@@ -551,27 +832,30 @@ fn handle_predict(
     if let Some(model) = chosen {
         let forced = shared.take_forced_failure();
         if forced {
-            shared.breaker.record_failure(Instant::now());
+            breaker.record_failure(Instant::now());
             primary_error = Some("injected primary failure (--force-fail)".into());
         } else {
             match model.predict(&inputs) {
                 Ok(y) if y.iter().all(|v| v.is_finite()) => {
-                    shared.breaker.record_success();
+                    // Success is recorded only after the deadline
+                    // check below: a primary answer that arrives too
+                    // late is a compute-phase failure, not a success.
                     outcome = Some((y, Served::Primary));
                 }
                 Err(err @ ModelError::NonFiniteInput { .. })
                 | Err(err @ ModelError::WidthMismatch { .. }) => {
-                    // Caller-input problem: not a model failure, and not
-                    // something the baseline should paper over.
-                    shared.breaker.abandon_trial();
+                    // Caller-input problem: a 4xx never counts against
+                    // the breaker (FailurePhase::CallerError), so the
+                    // half-open trial is released without a verdict.
+                    breaker.abandon_trial();
                     return (400, error_body(&err.to_string(), false), false);
                 }
                 Ok(_) => {
-                    shared.breaker.record_failure(Instant::now());
+                    breaker.record_failure(Instant::now());
                     primary_error = Some("primary produced non-finite predictions".into());
                 }
                 Err(err) => {
-                    shared.breaker.record_failure(Instant::now());
+                    breaker.record_failure(Instant::now());
                     primary_error = Some(err.to_string());
                 }
             }
@@ -601,17 +885,20 @@ fn handle_predict(
 
     // The answer must also *arrive* within the deadline.
     if Instant::now() >= deadline {
-        shared.deadline_missed.fetch_add(1, Ordering::Relaxed);
+        record_compute_deadline(replica, breaker, served);
         return (
             504,
             error_body("deadline exceeded during computation", true),
             false,
         );
     }
+    if served == Served::Primary {
+        breaker.record_success();
+    }
 
     let degraded = served.is_degraded();
     if degraded {
-        shared.degraded.fetch_add(1, Ordering::Relaxed);
+        replica.count_degraded();
     }
     let names = snapshot
         .output_names()
@@ -632,7 +919,8 @@ fn handle_predict(
                 .into(),
             ),
         ),
-        ("generation", Json::Num(shared.slot.generation() as f64)),
+        ("generation", Json::Num(replica.slot().generation() as f64)),
+        ("replica", Json::Num(replica.id() as f64)),
     ])
     .to_string();
     (200, body, degraded)
@@ -645,6 +933,7 @@ fn handle_predict(
 /// baseline — never mixed, so `degraded` stays a single flag).
 fn handle_predict_batch(
     shared: &Shared,
+    replica: &Replica<Conn>,
     scratch: &mut PredictScratch,
     request: &http::Request,
     accepted_at: Instant,
@@ -668,7 +957,7 @@ fn handle_predict_batch(
         Err(reason) => return (400, error_body(&reason, false), false),
     };
     if Instant::now() >= deadline {
-        shared.deadline_missed.fetch_add(1, Ordering::Relaxed);
+        record_queued_deadline(replica);
         return (
             504,
             error_body("deadline exceeded while queued", true),
@@ -689,7 +978,8 @@ fn handle_predict_batch(
         }
     };
 
-    let snapshot = shared.slot.snapshot();
+    let breaker = replica.breaker();
+    let snapshot = replica.slot().snapshot();
     let width = snapshot.inputs();
     let mut xs = Matrix::zeros(rows.len(), width);
     for (r, row) in rows.iter().enumerate() {
@@ -738,7 +1028,7 @@ fn handle_predict_batch(
 
     let now = Instant::now();
     let chosen = match snapshot.primary() {
-        Some(model) if shared.breaker.allow_primary(now) || !snapshot.has_baseline() => Some(model),
+        Some(model) if breaker.allow_primary(now) || !snapshot.has_baseline() => Some(model),
         _ => None,
     };
 
@@ -747,26 +1037,26 @@ fn handle_predict_batch(
     if let Some(model) = chosen {
         let forced = shared.take_forced_failure();
         if forced {
-            shared.breaker.record_failure(Instant::now());
+            breaker.record_failure(Instant::now());
             primary_error = Some("injected primary failure (--force-fail)".into());
         } else {
             match model.predict_batch_with(&xs, scratch) {
                 Ok(out) if out.as_slice().iter().all(|v| v.is_finite()) => {
-                    shared.breaker.record_success();
+                    // Success is recorded after the deadline check.
                     let json_rows = (0..out.rows()).map(|r| Json::nums(out.row(r))).collect();
                     outcome = Some((json_rows, Served::Primary));
                 }
                 Err(err @ ModelError::NonFiniteInput { .. })
                 | Err(err @ ModelError::WidthMismatch { .. }) => {
-                    shared.breaker.abandon_trial();
+                    breaker.abandon_trial();
                     return (400, error_body(&err.to_string(), false), false);
                 }
                 Ok(_) => {
-                    shared.breaker.record_failure(Instant::now());
+                    breaker.record_failure(Instant::now());
                     primary_error = Some("primary produced non-finite predictions".into());
                 }
                 Err(err) => {
-                    shared.breaker.record_failure(Instant::now());
+                    breaker.record_failure(Instant::now());
                     primary_error = Some(err.to_string());
                 }
             }
@@ -798,17 +1088,20 @@ fn handle_predict_batch(
     };
 
     if Instant::now() >= deadline {
-        shared.deadline_missed.fetch_add(1, Ordering::Relaxed);
+        record_compute_deadline(replica, breaker, served);
         return (
             504,
             error_body("deadline exceeded during computation", true),
             false,
         );
     }
+    if served == Served::Primary {
+        breaker.record_success();
+    }
 
     let degraded = served.is_degraded();
     if degraded {
-        shared.degraded.fetch_add(1, Ordering::Relaxed);
+        replica.count_degraded();
     }
     let names = snapshot
         .output_names()
@@ -830,8 +1123,35 @@ fn handle_predict_batch(
                 .into(),
             ),
         ),
-        ("generation", Json::Num(shared.slot.generation() as f64)),
+        ("generation", Json::Num(replica.slot().generation() as f64)),
+        ("replica", Json::Num(replica.id() as f64)),
     ])
     .to_string();
     (200, body, degraded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pins the breaker-accounting table from the serve-layer bugfix
+    /// sweep: router sheds and caller errors never count, queued
+    /// deadlines never count, and only compute-phase 5xx failures do.
+    #[test]
+    fn breaker_accounting_rule_is_pinned() {
+        // Router-level 503 sheds: never.
+        assert!(!counts_against_breaker(503, FailurePhase::RouterShed));
+        // Client-side 4xx: never, regardless of code.
+        for status in [400, 404, 405] {
+            assert!(!counts_against_breaker(status, FailurePhase::CallerError));
+        }
+        // Deadline expired in the queue: the model never ran.
+        assert!(!counts_against_breaker(504, FailurePhase::QueuedDeadline));
+        // Compute-phase failures: 5xx counts, including late answers.
+        assert!(counts_against_breaker(500, FailurePhase::Compute));
+        assert!(counts_against_breaker(504, FailurePhase::Compute));
+        // A compute-phase 2xx/4xx is not a failure even in that phase.
+        assert!(!counts_against_breaker(200, FailurePhase::Compute));
+        assert!(!counts_against_breaker(400, FailurePhase::Compute));
+    }
 }

@@ -1,0 +1,349 @@
+//! Fleet-level tests for the multi-replica serving tier: least-loaded
+//! dispatch spreading traffic, per-replica health reporting, a
+//! mid-load replica kill plus rolling reload with zero failed
+//! (non-shed) requests and one-at-a-time generation advancement, and
+//! the overload contract across replica queues.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use wlc_data::{Dataset, Sample};
+use wlc_model::baseline::{LinearFeatures, LinearModel};
+use wlc_model::fallback::FallbackModel;
+use wlc_model::{PerformanceModel, WorkloadModel, WorkloadModelBuilder};
+use wlc_serve::{ClientConfig, Json, ServeClient, ServeConfig, ServeError, ServeStats, Server};
+
+fn dataset() -> Dataset {
+    let mut ds = Dataset::new(vec!["a".into(), "b".into()], vec!["y".into()]).unwrap();
+    for i in 0..6 {
+        for j in 0..6 {
+            let (a, b) = (i as f64 + 1.0, j as f64 + 1.0);
+            ds.push(Sample::new(vec![a, b], vec![a * 2.0 + b + a * b * 0.1]))
+                .unwrap();
+        }
+    }
+    ds
+}
+
+fn mlp(seed: u64) -> WorkloadModel {
+    WorkloadModelBuilder::new()
+        .no_hidden_layers()
+        .hidden_layer(6)
+        .max_epochs(200)
+        .seed(seed)
+        .train(&dataset())
+        .unwrap()
+        .model
+}
+
+fn full_bundle(seed: u64) -> FallbackModel {
+    let baseline = LinearModel::fit(&dataset(), LinearFeatures::FirstOrder).unwrap();
+    FallbackModel::new(Some(mlp(seed)), Some(baseline), vec![], vec![]).unwrap()
+}
+
+fn start(bundle: FallbackModel, config: ServeConfig) -> (String, thread::JoinHandle<ServeStats>) {
+    let server = Server::bind("127.0.0.1:0", bundle, config).unwrap();
+    let addr = server.local_addr().to_string();
+    let handle = thread::spawn(move || server.run().unwrap());
+    (addr, handle)
+}
+
+fn patient_client(addr: &str) -> ServeClient {
+    ServeClient::new(
+        addr,
+        ClientConfig {
+            max_attempts: 10,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(100),
+            ..ClientConfig::default()
+        },
+    )
+}
+
+fn quick_client(addr: &str) -> ServeClient {
+    ServeClient::new(
+        addr,
+        ClientConfig {
+            max_attempts: 1,
+            base_backoff: Duration::from_millis(1),
+            ..ClientConfig::default()
+        },
+    )
+}
+
+fn ready_count(json: &Json) -> u64 {
+    json.get("replicas_ready")
+        .and_then(Json::as_f64)
+        .unwrap_or(-1.0) as u64
+}
+
+/// Polls `/readyz` until `replicas_ready` matches `want` (the fleet may
+/// answer 503 while not ready — that is still an answer).
+fn wait_for_ready_replicas(client: &ServeClient, want: u64) -> bool {
+    for _ in 0..200 {
+        let seen = match client.readyz() {
+            Ok(json) => Some(ready_count(&json)),
+            Err(ServeError::Rejected { .. }) => None,
+            Err(_) => None,
+        };
+        if seen == Some(want) {
+            return true;
+        }
+        thread::sleep(Duration::from_millis(10));
+    }
+    false
+}
+
+#[test]
+fn idle_fleet_rotates_and_reports_per_replica_stats() {
+    let config = ServeConfig {
+        replicas: 3,
+        ..ServeConfig::default()
+    };
+    let (addr, handle) = start(full_bundle(1), config);
+    let client = patient_client(&addr);
+
+    let ready = client.readyz().unwrap();
+    assert_eq!(
+        ready.get("replicas_total").and_then(Json::as_f64),
+        Some(3.0)
+    );
+    assert_eq!(ready_count(&ready), 3);
+    assert_eq!(
+        ready
+            .get("replicas")
+            .and_then(Json::as_arr)
+            .map(|a| a.len()),
+        Some(3)
+    );
+
+    // Sequential requests against an idle fleet: load ties rotate
+    // round-robin, so every replica serves.
+    let mut seen = [false; 3];
+    for _ in 0..30 {
+        let p = client.predict(&[2.0, 3.0]).unwrap();
+        assert!(!p.degraded);
+        if let Some(slot) = seen.get_mut(p.replica as usize) {
+            *slot = true;
+        }
+    }
+    assert_eq!(seen, [true, true, true], "all three replicas must serve");
+
+    let stats = client.stats().unwrap();
+    let replicas = stats.get("replicas").and_then(Json::as_arr).unwrap();
+    assert_eq!(replicas.len(), 3);
+    for entry in replicas {
+        let handled = entry.get("handled").and_then(Json::as_f64).unwrap();
+        assert!(handled >= 1.0, "every replica must have answered requests");
+        assert_eq!(entry.get("breaker").and_then(Json::as_str), Some("closed"));
+        assert_eq!(entry.get("generation").and_then(Json::as_f64), Some(0.0));
+    }
+
+    client.shutdown().unwrap();
+    let stats = handle.join().unwrap();
+    assert!(stats.handled >= 31);
+}
+
+/// The PR acceptance test: with 3 replicas under sustained load, a
+/// mid-load replica kill and a rolling reload both complete with zero
+/// failed (non-shed) requests, p99 holds, and per-replica generation
+/// counters advance one replica at a time.
+#[test]
+fn replica_kill_and_rolling_reload_under_sustained_load() {
+    let model_a = mlp(5);
+    let model_b = mlp(6);
+    let probe = [2.5, 3.5];
+    let pred_a = model_a.predict(&probe).unwrap();
+    let pred_b = model_b.predict(&probe).unwrap();
+    assert_ne!(pred_a, pred_b, "test needs distinguishable models");
+
+    let dir = std::env::temp_dir().join(format!("wlc-fleet-roll-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path_b = dir.join("model-b.txt");
+    model_b.save(&path_b).unwrap();
+
+    let baseline = LinearModel::fit(&dataset(), LinearFeatures::FirstOrder).unwrap();
+    let bundle = FallbackModel::new(Some(model_a), Some(baseline), vec![], vec![]).unwrap();
+    let config = ServeConfig {
+        replicas: 3,
+        workers: 2,
+        ..ServeConfig::default()
+    };
+    let (addr, handle) = start(bundle, config);
+    let client = patient_client(&addr);
+    assert!(wait_for_ready_replicas(&client, 3));
+
+    // Sustained load for the whole scenario. Every request must either
+    // succeed or be an explicit retriable shed — anything else is a
+    // dropped request and fails the test.
+    let stop = Arc::new(AtomicBool::new(false));
+    let shed = Arc::new(AtomicU64::new(0));
+    let latencies = Arc::new(Mutex::new(Vec::<Duration>::new()));
+    let hammers: Vec<_> = (0..3)
+        .map(|_| {
+            let addr = addr.clone();
+            let stop = Arc::clone(&stop);
+            let shed = Arc::clone(&shed);
+            let latencies = Arc::clone(&latencies);
+            thread::spawn(move || {
+                let client = patient_client(&addr);
+                let mut served = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let started = Instant::now();
+                    match client.predict(&probe) {
+                        Ok(p) => {
+                            assert!(!p.degraded, "kill/reload must never degrade serving");
+                            latencies.lock().unwrap().push(started.elapsed());
+                            served += 1;
+                        }
+                        // The only acceptable rejection is an explicit
+                        // retriable shed (all queues busy mid-drain).
+                        Err(ServeError::Rejected {
+                            status, retriable, ..
+                        }) if status == 503 && retriable => {
+                            shed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(ServeError::RetriesExhausted { .. }) => {
+                            shed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(other) => panic!("request failed mid-fleet-event: {other:?}"),
+                    }
+                }
+                served
+            })
+        })
+        .collect();
+    thread::sleep(Duration::from_millis(50)); // load is flowing
+
+    // Kill replica 1 mid-load: the fleet degrades to 2 ready replicas
+    // but stays ready, and the router routes around the corpse.
+    client.kill_replica(1).unwrap();
+    assert!(wait_for_ready_replicas(&client, 2));
+    assert_eq!(
+        client
+            .readyz()
+            .unwrap()
+            .get("ready")
+            .and_then(Json::as_bool),
+        Some(true),
+        "fleet must stay ready with 2 of 3 replicas"
+    );
+    thread::sleep(Duration::from_millis(50)); // sustained load on 2 replicas
+
+    // Rolling reload mid-load: generations advance one replica at a
+    // time (the dead replica is swapped too, without draining).
+    let outcome = client.reload_detailed(path_b.to_str().unwrap()).unwrap();
+    assert_eq!(outcome.generation, 1);
+    assert_eq!(outcome.generations, vec![1, 1, 1]);
+    assert_eq!(
+        outcome.steps,
+        vec![vec![1, 0, 0], vec![1, 1, 0], vec![1, 1, 1]],
+        "each rolling step must advance exactly one replica"
+    );
+
+    // Post-reload predictions come from model B at generation 1.
+    let p = client.predict(&probe).unwrap();
+    assert_eq!(p.outputs, pred_b);
+    assert_eq!(p.generation, 1);
+
+    // Revive replica 1: it rejoins already serving the new generation.
+    client.revive_replica(1).unwrap();
+    assert!(wait_for_ready_replicas(&client, 3));
+    let mut revived_served = false;
+    for _ in 0..60 {
+        let p = client.predict(&probe).unwrap();
+        assert_eq!(p.outputs, pred_b, "every replica must serve model B");
+        assert_eq!(p.generation, 1);
+        if p.replica == 1 {
+            revived_served = true;
+            break;
+        }
+    }
+    assert!(revived_served, "revived replica must rejoin the rotation");
+
+    stop.store(true, Ordering::Relaxed);
+    let served: u64 = hammers.into_iter().map(|h| h.join().unwrap()).sum();
+    assert!(served > 0, "hammers must have exercised the fleet events");
+
+    // Error budget: p99 of successful requests stays well under the
+    // 2 s default deadline even across the kill and the rolling reload.
+    let mut lat = latencies.lock().unwrap().clone();
+    lat.sort();
+    let p99 = lat.get(lat.len() * 99 / 100).copied().unwrap();
+    assert!(
+        p99 < Duration::from_secs(2),
+        "p99 {p99:?} must hold through kill + rolling reload"
+    );
+
+    client.shutdown().unwrap();
+    let stats = handle.join().unwrap();
+    assert!(stats.handled >= served);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fleet_overload_sheds_only_when_every_queue_is_full() {
+    let config = ServeConfig {
+        replicas: 3,
+        workers: 1,
+        queue_capacity: 1,
+        slow_per_request: Duration::from_millis(20),
+        default_deadline: Duration::from_secs(10),
+        ..ServeConfig::default()
+    };
+    let (addr, handle) = start(full_bundle(2), config);
+
+    // 10 threads x 5 requests against 3 replicas x (1 worker + 1 queue
+    // slot): far beyond fleet capacity, so some requests must shed —
+    // but the router falls over between queues, so some must also land.
+    let ok = Arc::new(AtomicU64::new(0));
+    let shed = Arc::new(AtomicU64::new(0));
+    let threads: Vec<_> = (0..10)
+        .map(|_| {
+            let (addr, ok, shed) = (addr.clone(), Arc::clone(&ok), Arc::clone(&shed));
+            thread::spawn(move || {
+                let client = quick_client(&addr);
+                for _ in 0..5 {
+                    match client.predict(&[2.0, 2.0]) {
+                        Ok(_) => {
+                            ok.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(ServeError::Rejected {
+                            status, retriable, ..
+                        }) => {
+                            assert_eq!(status, 503, "only shedding may reject under load");
+                            assert!(retriable, "shed responses must be marked retriable");
+                            shed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(ServeError::RetriesExhausted { .. }) => {
+                            shed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(other) => panic!("unexpected failure under load: {other:?}"),
+                    }
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    let (ok, shed) = (ok.load(Ordering::Relaxed), shed.load(Ordering::Relaxed));
+    assert_eq!(ok + shed, 50, "every request must resolve decisively");
+    assert!(ok > 0, "the fleet must absorb some of the burst");
+    assert!(
+        shed > 0,
+        "a 6-slot fleet cannot absorb 10x5 concurrent requests"
+    );
+
+    // After the burst, readiness recovers fleet-wide.
+    let client = patient_client(&addr);
+    assert!(wait_for_ready_replicas(&client, 3));
+    assert!(client.predict(&[2.0, 2.0]).is_ok());
+
+    client.shutdown().unwrap();
+    let stats = handle.join().unwrap();
+    assert!(stats.shed >= shed, "acceptor must account for every shed");
+    assert!(stats.handled >= ok);
+}
