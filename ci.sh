@@ -140,6 +140,41 @@ if [ "${1:-}" != "quick" ]; then
     ./target/release/wlc predict --server "$fleet_addr" --shutdown >/dev/null
     wait "$fleet_pid"
     grep -q "server drained:" "$smoke_dir/fleet.out"
+
+    echo "==> continuous-learning smoke (chaos kill, resume, forced rollback)"
+    learn_dir="$smoke_dir/learn"
+    # Kill the supervisor mid-retrain in round 1 right after its first
+    # checkpoint (exit 1), then rerun to resume. Round 2's promotion is
+    # forced bad so the watchdog must roll the fleet back. The final
+    # summary line is byte-deterministic, so exact counts are asserted.
+    set +e
+    ./target/release/wlc learn --state-dir "$learn_dir" --rounds 2 \
+        --window 5 --buffer-cap 30 --holdout 3 --bootstrap-ticks 8 \
+        --duration 2 --warmup 0.5 --epochs 200 --hidden 8 --probes 4 \
+        --tolerance 2.0 --drift-profile kind=ramp,rate=0.08 \
+        --force-bad-round 2 --chaos-kill-round 1 \
+        > "$smoke_dir/learn-kill.out" 2>&1
+    rc=$?
+    set -e
+    [ "$rc" -eq 1 ] || { echo "expected exit 1 on chaos kill, got $rc"; exit 1; }
+    grep -q "chaos: supervisor killed mid-retrain in round 1" "$smoke_dir/learn-kill.out"
+    # Capture first, grep after (same EPIPE rule as the server smokes).
+    learn_out=$(./target/release/wlc learn --state-dir "$learn_dir" --rounds 2 \
+        --window 5 --buffer-cap 30 --holdout 3 --bootstrap-ticks 8 \
+        --duration 2 --warmup 0.5 --epochs 200 --hidden 8 --probes 4 \
+        --tolerance 2.0 --drift-profile kind=ramp,rate=0.08 \
+        --force-bad-round 2)
+    for want in \
+        "event=promote round=1 generation=1" \
+        "event=probation round=2 probes=4 breaches=4 verdict=breach" \
+        "event=rollback round=2 generation=3 restored=model-g1.model" \
+        "supervisor done: rounds=2 generation=3 promotions=2 rollbacks=1 quarantined=1 live=model-g1.model"; do
+        echo "$learn_out" | grep -q "$want" \
+            || { echo "expected \`$want\` in learn output: $learn_out"; exit 1; }
+    done
+    grep -q "event=quarantine round=2 reason=watchdog" "$learn_dir/events.log"
+    test -f "$learn_dir/quarantine/round-2.model"
+    test -f "$learn_dir/quarantine/round-2.diagnosis"
 fi
 
 echo "==> OK"

@@ -3,6 +3,7 @@
 pub mod bench;
 pub mod collect;
 pub mod cv;
+pub mod learn;
 pub mod predict;
 pub mod serve;
 pub mod simulate;

@@ -40,6 +40,8 @@ SERVER:
                                [default: 5000]
     --reload-drain-ms <n>      rolling reload: max wait for one replica
                                to drain before aborting  [default: 5000]
+    --shed-jitter-seed <n>     seed for the jittered Retry-After on shed
+                               503 responses          [default: 0x5eed]
     --quiet             suppress per-request log lines on stderr
 
 TEST HOOKS (fault injection, mirroring `wlc train --force-diverge`):
@@ -137,6 +139,7 @@ pub fn run(raw: &[String]) -> CmdResult {
         reload_drain_timeout: Duration::from_millis(flags.get_or("reload-drain-ms", 5000u64)?),
         slow_per_request: Duration::from_millis(flags.get_or("slow-ms", 0u64)?),
         force_fail: flags.get_or("force-fail", 0u64)?,
+        shed_jitter_seed: flags.get_or("shed-jitter-seed", 0x5eedu64)?,
         log: !flags.switch("quiet"),
     };
     let addr: String = flags.get_or("addr", "127.0.0.1:0".to_string())?;

@@ -10,6 +10,7 @@
 //! wlc surface  --model model.txt --indicator 4 --base 560,10,16,10
 //! wlc serve    --model model.txt --data data.csv --addr 127.0.0.1:0
 //! wlc predict  --server 127.0.0.1:4321 --config 560,10,16,12
+//! wlc learn    --state-dir learn-state --drift-profile kind=ramp,rate=0.02
 //! ```
 //!
 //! Run `wlc help` (or any subcommand with `--help`-style mistakes) for
@@ -24,6 +25,7 @@ use std::error::Error;
 use std::process::ExitCode;
 
 use wlc_data::DataError;
+use wlc_learn::LearnError;
 use wlc_model::ModelError;
 use wlc_nn::NnError;
 use wlc_serve::ServeError;
@@ -43,6 +45,7 @@ COMMANDS:
     cv         k-fold cross validation on a CSV dataset (paper Table 2)
     surface    Evaluate + classify a response surface of a saved model
     serve      Run the fault-tolerant prediction server (HTTP + JSON)
+    learn      Continuous learning: stream, retrain, shadow, promote
     bench      Benchmark the train/predict hot path; track BENCH_nn.json
     help       Show this message
 
@@ -66,6 +69,7 @@ fn main() -> ExitCode {
         "cv" => commands::cv::run(rest),
         "surface" => commands::surface::run(rest),
         "serve" => commands::serve::run(rest),
+        "learn" => commands::learn::run(rest),
         "bench" => commands::bench::run(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -117,6 +121,9 @@ fn exit_code_for(e: &(dyn Error + 'static)) -> u8 {
     if let Some(s) = e.downcast_ref::<ServeError>() {
         return serve_code(s);
     }
+    if let Some(l) = e.downcast_ref::<LearnError>() {
+        return learn_code(l);
+    }
     EXIT_FAILURE
 }
 
@@ -129,7 +136,9 @@ fn data_code(e: &DataError) -> u8 {
 
 fn sim_code(e: &SimError) -> u8 {
     match e {
-        SimError::InvalidFaultProfile { .. } => EXIT_VALIDATION,
+        SimError::InvalidFaultProfile { .. } | SimError::InvalidDriftProfile { .. } => {
+            EXIT_VALIDATION
+        }
         SimError::Data(d) => data_code(d),
         _ => EXIT_FAILURE,
     }
@@ -149,6 +158,21 @@ fn model_code(e: &ModelError) -> u8 {
         ModelError::Sim(s) => sim_code(s),
         ModelError::AllFoldsQuarantined { .. } => EXIT_DIVERGED,
         ModelError::LoadFailed { source, .. } => model_code(source),
+        _ => EXIT_FAILURE,
+    }
+}
+
+fn learn_code(e: &LearnError) -> u8 {
+    match e {
+        // Bad supervisor configuration reads like a validation problem.
+        LearnError::InvalidParameter { .. } => EXIT_VALIDATION,
+        // Wrapped errors keep their established codes.
+        LearnError::Sim(s) => sim_code(s),
+        LearnError::Data(d) => data_code(d),
+        LearnError::Model(m) => model_code(m),
+        LearnError::Serve(s) => serve_code(s),
+        // State corruption and deliberate chaos kills are generic
+        // failures; rerunning resumes from the last committed round.
         _ => EXIT_FAILURE,
     }
 }

@@ -1,0 +1,100 @@
+//! Error type for the continuous-learning supervisor.
+
+use std::fmt;
+use std::path::PathBuf;
+
+use wlc_data::DataError;
+use wlc_model::ModelError;
+use wlc_serve::ServeError;
+use wlc_sim::SimError;
+
+/// Everything that can go wrong while supervising the learning loop.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum LearnError {
+    /// A configuration value was out of range.
+    InvalidParameter {
+        /// Which parameter.
+        name: &'static str,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// Durable supervisor state could not be read or written.
+    State {
+        /// The file involved.
+        path: PathBuf,
+        /// What went wrong.
+        reason: String,
+    },
+    /// The `chaos_kill_round` hook fired: the supervisor wrote its
+    /// mid-retrain checkpoint and then died without committing,
+    /// simulating a hard kill. Re-running the same config resumes.
+    ChaosKill {
+        /// The round that was killed.
+        round: u64,
+    },
+    /// The simulator rejected a stream request.
+    Sim(SimError),
+    /// A dataset operation failed.
+    Data(DataError),
+    /// Training, scoring or model persistence failed.
+    Model(ModelError),
+    /// The serving tier rejected a request.
+    Serve(ServeError),
+}
+
+impl fmt::Display for LearnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LearnError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            LearnError::State { path, reason } => {
+                write!(f, "supervisor state {}: {reason}", path.display())
+            }
+            LearnError::ChaosKill { round } => {
+                write!(f, "chaos: supervisor killed mid-retrain in round {round}")
+            }
+            LearnError::Sim(e) => write!(f, "stream: {e}"),
+            LearnError::Data(e) => write!(f, "dataset: {e}"),
+            LearnError::Model(e) => write!(f, "model: {e}"),
+            LearnError::Serve(e) => write!(f, "serving: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LearnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LearnError::Sim(e) => Some(e),
+            LearnError::Data(e) => Some(e),
+            LearnError::Model(e) => Some(e),
+            LearnError::Serve(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for LearnError {
+    fn from(e: SimError) -> Self {
+        LearnError::Sim(e)
+    }
+}
+
+impl From<DataError> for LearnError {
+    fn from(e: DataError) -> Self {
+        LearnError::Data(e)
+    }
+}
+
+impl From<ModelError> for LearnError {
+    fn from(e: ModelError) -> Self {
+        LearnError::Model(e)
+    }
+}
+
+impl From<ServeError> for LearnError {
+    fn from(e: ServeError) -> Self {
+        LearnError::Serve(e)
+    }
+}

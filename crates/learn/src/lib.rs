@@ -1,0 +1,58 @@
+//! Continuous-learning supervisor for workload models.
+//!
+//! Drives the full **stream → retrain → shadow → promote** loop on top
+//! of the rest of the workspace:
+//!
+//! 1. **Stream** — [`wlc_sim::stream_window`] materialises live samples
+//!    under a configurable [`wlc_sim::DriftProfile`] (service-demand
+//!    ramp, routing-mix rotation, regime switch) and an optional
+//!    [`wlc_sim::FaultProfile`] into a bounded rolling sample buffer.
+//! 2. **Retrain** — an incremental trainer consumes the buffer through
+//!    the existing divergence guards and seeded retry/LR-backoff, with
+//!    periodic crash-safe checkpoints so a killed supervisor resumes
+//!    **byte-identically**.
+//! 3. **Shadow** — the candidate is scored side-by-side against the
+//!    live model on the most recent held-out window *and* on a pinned
+//!    reference window; promotion requires beating live on recent data
+//!    without regressing beyond tolerance on the reference.
+//! 4. **Promote** — the candidate is swapped in via the serving tier's
+//!    validated rolling hot-reload. A post-promotion **probation**
+//!    window probes the fleet; if the degraded/error rate breaches the
+//!    watchdog threshold the supervisor **rolls back** to the last-good
+//!    model and **quarantines** the bad candidate with a diagnosis
+//!    record.
+//!
+//! Every transition is logged as a structured `key=value` event line
+//! carrying the supervisor generation number. Event lines never embed
+//! wall-clock values, so the entire loop — including the event log and
+//! the bytes of every model artifact — is bit-identical across reruns
+//! with the same seed, across worker counts, and across a
+//! kill-and-resume at any commit boundary.
+//!
+//! # State directory
+//!
+//! All durable state lives under [`LearnConfig::state_dir`]:
+//!
+//! | file | contents |
+//! |------|----------|
+//! | `state.txt` | committed round/generation counters + live/last-good model names |
+//! | `reference.csv` | pinned bootstrap window used for regression scoring |
+//! | `buffer-{round}.csv` | rolling sample buffer snapshot after each round |
+//! | `model-g{gen}.model` | immutable promoted model artifacts |
+//! | `retrain-{round}.ckpt` | mid-round training checkpoint (removed at commit) |
+//! | `events.log` | append-only structured event log |
+//! | `quarantine/round-{round}.model` + `.diagnosis` | quarantined candidates |
+//!
+//! Every write is crash-safe (`tmp` + `fsync` + `rename`), and
+//! `state.txt` is always written last so it is the single commit
+//! point: a crash anywhere leaves the previous round fully intact.
+
+#![forbid(unsafe_code)]
+
+mod error;
+mod state;
+mod supervisor;
+
+pub use error::LearnError;
+pub use state::SupervisorState;
+pub use supervisor::{LearnConfig, Outcome, Supervisor};

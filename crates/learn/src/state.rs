@@ -1,0 +1,250 @@
+//! Durable supervisor state: crash-safe writes, the committed
+//! `state.txt` record, and the idempotent event log.
+
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use crate::LearnError;
+
+/// Name of the committed state record inside the state directory.
+pub(crate) const STATE_FILE: &str = "state.txt";
+/// Name of the append-only event log inside the state directory.
+pub(crate) const EVENTS_FILE: &str = "events.log";
+
+const STATE_HEADER: &str = "wlc-learn-state v1";
+
+/// Writes `bytes` to `path` crash-safely: the payload goes to a `.tmp`
+/// sibling first, is `fsync`ed, and only then renamed over the target.
+/// A crash at any point leaves either the old complete file or a stray
+/// `.tmp` that readers never look at.
+pub(crate) fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), LearnError> {
+    let tmp = path.with_extension("tmp");
+    let io_err = |e: io::Error| LearnError::State {
+        path: path.to_path_buf(),
+        reason: e.to_string(),
+    };
+    let mut file = File::create(&tmp).map_err(io_err)?;
+    file.write_all(bytes).map_err(io_err)?;
+    // Flush to stable storage before the rename makes the bytes visible
+    // under the real name.
+    file.sync_all().map_err(io_err)?;
+    drop(file);
+    fs::rename(&tmp, path).map_err(io_err)
+}
+
+/// The committed supervisor record. `state.txt` is always the *last*
+/// file written in a round, making it the single commit point: every
+/// other artifact a round produces is recomputed byte-identically when
+/// the round replays after a crash.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SupervisorState {
+    /// Last fully committed round (0 = bootstrap only).
+    pub round: u64,
+    /// Fleet swap counter: +1 per promotion *and* per rollback.
+    pub generation: u64,
+    /// Successful promotions so far.
+    pub promotions: u64,
+    /// Watchdog-triggered rollbacks so far.
+    pub rollbacks: u64,
+    /// Candidates quarantined so far (rejected reloads + rollbacks).
+    pub quarantined: u64,
+    /// File name (inside the state dir) of the model now serving.
+    pub live: String,
+    /// File name of the newest model known good before `live`.
+    pub last_good: String,
+}
+
+impl SupervisorState {
+    /// Loads the committed state, or `None` when no `state.txt` exists
+    /// yet (fresh directory, or a crash before the bootstrap commit).
+    pub fn load(dir: &Path) -> Result<Option<SupervisorState>, LearnError> {
+        let path = dir.join(STATE_FILE);
+        let text = match fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => {
+                return Err(LearnError::State {
+                    path,
+                    reason: e.to_string(),
+                })
+            }
+        };
+        Self::parse(&text)
+            .map(Some)
+            .map_err(|reason| LearnError::State { path, reason })
+    }
+
+    /// Commits this record to `state.txt` crash-safely.
+    pub fn save(&self, dir: &Path) -> Result<(), LearnError> {
+        let text = format!(
+            "{STATE_HEADER}\nround {}\ngeneration {}\npromotions {}\nrollbacks {}\nquarantined {}\nlive {}\nlast_good {}\n",
+            self.round,
+            self.generation,
+            self.promotions,
+            self.rollbacks,
+            self.quarantined,
+            self.live,
+            self.last_good,
+        );
+        write_atomic(&dir.join(STATE_FILE), text.as_bytes())
+    }
+
+    fn parse(text: &str) -> Result<SupervisorState, String> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some(STATE_HEADER) => {}
+            other => return Err(format!("bad header {other:?}")),
+        }
+        let mut field = |name: &str| -> Result<String, String> {
+            let line = lines.next().ok_or_else(|| format!("missing `{name}`"))?;
+            line.strip_prefix(name)
+                .and_then(|rest| rest.strip_prefix(' '))
+                .map(str::to_string)
+                .ok_or_else(|| format!("expected `{name} <value>`, got {line:?}"))
+        };
+        let number = |name: &str, value: String| -> Result<u64, String> {
+            value
+                .parse::<u64>()
+                .map_err(|_| format!("`{name}` is not a count: {value:?}"))
+        };
+        let round = number("round", field("round")?)?;
+        let generation = number("generation", field("generation")?)?;
+        let promotions = number("promotions", field("promotions")?)?;
+        let rollbacks = number("rollbacks", field("rollbacks")?)?;
+        let quarantined = number("quarantined", field("quarantined")?)?;
+        let live = field("live")?;
+        let last_good = field("last_good")?;
+        if live.is_empty() || last_good.is_empty() {
+            return Err("empty model name".to_string());
+        }
+        Ok(SupervisorState {
+            round,
+            generation,
+            promotions,
+            rollbacks,
+            quarantined,
+            live,
+            last_good,
+        })
+    }
+}
+
+/// Commits `lines` (all tagged `round={round}`) to the event log.
+///
+/// The log is rewritten atomically as *earlier rounds + these lines*:
+/// any line from `round` or later already present (left behind by a
+/// crash between the event commit and the `state.txt` commit) is
+/// dropped first, so replaying a round never duplicates its events and
+/// the log stays byte-identical to an uninterrupted run.
+pub(crate) fn commit_events(dir: &Path, round: u64, lines: &[String]) -> Result<(), LearnError> {
+    let path = dir.join(EVENTS_FILE);
+    let existing = match fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => String::new(),
+        Err(e) => {
+            return Err(LearnError::State {
+                path,
+                reason: e.to_string(),
+            })
+        }
+    };
+    let mut out = String::new();
+    for line in existing.lines() {
+        if event_round(line).is_some_and(|r| r < round) {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    for line in lines {
+        out.push_str(line);
+        out.push('\n');
+    }
+    write_atomic(&path, out.as_bytes())
+}
+
+/// Extracts the `round=N` tag from an event line.
+fn event_round(line: &str) -> Option<u64> {
+    line.split_whitespace()
+        .find_map(|token| token.strip_prefix("round="))
+        .and_then(|value| value.parse().ok())
+}
+
+/// Returns `path` for a buffer snapshot committed at `round`.
+pub(crate) fn buffer_path(dir: &Path, round: u64) -> PathBuf {
+    dir.join(format!("buffer-{round}.csv"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("wlc-learn-state-{tag}-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn state_round_trips() {
+        let dir = temp_dir("roundtrip");
+        let state = SupervisorState {
+            round: 3,
+            generation: 4,
+            promotions: 3,
+            rollbacks: 1,
+            quarantined: 2,
+            live: "model-g3.model".to_string(),
+            last_good: "model-g2.model".to_string(),
+        };
+        state.save(&dir).unwrap();
+        assert_eq!(SupervisorState::load(&dir).unwrap(), Some(state));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_state_is_none_and_garbage_is_an_error() {
+        let dir = temp_dir("garbage");
+        assert_eq!(SupervisorState::load(&dir).unwrap(), None);
+        fs::write(dir.join(STATE_FILE), "not a state file\n").unwrap();
+        assert!(matches!(
+            SupervisorState::load(&dir),
+            Err(LearnError::State { .. })
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn event_commit_drops_replayed_rounds() {
+        let dir = temp_dir("events");
+        commit_events(&dir, 0, &["event=bootstrap round=0".to_string()]).unwrap();
+        commit_events(&dir, 1, &["event=stream round=1".to_string()]).unwrap();
+        // A crash after the round-2 event commit but before the state
+        // commit leaves round-2 lines behind; replaying round 2 must
+        // not duplicate them.
+        commit_events(&dir, 2, &["event=stream round=2 attempt=first".to_string()]).unwrap();
+        commit_events(
+            &dir,
+            2,
+            &["event=stream round=2 attempt=replay".to_string()],
+        )
+        .unwrap();
+        let log = fs::read_to_string(dir.join(EVENTS_FILE)).unwrap();
+        assert_eq!(
+            log,
+            "event=bootstrap round=0\nevent=stream round=1\nevent=stream round=2 attempt=replay\n"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn atomic_write_leaves_no_tmp_behind() {
+        let dir = temp_dir("atomic");
+        let path = dir.join("state.txt");
+        write_atomic(&path, b"hello\n").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "hello\n");
+        assert!(!path.with_extension("tmp").exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -188,21 +188,32 @@ impl Checkpoint {
         })
     }
 
-    /// Writes the checkpoint to `path`. The file is written whole, then
-    /// atomically renamed into place so a crash mid-write never leaves a
-    /// truncated checkpoint behind.
+    /// Writes the checkpoint to `path` crash-safely: the text is written
+    /// to a sibling temp file, fsynced to stable storage, then atomically
+    /// renamed into place. A crash at any point leaves either the
+    /// previous complete checkpoint or a stray `.tmp` that [`load`]
+    /// rejects — never a truncated checkpoint under the real name.
+    ///
+    /// [`load`]: Checkpoint::load
     ///
     /// # Errors
     ///
     /// Returns [`NnError::Io`] naming the path on filesystem failure.
     pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), NnError> {
+        use std::io::Write;
+
         let path = path.as_ref();
         let io_err = |e: std::io::Error| NnError::Io {
             path: path.display().to_string(),
             reason: e.to_string(),
         };
         let tmp = path.with_extension("tmp");
-        std::fs::write(&tmp, self.to_text()).map_err(io_err)?;
+        let mut file = std::fs::File::create(&tmp).map_err(io_err)?;
+        file.write_all(self.to_text().as_bytes()).map_err(io_err)?;
+        // Flush file contents to disk before the rename becomes visible;
+        // otherwise a power loss could expose a renamed-but-empty file.
+        file.sync_all().map_err(io_err)?;
+        drop(file);
         std::fs::rename(&tmp, path).map_err(io_err)?;
         Ok(())
     }
@@ -310,6 +321,27 @@ mod tests {
         let ck = sample();
         let text = ck.to_text().replacen("epoch 7", "epoch 99", 1);
         assert!(Checkpoint::from_text(&text).is_err());
+    }
+
+    #[test]
+    fn crash_mid_write_leaves_previous_checkpoint_resumable() {
+        let ck = sample();
+        let dir = std::env::temp_dir().join(format!("wlc-nn-ckpt-crash-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.ckpt");
+        ck.save(&path).unwrap();
+
+        // Simulate a crash mid-write of the *next* checkpoint: the temp
+        // file holds a truncated prefix and the rename never happened.
+        let partial: String = ck.to_text().lines().take(5).collect::<Vec<_>>().join("\n");
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, partial).unwrap();
+
+        // The partial file is rejected outright ...
+        assert!(Checkpoint::load(&tmp).is_err());
+        // ... and the previous complete checkpoint is what resumes.
+        assert_eq!(Checkpoint::load(&path).unwrap(), ck);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -362,6 +362,27 @@ impl ServeClient {
         self.request_json("POST", "/replica", &body).map(|_| ())
     }
 
+    /// `POST /replica` with `action: "force_fail"` — chaos hook: make
+    /// the next `count` primary predictions fail server-side (`count`
+    /// replaces the counter, so 0 disarms leftovers).
+    pub fn force_fail(&self, count: u64) -> Result<(), ServeError> {
+        let body = Json::obj([
+            ("replica", Json::Num(0.0)),
+            ("action", Json::Str("force_fail".into())),
+            ("count", Json::Num(count as f64)),
+        ])
+        .to_string();
+        self.request_json("POST", "/replica", &body).map(|_| ())
+    }
+
+    /// `POST /supervisor` — report a continuous-learning lifecycle
+    /// transition (`promotion`, `rollback`, `quarantine`,
+    /// `probation_start`, `probation_end`) for the `/stats` counters.
+    pub fn notify_supervisor(&self, event: &str) -> Result<(), ServeError> {
+        let body = Json::obj([("event", Json::Str(event.into()))]).to_string();
+        self.request_json("POST", "/supervisor", &body).map(|_| ())
+    }
+
     /// `POST /shutdown` — request a graceful drain-and-exit.
     pub fn shutdown(&self) -> Result<(), ServeError> {
         self.request_json("POST", "/shutdown", "{}").map(|_| ())

@@ -236,13 +236,26 @@ fn reason(status: u16) -> &'static str {
 }
 
 /// Writes one response and flushes. Adds `Connection: close`,
-/// `Content-Type: application/json` and a `Retry-After` hint on 503/504
-/// so well-behaved clients back off.
+/// `Content-Type: application/json` and a `Retry-After: 1` hint on
+/// 503/504 so well-behaved clients back off.
 pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> Result<(), ServeError> {
+    write_response_retry_after(stream, status, body, 1)
+}
+
+/// [`write_response`] with an explicit `Retry-After` value (seconds) on
+/// 503/504 responses; other statuses carry no hint. The acceptor's shed
+/// path passes a seeded-jittered value here so synchronized clients do
+/// not retry in lockstep.
+pub fn write_response_retry_after(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    retry_after_secs: u64,
+) -> Result<(), ServeError> {
     let retry_hint = if status == 503 || status == 504 {
-        "Retry-After: 1\r\n"
+        format!("Retry-After: {retry_after_secs}\r\n")
     } else {
-        ""
+        String::new()
     };
     let head = format!(
         "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {len}\r\nConnection: close\r\n{retry_hint}\r\n",
@@ -316,6 +329,20 @@ mod tests {
             resp.headers.get("retry-after").map(String::as_str),
             Some("1")
         );
+
+        // Explicit (jittered) values pass through verbatim on 503/504
+        // and never appear on other statuses.
+        let (mut client, mut server) = pair();
+        write_response_retry_after(&mut server, 504, "{}", 3).unwrap();
+        let resp = read_response(&mut client).unwrap();
+        assert_eq!(
+            resp.headers.get("retry-after").map(String::as_str),
+            Some("3")
+        );
+        let (mut client, mut server) = pair();
+        write_response_retry_after(&mut server, 200, "{}", 3).unwrap();
+        let resp = read_response(&mut client).unwrap();
+        assert!(!resp.headers.contains_key("retry-after"));
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //! `ModelSlot.current`) tracked by the wlc-lint lock-order graph.
 
 use std::path::Path;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -69,6 +69,10 @@ pub enum ReloadError {
         /// Replica that failed to drain.
         replica: usize,
     },
+    /// Another rolling reload is already in progress — retriable; this
+    /// attempt changed nothing and the in-progress reload proceeds
+    /// undisturbed.
+    Busy,
 }
 
 /// Result of a completed rolling reload.
@@ -98,6 +102,10 @@ pub struct Router<T> {
     /// Serializes rolling reloads: held across each per-replica
     /// drain + swap so generations advance one replica at a time.
     reload: TrackedMutex<()>,
+    /// Fail-fast flag for concurrent reload attempts: the loser gets a
+    /// retriable [`ReloadError::Busy`] immediately instead of blocking
+    /// (and timing out its own drain barrier) behind the winner.
+    reloading: AtomicBool,
 }
 
 impl<T> Router<T> {
@@ -107,6 +115,7 @@ impl<T> Router<T> {
             replicas,
             rr: AtomicUsize::new(0),
             reload: TrackedMutex::new("Router.reload", ()),
+            reloading: AtomicBool::new(false),
         }
     }
 
@@ -213,12 +222,25 @@ impl<T> Router<T> {
     ///
     /// Dead replicas are not drained (they receive no traffic) but are
     /// still swapped, so a later revive serves the current model.
+    ///
+    /// Concurrent reload attempts serialize: exactly one proceeds and
+    /// every other caller gets a clean, retriable [`ReloadError::Busy`]
+    /// without blocking, so the generation vector is never advanced by
+    /// two interleaved rolls.
     pub fn rolling_reload(
         &self,
         path: &Path,
         requester: Option<usize>,
         drain_timeout: Duration,
     ) -> Result<ReloadReport, ReloadError> {
+        if self
+            .reloading
+            .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            return Err(ReloadError::Busy);
+        }
+        let _in_progress = ClearOnDrop(&self.reloading);
         let _serialized = self.reload.lock();
         let candidate =
             WorkloadModel::load(path).map_err(|e| ReloadError::Rejected(ServeError::Model(e)))?;
@@ -245,6 +267,16 @@ impl<T> Router<T> {
             generations: self.generations(),
             steps,
         })
+    }
+}
+
+/// Clears the reload-in-progress flag on every exit path (success,
+/// rejection, drain timeout, panic) of [`Router::rolling_reload`].
+struct ClearOnDrop<'a>(&'a AtomicBool);
+
+impl Drop for ClearOnDrop<'_> {
+    fn drop(&mut self) {
+        self.0.store(false, Ordering::SeqCst);
     }
 }
 
@@ -445,6 +477,59 @@ mod tests {
             .rolling_reload(&path, Some(0), Duration::from_millis(200))
             .unwrap();
         assert_eq!(report.generations, vec![1, 1]);
+    }
+
+    #[test]
+    fn concurrent_reloads_serialize_with_one_winner_and_one_clean_busy() {
+        let router = Arc::new(fleet(2, 4));
+        let trained = WorkloadModelBuilder::new()
+            .no_hidden_layers()
+            .hidden_layer(4)
+            .max_epochs(120)
+            .seed(6)
+            .train(&dataset())
+            .unwrap()
+            .model;
+        let dir = std::env::temp_dir().join(format!("wlc-router-race-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.txt");
+        trained.save(&path).unwrap();
+
+        // Pin replica 0's in-flight so the first reload parks inside
+        // its drain barrier while holding the reload claim.
+        router.replica(0).unwrap().begin_dispatch();
+        let winner = {
+            let router = Arc::clone(&router);
+            let path = path.clone();
+            std::thread::spawn(move || router.rolling_reload(&path, None, Duration::from_secs(5)))
+        };
+        // The winner marks replica 0 draining before waiting on it;
+        // once that is visible the second attempt is provably
+        // concurrent.
+        while router.replica(0).unwrap().routable() {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+
+        // The loser fails fast with a clean retriable Busy — it neither
+        // blocks behind the winner nor touches any generation.
+        match router.rolling_reload(&path, None, Duration::from_secs(5)) {
+            Err(ReloadError::Busy) => {}
+            other => panic!("expected Busy, got {other:?}"),
+        }
+        assert_eq!(router.generations(), vec![0, 0]);
+
+        // Unpin: the winner completes a normal one-at-a-time roll with
+        // an untorn generation vector.
+        router.replica(0).unwrap().abort_dispatch();
+        let report = winner.join().unwrap().unwrap();
+        assert_eq!(report.generations, vec![1, 1]);
+        assert_eq!(report.steps, vec![vec![1, 0], vec![1, 1]]);
+
+        // The claim was released, so retrying the loser now wins.
+        let retry = router
+            .rolling_reload(&path, None, Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(retry.generations, vec![2, 2]);
     }
 
     #[test]

@@ -36,7 +36,8 @@
 //! | `GET /readyz`    | readiness: per-replica health, ready while ≥ 1 replica can answer |
 //! | `GET /stats`     | fleet counters plus a per-replica breakdown      |
 //! | `POST /reload`   | `{"path":"model.txt"}` → validated rolling swap   |
-//! | `POST /replica`  | `{"replica":n,"action":"kill"\|"revive"}` admin/test hook |
+//! | `POST /replica`  | `{"replica":n,"action":"kill"\|"revive"\|"force_fail"}` admin/test hook |
+//! | `POST /supervisor` | `{"event":"promotion"\|"rollback"\|...}` learning-lifecycle counters for `/stats` |
 //! | `POST /shutdown` | graceful drain and exit                          |
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -46,6 +47,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use wlc_exec::ServicePool;
+use wlc_math::rng::Xoshiro256;
 use wlc_math::Matrix;
 use wlc_model::fallback::{FallbackModel, Served};
 use wlc_model::{ModelError, PerformanceModel, PredictScratch};
@@ -88,6 +90,9 @@ pub struct ServeConfig {
     /// (test hook for exercising the breaker, mirroring the trainer's
     /// fault-injection flags).
     pub force_fail: u64,
+    /// Seed for the jittered `Retry-After` on shed 503s; a fixed seed
+    /// makes the jitter sequence reproducible.
+    pub shed_jitter_seed: u64,
     /// Emit one structured log line per request to stderr.
     pub log: bool,
 }
@@ -105,6 +110,7 @@ impl Default for ServeConfig {
             reload_drain_timeout: Duration::from_secs(5),
             slow_per_request: Duration::ZERO,
             force_fail: 0,
+            shed_jitter_seed: 0x5eed,
             log: false,
         }
     }
@@ -168,6 +174,12 @@ struct Shared {
     shutting_down: AtomicBool,
     force_fail: AtomicU64,
     shed: AtomicU64,
+    // Continuous-learning lifecycle counters, reported by the
+    // supervisor via POST /supervisor and exposed at GET /stats.
+    promotions: AtomicU64,
+    rollbacks: AtomicU64,
+    quarantined: AtomicU64,
+    probation: AtomicBool,
 }
 
 impl Shared {
@@ -229,6 +241,15 @@ impl Shared {
              latency_ms={latency_ms:.3} queue_depth={depth} degraded={degraded} shed={shed}",
         );
     }
+}
+
+/// Jittered `Retry-After` seconds for a shed 503, uniform over
+/// `{1, 2, 3}`. Without jitter every client shed in the same overload
+/// burst would back off identically and retry in lockstep, re-creating
+/// the burst; a seeded draw per shed spreads them out while staying
+/// reproducible under a fixed [`ServeConfig::shed_jitter_seed`].
+fn shed_retry_after(rng: &mut Xoshiro256) -> u64 {
+    1 + (rng.next_f64() * 3.0) as u64
 }
 
 fn error_body(message: &str, retriable: bool) -> String {
@@ -329,6 +350,10 @@ impl Server {
                 shutting_down: AtomicBool::new(false),
                 force_fail,
                 shed: AtomicU64::new(0),
+                promotions: AtomicU64::new(0),
+                rollbacks: AtomicU64::new(0),
+                quarantined: AtomicU64::new(0),
+                probation: AtomicBool::new(false),
             }),
         })
     }
@@ -370,6 +395,9 @@ impl Server {
             })
             .collect();
 
+        // The acceptor is single-threaded, so the shed-jitter RNG needs
+        // no lock; a fixed seed reproduces the whole jitter sequence.
+        let mut shed_rng = Xoshiro256::seed_from(shared.config.shed_jitter_seed);
         for incoming in listener.incoming() {
             if shared.shutting_down.load(Ordering::SeqCst) {
                 // `incoming` may be the self-connection that unblocked
@@ -393,7 +421,10 @@ impl Server {
                 let mut conn = routed.into_inner();
                 shared.shed.fetch_add(1, Ordering::Relaxed);
                 let body = error_body(reason, true);
-                let _ = http::write_response(&mut conn.stream, 503, &body);
+                // Jittered Retry-After: clients shed in the same burst
+                // get different hints and don't stampede back together.
+                let retry_after = shed_retry_after(&mut shed_rng);
+                let _ = http::write_response_retry_after(&mut conn.stream, 503, &body, retry_after);
                 shared.log_request(None, "-", "-", 503, conn.accepted_at, false, true);
             }
         }
@@ -469,6 +500,7 @@ fn route(
         ("GET", "/stats") => handle_stats(shared),
         ("POST", "/reload") => handle_reload(shared, replica, request),
         ("POST", "/replica") => handle_replica(shared, request),
+        ("POST", "/supervisor") => handle_supervisor(shared, request),
         ("POST", "/shutdown") => handle_shutdown(shared),
         ("POST" | "GET", _) => (
             404,
@@ -550,12 +582,98 @@ fn handle_stats(shared: &Shared) -> (u16, String, bool) {
         ),
         ("replicas_total", Json::Num(health.len() as f64)),
         (
+            "min_generation",
+            Json::Num(shared.fleet_generation() as f64),
+        ),
+        (
+            "promotions",
+            Json::Num(shared.promotions.load(Ordering::SeqCst) as f64),
+        ),
+        (
+            "rollbacks",
+            Json::Num(shared.rollbacks.load(Ordering::SeqCst) as f64),
+        ),
+        (
+            "quarantined",
+            Json::Num(shared.quarantined.load(Ordering::SeqCst) as f64),
+        ),
+        (
+            "probation",
+            Json::Str(
+                if shared.probation.load(Ordering::SeqCst) {
+                    "active"
+                } else {
+                    "idle"
+                }
+                .into(),
+            ),
+        ),
+        (
             "replicas",
             Json::Arr(health.iter().map(replica_health_json).collect()),
         ),
     ])
     .to_string();
     (200, body, false)
+}
+
+/// `POST /supervisor` — the continuous-learning supervisor reports a
+/// lifecycle transition (`{"event":"promotion"|"rollback"|"quarantine"|
+/// "probation_start"|"probation_end"}`) so `/stats` exposes fleet-level
+/// learning counters alongside the serving counters.
+fn handle_supervisor(shared: &Shared, request: &http::Request) -> (u16, String, bool) {
+    let parsed = request
+        .body_str()
+        .map_err(|e| e.to_string())
+        .and_then(Json::parse);
+    let json = match parsed {
+        Ok(json) => json,
+        Err(reason) => {
+            return (
+                400,
+                error_body(&format!("bad supervisor body: {reason}"), false),
+                false,
+            )
+        }
+    };
+    let event = json.get("event").and_then(Json::as_str).unwrap_or("");
+    match event {
+        "promotion" => {
+            shared.promotions.fetch_add(1, Ordering::SeqCst);
+        }
+        "rollback" => {
+            shared.rollbacks.fetch_add(1, Ordering::SeqCst);
+        }
+        "quarantine" => {
+            shared.quarantined.fetch_add(1, Ordering::SeqCst);
+        }
+        "probation_start" => {
+            shared.probation.store(true, Ordering::SeqCst);
+        }
+        "probation_end" => {
+            shared.probation.store(false, Ordering::SeqCst);
+        }
+        _ => {
+            return (
+                400,
+                error_body(
+                    "`event` must be promotion, rollback, quarantine, probation_start \
+                     or probation_end",
+                    false,
+                ),
+                false,
+            )
+        }
+    }
+    (
+        200,
+        Json::obj([
+            ("status", Json::Str("recorded".into())),
+            ("event", Json::Str(event.into())),
+        ])
+        .to_string(),
+        false,
+    )
 }
 
 fn handle_reload(
@@ -635,6 +753,13 @@ fn handle_reload(
             ),
             false,
         ),
+        // Another reload holds the roll; this attempt changed nothing
+        // and can simply be retried once the winner finishes.
+        Err(ReloadError::Busy) => (
+            503,
+            error_body("reload already in progress: retry shortly", true),
+            false,
+        ),
     }
 }
 
@@ -667,10 +792,32 @@ fn handle_replica(shared: &Shared, request: &http::Request) -> (u16, String, boo
     let (verb, done) = match json.get("action").and_then(Json::as_str) {
         Some("kill") => ("killed", shared.router.kill(id)),
         Some("revive") => ("revived", shared.router.revive(id)),
+        // Chaos hook: (re)arm the forced-failure counter mid-run, so
+        // the learning supervisor can stage a provably-bad promotion
+        // and clear leftover tokens after rolling it back. `count`
+        // replaces the counter (it does not add to it).
+        Some("force_fail") => {
+            let count = match json.get("count").and_then(Json::as_f64) {
+                Some(v) if v >= 0.0 && v.fract() == 0.0 => v as u64,
+                None => 0,
+                _ => {
+                    return (
+                        400,
+                        error_body("`count` must be a non-negative integer", false),
+                        false,
+                    )
+                }
+            };
+            shared.force_fail.store(count, Ordering::SeqCst);
+            ("force-fail armed", shared.router.replica(id).is_some())
+        }
         _ => {
             return (
                 400,
-                error_body("`action` must be \"kill\" or \"revive\"", false),
+                error_body(
+                    "`action` must be \"kill\", \"revive\" or \"force_fail\"",
+                    false,
+                ),
                 false,
             )
         }
@@ -1153,5 +1300,29 @@ mod tests {
         // A compute-phase 2xx/4xx is not a failure even in that phase.
         assert!(!counts_against_breaker(200, FailurePhase::Compute));
         assert!(!counts_against_breaker(400, FailurePhase::Compute));
+    }
+
+    /// The shed Retry-After jitter stays in its documented bounds and
+    /// actually uses them all, so stampeding clients are spread out.
+    #[test]
+    fn shed_retry_after_jitter_bounds() {
+        let mut rng = Xoshiro256::seed_from(0x5eed);
+        let draws: Vec<u64> = (0..256).map(|_| shed_retry_after(&mut rng)).collect();
+        assert!(draws.iter().all(|&v| (1..=3).contains(&v)));
+        for want in 1..=3 {
+            assert!(draws.contains(&want), "value {want} never drawn");
+        }
+    }
+
+    /// A fixed seed reproduces the whole jitter sequence; a different
+    /// seed produces a different one.
+    #[test]
+    fn shed_retry_after_jitter_is_seed_deterministic() {
+        let sequence = |seed: u64| -> Vec<u64> {
+            let mut rng = Xoshiro256::seed_from(seed);
+            (0..64).map(|_| shed_retry_after(&mut rng)).collect()
+        };
+        assert_eq!(sequence(7), sequence(7));
+        assert_ne!(sequence(7), sequence(8));
     }
 }

@@ -283,6 +283,89 @@ fn replica_kill_and_rolling_reload_under_sustained_load() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Supervisor bookkeeping across a promote-then-rollback cycle: the
+/// fleet's `min_generation` stays consistent (every replica on the
+/// same generation after each completed swap), and the `/supervisor`
+/// counters surface promotions, rollbacks, quarantines and probation
+/// state through `/stats`.
+#[test]
+fn stats_min_generation_and_supervisor_counters_survive_a_rollback() {
+    let model_a = mlp(7);
+    let model_b = mlp(8);
+    let probe = [2.5, 3.5];
+    let pred_a = model_a.predict(&probe).unwrap();
+
+    let dir = std::env::temp_dir().join(format!("wlc-fleet-rollback-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path_a = dir.join("model-a.txt");
+    let path_b = dir.join("model-b.txt");
+    model_a.save(&path_a).unwrap();
+    model_b.save(&path_b).unwrap();
+
+    let baseline = LinearModel::fit(&dataset(), LinearFeatures::FirstOrder).unwrap();
+    let bundle = FallbackModel::new(Some(model_a), Some(baseline), vec![], vec![]).unwrap();
+    let config = ServeConfig {
+        replicas: 3,
+        workers: 2,
+        ..ServeConfig::default()
+    };
+    let (addr, handle) = start(bundle, config);
+    let client = patient_client(&addr);
+    assert!(wait_for_ready_replicas(&client, 3));
+
+    // Promotion: swap the fleet to the candidate and open probation.
+    let outcome = client.reload_detailed(path_b.to_str().unwrap()).unwrap();
+    assert_eq!(outcome.generation, 1);
+    client.notify_supervisor("promotion").unwrap();
+    client.notify_supervisor("probation_start").unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(
+        stats.get("min_generation").and_then(Json::as_f64),
+        Some(1.0)
+    );
+    assert_eq!(
+        stats.get("probation").and_then(Json::as_str),
+        Some("active")
+    );
+
+    // Watchdog verdict: bad candidate. Roll the fleet back to
+    // last-good and record the rollback + quarantine.
+    let outcome = client.reload_detailed(path_a.to_str().unwrap()).unwrap();
+    assert_eq!(outcome.generation, 2);
+    assert_eq!(outcome.generations, vec![2, 2, 2]);
+    client.notify_supervisor("rollback").unwrap();
+    client.notify_supervisor("quarantine").unwrap();
+    client.notify_supervisor("probation_end").unwrap();
+
+    // After the rollback every replica sits on the same generation:
+    // min_generation equals the fleet generation and each per-replica
+    // counter agrees — no replica was left behind on the bad model.
+    let stats = client.stats().unwrap();
+    assert_eq!(
+        stats.get("min_generation").and_then(Json::as_f64),
+        Some(2.0)
+    );
+    assert_eq!(stats.get("generation").and_then(Json::as_f64), Some(2.0));
+    let replicas = stats.get("replicas").and_then(Json::as_arr).unwrap();
+    assert_eq!(replicas.len(), 3);
+    for entry in replicas {
+        assert_eq!(entry.get("generation").and_then(Json::as_f64), Some(2.0));
+    }
+    assert_eq!(stats.get("promotions").and_then(Json::as_f64), Some(1.0));
+    assert_eq!(stats.get("rollbacks").and_then(Json::as_f64), Some(1.0));
+    assert_eq!(stats.get("quarantined").and_then(Json::as_f64), Some(1.0));
+    assert_eq!(stats.get("probation").and_then(Json::as_str), Some("idle"));
+
+    // And the fleet actually serves last-good again.
+    let p = client.predict(&probe).unwrap();
+    assert_eq!(p.outputs, pred_a);
+    assert_eq!(p.generation, 2);
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn fleet_overload_sheds_only_when_every_queue_is_full() {
     let config = ServeConfig {

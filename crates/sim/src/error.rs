@@ -32,6 +32,11 @@ pub enum SimError {
         /// Description of the problem.
         reason: String,
     },
+    /// A workload-drift profile string or value was invalid.
+    InvalidDriftProfile {
+        /// Description of the problem.
+        reason: String,
+    },
     /// An underlying math operation failed.
     Math(MathError),
     /// An underlying data operation failed.
@@ -52,6 +57,9 @@ impl fmt::Display for SimError {
             }
             SimError::InvalidFaultProfile { reason } => {
                 write!(f, "invalid fault profile: {reason}")
+            }
+            SimError::InvalidDriftProfile { reason } => {
+                write!(f, "invalid drift profile: {reason}")
             }
             SimError::Math(e) => write!(f, "math error: {e}"),
             SimError::Data(e) => write!(f, "data error: {e}"),

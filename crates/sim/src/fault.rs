@@ -32,7 +32,7 @@ use crate::runner::{Simulation, INPUT_NAMES, OUTPUT_NAMES};
 use crate::SimError;
 
 /// Stream constant separating fault randomness from simulation seeds.
-const FAULT_STREAM: u64 = 0xF417;
+pub(crate) const FAULT_STREAM: u64 = 0xF417;
 
 /// Which injected failure mode fired.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -240,7 +240,7 @@ impl fmt::Display for FaultSummary {
 }
 
 /// One standard-normal draw (Box–Muller; consumes two uniforms).
-fn standard_normal(rng: &mut Xoshiro256) -> f64 {
+pub(crate) fn standard_normal(rng: &mut Xoshiro256) -> f64 {
     let u1 = 1.0 - rng.next_f64(); // (0, 1]: safe for ln
     let u2 = rng.next_f64();
     (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()

@@ -51,6 +51,7 @@ pub mod analytic;
 mod config;
 mod db;
 mod des;
+mod drift;
 mod engine;
 mod error;
 mod fault;
@@ -63,6 +64,7 @@ pub use config::{
     ArrivalProcess, DbModel, HardwareModel, ServerConfig, ServerConfigBuilder, WorkloadSpec,
 };
 pub use des::SimTime;
+pub use drift::{stream_window, DriftKind, DriftProfile, StreamConfig};
 pub use error::SimError;
 pub use fault::{run_design_faulty, run_design_faulty_jobs, FaultKind, FaultProfile, FaultSummary};
 pub use metrics::{Measurement, PoolUtilization};

@@ -13,6 +13,9 @@
 //! - [`serve`] — the fault-tolerant prediction server: load shedding,
 //!   deadlines, circuit-breaker degradation to the linear baseline, and
 //!   validated hot model reload.
+//! - [`learn`] — the continuous-learning supervisor: stream drifting
+//!   workloads, retrain with crash-safe checkpoints, shadow-score, and
+//!   promote via rolling reload with watchdog-guarded rollback.
 //!
 //! # Quickstart
 //!
@@ -35,6 +38,7 @@
 
 pub use wlc_data as data;
 pub use wlc_exec as exec;
+pub use wlc_learn as learn;
 pub use wlc_math as math;
 pub use wlc_model as model;
 pub use wlc_nn as nn;
