@@ -16,7 +16,7 @@ echo "==> wlc-lint (workspace static analysis, blocking)"
 cargo run -q -p wlc-lint -- --workspace
 
 echo "==> wlc-lint self-test (each seeded-bug fixture must fail)"
-for fixture in lock_cycle panic_serve instant_nn unmapped_variant alloc_hot; do
+for fixture in lock_cycle panic_serve instant_nn unmapped_variant alloc_hot durable_raw; do
     if cargo run -q -p wlc-lint -- --root "crates/lint/tests/fixtures/$fixture"; then
         echo "fixture $fixture was unexpectedly clean"
         exit 1
@@ -36,6 +36,13 @@ fi
 
 echo "==> cargo test -q (tier-1 default members)"
 cargo test -q
+
+echo "==> crash-consistency sweep (every op-log prefix of a supervisor round)"
+# Replays a full supervisor round (bootstrap commit, checkpoints,
+# promote, rollback, quarantine) against the simulated filesystem,
+# crashing at every operation-log prefix and asserting recovery
+# converges to the uninterrupted run byte-for-byte.
+cargo test -q -p wlc-learn --test crash_sweep
 
 if [ "${1:-}" != "quick" ]; then
     echo "==> fault-injection smoke (collect with faults, cv with quarantine)"

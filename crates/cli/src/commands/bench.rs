@@ -640,6 +640,7 @@ pub fn run(raw: &[String]) -> CmdResult {
             .map(|(k, v)| (k.to_string(), v))
             .collect(),
     );
+    // wlc-lint: allow(durable-write, reason = "bench report is a throwaway measurement artifact, not recovered state")
     std::fs::write(&out, format!("{report}\n"))?;
     eprintln!("report written to {out}");
 

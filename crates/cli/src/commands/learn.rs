@@ -121,6 +121,7 @@ pub fn run(raw: &[String]) -> CmdResult {
         force_bad_round,
         chaos_kill_round,
         chaos_corrupt_candidate_round,
+        fs: wlc_fault::real_fs(),
         quiet: flags.switch("quiet"),
     };
 

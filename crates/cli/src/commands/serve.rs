@@ -140,6 +140,7 @@ pub fn run(raw: &[String]) -> CmdResult {
         slow_per_request: Duration::from_millis(flags.get_or("slow-ms", 0u64)?),
         force_fail: flags.get_or("force-fail", 0u64)?,
         shed_jitter_seed: flags.get_or("shed-jitter-seed", 0x5eedu64)?,
+        fs: wlc_fault::real_fs(),
         log: !flags.switch("quiet"),
     };
     let addr: String = flags.get_or("addr", "127.0.0.1:0".to_string())?;

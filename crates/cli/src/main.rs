@@ -52,6 +52,8 @@ COMMANDS:
 EXIT CODES:
     0 success   1 failure   2 bad usage
     3 input failed validation   4 training diverged   5 serve error
+    6 durable storage failed (see the fault-injection docs; retriable
+      failures resolve by rerunning — state resumes from the last commit)
 
 Run a command with no flags to see its options.";
 
@@ -99,6 +101,10 @@ const EXIT_VALIDATION: u8 = 3;
 const EXIT_DIVERGED: u8 = 4;
 /// Prediction-server failure (bind, transport, retries exhausted).
 const EXIT_SERVE: u8 = 5;
+/// Durable storage failed at a fault-injection site (write, fsync or
+/// rename of committed state, or committed state that cannot be read
+/// back). Retriable sites recover by rerunning the same command.
+const EXIT_DURABLE: u8 = 6;
 
 /// Maps an error to the documented process exit code by inspecting the
 /// concrete type behind the `dyn Error` (including wrapped sources).
@@ -171,6 +177,9 @@ fn learn_code(e: &LearnError) -> u8 {
         LearnError::Data(d) => data_code(d),
         LearnError::Model(m) => model_code(m),
         LearnError::Serve(s) => serve_code(s),
+        // Storage failed under the supervisor at a named failpoint
+        // site; the message carries whether a rerun can recover.
+        LearnError::Durable { .. } => EXIT_DURABLE,
         // State corruption and deliberate chaos kills are generic
         // failures; rerunning resumes from the last committed round.
         _ => EXIT_FAILURE,
@@ -183,8 +192,13 @@ fn serve_code(e: &ServeError) -> u8 {
         ServeError::InvalidParameter { .. } => EXIT_USAGE,
         // Model problems keep their established codes (3/4).
         ServeError::Model(m) => model_code(m),
-        // A 4xx means the server validated and rejected our input.
+        // A 4xx means the server validated and rejected our input;
+        // oversized bodies and header timeouts are the same family
+        // seen from the server's own side of the connection.
         ServeError::Rejected { status, .. } if (400..500).contains(status) => EXIT_VALIDATION,
+        ServeError::BodyTooLarge { .. } | ServeError::HeaderTimeout { .. } => EXIT_VALIDATION,
+        // Durable storage failed while loading or reloading a model.
+        ServeError::Durable { .. } => EXIT_DURABLE,
         // Transport-level failures are all "serving errors": could not
         // bind, connection died, peer spoke garbage, retry budget spent,
         // or a 5xx rejection (shed/deadline) that outlived the retries.

@@ -277,6 +277,7 @@ impl LinearModel {
     ///
     /// Returns [`ModelError::Io`] on filesystem failure.
     pub fn save<P: AsRef<std::path::Path>>(&self, path: P) -> Result<(), ModelError> {
+        // wlc-lint: allow(durable-write, reason = "one-shot CLI export; the supervisor's durable path writes models via wlc_fault::write_atomic")
         std::fs::write(path, self.to_text())?;
         Ok(())
     }

@@ -2,6 +2,7 @@ use std::path::{Path, PathBuf};
 
 use wlc_data::metrics::ErrorReport;
 use wlc_data::{Dataset, Scaler};
+use wlc_fault::FsHandle;
 use wlc_math::Matrix;
 use wlc_nn::{
     Activation, Checkpoint, Loss, Mlp, MlpBuilder, OptimizerKind, TrainConfig, TrainReport,
@@ -271,8 +272,13 @@ impl WorkloadModel {
                 .ok_or_else(|| err(5, "expected `yscaler ...`"))?,
         )
         .map_err(|e| err(5, &e.to_string()))?;
-        let rest: Vec<&str> = lines.collect();
-        let mlp = Mlp::from_text(&rest.join("\n"))?;
+        // Preserve the trailing-newline state: the network parser uses
+        // it to reject a document whose final line was torn mid-float.
+        let mut rest = lines.collect::<Vec<&str>>().join("\n");
+        if text.ends_with('\n') {
+            rest.push('\n');
+        }
+        let mlp = Mlp::from_text(&rest)?;
 
         if input_scaler.cols() != mlp.inputs() || input_names.len() != mlp.inputs() {
             return Err(err(0, "input names/scaler/network widths disagree"));
@@ -314,6 +320,7 @@ impl WorkloadModel {
     ///
     /// Returns [`ModelError::Io`] on filesystem failure.
     pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), ModelError> {
+        // wlc-lint: allow(durable-write, reason = "one-shot CLI export; the supervisor's durable path writes models via wlc_fault::write_atomic")
         std::fs::write(path, self.to_text())?;
         Ok(())
     }
@@ -425,6 +432,7 @@ pub struct WorkloadModelBuilder {
     retry_backoff: Option<f64>,
     halt_on_divergence: bool,
     checkpoint: Option<(PathBuf, usize)>,
+    checkpoint_fs: Option<FsHandle>,
 }
 
 impl WorkloadModelBuilder {
@@ -449,6 +457,7 @@ impl WorkloadModelBuilder {
             retry_backoff: None,
             halt_on_divergence: false,
             checkpoint: None,
+            checkpoint_fs: None,
         }
     }
 
@@ -578,6 +587,14 @@ impl WorkloadModelBuilder {
         self
     }
 
+    /// Filesystem checkpoint writes go through (defaults to the real
+    /// filesystem). A [`wlc_fault::SimFs`] here exposes mid-training
+    /// checkpoints to fault injection and crash sweeps.
+    pub fn checkpoint_fs(mut self, fs: FsHandle) -> Self {
+        self.checkpoint_fs = Some(fs);
+        self
+    }
+
     fn train_config(&self) -> TrainConfig {
         let mut config = TrainConfig::new()
             .max_epochs(self.max_epochs)
@@ -604,6 +621,9 @@ impl WorkloadModelBuilder {
             config = config
                 .checkpoint_path(path.clone())
                 .checkpoint_every(*every);
+        }
+        if let Some(fs) = &self.checkpoint_fs {
+            config = config.checkpoint_fs(fs.clone());
         }
         config
     }

@@ -346,6 +346,7 @@ impl Dataset {
     ///
     /// Returns [`DataError::Io`] on filesystem failure.
     pub fn save_csv<P: AsRef<Path>>(&self, path: P) -> Result<(), DataError> {
+        // wlc-lint: allow(durable-write, reason = "one-shot CLI export; the supervisor's durable path stages buffers via wlc_fault::write_atomic")
         std::fs::write(path, self.to_csv_string())?;
         Ok(())
     }

@@ -41,6 +41,22 @@ pub enum LearnError {
     Model(ModelError),
     /// The serving tier rejected a request.
     Serve(ServeError),
+    /// Durable storage failed at a fault-injection site (write, fsync
+    /// or rename of a committed artifact, or an unreadable committed
+    /// file). `retriable` carries the per-site policy pinned by
+    /// `wlc_fault::SITE_POLICY`: retriable failures resolve by simply
+    /// rerunning the supervisor (it resumes from the last committed
+    /// round); fatal ones need operator attention first. Exit code 6.
+    Durable {
+        /// The failpoint site (`learn.state.commit`, ...).
+        site: String,
+        /// The file involved.
+        path: PathBuf,
+        /// The underlying failure.
+        reason: String,
+        /// Whether rerunning can reasonably succeed.
+        retriable: bool,
+    },
 }
 
 impl fmt::Display for LearnError {
@@ -59,6 +75,19 @@ impl fmt::Display for LearnError {
             LearnError::Data(e) => write!(f, "dataset: {e}"),
             LearnError::Model(e) => write!(f, "model: {e}"),
             LearnError::Serve(e) => write!(f, "serving: {e}"),
+            LearnError::Durable {
+                site,
+                path,
+                reason,
+                retriable,
+            } => {
+                let kind = if *retriable { "retriable" } else { "fatal" };
+                write!(
+                    f,
+                    "durable storage failure at {site} ({kind}) on `{}`: {reason}",
+                    path.display()
+                )
+            }
         }
     }
 }

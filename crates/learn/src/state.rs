@@ -1,9 +1,17 @@
 //! Durable supervisor state: crash-safe writes, the committed
 //! `state.txt` record, and the idempotent event log.
+//!
+//! Every durable transition goes through a [`wlc_fault::Fs`] handle, so
+//! the crash-consistency sweep can run the whole supervisor against a
+//! [`wlc_fault::SimFs`] and replay simulated power cuts at every
+//! recorded filesystem op. Failures surface as
+//! [`LearnError::Durable`] carrying the per-site retriability pinned in
+//! `wlc_fault::SITE_POLICY`.
 
-use std::fs::{self, File};
-use std::io::{self, Write};
+use std::io;
 use std::path::{Path, PathBuf};
+
+use wlc_fault::Fs;
 
 use crate::LearnError;
 
@@ -14,23 +22,31 @@ pub(crate) const EVENTS_FILE: &str = "events.log";
 
 const STATE_HEADER: &str = "wlc-learn-state v1";
 
-/// Writes `bytes` to `path` crash-safely: the payload goes to a `.tmp`
-/// sibling first, is `fsync`ed, and only then renamed over the target.
-/// A crash at any point leaves either the old complete file or a stray
-/// `.tmp` that readers never look at.
-pub(crate) fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), LearnError> {
-    let tmp = path.with_extension("tmp");
-    let io_err = |e: io::Error| LearnError::State {
+/// Maps an I/O failure at `site` on `path` to [`LearnError::Durable`].
+pub(crate) fn durable_err<'a>(
+    site: &'a str,
+    path: &'a Path,
+) -> impl FnOnce(io::Error) -> LearnError + 'a {
+    move |e| LearnError::Durable {
+        site: site.to_string(),
         path: path.to_path_buf(),
         reason: e.to_string(),
-    };
-    let mut file = File::create(&tmp).map_err(io_err)?;
-    file.write_all(bytes).map_err(io_err)?;
-    // Flush to stable storage before the rename makes the bytes visible
-    // under the real name.
-    file.sync_all().map_err(io_err)?;
-    drop(file);
-    fs::rename(&tmp, path).map_err(io_err)
+        retriable: wlc_fault::site_retriable(site),
+    }
+}
+
+/// Writes `bytes` to `path` crash-safely through `fs`: the payload goes
+/// to a `.tmp` sibling first, is `fsync`ed, and only then renamed over
+/// the target. A crash at any point leaves either the old complete file
+/// or a stray `.tmp` that readers never look at. `site` names the
+/// failpoint (three hits per call: write, sync, rename).
+pub(crate) fn write_atomic(
+    fs: &dyn Fs,
+    site: &str,
+    path: &Path,
+    bytes: &[u8],
+) -> Result<(), LearnError> {
+    wlc_fault::write_atomic(fs, site, path, bytes).map_err(durable_err(site, path))
 }
 
 /// The committed supervisor record. `state.txt` is always the *last*
@@ -58,25 +74,25 @@ pub struct SupervisorState {
 impl SupervisorState {
     /// Loads the committed state, or `None` when no `state.txt` exists
     /// yet (fresh directory, or a crash before the bootstrap commit).
-    pub fn load(dir: &Path) -> Result<Option<SupervisorState>, LearnError> {
+    /// Failpoint site `learn.state.load`; an unreadable *existing*
+    /// state file is fatal — rerunning cannot recompute the commit
+    /// point.
+    pub fn load(fs: &dyn Fs, dir: &Path) -> Result<Option<SupervisorState>, LearnError> {
+        const SITE: &str = "learn.state.load";
         let path = dir.join(STATE_FILE);
-        let text = match fs::read_to_string(&path) {
+        let text = match fs.read_to_string(SITE, &path) {
             Ok(text) => text,
             Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
-            Err(e) => {
-                return Err(LearnError::State {
-                    path,
-                    reason: e.to_string(),
-                })
-            }
+            Err(e) => return Err(durable_err(SITE, &path)(e)),
         };
         Self::parse(&text)
             .map(Some)
             .map_err(|reason| LearnError::State { path, reason })
     }
 
-    /// Commits this record to `state.txt` crash-safely.
-    pub fn save(&self, dir: &Path) -> Result<(), LearnError> {
+    /// Commits this record to `state.txt` crash-safely (failpoint site
+    /// `learn.state.commit`).
+    pub fn save(&self, fs: &dyn Fs, dir: &Path) -> Result<(), LearnError> {
         let text = format!(
             "{STATE_HEADER}\nround {}\ngeneration {}\npromotions {}\nrollbacks {}\nquarantined {}\nlive {}\nlast_good {}\n",
             self.round,
@@ -87,10 +103,21 @@ impl SupervisorState {
             self.live,
             self.last_good,
         );
-        write_atomic(&dir.join(STATE_FILE), text.as_bytes())
+        write_atomic(
+            fs,
+            "learn.state.commit",
+            &dir.join(STATE_FILE),
+            text.as_bytes(),
+        )
     }
 
     fn parse(text: &str) -> Result<SupervisorState, String> {
+        // The record is written atomically and always newline-
+        // terminated; a missing terminator means the bytes were torn
+        // (and a torn final field would otherwise still parse).
+        if !text.ends_with('\n') {
+            return Err("truncated record (missing trailing newline)".to_string());
+        }
         let mut lines = text.lines();
         match lines.next() {
             Some(STATE_HEADER) => {}
@@ -130,24 +157,26 @@ impl SupervisorState {
     }
 }
 
-/// Commits `lines` (all tagged `round={round}`) to the event log.
+/// Commits `lines` (all tagged `round={round}`) to the event log
+/// (failpoint site `learn.events.commit`).
 ///
 /// The log is rewritten atomically as *earlier rounds + these lines*:
 /// any line from `round` or later already present (left behind by a
 /// crash between the event commit and the `state.txt` commit) is
 /// dropped first, so replaying a round never duplicates its events and
 /// the log stays byte-identical to an uninterrupted run.
-pub(crate) fn commit_events(dir: &Path, round: u64, lines: &[String]) -> Result<(), LearnError> {
+pub(crate) fn commit_events(
+    fs: &dyn Fs,
+    dir: &Path,
+    round: u64,
+    lines: &[String],
+) -> Result<(), LearnError> {
+    const SITE: &str = "learn.events.commit";
     let path = dir.join(EVENTS_FILE);
-    let existing = match fs::read_to_string(&path) {
+    let existing = match fs.read_to_string(SITE, &path) {
         Ok(text) => text,
         Err(e) if e.kind() == io::ErrorKind::NotFound => String::new(),
-        Err(e) => {
-            return Err(LearnError::State {
-                path,
-                reason: e.to_string(),
-            })
-        }
+        Err(e) => return Err(durable_err(SITE, &path)(e)),
     };
     let mut out = String::new();
     for line in existing.lines() {
@@ -160,7 +189,7 @@ pub(crate) fn commit_events(dir: &Path, round: u64, lines: &[String]) -> Result<
         out.push_str(line);
         out.push('\n');
     }
-    write_atomic(&path, out.as_bytes())
+    write_atomic(fs, SITE, &path, out.as_bytes())
 }
 
 /// Extracts the `round=N` tag from an event line.
@@ -178,6 +207,8 @@ pub(crate) fn buffer_path(dir: &Path, round: u64) -> PathBuf {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs;
+    use wlc_fault::RealFs;
 
     fn temp_dir(tag: &str) -> PathBuf {
         let dir =
@@ -198,18 +229,18 @@ mod tests {
             live: "model-g3.model".to_string(),
             last_good: "model-g2.model".to_string(),
         };
-        state.save(&dir).unwrap();
-        assert_eq!(SupervisorState::load(&dir).unwrap(), Some(state));
+        state.save(&RealFs, &dir).unwrap();
+        assert_eq!(SupervisorState::load(&RealFs, &dir).unwrap(), Some(state));
         fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn missing_state_is_none_and_garbage_is_an_error() {
         let dir = temp_dir("garbage");
-        assert_eq!(SupervisorState::load(&dir).unwrap(), None);
+        assert_eq!(SupervisorState::load(&RealFs, &dir).unwrap(), None);
         fs::write(dir.join(STATE_FILE), "not a state file\n").unwrap();
         assert!(matches!(
-            SupervisorState::load(&dir),
+            SupervisorState::load(&RealFs, &dir),
             Err(LearnError::State { .. })
         ));
         fs::remove_dir_all(&dir).unwrap();
@@ -218,13 +249,20 @@ mod tests {
     #[test]
     fn event_commit_drops_replayed_rounds() {
         let dir = temp_dir("events");
-        commit_events(&dir, 0, &["event=bootstrap round=0".to_string()]).unwrap();
-        commit_events(&dir, 1, &["event=stream round=1".to_string()]).unwrap();
+        commit_events(&RealFs, &dir, 0, &["event=bootstrap round=0".to_string()]).unwrap();
+        commit_events(&RealFs, &dir, 1, &["event=stream round=1".to_string()]).unwrap();
         // A crash after the round-2 event commit but before the state
         // commit leaves round-2 lines behind; replaying round 2 must
         // not duplicate them.
-        commit_events(&dir, 2, &["event=stream round=2 attempt=first".to_string()]).unwrap();
         commit_events(
+            &RealFs,
+            &dir,
+            2,
+            &["event=stream round=2 attempt=first".to_string()],
+        )
+        .unwrap();
+        commit_events(
+            &RealFs,
             &dir,
             2,
             &["event=stream round=2 attempt=replay".to_string()],
@@ -242,9 +280,83 @@ mod tests {
     fn atomic_write_leaves_no_tmp_behind() {
         let dir = temp_dir("atomic");
         let path = dir.join("state.txt");
-        write_atomic(&path, b"hello\n").unwrap();
+        write_atomic(&RealFs, "learn.state.commit", &path, b"hello\n").unwrap();
         assert_eq!(fs::read_to_string(&path).unwrap(), "hello\n");
-        assert!(!path.with_extension("tmp").exists());
+        assert!(!wlc_fault::tmp_sibling(&path).exists());
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn every_byte_prefix_of_a_state_record_is_rejected() {
+        let dir = PathBuf::from("state");
+        let sim = wlc_fault::SimFs::new();
+        sim.create_dir_all("test.setup", &dir).unwrap();
+        let state = SupervisorState {
+            round: 2,
+            generation: 3,
+            promotions: 2,
+            rollbacks: 1,
+            quarantined: 1,
+            live: "model-g3.model".to_string(),
+            last_good: "model-g2.model".to_string(),
+        };
+        state.save(&sim, &dir).unwrap();
+        let full = sim.read("test.read", &dir.join(STATE_FILE)).unwrap();
+        // A torn prefix must never load as a (different) valid record —
+        // e.g. `last_good model-g2.mod` still parses field-wise.
+        for cut in 0..full.len() {
+            sim.write("test.setup", &dir.join(STATE_FILE), &full[..cut])
+                .unwrap();
+            match SupervisorState::load(&sim, &dir) {
+                Err(LearnError::State { .. }) => {}
+                other => panic!("prefix of {cut} bytes must be rejected, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn injected_failures_become_typed_durable_errors() {
+        let dir = PathBuf::from("state");
+        for (hit, kind) in [
+            (0, wlc_fault::FaultKind::ShortWrite),
+            (1, wlc_fault::FaultKind::SyncFail),
+            (2, wlc_fault::FaultKind::RenameFail),
+        ] {
+            let sim = wlc_fault::SimFs::with_plan(wlc_fault::FailPlan::single(
+                "learn.state.commit",
+                hit,
+                kind,
+            ));
+            sim.create_dir_all("test.setup", &dir).unwrap();
+            let state = SupervisorState {
+                round: 1,
+                generation: 1,
+                promotions: 1,
+                rollbacks: 0,
+                quarantined: 0,
+                live: "model-g1.model".to_string(),
+                last_good: "model-g0.model".to_string(),
+            };
+            let err = state.save(&sim, &dir).unwrap_err();
+            match err {
+                LearnError::Durable {
+                    site,
+                    retriable,
+                    reason,
+                    ..
+                } => {
+                    assert_eq!(site, "learn.state.commit");
+                    assert!(retriable, "commit writes are retriable by rerun");
+                    assert!(reason.contains("injected"), "{reason}");
+                }
+                other => panic!("expected Durable, got {other:?}"),
+            }
+            // The real name was never produced: the fault hit the
+            // staging path, so a reader still sees no state at all.
+            assert_eq!(SupervisorState::load(&sim, &dir).unwrap(), None);
+            // The schedule is consumed: the retry succeeds.
+            state.save(&sim, &dir).unwrap();
+            assert_eq!(SupervisorState::load(&sim, &dir).unwrap(), Some(state));
+        }
     }
 }

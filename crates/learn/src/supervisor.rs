@@ -1,19 +1,19 @@
 //! The continuous-learning supervisor state machine.
 
-use std::fs;
 use std::path::{Path, PathBuf};
 use std::thread;
 
 use wlc_data::Dataset;
+use wlc_fault::FsHandle;
 use wlc_math::rng::{Seed, Xoshiro256};
 use wlc_model::baseline::{LinearFeatures, LinearModel};
 use wlc_model::fallback::FallbackModel;
-use wlc_model::{PerformanceModel, TrainedModel, WorkloadModel, WorkloadModelBuilder};
-use wlc_nn::Checkpoint;
+use wlc_model::{ModelError, PerformanceModel, TrainedModel, WorkloadModel, WorkloadModelBuilder};
+use wlc_nn::{Checkpoint, NnError};
 use wlc_serve::{ClientConfig, ServeClient, ServeConfig, ServeError, Server};
 use wlc_sim::{stream_window, DriftProfile, FaultProfile, StreamConfig};
 
-use crate::state::{buffer_path, commit_events, write_atomic, SupervisorState};
+use crate::state::{buffer_path, commit_events, durable_err, write_atomic, SupervisorState};
 use crate::LearnError;
 
 /// Seed stream for per-round retraining.
@@ -93,6 +93,13 @@ pub struct LearnConfig {
     /// Chaos hook: corrupt the candidate artifact of this round before
     /// asking the fleet to load it (the reload must reject it).
     pub chaos_corrupt_candidate_round: Option<u64>,
+    /// Filesystem every durable transition goes through. The default
+    /// [`wlc_fault::real_fs`] is a passthrough; the crash-consistency
+    /// sweep swaps in a [`wlc_fault::SimFs`] to inject storage faults
+    /// and replay power cuts. The handle is also passed to the
+    /// in-process serving fleet, so promoted artifacts written here are
+    /// read back through the same (possibly simulated) filesystem.
+    pub fs: FsHandle,
     /// Suppress live event printing (the event log is still written).
     pub quiet: bool,
 }
@@ -128,6 +135,7 @@ impl Default for LearnConfig {
             force_bad_round: None,
             chaos_kill_round: None,
             chaos_corrupt_candidate_round: None,
+            fs: wlc_fault::real_fs(),
             quiet: false,
         }
     }
@@ -271,10 +279,13 @@ impl Supervisor {
     /// Validates `config` and prepares the state directory.
     pub fn new(config: LearnConfig) -> Result<Supervisor, LearnError> {
         config.validate()?;
-        fs::create_dir_all(config.state_dir.join("quarantine")).map_err(|e| LearnError::State {
-            path: config.state_dir.clone(),
-            reason: e.to_string(),
-        })?;
+        config
+            .fs
+            .create_dir_all("learn.state.dir", &config.state_dir.join("quarantine"))
+            .map_err(|e| LearnError::State {
+                path: config.state_dir.clone(),
+                reason: e.to_string(),
+            })?;
         Ok(Supervisor { config })
     }
 
@@ -287,12 +298,27 @@ impl Supervisor {
     /// rerunning after an error resumes from the last good round.
     pub fn run(&self) -> Result<Outcome, LearnError> {
         let dir = &self.config.state_dir;
-        let mut state = match SupervisorState::load(dir)? {
+        let fs = &*self.config.fs;
+        let mut state = match SupervisorState::load(fs, dir)? {
             Some(state) => state,
             None => self.bootstrap()?,
         };
-        let reference = Dataset::load_csv(dir.join("reference.csv"))?;
-        let live = WorkloadModel::load(dir.join(&state.live))?;
+        // Post-commit scratch cleanup is not part of any commit: a
+        // crash between a round's state commit and its scratch removal
+        // leaves strays behind, so finish the sweep here before doing
+        // new work (idempotent — missing files are fine).
+        for round in 0..state.round {
+            let _ = fs.remove_file("learn.scratch.remove", &buffer_path(dir, round));
+        }
+        for round in 1..=state.round {
+            let _ = fs.remove_file("learn.scratch.remove", &self.ckpt_path(round));
+        }
+        let ref_path = dir.join("reference.csv");
+        let reference = Dataset::from_csv_string(
+            &fs.read_to_string("learn.reference.read", &ref_path)
+                .map_err(durable_err("learn.reference.read", &ref_path))?,
+        )?;
+        let live = self.load_model(&dir.join(&state.live))?;
         let handle = self.start_server(live, &reference)?;
         // Per-invocation fleet swap counter; cross-checked against the
         // fleet generation the serving tier reports after each reload.
@@ -337,9 +363,20 @@ impl Supervisor {
                 ),
             });
         }
+        let fs = &*cfg.fs;
         let csv = ds.to_csv_string();
-        write_atomic(&dir.join("reference.csv"), csv.as_bytes())?;
-        write_atomic(&buffer_path(dir, 0), csv.as_bytes())?;
+        write_atomic(
+            fs,
+            "learn.reference.write",
+            &dir.join("reference.csv"),
+            csv.as_bytes(),
+        )?;
+        write_atomic(
+            fs,
+            "learn.buffer.write",
+            &buffer_path(dir, 0),
+            csv.as_bytes(),
+        )?;
         let trained = self.builder(0).train(&ds)?;
         self.save_model(&trained.model, &dir.join("model-g0.model"))?;
         let state = SupervisorState {
@@ -360,8 +397,8 @@ impl Supervisor {
                 summary.quarantined.len()
             ),
         );
-        commit_events(dir, 0, &events)?;
-        state.save(dir)?;
+        commit_events(fs, dir, 0, &events)?;
+        state.save(fs, dir)?;
         Ok(state)
     }
 
@@ -377,6 +414,7 @@ impl Supervisor {
     ) -> Result<(), LearnError> {
         let cfg = &self.config;
         let dir = &cfg.state_dir;
+        let fs = &*cfg.fs;
         let mut events = Vec::new();
 
         // 1. Stream the round's window of absolute ticks.
@@ -385,7 +423,11 @@ impl Supervisor {
 
         // 2. Roll the bounded buffer forward (versioned snapshot so a
         //    replayed round re-reads the untouched previous snapshot).
-        let mut buffer = Dataset::load_csv(buffer_path(dir, round - 1))?;
+        let prev_buffer = buffer_path(dir, round - 1);
+        let mut buffer = Dataset::from_csv_string(
+            &fs.read_to_string("learn.buffer.read", &prev_buffer)
+                .map_err(durable_err("learn.buffer.read", &prev_buffer))?,
+        )?;
         if !fresh.is_empty() {
             buffer.merge(&fresh)?;
         }
@@ -394,7 +436,12 @@ impl Supervisor {
             let keep: Vec<usize> = (start..buffer.len()).collect();
             buffer = buffer.subset(&keep)?;
         }
-        write_atomic(&buffer_path(dir, round), buffer.to_csv_string().as_bytes())?;
+        write_atomic(
+            fs,
+            "learn.buffer.write",
+            &buffer_path(dir, round),
+            buffer.to_csv_string().as_bytes(),
+        )?;
         self.emit(
             &mut events,
             format!(
@@ -431,7 +478,7 @@ impl Supervisor {
         );
 
         // 5. Shadow-score candidate vs live on recent + reference.
-        let live = WorkloadModel::load(dir.join(&state.live))?;
+        let live = self.load_model(&dir.join(&state.live))?;
         let candidate = trained.model;
         let cand_recent = score(&candidate, &recent)?;
         let live_recent = score(&live, &recent)?;
@@ -452,13 +499,35 @@ impl Supervisor {
             self.promote(state, client, fleet_swaps, round, &candidate, &mut events)?;
         }
 
-        // 7. Commit: drop round scratch, flush events, then the state
-        //    record last (the commit point).
-        let _ = fs::remove_file(self.ckpt_path(round));
-        let _ = fs::remove_file(buffer_path(dir, round - 1));
+        // 7. Commit: flush events, then the state record last (the
+        //    commit point). Scratch is dropped only *after* the commit
+        //    lands — removing it first would strand a crash that falls
+        //    between the removal and the commit with a committed round
+        //    number whose input buffer no longer exists.
         state.round = round;
-        commit_events(dir, round, &events)?;
-        state.save(dir)
+        commit_events(fs, dir, round, &events)?;
+        state.save(fs, dir)?;
+        let _ = fs.remove_file("learn.scratch.remove", &self.ckpt_path(round));
+        let _ = fs.remove_file("learn.scratch.remove", &buffer_path(dir, round - 1));
+        Ok(())
+    }
+
+    /// Reads a committed model artifact through the configured
+    /// filesystem (failpoint site `learn.model.load` — fatal: a
+    /// committed model that cannot be read back needs an operator).
+    fn load_model(&self, path: &Path) -> Result<WorkloadModel, LearnError> {
+        const SITE: &str = "learn.model.load";
+        let text = self
+            .config
+            .fs
+            .read_to_string(SITE, path)
+            .map_err(durable_err(SITE, path))?;
+        WorkloadModel::from_text(&text).map_err(|e| {
+            LearnError::Model(ModelError::LoadFailed {
+                path: path.to_path_buf(),
+                source: Box::new(e),
+            })
+        })
     }
 
     /// Trains the round's candidate with periodic checkpoints, resuming
@@ -466,8 +535,21 @@ impl Supervisor {
     /// discarded and training restarts — same bytes either way).
     fn retrain(&self, train_ds: &Dataset, round: u64) -> Result<TrainedModel, LearnError> {
         let cfg = &self.config;
+        let fs = &*cfg.fs;
         let ckpt = self.ckpt_path(round);
         let every = cfg.checkpoint_interval();
+        // A failed checkpoint write mid-training surfaces as a typed
+        // durable error at its site — the checkpoint is staged and
+        // renamed, so rerunning resumes (or restarts) cleanly.
+        let ckpt_err = |e: ModelError| match e {
+            ModelError::Nn(NnError::Io { path, reason }) => LearnError::Durable {
+                site: "nn.checkpoint.write".to_string(),
+                path: PathBuf::from(path),
+                reason,
+                retriable: wlc_fault::site_retriable("nn.checkpoint.write"),
+            },
+            other => LearnError::Model(other),
+        };
         let builder = self.builder(round).checkpoint(&ckpt, every);
         if cfg.chaos_kill_round == Some(round) {
             // Simulate a hard kill: run exactly up to the first
@@ -476,21 +558,22 @@ impl Supervisor {
             self.builder(round)
                 .checkpoint(&ckpt, every)
                 .max_epochs(every.min(cfg.epochs))
-                .train(train_ds)?;
+                .train(train_ds)
+                .map_err(ckpt_err)?;
             return Err(LearnError::ChaosKill { round });
         }
-        let resume = match Checkpoint::load(&ckpt) {
+        let resume = match Checkpoint::load_with(fs, &ckpt) {
             Ok(ck) => Some(ck),
             Err(_) => {
                 // Missing or corrupt: retrain from scratch. Remove a
                 // corrupt file so the trainer can rewrite it.
-                let _ = fs::remove_file(&ckpt);
+                let _ = fs.remove_file("learn.scratch.remove", &ckpt);
                 None
             }
         };
         let trained = match resume {
-            Some(ck) => builder.train_resuming(train_ds, &ck)?,
-            None => builder.train(train_ds)?,
+            Some(ck) => builder.train_resuming(train_ds, &ck).map_err(ckpt_err)?,
+            None => builder.train(train_ds).map_err(ckpt_err)?,
         };
         Ok(trained)
     }
@@ -516,10 +599,12 @@ impl Supervisor {
         if cfg.chaos_corrupt_candidate_round == Some(round) {
             // Chaos hook: tear the artifact so the fleet's validated
             // reload must reject it.
-            fs::write(&path, b"wlc-model v1\ntruncated").map_err(|e| LearnError::State {
-                path: path.clone(),
-                reason: e.to_string(),
-            })?;
+            cfg.fs
+                .write("learn.model.write", &path, b"wlc-model v1\ntruncated")
+                .map_err(|e| LearnError::State {
+                    path: path.clone(),
+                    reason: e.to_string(),
+                })?;
         }
         match client.reload_detailed(&path.to_string_lossy()) {
             Ok(outcome) => {
@@ -645,20 +730,22 @@ impl Supervisor {
         reason: &str,
         restored: Option<&str>,
     ) -> Result<(), LearnError> {
+        const SITE: &str = "learn.quarantine.write";
         let dir = &self.config.state_dir;
+        let fs = &*self.config.fs;
         let src = dir.join(name);
         let dst = dir.join("quarantine").join(format!("round-{round}.model"));
-        fs::copy(&src, &dst).map_err(|e| LearnError::State {
-            path: dst.clone(),
-            reason: e.to_string(),
-        })?;
-        let _ = fs::remove_file(&src);
+        let bytes = fs.read(SITE, &src).map_err(durable_err(SITE, &src))?;
+        write_atomic(fs, SITE, &dst, &bytes)?;
+        let _ = fs.remove_file("learn.scratch.remove", &src);
         let mut diagnosis =
             format!("wlc-learn-diagnosis v1\nround {round}\nmodel {name}\nreason {reason}\n");
         if let Some(restored) = restored {
             diagnosis.push_str(&format!("restored {restored}\n"));
         }
         write_atomic(
+            fs,
+            SITE,
             &dir.join("quarantine")
                 .join(format!("round-{round}.diagnosis")),
             diagnosis.as_bytes(),
@@ -701,20 +788,18 @@ impl Supervisor {
             )
             .recover(2)
             .halt_on_divergence(true)
+            .checkpoint_fs(cfg.fs.clone())
     }
 
-    /// Saves a model artifact crash-safely (write + fsync + rename).
+    /// Saves a model artifact crash-safely (write + fsync + rename;
+    /// failpoint site `learn.model.write`).
     fn save_model(&self, model: &WorkloadModel, path: &Path) -> Result<(), LearnError> {
-        let tmp = path.with_extension("staging");
-        model.save(&tmp)?;
-        let sync = |e: std::io::Error| LearnError::State {
-            path: path.to_path_buf(),
-            reason: e.to_string(),
-        };
-        fs::File::open(&tmp)
-            .and_then(|f| f.sync_all())
-            .map_err(sync)?;
-        fs::rename(&tmp, path).map_err(sync)
+        write_atomic(
+            &*self.config.fs,
+            "learn.model.write",
+            path,
+            model.to_text().as_bytes(),
+        )
     }
 
     fn ckpt_path(&self, round: u64) -> PathBuf {
@@ -741,6 +826,10 @@ impl Supervisor {
             // primary immediately (the breaker's own behaviour is
             // covered by the serving tier's tests).
             breaker_threshold: cfg.probes as u32 + 1,
+            // Reload candidates through the supervisor's filesystem so
+            // fault schedules and the simulated crash model cover the
+            // fleet's reads too.
+            fs: cfg.fs.clone(),
             ..ServeConfig::default()
         };
         let server = Server::bind("127.0.0.1:0", bundle, serve_config)?;

@@ -1,0 +1,240 @@
+//! Exhaustive crash-consistency sweep: run a full supervisor round —
+//! bootstrap commit, mid-retrain checkpoints, promotion through the
+//! fleet, watchdog rollback, quarantine — entirely on a simulated
+//! filesystem, then replay a power cut after **every** recorded
+//! filesystem operation and rerun the supervisor on what survived.
+//!
+//! The contract being proven:
+//!
+//! 1. `state.txt` is the single commit point — at every crash prefix it
+//!    is either absent or a complete, parseable record (never torn).
+//! 2. The live and last-good models named by a committed `state.txt`
+//!    are always present and loadable (serving can always come back).
+//! 3. The event log replays idempotently — no duplicated or lost lines.
+//! 4. A resumed run converges: the final durable state is byte-for-byte
+//!    identical to an uninterrupted run, for every crash point.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use wlc_fault::{FailPlan, FsHandle, SimFs};
+use wlc_learn::{LearnConfig, LearnError, Supervisor};
+use wlc_model::WorkloadModel;
+use wlc_sim::DriftProfile;
+
+/// One full-featured round on a virtual state directory: the ramp
+/// drift makes round 1 promote (verified below), and the forced-bad
+/// probation makes the watchdog roll the promotion back — so a single
+/// round exercises every durable transition the supervisor has.
+fn config(fs: FsHandle) -> LearnConfig {
+    LearnConfig {
+        state_dir: PathBuf::from("sweep-state"),
+        seed: 0,
+        rounds: 1,
+        window: 5,
+        buffer_cap: 30,
+        holdout: 3,
+        bootstrap_ticks: 8,
+        drift: "kind=ramp,rate=0.08".parse::<DriftProfile>().unwrap(),
+        duration_secs: 2.0,
+        warmup_secs: 0.5,
+        epochs: 200,
+        hidden: vec![8],
+        probes: 4,
+        tolerance: 2.0,
+        replicas: 1,
+        workers: 2,
+        jobs: 1,
+        force_bad_round: Some(1),
+        fs,
+        quiet: true,
+        ..LearnConfig::default()
+    }
+}
+
+fn run_to_completion(sim: &Arc<SimFs>) -> wlc_learn::Outcome {
+    let handle: FsHandle = Arc::clone(sim) as FsHandle;
+    Supervisor::new(config(handle))
+        .unwrap()
+        .run()
+        .unwrap_or_else(|e| panic!("fault-free run failed: {e}"))
+}
+
+fn parse_state(bytes: &[u8]) -> BTreeMap<String, String> {
+    let text = std::str::from_utf8(bytes).expect("state.txt must be UTF-8 at every crash point");
+    assert!(
+        text.starts_with("wlc-learn-state v1\n") && text.ends_with('\n'),
+        "state.txt must never be torn: {text:?}"
+    );
+    text.lines()
+        .skip(1)
+        .map(|line| {
+            let (k, v) = line.split_once(' ').expect("state line");
+            (k.to_string(), v.to_string())
+        })
+        .collect()
+}
+
+#[test]
+fn every_crash_prefix_recovers_to_the_uninterrupted_bytes() {
+    let dir = Path::new("sweep-state");
+
+    // Reference: one uninterrupted run on a pristine SimFs.
+    let reference = Arc::new(SimFs::new());
+    let outcome = run_to_completion(&reference);
+    assert_eq!(outcome.promotions, 1, "round 1 must promote");
+    assert_eq!(outcome.rollbacks, 1, "probation must roll back");
+    assert_eq!(outcome.quarantined, 1);
+    assert_eq!(outcome.live, "model-g0.model");
+    let want = reference.durable();
+    assert!(want.contains_key(&dir.join("state.txt")));
+    assert!(want.contains_key(&dir.join("events.log")));
+    assert!(want.contains_key(&dir.join("quarantine/round-1.model")));
+    // The commit protocol leaves no staging files behind.
+    assert!(
+        !want.keys().any(|p| p.to_string_lossy().ends_with(".tmp")),
+        "stray tmp files in final durable state: {:?}",
+        want.keys()
+    );
+
+    let ops = reference.op_log();
+    assert!(
+        ops.len() >= 30,
+        "expected a rich op log, got {} ops",
+        ops.len()
+    );
+
+    // Sweep: simulate a power cut after every op-log prefix (0 = crash
+    // before anything landed), check the invariants on the wreckage,
+    // then rerun the supervisor on it and demand convergence.
+    for prefix in 0..=ops.len() {
+        let crashed = reference.crash_at(prefix);
+        let survived = crashed.durable();
+
+        // Invariants on the crash state itself.
+        if let Some(bytes) = survived.get(&dir.join("state.txt")) {
+            let state = parse_state(bytes);
+            for key in ["live", "last_good"] {
+                let name = &state[key];
+                let model = survived
+                    .get(&dir.join(name))
+                    .unwrap_or_else(|| panic!("prefix {prefix}: committed {key} {name} missing"));
+                WorkloadModel::from_text(std::str::from_utf8(model).unwrap()).unwrap_or_else(|e| {
+                    panic!("prefix {prefix}: committed {key} {name} unloadable: {e}")
+                });
+            }
+        }
+        if let Some(bytes) = survived.get(&dir.join("events.log")) {
+            // Never torn: atomically replaced, so always whole lines.
+            let text = std::str::from_utf8(bytes).unwrap();
+            assert!(
+                text.is_empty() || text.ends_with('\n'),
+                "prefix {prefix}: torn events.log"
+            );
+        }
+
+        // Recovery: rerun on the crashed filesystem.
+        let resumed = Arc::new(crashed);
+        let recovered = run_to_completion(&resumed);
+        assert_eq!(recovered.rounds, outcome.rounds, "prefix {prefix}");
+        assert_eq!(recovered.generation, outcome.generation, "prefix {prefix}");
+        assert_eq!(recovered.live, outcome.live, "prefix {prefix}");
+
+        // Convergence: the entire durable state — state record, event
+        // log, models, buffers, quarantine — is byte-identical to the
+        // uninterrupted run's. No missing files, no strays, no drift.
+        let got = resumed.durable();
+        assert_eq!(
+            got.keys().collect::<Vec<_>>(),
+            want.keys().collect::<Vec<_>>(),
+            "prefix {prefix}: durable file set diverged"
+        );
+        for (path, bytes) in &want {
+            assert_eq!(
+                bytes,
+                &got[path],
+                "prefix {prefix}: {} diverged after recovery",
+                path.display()
+            );
+        }
+    }
+}
+
+/// A seeded fault schedule peppers the retriable write sites with
+/// injected failures. Every failure must surface as a typed error
+/// marked retriable — and because a consumed schedule entry never
+/// re-fires, simply rerunning the supervisor converges to the exact
+/// bytes of a fault-free run.
+#[test]
+fn seeded_write_faults_are_typed_retriable_and_rerun_converges() {
+    let dir = Path::new("sweep-state");
+
+    // Fault-free reference bytes.
+    let clean = Arc::new(SimFs::new());
+    run_to_completion(&clean);
+    let want = clean.durable();
+
+    let sites = [
+        "learn.state.commit",
+        "learn.events.commit",
+        "learn.buffer.write",
+        "learn.model.write",
+        "learn.reference.write",
+        "learn.quarantine.write",
+        "nn.checkpoint.write",
+        "serve.model.load",
+    ];
+    let plan = FailPlan::seeded(0xfau64, &sites, 6, 8);
+    assert!(!plan.is_empty());
+    let sim = Arc::new(SimFs::with_plan(plan));
+
+    let mut failures = 0usize;
+    let mut attempts = 0usize;
+    loop {
+        attempts += 1;
+        assert!(attempts <= 20, "did not converge within 20 reruns");
+        let handle: FsHandle = Arc::clone(&sim) as FsHandle;
+        match Supervisor::new(config(handle)).unwrap().run() {
+            Ok(outcome) => {
+                assert_eq!(outcome.live, "model-g0.model");
+                break;
+            }
+            Err(e) => {
+                failures += 1;
+                // Every injected failure must come back typed, naming
+                // its site, and marked safe to retry by rerunning.
+                match &e {
+                    LearnError::Durable {
+                        site,
+                        reason,
+                        retriable,
+                        ..
+                    } => {
+                        assert!(sites.contains(&site.as_str()), "unknown site {site}");
+                        assert!(reason.contains("injected"), "{reason}");
+                        assert!(retriable, "write sites must be retriable: {e}");
+                    }
+                    // An injected serve.model.load failure surfaces
+                    // through the fleet as a retriable 503 rejection.
+                    LearnError::Serve(serve) => {
+                        assert!(serve.is_retriable(), "fleet error must be retriable: {e}");
+                    }
+                    other => panic!("expected a typed retriable error, got {other}"),
+                }
+            }
+        }
+    }
+    assert!(failures >= 1, "the schedule never fired — nothing tested");
+
+    // Convergence: identical bytes to the fault-free run.
+    let got = sim.durable();
+    assert_eq!(
+        got.keys().collect::<Vec<_>>(),
+        want.keys().collect::<Vec<_>>()
+    );
+    for (path, bytes) in &want {
+        assert_eq!(bytes, &got[path], "{} diverged", path.display());
+    }
+    let _ = dir;
+}

@@ -15,6 +15,10 @@
 //!   `#![forbid(unsafe_code)]` stay in sync with the documentation.
 //! - **alloc-in-hot-path** ([`hotalloc`]): forbids heap allocation inside
 //!   functions marked `#[wlc_hot]` (the batched train/predict hot path).
+//! - **durable-write** ([`durable`]): forbids direct `std::fs` mutations
+//!   (write/rename/sync_all/remove/create) outside the `wlc-fault`
+//!   substrate, so the crash-consistency sweep sees every durable
+//!   transition.
 //!
 //! Findings are suppressed per occurrence with
 //! `// wlc-lint: allow(<rule>, reason = "...")` on the same line or the
@@ -29,6 +33,7 @@ use std::path::{Path, PathBuf};
 
 pub mod consistency;
 pub mod determinism;
+pub mod durable;
 pub mod hotalloc;
 pub mod lexer;
 pub mod locks;
@@ -50,6 +55,8 @@ pub enum Rule {
     Consistency,
     /// Heap allocation inside a `#[wlc_hot]` function.
     HotAlloc,
+    /// Durable-state mutation bypassing the `wlc-fault` substrate.
+    DurableWrite,
     /// Malformed or unknown `wlc-lint:` annotation.
     Annotation,
 }
@@ -64,6 +71,7 @@ impl Rule {
             Rule::Determinism => "determinism",
             Rule::Consistency => "consistency",
             Rule::HotAlloc => "alloc-in-hot-path",
+            Rule::DurableWrite => "durable-write",
             Rule::Annotation => "annotation",
         }
     }
@@ -77,6 +85,7 @@ impl Rule {
             "determinism" => Some(Rule::Determinism),
             "consistency" => Some(Rule::Consistency),
             "alloc-in-hot-path" => Some(Rule::HotAlloc),
+            "durable-write" => Some(Rule::DurableWrite),
             "annotation" => Some(Rule::Annotation),
             _ => None,
         }
@@ -84,7 +93,13 @@ impl Rule {
 }
 
 /// Rules that may be suppressed with an `allow(...)` annotation.
-pub const SUPPRESSIBLE: [&str; 4] = ["panic", "index", "determinism", "alloc-in-hot-path"];
+pub const SUPPRESSIBLE: [&str; 5] = [
+    "panic",
+    "index",
+    "determinism",
+    "alloc-in-hot-path",
+    "durable-write",
+];
 
 /// One diagnostic.
 #[derive(Debug, Clone)]
@@ -263,6 +278,15 @@ pub fn analyze(root: &Path, only: Option<Rule>) -> io::Result<Vec<Finding>> {
         // Workspace-wide: any crate may mark functions `#[wlc_hot]`.
         for file in &files {
             findings.extend(hotalloc::analyze(file));
+        }
+    }
+
+    if run(Rule::DurableWrite) {
+        // Workspace-wide: a stray `std::fs::write` anywhere escapes the
+        // crash-consistency sweep. The `RealFs` passthrough suppresses
+        // its own sites with annotations like everyone else.
+        for file in &files {
+            findings.extend(durable::analyze(file));
         }
     }
 

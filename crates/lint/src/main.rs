@@ -17,7 +17,8 @@ use wlc_lint::{analyze, Rule};
 
 const USAGE: &str = "\
 wlc-lint — workspace static analysis (lock order, panic-freedom,
-determinism, exit-code consistency, hot-path allocation-freedom)
+determinism, exit-code consistency, hot-path allocation-freedom,
+durable-write discipline)
 
 USAGE:
     wlc-lint [--workspace | --root <PATH>] [--only <RULE>]
@@ -27,7 +28,7 @@ OPTIONS:
     --root <PATH>    Analyze the tree rooted at PATH instead
     --only <RULE>    Run a single rule: lock-order | panic | index |
                      determinism | consistency | alloc-in-hot-path |
-                     annotation
+                     durable-write | annotation
 
 EXIT CODES:
     0 clean   1 findings reported   2 bad usage";

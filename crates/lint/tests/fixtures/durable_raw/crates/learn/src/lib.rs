@@ -1,0 +1,32 @@
+//! Self-test fixture: a durable-state write that bypasses `wlc-fault`.
+//!
+//! wlc-lint must report the raw `std::fs::write` and `fs::rename` in
+//! non-test code; the annotated passthrough and the test-module write
+//! must pass.
+
+#![forbid(unsafe_code)]
+
+use std::io;
+use std::path::Path;
+
+pub fn commit_state(dir: &Path, bytes: &[u8]) -> io::Result<()> {
+    let staged = dir.join("state.txt.tmp");
+    std::fs::write(&staged, bytes)?;
+    std::fs::rename(&staged, dir.join("state.txt"))
+}
+
+pub fn justified_passthrough(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    // wlc-lint: allow(durable-write, reason = "fixture: demonstrates a justified suppression")
+    std::fs::write(path, bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scratch_files_are_fine_in_tests() {
+        let dir = std::env::temp_dir().join("durable-raw-fixture");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("scratch"), b"x").unwrap();
+        let _ = std::fs::remove_file(dir.join("scratch"));
+    }
+}

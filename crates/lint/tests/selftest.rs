@@ -98,6 +98,22 @@ fn alloc_hot_fixture_reports_the_hot_allocation() {
 }
 
 #[test]
+fn durable_raw_fixture_reports_the_bypassing_writes() {
+    let findings = run(&fixture("durable_raw"));
+    let durable: Vec<&Finding> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::DurableWrite)
+        .collect();
+    assert_eq!(durable.len(), 2, "{findings:?}");
+    assert!(durable.iter().any(|f| f.message.contains("`fs::write`")));
+    assert!(durable.iter().any(|f| f.message.contains("`fs::rename`")));
+    for f in durable {
+        assert_eq!(f.path, "crates/learn/src/lib.rs");
+        assert!(f.line > 0);
+    }
+}
+
+#[test]
 fn fixtures_fire_nothing_outside_their_seeded_rule() {
     // Each fixture is constructed to trip exactly one rule; incidental
     // findings from the other analyses would mean the fixture trees (or
@@ -108,6 +124,7 @@ fn fixtures_fire_nothing_outside_their_seeded_rule() {
         ("instant_nn", Rule::Determinism),
         ("unmapped_variant", Rule::Consistency),
         ("alloc_hot", Rule::HotAlloc),
+        ("durable_raw", Rule::DurableWrite),
     ] {
         let stray: Vec<Finding> = run(&fixture(name))
             .into_iter()

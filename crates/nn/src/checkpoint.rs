@@ -13,6 +13,8 @@
 
 use std::path::Path;
 
+use wlc_fault::Fs;
+
 use crate::{Mlp, NnError};
 
 const MAGIC: &str = "wlc-nn-checkpoint v1";
@@ -161,8 +163,14 @@ impl Checkpoint {
         let (ln, raw) = field("val_history")?;
         let val_history = parse_floats_opt(&raw, ln)?.unwrap_or_default();
 
-        let body: Vec<&str> = lines.map(|(_, l)| l).collect();
-        let mlp = Mlp::from_text(&body.join("\n"))?;
+        // Preserve the document's own trailing-newline state so the
+        // network parser's truncation guard still sees a torn final
+        // line for what it is.
+        let mut body = lines.map(|(_, l)| l).collect::<Vec<&str>>().join("\n");
+        if text.ends_with('\n') {
+            body.push('\n');
+        }
+        let mlp = Mlp::from_text(&body)?;
 
         if loss_history.len() < epoch {
             return Err(parse_err(0, "loss history shorter than epoch count"));
@@ -188,8 +196,9 @@ impl Checkpoint {
         })
     }
 
-    /// Writes the checkpoint to `path` crash-safely: the text is written
-    /// to a sibling temp file, fsynced to stable storage, then atomically
+    /// Writes the checkpoint to `path` crash-safely through `fs`
+    /// (failpoint site `nn.checkpoint.write`): the text is staged in a
+    /// sibling temp file, fsynced to stable storage, then atomically
     /// renamed into place. A crash at any point leaves either the
     /// previous complete checkpoint or a stray `.tmp` that [`load`]
     /// rejects — never a truncated checkpoint under the real name.
@@ -199,38 +208,40 @@ impl Checkpoint {
     /// # Errors
     ///
     /// Returns [`NnError::Io`] naming the path on filesystem failure.
-    pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), NnError> {
-        use std::io::Write;
-
-        let path = path.as_ref();
-        let io_err = |e: std::io::Error| NnError::Io {
-            path: path.display().to_string(),
-            reason: e.to_string(),
-        };
-        let tmp = path.with_extension("tmp");
-        let mut file = std::fs::File::create(&tmp).map_err(io_err)?;
-        file.write_all(self.to_text().as_bytes()).map_err(io_err)?;
-        // Flush file contents to disk before the rename becomes visible;
-        // otherwise a power loss could expose a renamed-but-empty file.
-        file.sync_all().map_err(io_err)?;
-        drop(file);
-        std::fs::rename(&tmp, path).map_err(io_err)?;
-        Ok(())
+    pub fn save_with(&self, fs: &dyn Fs, path: &Path) -> Result<(), NnError> {
+        wlc_fault::write_atomic(fs, "nn.checkpoint.write", path, self.to_text().as_bytes()).map_err(
+            |e| NnError::Io {
+                path: path.display().to_string(),
+                reason: e.to_string(),
+            },
+        )
     }
 
-    /// Reads a checkpoint from `path`.
+    /// [`save_with`](Checkpoint::save_with) against the real filesystem.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), NnError> {
+        self.save_with(&wlc_fault::RealFs, path.as_ref())
+    }
+
+    /// Reads a checkpoint from `path` through `fs` (failpoint site
+    /// `nn.checkpoint.load`).
     ///
     /// # Errors
     ///
     /// Returns [`NnError::Io`] naming the path on filesystem failure and
     /// [`NnError::Parse`] on corrupt content.
-    pub fn load<P: AsRef<Path>>(path: P) -> Result<Checkpoint, NnError> {
-        let path = path.as_ref();
-        let text = std::fs::read_to_string(path).map_err(|e| NnError::Io {
-            path: path.display().to_string(),
-            reason: e.to_string(),
-        })?;
+    pub fn load_with(fs: &dyn Fs, path: &Path) -> Result<Checkpoint, NnError> {
+        let text = fs
+            .read_to_string("nn.checkpoint.load", path)
+            .map_err(|e| NnError::Io {
+                path: path.display().to_string(),
+                reason: e.to_string(),
+            })?;
         Self::from_text(&text)
+    }
+
+    /// [`load_with`](Checkpoint::load_with) against the real filesystem.
+    pub fn load<P: AsRef<Path>>(path: P) -> Result<Checkpoint, NnError> {
+        Self::load_with(&wlc_fault::RealFs, path.as_ref())
     }
 }
 

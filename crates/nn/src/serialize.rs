@@ -173,6 +173,15 @@ impl Mlp {
             layers.push(DenseLayer::from_parts(weights, biases, activation)?);
         }
 
+        // Completeness guard: if the bias row we just consumed is the
+        // document's final line, it must be newline-terminated. A
+        // power cut (or torn copy) that truncates the last line
+        // mid-float still yields tokens that parse and count
+        // correctly — only the missing terminator betrays it.
+        if lines.next().is_none() && !text.ends_with('\n') {
+            return Err(parse_err(0, "truncated final line"));
+        }
+
         Mlp::from_layers(layers)
     }
 }

@@ -1,5 +1,6 @@
 use std::path::PathBuf;
 
+use wlc_fault::FsHandle;
 use wlc_math::rng::{Seed, Xoshiro256};
 use wlc_math::Matrix;
 
@@ -95,6 +96,7 @@ pub struct TrainConfig {
     divergence_grad_norm: f64,
     checkpoint_every: Option<usize>,
     checkpoint_path: Option<PathBuf>,
+    checkpoint_fs: FsHandle,
 }
 
 impl TrainConfig {
@@ -121,6 +123,7 @@ impl TrainConfig {
             divergence_grad_norm: 1e12,
             checkpoint_every: None,
             checkpoint_path: None,
+            checkpoint_fs: wlc_fault::real_fs(),
         }
     }
 
@@ -256,6 +259,14 @@ impl TrainConfig {
     /// [`TrainConfig::checkpoint_every`] is set).
     pub fn checkpoint_path(mut self, path: impl Into<PathBuf>) -> Self {
         self.checkpoint_path = Some(path.into());
+        self
+    }
+
+    /// Filesystem checkpoints are written through (defaults to the real
+    /// filesystem). Supplying a [`wlc_fault::SimFs`] makes mid-training
+    /// checkpoint writes visible to fault injection and crash sweeps.
+    pub fn checkpoint_fs(mut self, fs: FsHandle) -> Self {
+        self.checkpoint_fs = fs;
         self
     }
 
@@ -713,7 +724,7 @@ impl Trainer {
                         val_history: val_history.clone(),
                         mlp: mlp.clone(),
                     };
-                    ck.save(path)?;
+                    ck.save_with(&*self.config.checkpoint_fs, path)?;
                 }
             }
         }

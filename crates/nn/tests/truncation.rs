@@ -1,0 +1,97 @@
+//! Byte-prefix truncation fuzz for the text parsers: a power cut (or a
+//! torn copy) can hand the loader any prefix of a valid artifact, and
+//! the parser must never panic, never accept garbage, and never accept
+//! a prefix that decodes to something different from the full artifact.
+//! A prefix is allowed to parse only when it is semantically the whole
+//! document (e.g. only the final trailing newline is missing).
+
+use std::path::Path;
+use std::sync::Arc;
+
+use wlc_fault::{Fs, FsHandle, SimFs};
+use wlc_math::Matrix;
+use wlc_nn::{Activation, Checkpoint, Mlp, MlpBuilder, TrainConfig, Trainer};
+
+fn fixtures() -> (Mlp, Checkpoint) {
+    let xs = Matrix::from_rows(&[
+        &[-1.0, 0.0],
+        &[-0.5, 1.0],
+        &[0.0, 2.0],
+        &[0.5, 3.0],
+        &[1.0, 4.0],
+    ])
+    .unwrap();
+    let ys = Matrix::from_rows(&[&[1.0], &[0.75], &[1.0], &[1.75], &[3.0]]).unwrap();
+    let mut mlp = MlpBuilder::new(2)
+        .hidden(4, Activation::tanh())
+        .output(1, Activation::identity())
+        .seed(7)
+        .build()
+        .unwrap();
+    // Checkpoint into a simulated filesystem so the test touches no
+    // real disk: train a few epochs with checkpointing on, then read
+    // the last checkpoint back out of the SimFs.
+    let sim = Arc::new(SimFs::new());
+    let ckpt_path = Path::new("truncation-fuzz.ckpt");
+    let config = TrainConfig::new()
+        .max_epochs(20)
+        .termination_threshold(0.0)
+        .checkpoint_every(10)
+        .checkpoint_path(ckpt_path)
+        .checkpoint_fs(Arc::clone(&sim) as FsHandle);
+    Trainer::new(config).fit(&mut mlp, &xs, &ys).unwrap();
+    let text = sim
+        .read_to_string("test.read", ckpt_path)
+        .expect("trainer must have checkpointed");
+    let ckpt = Checkpoint::from_text(&text).unwrap();
+    (mlp, ckpt)
+}
+
+/// Every strict byte prefix either fails cleanly or re-encodes to the
+/// exact bytes of the full document.
+fn fuzz_prefixes<T, E>(
+    what: &str,
+    full: &str,
+    parse: impl Fn(&str) -> Result<T, E>,
+    reencode: impl Fn(&T) -> String,
+) {
+    let whole = reencode(&parse(full).unwrap_or_else(|_| panic!("{what}: full text must parse")));
+    let mut accepted = 0usize;
+    for cut in 0..full.len() {
+        let prefix = &full[..cut];
+        if let Ok(parsed) = parse(prefix) {
+            accepted += 1;
+            assert_eq!(
+                reencode(&parsed),
+                whole,
+                "{what}: prefix of {cut}/{} bytes parsed to a DIFFERENT document",
+                full.len()
+            );
+        }
+        // Err is always fine: rejected cleanly, no panic.
+    }
+    // The format is newline-terminated, so every strict prefix is
+    // either missing lines or missing the final terminator: all of
+    // them must be rejected.
+    assert_eq!(
+        accepted, 0,
+        "{what}: {accepted} prefixes parsed — the format is not truncation-safe"
+    );
+}
+
+#[test]
+fn mlp_from_text_rejects_or_roundtrips_every_byte_prefix() {
+    let (mlp, _) = fixtures();
+    fuzz_prefixes("mlp", &mlp.to_text(), Mlp::from_text, Mlp::to_text);
+}
+
+#[test]
+fn checkpoint_from_text_rejects_or_roundtrips_every_byte_prefix() {
+    let (_, ckpt) = fixtures();
+    fuzz_prefixes(
+        "checkpoint",
+        &ckpt.to_text(),
+        Checkpoint::from_text,
+        Checkpoint::to_text,
+    );
+}

@@ -44,6 +44,32 @@ pub enum ServeError {
         /// Description of the last failure.
         last: String,
     },
+    /// A request body exceeded the server's size cap (HTTP 413).
+    BodyTooLarge {
+        /// Declared `Content-Length`.
+        length: usize,
+        /// The configured cap.
+        limit: usize,
+    },
+    /// The peer failed to deliver the request head before the read
+    /// deadline (HTTP 408) — a slow-writer defence.
+    HeaderTimeout {
+        /// The deadline that elapsed, in milliseconds.
+        deadline_ms: u64,
+    },
+    /// Durable storage failed at a fault-injection site (e.g. the model
+    /// file could not be read during a reload). Carries the per-site
+    /// retriability pinned by `wlc_fault::SITE_POLICY`.
+    Durable {
+        /// The failpoint site (`serve.model.load`, ...).
+        site: &'static str,
+        /// The path the operation touched.
+        path: String,
+        /// The underlying failure.
+        reason: String,
+        /// Whether retrying later can reasonably succeed.
+        retriable: bool,
+    },
 }
 
 impl ServeError {
@@ -55,6 +81,7 @@ impl ServeError {
         match self {
             ServeError::Io(_) => true,
             ServeError::Rejected { retriable, .. } => *retriable,
+            ServeError::Durable { retriable, .. } => *retriable,
             _ => false,
         }
     }
@@ -88,6 +115,24 @@ impl fmt::Display for ServeError {
                 write!(
                     f,
                     "request failed after {attempts} attempts; last error: {last}"
+                )
+            }
+            ServeError::BodyTooLarge { length, limit } => {
+                write!(f, "body of {length} bytes exceeds the {limit}-byte limit")
+            }
+            ServeError::HeaderTimeout { deadline_ms } => {
+                write!(f, "request head not received within {deadline_ms} ms")
+            }
+            ServeError::Durable {
+                site,
+                path,
+                reason,
+                retriable,
+            } => {
+                let kind = if *retriable { "retriable" } else { "fatal" };
+                write!(
+                    f,
+                    "durable storage failure at {site} ({kind}) on `{path}`: {reason}"
                 )
             }
         }

@@ -21,6 +21,12 @@ pub const MAX_BODY_BYTES: usize = 1024 * 1024;
 /// Socket read/write timeout: a stalled peer times out instead of
 /// pinning a worker forever.
 pub const IO_TIMEOUT: Duration = Duration::from_secs(10);
+/// Total budget for receiving a *request* head. The per-read
+/// [`IO_TIMEOUT`] only bounds a fully stalled peer; a slow writer
+/// dripping one byte per ~9 s could otherwise hold a worker for
+/// minutes across a 16 KiB head. Responses are exempt: a loaded
+/// server may legitimately take long before its first response byte.
+pub const HEAD_DEADLINE: Duration = Duration::from_secs(10);
 
 /// A parsed HTTP request.
 #[derive(Debug, Clone)]
@@ -71,13 +77,22 @@ pub fn configure(stream: &TcpStream) -> Result<(), ServeError> {
 }
 
 /// Reads bytes until the `\r\n\r\n` head terminator, bounded by
-/// [`MAX_HEAD_BYTES`]. Returns `(head, leftover-after-terminator)`.
+/// [`MAX_HEAD_BYTES`] and, when `deadline` is set, by a total wall
+/// clock across all reads. Returns `(head, leftover-after-terminator)`.
 ///
 /// The head may arrive across any number of TCP segments — even split
 /// mid-terminator — so the loop keeps reading until the delimiter is
 /// seen, rescanning only the bytes a new segment could complete (the
 /// terminator can start at most 3 bytes before the old buffer end).
-fn read_head(stream: &mut TcpStream) -> Result<(Vec<u8>, Vec<u8>), ServeError> {
+/// Under a deadline the socket read timeout is shrunk to the remaining
+/// budget each iteration, so a slow writer cannot stretch the wait
+/// past `deadline` by trickling bytes; the caller restores the
+/// standard timeout afterwards.
+fn read_head(
+    stream: &mut TcpStream,
+    deadline: Option<Duration>,
+) -> Result<(Vec<u8>, Vec<u8>), ServeError> {
+    let start = std::time::Instant::now();
     let mut buf = Vec::with_capacity(512);
     let mut chunk = [0u8; 512];
     let mut scanned = 0usize;
@@ -85,19 +100,50 @@ fn read_head(stream: &mut TcpStream) -> Result<(Vec<u8>, Vec<u8>), ServeError> {
         if let Some(end) = find_terminator(&buf, scanned) {
             let rest = buf.split_off(end + 4);
             buf.truncate(end);
+            if deadline.is_some() {
+                stream.set_read_timeout(Some(IO_TIMEOUT))?;
+            }
             return Ok((buf, rest));
         }
         scanned = buf.len().saturating_sub(3);
         if buf.len() > MAX_HEAD_BYTES {
             return Err(ServeError::Protocol("request head too large".into()));
         }
-        let n = read_some(stream, &mut chunk)?;
-        if n == 0 {
-            return Err(ServeError::Protocol(
-                "connection closed before end of headers".into(),
-            ));
+        if let Some(total) = deadline {
+            let timeout_err = || ServeError::HeaderTimeout {
+                deadline_ms: total.as_millis() as u64,
+            };
+            let remaining = total
+                .checked_sub(start.elapsed())
+                .filter(|r| !r.is_zero())
+                .ok_or_else(timeout_err)?;
+            stream.set_read_timeout(Some(remaining.min(IO_TIMEOUT)))?;
+            match read_some(stream, &mut chunk) {
+                Ok(0) => {
+                    return Err(ServeError::Protocol(
+                        "connection closed before end of headers".into(),
+                    ))
+                }
+                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                Err(ServeError::Io(e))
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Err(timeout_err())
+                }
+                Err(e) => return Err(e),
+            }
+        } else {
+            let n = read_some(stream, &mut chunk)?;
+            if n == 0 {
+                return Err(ServeError::Protocol(
+                    "connection closed before end of headers".into(),
+                ));
+            }
+            buf.extend_from_slice(&chunk[..n]);
         }
-        buf.extend_from_slice(&chunk[..n]);
     }
 }
 
@@ -145,9 +191,10 @@ fn read_body(
             .map_err(|_| ServeError::Protocol(format!("bad content-length `{raw}`")))?,
     };
     if length > MAX_BODY_BYTES {
-        return Err(ServeError::Protocol(format!(
-            "body of {length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
-        )));
+        return Err(ServeError::BodyTooLarge {
+            length,
+            limit: MAX_BODY_BYTES,
+        });
     }
     if leftover.len() < length {
         let mut rest = vec![0u8; length - leftover.len()];
@@ -160,9 +207,19 @@ fn read_body(
     Ok(leftover)
 }
 
-/// Reads and parses one request from a connection.
+/// Reads and parses one request from a connection. The head must
+/// arrive within [`HEAD_DEADLINE`] total (not merely per read); the
+/// server answers a breach with 408.
 pub fn read_request(stream: &mut TcpStream) -> Result<Request, ServeError> {
-    let (head, leftover) = read_head(stream)?;
+    read_request_deadline(stream, HEAD_DEADLINE)
+}
+
+/// [`read_request`] with an explicit head deadline (tests shrink it).
+pub fn read_request_deadline(
+    stream: &mut TcpStream,
+    deadline: Duration,
+) -> Result<Request, ServeError> {
+    let (head, leftover) = read_head(stream, Some(deadline))?;
     let head = std::str::from_utf8(&head)
         .map_err(|_| ServeError::Protocol("request head is not valid utf-8".into()))?;
     let mut lines = head.lines();
@@ -193,9 +250,11 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, ServeError> {
     })
 }
 
-/// Reads and parses one response from a connection.
+/// Reads and parses one response from a connection. No total head
+/// deadline: a loaded server may take a while before its first byte;
+/// the per-read [`IO_TIMEOUT`] still applies.
 pub fn read_response(stream: &mut TcpStream) -> Result<Response, ServeError> {
-    let (head, leftover) = read_head(stream)?;
+    let (head, leftover) = read_head(stream, None)?;
     let head = std::str::from_utf8(&head)
         .map_err(|_| ServeError::Protocol("response head is not valid utf-8".into()))?;
     let mut lines = head.lines();
@@ -228,6 +287,8 @@ fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         504 => "Gateway Timeout",
@@ -437,8 +498,91 @@ mod tests {
         client.write_all(head.as_bytes()).unwrap();
         assert!(matches!(
             read_request(&mut server),
-            Err(ServeError::Protocol(_))
+            Err(ServeError::BodyTooLarge { .. })
         ));
+    }
+
+    #[test]
+    fn body_at_exactly_the_limit_split_across_writes_is_accepted() {
+        // Boundary regression: Content-Length == MAX_BODY_BYTES must
+        // pass framing even when the body arrives in many TCP segments.
+        let (mut client, mut server) = pair();
+        let body = vec![b'x'; MAX_BODY_BYTES];
+        let head = format!("POST /predict HTTP/1.1\r\nContent-Length: {MAX_BODY_BYTES}\r\n\r\n");
+        let writer = thread::spawn(move || {
+            client.write_all(head.as_bytes()).unwrap();
+            for chunk in body.chunks(64 * 1024) {
+                client.write_all(chunk).unwrap();
+                client.flush().unwrap();
+            }
+            client
+        });
+        let req = read_request(&mut server).unwrap();
+        assert_eq!(req.body.len(), MAX_BODY_BYTES);
+        assert!(req.body.iter().all(|&b| b == b'x'));
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn body_one_byte_over_the_limit_is_413_before_any_body_read() {
+        let (mut client, mut server) = pair();
+        let over = MAX_BODY_BYTES + 1;
+        let head = format!("POST /predict HTTP/1.1\r\nContent-Length: {over}\r\n\r\n");
+        // Only the head is sent; the reader must reject from the
+        // declared length alone instead of waiting for body bytes.
+        client.write_all(head.as_bytes()).unwrap();
+        client.flush().unwrap();
+        match read_request(&mut server) {
+            Err(ServeError::BodyTooLarge { length, limit }) => {
+                assert_eq!(length, over);
+                assert_eq!(limit, MAX_BODY_BYTES);
+            }
+            other => panic!("expected BodyTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn slow_header_writer_hits_the_head_deadline() {
+        // A peer trickling header bytes must be cut off by the total
+        // head deadline, not granted a fresh IO_TIMEOUT per read.
+        let (mut client, mut server) = pair();
+        configure(&server).unwrap();
+        let writer = thread::spawn(move || {
+            // Never send the terminator; drip a byte at a time.
+            for _ in 0..50 {
+                if client.write_all(b"G").is_err() {
+                    break;
+                }
+                let _ = client.flush();
+                thread::sleep(std::time::Duration::from_millis(10));
+            }
+            drop(client);
+        });
+        let deadline = Duration::from_millis(120);
+        let started = std::time::Instant::now();
+        match read_request_deadline(&mut server, deadline) {
+            Err(ServeError::HeaderTimeout { deadline_ms }) => {
+                assert_eq!(deadline_ms, 120);
+            }
+            other => panic!("expected HeaderTimeout, got {other:?}"),
+        }
+        // The wait was bounded by the deadline, not by IO_TIMEOUT.
+        assert!(started.elapsed() < Duration::from_secs(5));
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn fast_header_within_deadline_still_parses() {
+        let (mut client, mut server) = pair();
+        configure(&server).unwrap();
+        let writer = thread::spawn(move || {
+            client.write_all(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+            client.flush().unwrap();
+            client
+        });
+        let req = read_request_deadline(&mut server, Duration::from_secs(5)).unwrap();
+        assert_eq!(req.path, "/healthz");
+        writer.join().unwrap();
     }
 
     #[test]

@@ -24,7 +24,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use wlc_exec::{PushError, TrackedMutex};
-use wlc_model::WorkloadModel;
+use wlc_fault::Fs;
 
 use crate::error::ServeError;
 use crate::replica::{Replica, ReplicaHealth};
@@ -60,8 +60,10 @@ impl<T> RouteError<T> {
 /// Why a rolling reload did not complete.
 #[derive(Debug)]
 pub enum ReloadError {
-    /// The candidate was rejected (unreadable, parse, validation,
-    /// dimension mismatch) — non-retriable, serving is undisturbed.
+    /// The candidate was rejected — serving is undisturbed. A missing
+    /// or corrupt file is the caller's mistake (non-retriable); a
+    /// transient storage failure ([`ServeError::Durable`]) is
+    /// retriable. Check `is_retriable()` on the inner error.
     Rejected(ServeError),
     /// A replica's in-flight work did not drain within the timeout —
     /// retriable; replicas already swapped keep the new model.
@@ -229,6 +231,7 @@ impl<T> Router<T> {
     /// two interleaved rolls.
     pub fn rolling_reload(
         &self,
+        fs: &dyn Fs,
         path: &Path,
         requester: Option<usize>,
         drain_timeout: Duration,
@@ -242,8 +245,7 @@ impl<T> Router<T> {
         }
         let _in_progress = ClearOnDrop(&self.reloading);
         let _serialized = self.reload.lock();
-        let candidate =
-            WorkloadModel::load(path).map_err(|e| ReloadError::Rejected(ServeError::Model(e)))?;
+        let candidate = crate::state::load_candidate(fs, path).map_err(ReloadError::Rejected)?;
         let mut steps = Vec::with_capacity(self.replicas.len());
         for replica in &self.replicas {
             if replica.is_alive() {
@@ -424,7 +426,7 @@ mod tests {
         trained.save(&path).unwrap();
 
         let report = router
-            .rolling_reload(&path, None, Duration::from_secs(5))
+            .rolling_reload(&wlc_fault::RealFs, &path, None, Duration::from_secs(5))
             .unwrap();
         assert_eq!(report.generations, vec![1, 1, 1]);
         assert_eq!(report.fleet_generation(), 1);
@@ -438,7 +440,7 @@ mod tests {
         // comes back already serving the current generation.
         router.kill(1);
         let report = router
-            .rolling_reload(&path, None, Duration::from_secs(5))
+            .rolling_reload(&wlc_fault::RealFs, &path, None, Duration::from_secs(5))
             .unwrap();
         assert_eq!(report.generations, vec![2, 2, 2]);
         std::fs::remove_dir_all(&dir).ok();
@@ -462,7 +464,7 @@ mod tests {
         let path = dir.join("model.txt");
         trained.save(&path).unwrap();
 
-        match router.rolling_reload(&path, None, Duration::from_millis(30)) {
+        match router.rolling_reload(&wlc_fault::RealFs, &path, None, Duration::from_millis(30)) {
             Err(ReloadError::DrainTimeout { replica }) => assert_eq!(replica, 0),
             other => panic!("expected drain timeout, got {other:?}"),
         }
@@ -474,7 +476,12 @@ mod tests {
         // With the stuck request counted as the requester, the same
         // drain succeeds: the reload request itself is allowed.
         let report = router
-            .rolling_reload(&path, Some(0), Duration::from_millis(200))
+            .rolling_reload(
+                &wlc_fault::RealFs,
+                &path,
+                Some(0),
+                Duration::from_millis(200),
+            )
             .unwrap();
         assert_eq!(report.generations, vec![1, 1]);
     }
@@ -501,7 +508,9 @@ mod tests {
         let winner = {
             let router = Arc::clone(&router);
             let path = path.clone();
-            std::thread::spawn(move || router.rolling_reload(&path, None, Duration::from_secs(5)))
+            std::thread::spawn(move || {
+                router.rolling_reload(&wlc_fault::RealFs, &path, None, Duration::from_secs(5))
+            })
         };
         // The winner marks replica 0 draining before waiting on it;
         // once that is visible the second attempt is provably
@@ -512,7 +521,7 @@ mod tests {
 
         // The loser fails fast with a clean retriable Busy — it neither
         // blocks behind the winner nor touches any generation.
-        match router.rolling_reload(&path, None, Duration::from_secs(5)) {
+        match router.rolling_reload(&wlc_fault::RealFs, &path, None, Duration::from_secs(5)) {
             Err(ReloadError::Busy) => {}
             other => panic!("expected Busy, got {other:?}"),
         }
@@ -527,7 +536,7 @@ mod tests {
 
         // The claim was released, so retrying the loser now wins.
         let retry = router
-            .rolling_reload(&path, None, Duration::from_secs(5))
+            .rolling_reload(&wlc_fault::RealFs, &path, None, Duration::from_secs(5))
             .unwrap();
         assert_eq!(retry.generations, vec![2, 2]);
     }
@@ -539,7 +548,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let bad = dir.join("bad.txt");
         std::fs::write(&bad, "not a model").unwrap();
-        match router.rolling_reload(&bad, None, Duration::from_secs(1)) {
+        match router.rolling_reload(&wlc_fault::RealFs, &bad, None, Duration::from_secs(1)) {
             Err(ReloadError::Rejected(_)) => {}
             other => panic!("expected rejection, got {other:?}"),
         }

@@ -47,6 +47,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use wlc_exec::ServicePool;
+use wlc_fault::FsHandle;
 use wlc_math::rng::Xoshiro256;
 use wlc_math::Matrix;
 use wlc_model::fallback::{FallbackModel, Served};
@@ -95,6 +96,10 @@ pub struct ServeConfig {
     pub shed_jitter_seed: u64,
     /// Emit one structured log line per request to stderr.
     pub log: bool,
+    /// Filesystem model reloads read through (failpoint site
+    /// `serve.model.load`). A [`wlc_fault::SimFs`] here lets tests
+    /// inject read faults and serve supervisor-written artifacts.
+    pub fs: FsHandle,
 }
 
 impl Default for ServeConfig {
@@ -112,6 +117,7 @@ impl Default for ServeConfig {
             force_fail: 0,
             shed_jitter_seed: 0x5eed,
             log: false,
+            fs: wlc_fault::real_fs(),
         }
     }
 }
@@ -450,14 +456,22 @@ fn handle_connection(
     let request = match http::read_request(&mut conn.stream) {
         Ok(request) => request,
         Err(err) => {
+            // Framing failures get a precise status: oversize bodies
+            // 413, a head that outlasted its deadline 408, anything
+            // else malformed 400.
+            let status = match &err {
+                ServeError::BodyTooLarge { .. } => 413,
+                ServeError::HeaderTimeout { .. } => 408,
+                _ => 400,
+            };
             let body = error_body(&err.to_string(), false);
-            let _ = http::write_response(&mut conn.stream, 400, &body);
+            let _ = http::write_response(&mut conn.stream, status, &body);
             replica.count_handled();
             shared.log_request(
                 Some(replica.id()),
                 "-",
                 "-",
-                400,
+                status,
                 conn.accepted_at,
                 false,
                 false,
@@ -708,6 +722,7 @@ fn handle_reload(
     // in-flight slot on its own replica, so it names itself as the
     // requester: that replica's drain waits for in-flight == 1.
     match shared.router.rolling_reload(
+        &*shared.config.fs,
         &path,
         Some(replica.id()),
         shared.config.reload_drain_timeout,
@@ -735,13 +750,19 @@ fn handle_reload(
                 false,
             )
         }
-        // Rejected reloads leave the last-good models serving; the
-        // error is the caller's to fix, so it is non-retriable.
-        Err(ReloadError::Rejected(err)) => (
-            400,
-            error_body(&format!("reload rejected: {err}"), false),
-            false,
-        ),
+        // Rejected reloads leave the last-good models serving. A bad
+        // path or corrupt candidate is the caller's to fix (400); a
+        // transient durable-storage failure reading the candidate is
+        // worth retrying (503).
+        Err(ReloadError::Rejected(err)) => {
+            let retriable = err.is_retriable();
+            let status = if retriable { 503 } else { 400 };
+            (
+                status,
+                error_body(&format!("reload rejected: {err}"), retriable),
+                false,
+            )
+        }
         // A drain timeout is transient (in-flight work outlasted the
         // window): already-swapped replicas keep the new model, the
         // rest keep the old one, and a retry finishes the roll.

@@ -17,10 +17,43 @@ use std::sync::Arc;
 
 use wlc_exec::TrackedRwLock;
 
+use wlc_fault::Fs;
 use wlc_model::fallback::FallbackModel;
-use wlc_model::WorkloadModel;
+use wlc_model::{ModelError, WorkloadModel};
 
 use crate::error::ServeError;
+
+/// Reads and parses a candidate model through `fs` (failpoint site
+/// `serve.model.load`).
+///
+/// Error mapping: a missing file or corrupt content is the caller's
+/// mistake ([`ServeError::Model`], non-retriable, same shape as
+/// `WorkloadModel::load`); any other read failure is a transient
+/// [`ServeError::Durable`] whose retriability comes from
+/// `wlc_fault::SITE_POLICY` — the fleet keeps serving last-good, so
+/// retrying the reload later is safe.
+pub(crate) fn load_candidate(fs: &dyn Fs, path: &Path) -> Result<WorkloadModel, ServeError> {
+    const SITE: &str = "serve.model.load";
+    let wrap = |source: ModelError| {
+        ServeError::Model(ModelError::LoadFailed {
+            path: path.to_path_buf(),
+            source: Box::new(source),
+        })
+    };
+    let text = fs.read_to_string(SITE, path).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::NotFound {
+            wrap(e.into())
+        } else {
+            ServeError::Durable {
+                site: SITE,
+                path: path.display().to_string(),
+                reason: e.to_string(),
+                retriable: wlc_fault::site_retriable(SITE),
+            }
+        }
+    })?;
+    WorkloadModel::from_text(&text).map_err(wrap)
+}
 
 /// Atomic last-good model slot (see module docs).
 #[derive(Debug)]
@@ -72,7 +105,13 @@ impl ModelSlot {
     /// parameters, degenerate scalers, input/output widths that disagree
     /// with the serving bundle — all leave the previous model serving.
     pub fn reload_from(&self, path: &Path) -> Result<u64, ServeError> {
-        let candidate = WorkloadModel::load(path)?;
+        self.reload_with(&wlc_fault::RealFs, path)
+    }
+
+    /// [`Self::reload_from`] reading through an explicit filesystem
+    /// (failpoint site `serve.model.load`).
+    pub fn reload_with(&self, fs: &dyn Fs, path: &Path) -> Result<u64, ServeError> {
+        let candidate = load_candidate(fs, path)?;
         self.install(candidate)
     }
 }

@@ -685,3 +685,64 @@ fn graceful_shutdown_drains_in_flight_requests() {
     // The listener is gone: new connections fail.
     assert!(quick_client(&addr).healthz().is_err());
 }
+
+#[test]
+fn injected_read_fault_rejects_reload_as_retriable_503_and_a_retry_succeeds() {
+    use wlc_fault::{FailPlan, FaultKind, Fs, SimFs};
+
+    let model_a = mlp(5);
+    let model_b = mlp(6);
+    let probe = [2.5, 3.5];
+    let pred_a = model_a.predict(&probe).unwrap();
+    let pred_b = model_b.predict(&probe).unwrap();
+    assert_ne!(pred_a, pred_b, "test needs distinguishable models");
+
+    // The candidate lives on a simulated filesystem whose first read at
+    // `serve.model.load` returns EIO; the server never touches disk.
+    let sim = Arc::new(SimFs::with_plan(FailPlan::single(
+        "serve.model.load",
+        0,
+        FaultKind::Eio,
+    )));
+    let dir = std::path::Path::new("models");
+    sim.create_dir_all("test.setup", dir).unwrap();
+    let path_b = dir.join("model-b.txt");
+    sim.write("test.setup", &path_b, model_b.to_text().as_bytes())
+        .unwrap();
+
+    let bundle = FallbackModel::new(Some(model_a), Some(baseline()), vec![], vec![]).unwrap();
+    let config = ServeConfig {
+        fs: sim,
+        ..ServeConfig::default()
+    };
+    let (addr, handle) = start(bundle, config);
+    let client = quick_client(&addr);
+
+    // The injected fault is a transient storage failure, not a caller
+    // mistake: 503, retriable, and serving stays on the last-good model.
+    match client.reload_detailed(path_b.to_str().unwrap()) {
+        Err(ServeError::Rejected {
+            status,
+            retriable,
+            message,
+            ..
+        }) => {
+            assert_eq!(status, 503);
+            assert!(retriable);
+            assert!(message.contains("injected eio"), "{message}");
+        }
+        other => panic!("expected retriable 503, got {other:?}"),
+    }
+    let p = client.predict(&probe).unwrap();
+    assert_eq!(p.outputs, pred_a, "failed reload must not disturb serving");
+    assert_eq!(p.generation, 0);
+
+    // The failpoint fired once and is consumed: the retry goes through.
+    assert_eq!(client.reload(path_b.to_str().unwrap()).unwrap(), 1);
+    let p = client.predict(&probe).unwrap();
+    assert_eq!(p.generation, 1);
+    assert_eq!(p.outputs, pred_b);
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}

@@ -16,6 +16,10 @@
 //! - [`learn`] — the continuous-learning supervisor: stream drifting
 //!   workloads, retrain with crash-safe checkpoints, shadow-score, and
 //!   promote via rolling reload with watchdog-guarded rollback.
+//! - [`fault`] — the deterministic fault-injection substrate: named
+//!   failpoints, an `Fs` abstraction with a real passthrough and a
+//!   simulated filesystem that injects short writes / failed fsyncs /
+//!   torn renames and replays power cuts at any operation-log prefix.
 //!
 //! # Quickstart
 //!
@@ -38,6 +42,7 @@
 
 pub use wlc_data as data;
 pub use wlc_exec as exec;
+pub use wlc_fault as fault;
 pub use wlc_learn as learn;
 pub use wlc_math as math;
 pub use wlc_model as model;
