@@ -16,7 +16,8 @@ echo "==> wlc-lint (workspace static analysis, blocking)"
 cargo run -q -p wlc-lint -- --workspace
 
 echo "==> wlc-lint self-test (each seeded-bug fixture must fail)"
-for fixture in lock_cycle panic_serve instant_nn unmapped_variant alloc_hot durable_raw; do
+for fixture in lock_cycle panic_serve instant_nn unmapped_variant alloc_hot \
+    durable_raw hot_chain taint_sink guard_gap; do
     if cargo run -q -p wlc-lint -- --root "crates/lint/tests/fixtures/$fixture"; then
         echo "fixture $fixture was unexpectedly clean"
         exit 1
@@ -26,6 +27,13 @@ done
 if [ "${1:-}" != "quick" ]; then
     echo "==> cargo build --release (tier-1 default members)"
     cargo build --release
+
+    echo "==> wlc-lint report + wall-time budget (vs BENCH_lint.json)"
+    # Release-build run: emits the machine-readable findings artifact and
+    # fails (exit 3) if the analysis exceeds 20x the committed baseline —
+    # the guard catches a fixpoint pass going accidentally quadratic.
+    ./target/release/wlc-lint --workspace --format json \
+        --out target/lint-report.json --budget BENCH_lint.json
 
     echo "==> bench regression guard (speedup ratios vs BENCH_nn.json)"
     # Ratios (batched vs legacy arm, interleaved same-run) are machine-

@@ -127,6 +127,7 @@ where
     E: Send,
     F: Fn(usize) -> Result<T, E> + Sync,
 {
+    // wlc-lint: sanitize(determinism-taint, reason = "the wall-clock RunReport is discarded on this edge; only task values flow to callers")
     try_map_indexed_timed(jobs, n, f).map(|(values, _)| values)
 }
 
@@ -257,6 +258,7 @@ where
     E: Send,
     F: Fn(usize, usize) -> Result<T, E> + Sync,
 {
+    // wlc-lint: sanitize(determinism-taint, reason = "the wall-clock RunReport is discarded on this edge; only task values flow to callers")
     try_map_indexed_retry_timed(jobs, n, max_retries, f).map(|(values, _)| values)
 }
 

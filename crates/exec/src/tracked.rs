@@ -173,6 +173,7 @@ impl<T> TrackedMutex<T> {
 
     /// The lock-class name.
     pub fn name(&self) -> &'static str {
+        // wlc-lint: allow(guard-coverage, reason = "name is an immutable &'static str set at construction")
         self.name
     }
 
@@ -185,6 +186,7 @@ impl<T> TrackedMutex<T> {
     #[track_caller]
     pub fn lock(&self) -> TrackedMutexGuard<'_, T> {
         #[cfg(debug_assertions)]
+        // wlc-lint: allow(guard-coverage, reason = "order check must read the immutable name before blocking on the lock")
         order::record_acquire(self.name, std::panic::Location::caller());
         let guard = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         TrackedMutexGuard {

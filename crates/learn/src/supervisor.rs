@@ -353,7 +353,7 @@ impl Supervisor {
     fn bootstrap(&self) -> Result<SupervisorState, LearnError> {
         let cfg = &self.config;
         let dir = &cfg.state_dir;
-        let (ds, summary, _) = stream_window(&cfg.stream(), 0, cfg.bootstrap_ticks)?;
+        let (ds, summary) = stream_window(&cfg.stream(), 0, cfg.bootstrap_ticks)?;
         if ds.len() < 2 {
             return Err(LearnError::InvalidParameter {
                 name: "bootstrap_ticks",
@@ -419,7 +419,7 @@ impl Supervisor {
 
         // 1. Stream the round's window of absolute ticks.
         let start_tick = (cfg.bootstrap_ticks as u64) + (round - 1) * cfg.window as u64;
-        let (fresh, summary, _) = stream_window(&cfg.stream(), start_tick, cfg.window)?;
+        let (fresh, summary) = stream_window(&cfg.stream(), start_tick, cfg.window)?;
 
         // 2. Roll the bounded buffer forward (versioned snapshot so a
         //    replayed round re-reads the untouched previous snapshot).

@@ -1,0 +1,269 @@
+//! Workspace-wide call graph with provenance edges.
+//!
+//! One node per non-test function definition; edges are the call sites
+//! from [`crate::items`], resolved conservatively:
+//!
+//! - `self.m(..)` → `SelfType::m` in the enclosing impl;
+//! - `x.m(..)` where `x` is a parameter or `let`-typed local of base
+//!   type `T` → `T::m`;
+//! - `Type::m(..)` path calls → `T::m` exactly;
+//! - `f(..)` / `module::f(..)` free calls → the free function `f`.
+//!
+//! Anything else (chained receivers, closures, unresolvable types,
+//! std-library names) stays unresolved: the graph under-approximates so
+//! that every edge it reports is real, which is what call-chain
+//! provenance in findings requires. Edges keep the `file:line` of their
+//! call site, and [`Reach`] reconstructs a shortest root→node chain for
+//! reports.
+
+use std::collections::BTreeMap;
+
+use crate::items::{self, CallKind, CallSite, Sig};
+use crate::SourceFile;
+
+/// Std-ish callee names that must never resolve to a workspace function
+/// by accident (mirrors the stoplist idea in `locks.rs`, but the graph
+/// only resolves *typed* calls, so this guards the free-call namespace).
+const FREE_STOPLIST: [&str; 12] = [
+    "drop", "min", "max", "from", "new", "default", "into", "print", "println", "write", "read",
+    "format",
+];
+
+/// One resolved (or unresolved) call edge out of a node.
+#[derive(Debug, Clone)]
+pub struct Edge {
+    /// Callee name as written at the call site.
+    pub callee: String,
+    /// 1-based line of the call site.
+    pub line: u32,
+    /// Resolved target node indices (empty when unresolved).
+    pub targets: Vec<usize>,
+}
+
+/// One function in the graph.
+#[derive(Debug)]
+pub struct Node {
+    /// Index into the `files` slice the graph was built from.
+    pub file: usize,
+    /// Index into `files[file].model.functions`.
+    pub def: usize,
+    /// Qualified name (`Type::name` or `name`).
+    pub qual: String,
+    /// Parsed signature (receiver kind, typed params).
+    pub sig: Sig,
+    /// Raw call sites in body order (kept for per-rule body scans).
+    pub sites: Vec<CallSite>,
+    /// Outgoing edges, in body order.
+    pub edges: Vec<Edge>,
+}
+
+/// The workspace call graph.
+pub struct Graph {
+    /// One node per non-test function, in (file, source) order.
+    pub nodes: Vec<Node>,
+    /// Qualified name → node indices (duplicates possible across files).
+    pub by_qual: BTreeMap<String, Vec<usize>>,
+}
+
+impl Graph {
+    /// Builds the graph over `files` (non-test functions only).
+    pub fn build(files: &[SourceFile]) -> Graph {
+        let mut nodes: Vec<Node> = Vec::new();
+        let mut by_qual: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (fi, file) in files.iter().enumerate() {
+            for (di, def) in file.model.functions.iter().enumerate() {
+                if def.is_test {
+                    continue;
+                }
+                let sig = items::parse_sig(&file.tokens, def);
+                let mut typed: BTreeMap<String, String> = BTreeMap::new();
+                for (n, t) in &sig.params {
+                    typed.insert(n.clone(), t.clone());
+                }
+                for (n, t) in items::typed_locals(&file.tokens, def) {
+                    typed.insert(n, t);
+                }
+                let sites = items::call_sites(&file.tokens, def, &typed);
+                let idx = nodes.len();
+                by_qual.entry(def.qual.clone()).or_default().push(idx);
+                nodes.push(Node {
+                    file: fi,
+                    def: di,
+                    qual: def.qual.clone(),
+                    sig,
+                    sites,
+                    edges: Vec::new(),
+                });
+            }
+        }
+        // Resolve edges now that every node is registered.
+        for i in 0..nodes.len() {
+            let mut edges = Vec::with_capacity(nodes[i].sites.len());
+            let self_type = files[nodes[i].file].model.functions[nodes[i].def]
+                .self_type
+                .clone();
+            for site in &nodes[i].sites {
+                let targets: Vec<usize> = match &site.kind {
+                    CallKind::SelfMethod => self_type
+                        .as_ref()
+                        .and_then(|t| by_qual.get(&format!("{}::{}", t, site.callee)))
+                        .cloned()
+                        .unwrap_or_default(),
+                    CallKind::Method(ty) | CallKind::Path(ty) => by_qual
+                        .get(&format!("{}::{}", ty, site.callee))
+                        .cloned()
+                        .unwrap_or_default(),
+                    CallKind::Free if !FREE_STOPLIST.contains(&site.callee.as_str()) => {
+                        // Free calls resolve only to free functions: the
+                        // qual of a free fn is its bare name, so a method
+                        // can never be hit through this namespace.
+                        by_qual.get(&site.callee).cloned().unwrap_or_default()
+                    }
+                    _ => Vec::new(),
+                };
+                edges.push(Edge {
+                    callee: site.callee.clone(),
+                    line: site.line,
+                    targets,
+                });
+            }
+            nodes[i].edges = edges;
+        }
+        Graph { nodes, by_qual }
+    }
+
+    /// BFS from `roots`, recording for each reached node the edge it was
+    /// first discovered through. Roots are visited in the given order,
+    /// edges in body order, so chains are deterministic and shortest.
+    pub fn reachable(&self, roots: &[usize]) -> Reach {
+        let mut parent: BTreeMap<usize, (usize, u32)> = BTreeMap::new();
+        let mut order: Vec<usize> = Vec::new();
+        let mut seen: Vec<bool> = vec![false; self.nodes.len()];
+        let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+        for &r in roots {
+            if !seen[r] {
+                seen[r] = true;
+                queue.push_back(r);
+            }
+        }
+        while let Some(n) = queue.pop_front() {
+            order.push(n);
+            for edge in &self.nodes[n].edges {
+                for &t in &edge.targets {
+                    if !seen[t] {
+                        seen[t] = true;
+                        parent.insert(t, (n, edge.line));
+                        queue.push_back(t);
+                    }
+                }
+            }
+        }
+        Reach { order, parent }
+    }
+}
+
+/// Result of a reachability sweep: visit order plus discovery parents.
+pub struct Reach {
+    /// Reached node indices in BFS order (roots first).
+    pub order: Vec<usize>,
+    /// node → (caller node, call-site line) it was first reached through.
+    parent: BTreeMap<usize, (usize, u32)>,
+}
+
+impl Reach {
+    /// Reconstructs the root→`node` call chain as display strings:
+    /// the root as `qual (file:line)`, each step as
+    /// `qual (called at file:line)`.
+    pub fn chain(&self, graph: &Graph, files: &[SourceFile], node: usize) -> Vec<String> {
+        let mut rev: Vec<String> = Vec::new();
+        let mut cur = node;
+        while let Some(&(caller, line)) = self.parent.get(&cur) {
+            let file = &files[graph.nodes[caller].file];
+            rev.push(format!(
+                "{} (called at {}:{})",
+                graph.nodes[cur].qual, file.rel, line
+            ));
+            cur = caller;
+        }
+        let root = &graph.nodes[cur];
+        let file = &files[root.file];
+        let def = &file.model.functions[root.def];
+        rev.push(format!("{} ({}:{})", root.qual, file.rel, def.line));
+        rev.reverse();
+        rev
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source_from_str;
+
+    fn graph_of(srcs: &[(&str, &str)]) -> (Vec<SourceFile>, Graph) {
+        let files: Vec<SourceFile> = srcs.iter().map(|(p, s)| source_from_str(p, s)).collect();
+        let g = Graph::build(&files);
+        (files, g)
+    }
+
+    fn node(g: &Graph, qual: &str) -> usize {
+        g.by_qual[qual][0]
+    }
+
+    #[test]
+    fn typed_method_and_free_calls_resolve_across_files() {
+        let (_, g) = graph_of(&[
+            (
+                "crates/a/src/lib.rs",
+                "pub struct W; impl W { pub fn step(&self) { helper(); } }\n\
+                 pub fn run(w: &W) { w.step(); }",
+            ),
+            ("crates/b/src/lib.rs", "pub fn helper() {}"),
+        ]);
+        let run = node(&g, "run");
+        let step = node(&g, "W::step");
+        let helper = node(&g, "helper");
+        assert_eq!(g.nodes[run].edges[0].targets, vec![step]);
+        assert_eq!(g.nodes[step].edges[0].targets, vec![helper]);
+    }
+
+    #[test]
+    fn unresolvable_and_stoplisted_calls_have_no_targets() {
+        let (_, g) = graph_of(&[(
+            "crates/a/src/lib.rs",
+            "pub fn new() {} pub fn f(x: u8) { mystery.m(); new(); drop(x); }",
+        )]);
+        let f = node(&g, "f");
+        assert!(g.nodes[f].edges.iter().all(|e| e.targets.is_empty()));
+    }
+
+    #[test]
+    fn reachability_reports_shortest_chains_with_provenance() {
+        let (files, g) = graph_of(&[(
+            "crates/a/src/lib.rs",
+            "pub fn root() {\n    mid();\n}\npub fn mid() {\n    leaf();\n}\npub fn leaf() {}",
+        )]);
+        let root = node(&g, "root");
+        let leaf = node(&g, "leaf");
+        let reach = g.reachable(&[root]);
+        assert_eq!(reach.order.len(), 3);
+        let chain = reach.chain(&g, &files, leaf);
+        assert_eq!(
+            chain,
+            vec![
+                "root (crates/a/src/lib.rs:1)".to_string(),
+                "mid (called at crates/a/src/lib.rs:2)".to_string(),
+                "leaf (called at crates/a/src/lib.rs:5)".to_string(),
+            ]
+        );
+    }
+
+    #[test]
+    fn test_functions_are_not_nodes() {
+        let (_, g) = graph_of(&[(
+            "crates/a/src/lib.rs",
+            "#[test]\nfn t() {}\npub fn real() {}",
+        )]);
+        assert!(g.by_qual.contains_key("real"));
+        assert!(!g.by_qual.contains_key("t"));
+    }
+}

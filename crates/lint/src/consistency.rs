@@ -25,6 +25,7 @@ fn find<'a>(files: &'a [SourceFile], rel: &str) -> Option<&'a SourceFile> {
 
 fn finding(path: &str, line: u32, message: String) -> Finding {
     Finding {
+        chain: Vec::new(),
         rule: Rule::Consistency,
         path: path.to_string(),
         line,

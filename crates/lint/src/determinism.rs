@@ -46,6 +46,7 @@ pub fn analyze(file: &SourceFile) -> Vec<Finding> {
                 if path_call_to("now") && !file.model.allowed("determinism", t.line) =>
             {
                 findings.push(Finding {
+                    chain: Vec::new(),
                     rule: Rule::Determinism,
                     path: file.rel.clone(),
                     line: t.line,
@@ -61,6 +62,7 @@ pub fn analyze(file: &SourceFile) -> Vec<Finding> {
                 let ctor = HASH_CTORS.iter().any(|c| path_call_to(c));
                 if ctor && !file.model.allowed("determinism", t.line) {
                     findings.push(Finding {
+                        chain: Vec::new(),
                         rule: Rule::Determinism,
                         path: file.rel.clone(),
                         line: t.line,
@@ -75,6 +77,7 @@ pub fn analyze(file: &SourceFile) -> Vec<Finding> {
             }
             "RandomState" if !file.model.allowed("determinism", t.line) => {
                 findings.push(Finding {
+                    chain: Vec::new(),
                     rule: Rule::Determinism,
                     path: file.rel.clone(),
                     line: t.line,

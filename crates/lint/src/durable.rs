@@ -34,6 +34,7 @@ pub fn analyze(file: &SourceFile) -> Vec<Finding> {
         let flag = |findings: &mut Vec<Finding>, call: &str| {
             if !file.model.allowed("durable-write", t.line) {
                 findings.push(Finding {
+                    chain: Vec::new(),
                     rule: Rule::DurableWrite,
                     path: file.rel.clone(),
                     line: t.line,

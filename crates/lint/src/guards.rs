@@ -1,0 +1,385 @@
+//! Guard-coverage: fields accessed under a lock in one method but
+//! without it in another.
+//!
+//! `locks.rs` checks the *order* in which locks are acquired; this rule
+//! checks that a lock is acquired *at all*. For every struct in the
+//! concurrency crates (`wlc-exec`, `wlc-serve`) that owns a
+//! `Mutex`/`TrackedMutex`/`RwLock` field, it records each `self.field`
+//! access to the struct's plain data fields in shared-access (`&self`)
+//! methods, together with whether one of the struct's lock guards is
+//! held at that point. A field that is accessed under a guard somewhere
+//! and bare somewhere else is reported at every bare access, with the
+//! guarded site as provenance — that mix is how a data race (or a
+//! torn-invariant read) slips past review.
+//!
+//! Conservative choices, mirroring `locks.rs`: `&mut self` and
+//! by-value methods are exempt (exclusive access needs no guard);
+//! atomics, cells, condvars, `OnceLock`s and the lock fields themselves
+//! are not "plain data"; a `let`-bound guard is assumed held to the end
+//! of the body unless `drop(guard)` appears, a temporary guard to the
+//! end of its statement. Suppress deliberate lock-free reads with
+//! `// wlc-lint: allow(guard-coverage, reason = "...")`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::callgraph::Graph;
+use crate::items::Receiver;
+use crate::lexer::TokKind;
+use crate::model::LOCK_TYPES;
+use crate::{Finding, Rule, SourceFile};
+
+/// Type substrings marking a field as self-synchronizing (not plain
+/// data for the purposes of this rule).
+const SYNC_TYPES: [&str; 3] = ["Atomic", "OnceLock", "Cell"];
+
+/// Whether `rel` is in the concurrency crates this rule polices.
+fn in_scope(rel: &str) -> bool {
+    rel.starts_with("crates/exec/src/") || rel.starts_with("crates/serve/src/")
+}
+
+/// One recorded access to a plain field.
+struct Access {
+    owner: String,
+    field: String,
+    guarded: bool,
+    qual: String,
+    rel: String,
+    line: u32,
+    file: usize,
+}
+
+/// Runs guard-coverage over the workspace graph.
+pub fn analyze(files: &[SourceFile], graph: &Graph) -> Vec<Finding> {
+    // Structs with at least one non-condvar lock field, and their plain
+    // data fields, collected across every in-scope file.
+    let mut lock_fields: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let mut plain_fields: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for file in files {
+        if !in_scope(&file.rel) {
+            continue;
+        }
+        for lf in &file.model.lock_fields {
+            if lf.is_condvar() {
+                continue;
+            }
+            // A unit-payload lock (`Mutex<()>`) is a region lock: it
+            // serializes a procedure, not sibling data, so it does not
+            // put the struct's plain fields under guard discipline.
+            let unit =
+                file.model.fields.iter().any(|fd| {
+                    fd.owner == lf.owner && fd.field == lf.field && fd.ty.contains("( )")
+                });
+            if unit {
+                continue;
+            }
+            lock_fields
+                .entry(lf.owner.clone())
+                .or_default()
+                .insert(lf.field.clone());
+        }
+    }
+    for file in files {
+        if !in_scope(&file.rel) {
+            continue;
+        }
+        for fd in &file.model.fields {
+            if !lock_fields.contains_key(&fd.owner) {
+                continue;
+            }
+            let is_lockish = LOCK_TYPES.iter().any(|t| fd.ty.contains(t))
+                || SYNC_TYPES.iter().any(|t| fd.ty.contains(t));
+            if !is_lockish {
+                plain_fields
+                    .entry(fd.owner.clone())
+                    .or_default()
+                    .insert(fd.field.clone());
+            }
+        }
+    }
+
+    // Record every plain-field access in `&self` methods of those
+    // structs, with held-guard state.
+    let mut accesses: Vec<Access> = Vec::new();
+    for node in &graph.nodes {
+        let file = &files[node.file];
+        if !in_scope(&file.rel) || node.sig.receiver != Receiver::Ref {
+            continue;
+        }
+        let def = &file.model.functions[node.def];
+        let Some(owner) = def.self_type.clone() else {
+            continue;
+        };
+        let Some(locks) = lock_fields.get(&owner) else {
+            continue;
+        };
+        let Some(plains) = plain_fields.get(&owner) else {
+            continue;
+        };
+        let toks = &file.tokens;
+        let (open, close) = def.body;
+        let mut named_guards: BTreeSet<String> = BTreeSet::new();
+        let mut temp_guard_until: usize = 0; // token index bound
+        let mut i = open + 1;
+        while i < close {
+            let t = &toks[i];
+            // `drop(guard)` releases a named guard.
+            if t.is_ident("drop")
+                && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+                && toks
+                    .get(i + 2)
+                    .is_some_and(|n| named_guards.contains(&n.text))
+            {
+                named_guards.remove(&toks[i + 2].text.clone());
+                i += 3;
+                continue;
+            }
+            // `self . field ...`
+            let is_self_field = t.is_keyword("self")
+                && toks.get(i + 1).is_some_and(|n| n.is_punct('.'))
+                && toks.get(i + 2).is_some_and(|n| n.kind == TokKind::Ident);
+            if !is_self_field {
+                i += 1;
+                continue;
+            }
+            let fname = toks[i + 2].text.clone();
+            if locks.contains(&fname)
+                && toks.get(i + 3).is_some_and(|n| n.is_punct('.'))
+                && toks.get(i + 4).is_some_and(|n| {
+                    n.is_ident("lock") || n.is_ident("read") || n.is_ident("write")
+                })
+                && toks.get(i + 5).is_some_and(|n| n.is_punct('('))
+            {
+                // Acquisition. `let g =` / `if let Ok(g) =` within the
+                // preceding few tokens means a named binding.
+                let mut named = None;
+                for back in 1..=4usize {
+                    let Some(j) = i.checked_sub(back) else { break };
+                    if toks[j].is_punct('=') && j >= 1 && toks[j - 1].kind == TokKind::Ident {
+                        named = Some(toks[j - 1].text.clone());
+                        break;
+                    }
+                }
+                match named {
+                    Some(g) => {
+                        named_guards.insert(g);
+                    }
+                    None => {
+                        // Temporary: held to the end of this statement.
+                        let mut k = i + 5;
+                        while k < close && !toks[k].is_punct(';') {
+                            k += 1;
+                        }
+                        temp_guard_until = temp_guard_until.max(k);
+                    }
+                }
+                i += 5;
+                continue;
+            }
+            if plains.contains(&fname) && !toks.get(i + 3).is_some_and(|n| n.is_punct('(')) {
+                accesses.push(Access {
+                    owner: owner.clone(),
+                    field: fname,
+                    guarded: !named_guards.is_empty() || i < temp_guard_until,
+                    qual: node.qual.clone(),
+                    rel: file.rel.clone(),
+                    line: toks[i + 2].line,
+                    file: node.file,
+                });
+            }
+            i += 3;
+        }
+    }
+
+    // A field with both guarded and bare accesses → report every bare
+    // access, citing one guarded site.
+    let mut findings = Vec::new();
+    let mut keys: BTreeSet<(String, String)> = BTreeSet::new();
+    for a in &accesses {
+        keys.insert((a.owner.clone(), a.field.clone()));
+    }
+    for (owner, field) in keys {
+        let of = |a: &&Access| a.owner == owner && a.field == field;
+        let Some(guarded) = accesses.iter().find(|a| of(a) && a.guarded) else {
+            continue;
+        };
+        for bare in accesses.iter().filter(|a| of(a) && !a.guarded) {
+            let file = &files[bare.file];
+            if file.model.allowed("guard-coverage", bare.line) {
+                continue;
+            }
+            findings.push(Finding {
+                rule: Rule::GuardCoverage,
+                path: bare.rel.clone(),
+                line: bare.line,
+                message: format!(
+                    "`{owner}.{field}` is read/written here without a lock, but `{}` accesses \
+                     it under a guard — take the same lock or annotate \
+                     `// wlc-lint: allow(guard-coverage, reason = \"...\")`",
+                    guarded.qual
+                ),
+                chain: vec![format!(
+                    "guarded access in {} at {}:{}",
+                    guarded.qual, guarded.rel, guarded.line
+                )],
+            });
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source_from_str;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let files = vec![source_from_str("crates/serve/src/x.rs", src)];
+        let graph = Graph::build(&files);
+        analyze(&files, &graph)
+    }
+
+    #[test]
+    fn bare_access_to_a_guarded_field_is_flagged() {
+        let src = r#"
+pub struct Slot {
+    current: TrackedMutex<u64>,
+    epoch: u64,
+}
+impl Slot {
+    pub fn bump(&self) {
+        let g = self.current.lock();
+        let e = self.epoch;
+    }
+    pub fn peek(&self) -> u64 {
+        self.epoch
+    }
+}
+"#;
+        let findings = run(src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        let f = &findings[0];
+        assert_eq!(f.rule, Rule::GuardCoverage);
+        assert_eq!(f.line, 12);
+        assert!(f.message.contains("Slot.epoch"), "{}", f.message);
+        assert!(f.chain[0].contains("Slot::bump"), "{:?}", f.chain);
+    }
+
+    #[test]
+    fn consistently_bare_or_consistently_guarded_fields_are_fine() {
+        let src = r#"
+pub struct Slot {
+    current: Mutex<u64>,
+    epoch: u64,
+    name: u32,
+}
+impl Slot {
+    pub fn a(&self) -> u64 { let g = self.current.lock(); self.epoch }
+    pub fn b(&self) -> u64 { let g = self.current.lock(); self.epoch }
+    pub fn c(&self) -> u32 { self.name }
+    pub fn d(&self) -> u32 { self.name }
+}
+"#;
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn mut_self_methods_are_exempt() {
+        let src = r#"
+pub struct Slot {
+    current: Mutex<u64>,
+    epoch: u64,
+}
+impl Slot {
+    pub fn a(&self) -> u64 { let g = self.current.lock(); self.epoch }
+    pub fn reset(&mut self) { self.epoch = 0; }
+}
+"#;
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn dropping_the_guard_ends_coverage() {
+        let src = r#"
+pub struct Slot {
+    current: Mutex<u64>,
+    epoch: u64,
+}
+impl Slot {
+    pub fn a(&self) -> u64 { let g = self.current.lock(); self.epoch }
+    pub fn b(&self) -> u64 {
+        let g = self.current.lock();
+        drop(g);
+        self.epoch
+    }
+}
+"#;
+        let findings = run(src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].line, 11);
+    }
+
+    #[test]
+    fn atomics_and_locks_are_not_plain_data() {
+        let src = r#"
+pub struct Slot {
+    current: Mutex<u64>,
+    hits: AtomicU64,
+}
+impl Slot {
+    pub fn a(&self) -> u64 { let g = self.current.lock(); self.hits.load(order) }
+    pub fn b(&self) -> u64 { self.hits.load(order) }
+}
+"#;
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn allow_annotation_suppresses() {
+        let src = r#"
+pub struct Slot {
+    current: Mutex<u64>,
+    epoch: u64,
+}
+impl Slot {
+    pub fn a(&self) -> u64 { let g = self.current.lock(); self.epoch }
+    pub fn peek(&self) -> u64 {
+        // wlc-lint: allow(guard-coverage, reason = "monotonic counter, torn read acceptable")
+        self.epoch
+    }
+}
+"#;
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn unit_mutexes_are_region_locks_not_data_guards() {
+        let src = r#"
+pub struct Router {
+    reload: TrackedMutex<()>,
+    replicas: u64,
+}
+impl Router {
+    pub fn reload_all(&self) { let g = self.reload.lock(); let r = self.replicas; }
+    pub fn peek(&self) -> u64 { self.replicas }
+}
+"#;
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn out_of_scope_files_are_ignored() {
+        let src = r#"
+pub struct Slot {
+    current: Mutex<u64>,
+    epoch: u64,
+}
+impl Slot {
+    pub fn a(&self) -> u64 { let g = self.current.lock(); self.epoch }
+    pub fn peek(&self) -> u64 { self.epoch }
+}
+"#;
+        let files = vec![source_from_str("crates/nn/src/x.rs", src)];
+        let graph = Graph::build(&files);
+        assert!(analyze(&files, &graph).is_empty());
+    }
+}

@@ -1,0 +1,287 @@
+//! Transitive hot-path purity: allocation- and blocking-freedom for
+//! everything reachable from a `#[wlc_hot]` root.
+//!
+//! Functions on the batched training / inference / serving hot path are
+//! marked with the inert `#[wlc_hot]` attribute (crate `wlc-hot`). The
+//! performance contract (see `docs/performance.md`) is that these
+//! functions perform **zero heap allocations** in steady state — buffers
+//! come from a pre-sized `wlc_nn::Workspace` — and never block: no lock
+//! acquisition, thread parking, channel waits, or filesystem/network
+//! I/O. A helper called *from* a hot function is held to the same
+//! contract, which the old body-scan (`hotalloc`) could not see.
+//!
+//! This analysis walks the call graph from every hot root and scans each
+//! reachable body:
+//!
+//! - allocating constructs (`.to_vec()`, `.clone()`, `.collect()`,
+//!   `Vec::`/`String::`/... associated fns, `vec!`/`format!`) →
+//!   `alloc-in-hot-path`;
+//! - blocking constructs (`.lock()`, `.wait()`, `.recv()`, `.join()`,
+//!   `thread::sleep`/`park`, and `std::fs` / `File::` / `OpenOptions` /
+//!   TCP/UDP socket touches) → `blocking-in-hot-path`.
+//!
+//! Every finding in a non-root function carries the full root→function
+//! call chain. Intentional exceptions are suppressed per occurrence with
+//! `// wlc-lint: allow(<rule>, reason = "...")` at the offending line.
+
+use std::collections::BTreeMap;
+
+use crate::callgraph::Graph;
+use crate::items;
+use crate::lexer::TokKind;
+use crate::{Finding, Rule, SourceFile};
+
+/// Methods that allocate when called as `.name(...)`.
+const ALLOC_METHODS: [&str; 5] = ["to_vec", "to_owned", "to_string", "clone", "collect"];
+
+/// Owned container / heap types whose associated functions allocate
+/// (matched as `Type::`).
+const ALLOC_TYPES: [&str; 6] = ["Vec", "VecDeque", "Box", "String", "BTreeMap", "HashMap"];
+
+/// Macros that allocate (the `!` sigil is matched separately).
+const ALLOC_MACROS: [&str; 2] = ["vec", "format"];
+
+/// Methods that block when called as `.name(...)`.
+const BLOCK_METHODS: [&str; 6] = [
+    "lock",
+    "wait",
+    "wait_timeout",
+    "recv",
+    "recv_timeout",
+    "join",
+];
+
+/// Types whose associated functions mean filesystem / network I/O
+/// (matched as `Type::`).
+const IO_TYPES: [&str; 5] = [
+    "File",
+    "OpenOptions",
+    "TcpStream",
+    "TcpListener",
+    "UdpSocket",
+];
+
+/// Scans the whole workspace: every function reachable from a
+/// `#[wlc_hot]` root must neither allocate nor block.
+pub fn analyze(files: &[SourceFile], graph: &Graph) -> Vec<Finding> {
+    // Map (file, def) → node to translate hot markers into roots.
+    let mut node_of: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+    for (i, n) in graph.nodes.iter().enumerate() {
+        node_of.insert((n.file, n.def), i);
+    }
+    let mut roots: Vec<usize> = Vec::new();
+    for (fi, file) in files.iter().enumerate() {
+        for di in items::hot_fn_defs(file) {
+            if let Some(&n) = node_of.get(&(fi, di)) {
+                roots.push(n);
+            }
+        }
+    }
+    let reach = graph.reachable(&roots);
+
+    let mut findings = Vec::new();
+    for &n in &reach.order {
+        let node = &graph.nodes[n];
+        let file = &files[node.file];
+        let def = &file.model.functions[node.def];
+        let chain = reach.chain(graph, files, n);
+        // A root's chain is just itself — drop it, the site says enough.
+        let chain = if chain.len() > 1 { chain } else { Vec::new() };
+        let toks = &file.tokens;
+        let (open, close) = def.body;
+        for i in open..=close.min(toks.len().saturating_sub(1)) {
+            let t = &toks[i];
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            let as_method = i > 0
+                && toks[i - 1].is_punct('.')
+                && toks.get(i + 1).is_some_and(|n| n.is_punct('('));
+            let as_path = toks.get(i + 1).is_some_and(|n| n.is_punct(':'))
+                && toks.get(i + 2).is_some_and(|n| n.is_punct(':'));
+            let hit = if ALLOC_METHODS.contains(&t.text.as_str()) && as_method {
+                Some((Rule::HotAlloc, format!(".{}()", t.text), "allocates"))
+            } else if ALLOC_TYPES.contains(&t.text.as_str()) && as_path {
+                Some((Rule::HotAlloc, format!("{}::", t.text), "allocates"))
+            } else if ALLOC_MACROS.contains(&t.text.as_str())
+                && toks.get(i + 1).is_some_and(|n| n.is_punct('!'))
+            {
+                Some((Rule::HotAlloc, format!("{}!", t.text), "allocates"))
+            } else if BLOCK_METHODS.contains(&t.text.as_str()) && as_method {
+                Some((Rule::HotBlocking, format!(".{}()", t.text), "blocks"))
+            } else if t.text == "thread"
+                && as_path
+                && toks.get(i + 3).is_some_and(|n| {
+                    n.is_ident("sleep") || n.is_ident("park") || n.is_ident("park_timeout")
+                })
+            {
+                let call = toks[i + 3].text.clone();
+                Some((Rule::HotBlocking, format!("thread::{call}"), "blocks"))
+            } else if (IO_TYPES.contains(&t.text.as_str()) || t.text == "fs") && as_path {
+                Some((Rule::HotBlocking, format!("{}::", t.text), "performs I/O"))
+            } else {
+                None
+            };
+            let Some((rule, construct, verb)) = hit else {
+                continue;
+            };
+            if file.model.allowed(rule.name(), t.line) {
+                continue;
+            }
+            let where_ = if chain.is_empty() {
+                "inside a `#[wlc_hot]` function".to_string()
+            } else {
+                format!("in `{}`, reachable from a `#[wlc_hot]` root", node.qual)
+            };
+            findings.push(Finding {
+                rule,
+                path: file.rel.clone(),
+                line: t.line,
+                message: format!(
+                    "`{construct}` {verb} {where_}; keep the hot path pure or annotate \
+                     `// wlc-lint: allow({}, reason = \"...\")`",
+                    rule.name()
+                ),
+                chain: chain.clone(),
+            });
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source_from_str;
+
+    fn run(srcs: &[(&str, &str)]) -> Vec<Finding> {
+        let files: Vec<SourceFile> = srcs.iter().map(|(p, s)| source_from_str(p, s)).collect();
+        let graph = Graph::build(&files);
+        analyze(&files, &graph)
+    }
+
+    #[test]
+    fn allocations_in_hot_fn_are_flagged() {
+        let src = r#"
+use wlc_hot::wlc_hot;
+#[wlc_hot]
+fn hot(xs: &[f64]) -> f64 {
+    let v = xs.to_vec();
+    let w: Vec<f64> = xs.iter().copied().collect();
+    let b = Vec::with_capacity(4);
+    let m = vec![0.0; 4];
+    v[0] + w[0]
+}
+"#;
+        let findings = run(&[("crates/nn/src/x.rs", src)]);
+        assert_eq!(findings.len(), 4, "{findings:?}");
+        assert!(findings.iter().all(|f| f.rule == Rule::HotAlloc));
+        assert!(findings.iter().all(|f| f.chain.is_empty()));
+    }
+
+    #[test]
+    fn unmarked_fn_may_allocate() {
+        let src = "fn cold(xs: &[f64]) -> Vec<f64> { xs.to_vec() }";
+        assert!(run(&[("crates/nn/src/x.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn use_statement_is_not_a_marker() {
+        let src = "use wlc_hot::wlc_hot;\nfn cold(xs: &[f64]) -> Vec<f64> { xs.to_vec() }";
+        assert!(run(&[("crates/nn/src/x.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn allow_annotation_suppresses() {
+        let src = r#"
+#[wlc_hot]
+fn hot(xs: &[f64]) -> f64 {
+    // wlc-lint: allow(alloc-in-hot-path, reason = "one-time workspace growth")
+    let v = xs.to_vec();
+    v[0]
+}
+"#;
+        assert!(run(&[("crates/nn/src/x.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn type_annotations_do_not_trip_the_path_check() {
+        let src = r#"
+#[wlc_hot]
+fn hot(out: &mut Vec<f64>, xs: &[f64]) {
+    let first: Vec<f64>;
+    out.copy_from_slice(xs);
+}
+"#;
+        let f = run(&[("crates/nn/src/x.rs", src)]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn test_functions_are_exempt() {
+        let src = r#"
+#[cfg(test)]
+mod tests {
+    #[wlc_hot]
+    fn hot_in_test(xs: &[f64]) -> Vec<f64> {
+        xs.to_vec()
+    }
+}
+"#;
+        assert!(run(&[("crates/nn/src/x.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn transitive_callee_allocations_are_flagged_with_chain() {
+        let a = r#"
+use wlc_hot::wlc_hot;
+#[wlc_hot]
+pub fn hot(xs: &[f64]) -> f64 {
+    helper(xs)
+}
+"#;
+        let b = "pub fn helper(xs: &[f64]) -> f64 {\n    let v = xs.to_vec();\n    v[0]\n}";
+        let findings = run(&[("crates/nn/src/a.rs", a), ("crates/nn/src/b.rs", b)]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        let f = &findings[0];
+        assert_eq!(f.rule, Rule::HotAlloc);
+        assert_eq!(f.path, "crates/nn/src/b.rs");
+        assert_eq!(
+            f.chain,
+            vec![
+                "hot (crates/nn/src/a.rs:4)".to_string(),
+                "helper (called at crates/nn/src/a.rs:5)".to_string(),
+            ]
+        );
+    }
+
+    #[test]
+    fn blocking_calls_anywhere_on_the_hot_path_are_flagged() {
+        let src = r#"
+#[wlc_hot]
+pub fn hot(q: &Queue) {
+    step(q);
+}
+pub fn step(q: &Queue) {
+    let g = q.state.lock();
+    thread::sleep(dur);
+    let data = fs::read_to_string(p);
+}
+"#;
+        let findings = run(&[("crates/nn/src/x.rs", src)]);
+        assert_eq!(findings.len(), 3, "{findings:?}");
+        assert!(findings.iter().all(|f| f.rule == Rule::HotBlocking));
+        assert!(findings.iter().all(|f| !f.chain.is_empty()));
+    }
+
+    #[test]
+    fn cold_callees_of_cold_functions_are_ignored() {
+        let src = r#"
+#[wlc_hot]
+pub fn hot(xs: &[f64]) -> f64 { xs[0] }
+pub fn cold() { let g = lockish.lock(); helper(); }
+pub fn helper() { let v = Vec::new(); }
+"#;
+        assert!(run(&[("crates/nn/src/x.rs", src)]).is_empty());
+    }
+}

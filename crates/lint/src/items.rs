@@ -1,0 +1,438 @@
+//! Lightweight item parsing on top of the lexer and file model:
+//! function signatures (receiver kind, parameter types), typed local
+//! bindings, and the call sites inside each function body.
+//!
+//! This is the input layer of the interprocedural analyses: the call
+//! graph ([`crate::callgraph`]) resolves the call sites collected here
+//! against every function in the workspace. Parsing is deliberately
+//! shallow — types are reduced to the *base type identifier* (`&'ws mut
+//! Workspace` → `Workspace`, `&dyn Fs` → `Fs`), which is exactly the
+//! granularity the `Type::method` qual namespace needs. Anything that
+//! does not resolve to a base identifier (slices, tuples, closures,
+//! `impl Trait`) is simply untyped, and calls through it stay
+//! unresolved — the analyses under-approximate rather than guess.
+
+use crate::lexer::{TokKind, Token};
+use crate::model::FuncDef;
+
+/// How a method takes `self`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Receiver {
+    /// Free function — no `self`.
+    None,
+    /// `&self`: shared access.
+    Ref,
+    /// `&mut self`: exclusive access.
+    RefMut,
+    /// `self` / `mut self` by value: consuming.
+    Owned,
+}
+
+/// Parsed signature facts for one function.
+#[derive(Debug, Clone)]
+pub struct Sig {
+    /// Receiver kind.
+    pub receiver: Receiver,
+    /// `(param name, base type ident)` for every resolvable parameter.
+    pub params: Vec<(String, String)>,
+}
+
+/// How a call site names its target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallKind {
+    /// `self.m(..)` — resolves within the enclosing impl type.
+    SelfMethod,
+    /// `x.m(..)` with `x` a param/local of known base type.
+    Method(String),
+    /// `x.m(..)` on an unresolvable receiver (chains, temporaries).
+    MethodUnknown,
+    /// `Type::m(..)` — an explicit path call on a type.
+    Path(String),
+    /// `f(..)` — a free (or locally shadowed) function call.
+    Free,
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Callee name as written.
+    pub callee: String,
+    /// Receiver/path classification.
+    pub kind: CallKind,
+    /// 1-based line of the callee token.
+    pub line: u32,
+    /// Token index of the callee.
+    pub tok: usize,
+}
+
+/// Keywords that look like calls but are not.
+const CALL_KEYWORDS: [&str; 14] = [
+    "if", "while", "match", "for", "return", "loop", "fn", "move", "in", "impl", "else", "box",
+    "unsafe", "await",
+];
+
+/// Variant constructors that are data, not workspace calls.
+const VARIANT_CTORS: [&str; 4] = ["Some", "Ok", "Err", "None"];
+
+/// Extracts the base type identifier from a type token run: the last
+/// identifier of the leading path, skipping `&`, `mut`, `dyn`,
+/// lifetimes, and stopping at generic args / punctuation that ends the
+/// leading path (`[`, `(`, `<`, `,`, `=`, `;`, `)`).
+fn base_type(tokens: &[Token]) -> Option<String> {
+    let mut name: Option<String> = None;
+    for t in tokens {
+        match t.kind {
+            TokKind::Ident if matches!(t.text.as_str(), "dyn" | "mut") => {}
+            TokKind::Ident if t.text == "impl" => return None, // `impl Trait`
+            TokKind::Ident => name = Some(t.text.clone()),
+            TokKind::Lifetime => {}
+            TokKind::Punct if t.is_punct('&') || t.is_punct(':') => {}
+            _ => break, // `<`, `[`, `(`, `,` — end of the leading path
+        }
+    }
+    name
+}
+
+/// Parses the signature of `def` (tokens `sig_start..body.0`).
+pub fn parse_sig(tokens: &[Token], def: &FuncDef) -> Sig {
+    let mut sig = Sig {
+        receiver: Receiver::None,
+        params: Vec::new(),
+    };
+    // Find the parameter list: the first `(` after the fn name, skipping
+    // the generic parameter list `<...>` if present.
+    let mut i = def.sig_start + 1;
+    let end = def.body.0;
+    let mut angle = 0i64;
+    while i < end {
+        let t = &tokens[i];
+        if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') {
+            angle -= 1;
+        } else if t.is_punct('(') && angle <= 0 {
+            break;
+        }
+        i += 1;
+    }
+    if i >= end {
+        return sig;
+    }
+    let open = i;
+    // Split the parens' contents at top-level commas.
+    let mut depth = 0i64;
+    let mut start = open + 1;
+    let mut entries: Vec<(usize, usize)> = Vec::new();
+    let mut j = open;
+    while j < end {
+        let t = &tokens[j];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') || t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') || t.is_punct('>') {
+            depth -= 1;
+            if depth == 0 {
+                if j > start {
+                    entries.push((start, j));
+                }
+                break;
+            }
+        } else if t.is_punct(',') && depth == 1 {
+            entries.push((start, j));
+            start = j + 1;
+        }
+        j += 1;
+    }
+    for (idx, &(s, e)) in entries.iter().enumerate() {
+        let entry = &tokens[s..e];
+        if entry.is_empty() {
+            continue;
+        }
+        if idx == 0 && entry.iter().any(|t| t.is_keyword("self")) {
+            let has_amp = entry.iter().any(|t| t.is_punct('&'));
+            let has_mut = entry.iter().any(|t| t.is_keyword("mut"));
+            sig.receiver = match (has_amp, has_mut) {
+                (true, true) => Receiver::RefMut,
+                (true, false) => Receiver::Ref,
+                (false, _) => Receiver::Owned,
+            };
+            continue;
+        }
+        // `name: Type` — the pattern must be a simple identifier.
+        let Some(colon) = entry.iter().position(|t| t.is_punct(':')) else {
+            continue;
+        };
+        if colon == 0 {
+            continue;
+        }
+        let name_tok = &entry[colon - 1];
+        if name_tok.kind != TokKind::Ident {
+            continue;
+        }
+        // Reject destructuring patterns (`(a, b): (u8, u8)`).
+        if entry[..colon.saturating_sub(1)]
+            .iter()
+            .any(|t| t.is_punct('(') || t.is_punct('['))
+        {
+            continue;
+        }
+        if let Some(base) = base_type(&entry[colon + 1..]) {
+            sig.params.push((name_tok.text.clone(), base));
+        }
+    }
+    sig
+}
+
+/// Collects `let [mut] name: Type = ...` bindings in `def`'s body.
+pub fn typed_locals(tokens: &[Token], def: &FuncDef) -> Vec<(String, String)> {
+    let (open, close) = def.body;
+    let mut out = Vec::new();
+    let mut i = open + 1;
+    while i < close {
+        let t = &tokens[i];
+        if t.is_keyword("let") {
+            let mut j = i + 1;
+            if tokens.get(j).is_some_and(|t| t.is_keyword("mut")) {
+                j += 1;
+            }
+            let Some(name) = tokens.get(j).filter(|t| t.kind == TokKind::Ident) else {
+                i += 1;
+                continue;
+            };
+            if tokens.get(j + 1).is_some_and(|t| t.is_punct(':')) {
+                // Type runs to `=` or `;` at angle/paren depth 0.
+                let mut k = j + 2;
+                let mut depth = 0i64;
+                while k < close {
+                    let u = &tokens[k];
+                    if u.is_punct('<') || u.is_punct('(') || u.is_punct('[') {
+                        depth += 1;
+                    } else if u.is_punct('>') || u.is_punct(')') || u.is_punct(']') {
+                        depth -= 1;
+                    } else if depth <= 0 && (u.is_punct('=') || u.is_punct(';')) {
+                        break;
+                    }
+                    k += 1;
+                }
+                if let Some(base) = base_type(&tokens[j + 2..k]) {
+                    out.push((name.text.clone(), base));
+                }
+                i = k;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Collects every call site in `def`'s body. `typed` maps in-scope
+/// variable names (params + typed locals) to base types.
+pub fn call_sites(
+    tokens: &[Token],
+    def: &FuncDef,
+    typed: &std::collections::BTreeMap<String, String>,
+) -> Vec<CallSite> {
+    let (open, close) = def.body;
+    let mut out = Vec::new();
+    for i in open + 1..close {
+        let t = &tokens[i];
+        if t.kind != TokKind::Ident || !tokens.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+            continue;
+        }
+        if (t.is_keyword(&t.text) && CALL_KEYWORDS.contains(&t.text.as_str()))
+            || VARIANT_CTORS.contains(&t.text.as_str())
+        {
+            continue;
+        }
+        let prev = &tokens[i - 1];
+        let kind = if prev.is_punct('.') {
+            // Method call: classify the receiver one token further back.
+            match tokens.get(i.wrapping_sub(2)) {
+                Some(r) if r.is_keyword("self") => {
+                    // Plain `self.m(..)` only — `a.self` cannot occur.
+                    CallKind::SelfMethod
+                }
+                Some(r) if r.kind == TokKind::Ident => {
+                    // Simple receiver `x.m(..)` (not a chain `a.x.m(..)`).
+                    let simple = !tokens
+                        .get(i.wrapping_sub(3))
+                        .is_some_and(|p| p.is_punct('.') || p.is_punct(':'));
+                    match typed.get(&r.text) {
+                        Some(ty) if simple => CallKind::Method(ty.clone()),
+                        _ => CallKind::MethodUnknown,
+                    }
+                }
+                _ => CallKind::MethodUnknown,
+            }
+        } else if prev.is_punct(':')
+            && tokens
+                .get(i.wrapping_sub(2))
+                .is_some_and(|p| p.is_punct(':'))
+        {
+            match tokens.get(i.wrapping_sub(3)) {
+                Some(seg) if seg.kind == TokKind::Ident => {
+                    let first = seg.text.chars().next().unwrap_or('_');
+                    if first.is_uppercase() {
+                        CallKind::Path(seg.text.clone())
+                    } else {
+                        // `module::free_fn(..)` — resolve by bare name.
+                        CallKind::Free
+                    }
+                }
+                _ => CallKind::MethodUnknown,
+            }
+        } else if prev.is_punct('!') {
+            continue; // macro invocation
+        } else {
+            CallKind::Free
+        };
+        out.push(CallSite {
+            callee: t.text.clone(),
+            kind,
+            line: t.line,
+            tok: i,
+        });
+    }
+    out
+}
+
+/// Returns the token-index body ranges plus definition indices of every
+/// non-test function annotated `#[wlc_hot]` in `file`.
+pub fn hot_fn_defs(file: &crate::SourceFile) -> Vec<usize> {
+    let toks = &file.tokens;
+    let mut defs = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        // The attribute form `#[wlc_hot]`: a `use wlc_hot::wlc_hot;` or a
+        // prose mention never has `[` immediately before the identifier.
+        let is_attr = t.kind == TokKind::Ident
+            && t.text == "wlc_hot"
+            && i >= 2
+            && toks[i - 1].is_punct('[')
+            && toks[i - 2].is_punct('#');
+        if !is_attr {
+            continue;
+        }
+        // Functions are recorded in source order; the annotated item is
+        // the first one whose body opens after the attribute.
+        if let Some((di, f)) = file
+            .model
+            .functions
+            .iter()
+            .enumerate()
+            .find(|(_, f)| f.body.0 > i)
+        {
+            if !f.is_test {
+                defs.push(di);
+            }
+        }
+    }
+    defs.sort_unstable();
+    defs.dedup();
+    defs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source_from_str;
+    use std::collections::BTreeMap;
+
+    fn first_fn(src: &str) -> (crate::SourceFile, FuncDef) {
+        let file = source_from_str("crates/x/src/lib.rs", src);
+        let def = file.model.functions[0].clone();
+        (file, def)
+    }
+
+    #[test]
+    fn signatures_parse_receivers_and_param_types() {
+        let (file, def) = first_fn(
+            "impl Mlp { fn forward_with<'ws>(&self, input: &[f64], ws: &'ws mut Workspace, \
+             loss: Loss, fs: &dyn Fs) -> u8 { 0 } }",
+        );
+        let sig = parse_sig(&file.tokens, &def);
+        assert_eq!(sig.receiver, Receiver::Ref);
+        assert_eq!(
+            sig.params,
+            vec![
+                ("ws".to_string(), "Workspace".to_string()),
+                ("loss".to_string(), "Loss".to_string()),
+                ("fs".to_string(), "Fs".to_string()),
+            ],
+            "slice params are untyped, path params keep their base"
+        );
+    }
+
+    #[test]
+    fn mut_self_and_owned_self_are_classified() {
+        let (file, def) = first_fn("impl W { fn ensure(&mut self, rows: usize) {} }");
+        assert_eq!(parse_sig(&file.tokens, &def).receiver, Receiver::RefMut);
+        let (file, def) = first_fn("impl W { fn into_inner(self) -> u8 { 0 } }");
+        assert_eq!(parse_sig(&file.tokens, &def).receiver, Receiver::Owned);
+        let (file, def) = first_fn("fn free(x: Config) {}");
+        assert_eq!(parse_sig(&file.tokens, &def).receiver, Receiver::None);
+    }
+
+    #[test]
+    fn typed_locals_and_call_sites_resolve_receiver_types() {
+        let src = r#"
+fn run(q: &BoundedQueue) {
+    let slot: ModelSlot = make();
+    slot.reload();
+    q.push();
+    self_free();
+    helper(1).chain();
+    gemm::matmul_into(a, b, c);
+    Matrix::zeros(3, 3);
+    vec![1];
+}
+"#;
+        let (file, def) = first_fn(src);
+        let mut typed = BTreeMap::new();
+        for (n, t) in parse_sig(&file.tokens, &def).params {
+            typed.insert(n, t);
+        }
+        for (n, t) in typed_locals(&file.tokens, &def) {
+            typed.insert(n, t);
+        }
+        let calls = call_sites(&file.tokens, &def, &typed);
+        let find = |name: &str| calls.iter().find(|c| c.callee == name).expect(name);
+        assert_eq!(find("reload").kind, CallKind::Method("ModelSlot".into()));
+        assert_eq!(find("push").kind, CallKind::Method("BoundedQueue".into()));
+        assert_eq!(find("self_free").kind, CallKind::Free);
+        assert_eq!(find("chain").kind, CallKind::MethodUnknown);
+        assert_eq!(find("matmul_into").kind, CallKind::Free);
+        assert_eq!(find("zeros").kind, CallKind::Path("Matrix".into()));
+        assert!(
+            !calls.iter().any(|c| c.callee == "vec"),
+            "macros are not calls"
+        );
+    }
+
+    #[test]
+    fn self_method_calls_are_classified() {
+        let src = "impl S { fn a(&self) { self.b(); other.c(); } }";
+        let (file, def) = first_fn(src);
+        let calls = call_sites(&file.tokens, &def, &BTreeMap::new());
+        assert_eq!(calls[0].kind, CallKind::SelfMethod);
+        assert_eq!(calls[1].kind, CallKind::MethodUnknown);
+    }
+
+    #[test]
+    fn hot_markers_attach_to_the_following_fn() {
+        let src = r#"
+use wlc_hot::wlc_hot;
+#[wlc_hot]
+pub fn hot_one(xs: &[f64]) -> f64 { helper(xs) }
+pub fn cold(xs: &[f64]) -> f64 { 0.0 }
+#[wlc_hot]
+pub fn hot_two() {}
+"#;
+        let file = source_from_str("crates/nn/src/x.rs", src);
+        let defs = hot_fn_defs(&file);
+        let names: Vec<&str> = defs
+            .iter()
+            .map(|&d| file.model.functions[d].name.as_str())
+            .collect();
+        assert_eq!(names, vec!["hot_one", "hot_two"]);
+    }
+}

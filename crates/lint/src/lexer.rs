@@ -5,18 +5,26 @@
 //! string/char/raw-string contents and comments can never be mistaken
 //! for code. Line comments are collected separately so `// wlc-lint:`
 //! annotations can be read back; everything inside literals is dropped.
+//!
+//! Every token and comment carries a char-index **span** into the
+//! source, and the lexer guarantees *coverage*: every non-whitespace
+//! character of the input falls inside exactly one token or comment
+//! span. The round-trip test (`crates/lint/tests/roundtrip.rs`) checks
+//! this property over every `.rs` file in the workspace, so a lexer
+//! change that silently drops characters fails CI.
 
 /// Kind of a lexed token.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TokKind {
     /// Identifier or keyword (`fn`, `self`, `unwrap`, ...).
     Ident,
-    /// Numeric literal (`42`, `1e3`, `0xff`, `3_600_000.0`).
+    /// Numeric literal (`42`, `1e3`, `0xff`, `3_600_000.0`, `7u32`).
     Num,
     /// String literal of any flavor (`"..."`, `r#"..."#`, `b"..."`).
     /// Contents are dropped.
     Str,
-    /// Character literal (`'x'`, `'\n'`). Contents are dropped.
+    /// Character or byte-char literal (`'x'`, `'\n'`, `b'x'`).
+    /// Contents are dropped.
     Char,
     /// Lifetime (`'a`, `'_`).
     Lifetime,
@@ -24,7 +32,7 @@ pub enum TokKind {
     Punct,
 }
 
-/// One lexed token with its 1-based source line.
+/// One lexed token with its 1-based source line and char-index span.
 #[derive(Debug, Clone)]
 pub struct Token {
     /// Token kind.
@@ -33,6 +41,11 @@ pub struct Token {
     pub text: String,
     /// 1-based line the token starts on.
     pub line: u32,
+    /// Char-index range `[start, end)` into the source's char sequence.
+    pub span: (u32, u32),
+    /// True for raw identifiers (`r#type`): the text is the bare name,
+    /// but it must never be treated as a keyword.
+    pub raw: bool,
 }
 
 impl Token {
@@ -41,19 +54,33 @@ impl Token {
         self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
     }
 
-    /// Whether this token is the given identifier.
+    /// Whether this token is the given identifier (raw or not).
     pub fn is_ident(&self, s: &str) -> bool {
         self.kind == TokKind::Ident && self.text == s
     }
+
+    /// Whether this token is the given *keyword*: the identifier text
+    /// matches and it is not a raw identifier (`r#fn` is a name, not
+    /// the `fn` keyword).
+    pub fn is_keyword(&self, s: &str) -> bool {
+        self.is_ident(s) && !self.raw
+    }
 }
 
-/// A `//` line comment (doc comments included), text without the `//`.
+/// A comment. Line comments (doc comments included) keep their text so
+/// `// wlc-lint:` directives can be read back; block comments are
+/// recorded span-only (text empty) for round-trip coverage.
 #[derive(Debug, Clone)]
 pub struct Comment {
-    /// Comment text after the leading slashes.
+    /// Comment text after the leading slashes (empty for block comments).
     pub text: String,
-    /// 1-based line the comment is on.
+    /// 1-based line the comment starts on.
     pub line: u32,
+    /// Char-index range `[start, end)` covering the whole comment,
+    /// delimiters included.
+    pub span: (u32, u32),
+    /// True for `/* ... */` block comments.
+    pub block: bool,
 }
 
 fn is_ident_start(c: char) -> bool {
@@ -64,7 +91,7 @@ fn is_ident_continue(c: char) -> bool {
     c == '_' || c.is_alphanumeric()
 }
 
-/// Lexes `src` into tokens plus line comments.
+/// Lexes `src` into tokens plus comments.
 pub fn lex(src: &str) -> (Vec<Token>, Vec<Comment>) {
     let mut tokens = Vec::new();
     let mut comments = Vec::new();
@@ -72,6 +99,14 @@ pub fn lex(src: &str) -> (Vec<Token>, Vec<Comment>) {
     let n = chars.len();
     let mut i = 0usize;
     let mut line: u32 = 1;
+
+    let tok = |kind: TokKind, text: String, line: u32, start: usize, end: usize| Token {
+        kind,
+        text,
+        line,
+        span: (start as u32, end as u32),
+        raw: false,
+    };
 
     while i < n {
         let c = chars[i];
@@ -86,20 +121,24 @@ pub fn lex(src: &str) -> (Vec<Token>, Vec<Comment>) {
         }
         // Line comment.
         if c == '/' && i + 1 < n && chars[i + 1] == '/' {
-            let start = i + 2;
-            let mut j = start;
+            let start = i;
+            let mut j = i + 2;
             while j < n && chars[j] != '\n' {
                 j += 1;
             }
             comments.push(Comment {
-                text: chars[start..j].iter().collect(),
+                text: chars[i + 2..j].iter().collect(),
                 line,
+                span: (start as u32, j as u32),
+                block: false,
             });
             i = j;
             continue;
         }
-        // Block comment (nested).
+        // Block comment (nested). Contents dropped; span recorded.
         if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            let start = i;
+            let start_line = line;
             let mut depth = 1usize;
             let mut j = i + 2;
             while j < n && depth > 0 {
@@ -116,22 +155,26 @@ pub fn lex(src: &str) -> (Vec<Token>, Vec<Comment>) {
                     j += 1;
                 }
             }
+            comments.push(Comment {
+                text: String::new(),
+                line: start_line,
+                span: (start as u32, j as u32),
+                block: true,
+            });
             i = j;
             continue;
         }
         // Cooked string.
         if c == '"' {
+            let start = i;
             let start_line = line;
             i = lex_cooked_string(&chars, i + 1, &mut line);
-            tokens.push(Token {
-                kind: TokKind::Str,
-                text: String::new(),
-                line: start_line,
-            });
+            tokens.push(tok(TokKind::Str, String::new(), start_line, start, i));
             continue;
         }
         // Lifetime or char literal.
         if c == '\'' {
+            let start = i;
             let start_line = line;
             if i + 1 < n && chars[i + 1] == '\\' {
                 // Escaped char literal: consume to the closing quote.
@@ -144,21 +187,13 @@ pub fn lex(src: &str) -> (Vec<Token>, Vec<Comment>) {
                     j += 1;
                 }
                 i = j + 1;
-                tokens.push(Token {
-                    kind: TokKind::Char,
-                    text: String::new(),
-                    line: start_line,
-                });
+                tokens.push(tok(TokKind::Char, String::new(), start_line, start, i));
                 continue;
             }
             if i + 2 < n && chars[i + 2] == '\'' && chars[i + 1] != '\'' {
                 // 'x' — a plain char literal.
                 i += 3;
-                tokens.push(Token {
-                    kind: TokKind::Char,
-                    text: String::new(),
-                    line: start_line,
-                });
+                tokens.push(tok(TokKind::Char, String::new(), start_line, start, i));
                 continue;
             }
             // Lifetime: 'ident (not followed by a closing quote).
@@ -169,16 +204,13 @@ pub fn lex(src: &str) -> (Vec<Token>, Vec<Comment>) {
                 j += 1;
             }
             i = j;
-            tokens.push(Token {
-                kind: TokKind::Lifetime,
-                text,
-                line: start_line,
-            });
+            tokens.push(tok(TokKind::Lifetime, text, start_line, start, i));
             continue;
         }
-        // Identifier, possibly a string prefix (r", br", b", c") or a
-        // raw identifier (r#name).
+        // Identifier, possibly a string prefix (r", br", b", c"), a
+        // byte-char prefix (b'x'), or a raw identifier (r#name).
         if is_ident_start(c) {
+            let start = i;
             let start_line = line;
             let mut j = i;
             let mut text = String::new();
@@ -194,11 +226,29 @@ pub fn lex(src: &str) -> (Vec<Token>, Vec<Comment>) {
                 } else {
                     i = lex_cooked_string(&chars, j + 1, &mut line);
                 }
-                tokens.push(Token {
-                    kind: TokKind::Str,
-                    text: String::new(),
-                    line: start_line,
-                });
+                tokens.push(tok(TokKind::Str, String::new(), start_line, start, i));
+                continue;
+            }
+            if text == "b" && j < n && chars[j] == '\'' {
+                // Byte-char literal b'x' / b'\n': one Char token, never a
+                // stray `b` identifier followed by a lifetime.
+                let mut k = j + 1;
+                if k < n && chars[k] == '\\' {
+                    k += 2; // skip the escaped character
+                    while k < n && chars[k] != '\'' {
+                        k += 1;
+                    }
+                    i = (k + 1).min(n);
+                } else if k + 1 < n && chars[k + 1] == '\'' {
+                    i = k + 2;
+                } else {
+                    // Not a byte-char after all (`b'static`? — not valid
+                    // Rust, but stay robust): emit the identifier.
+                    i = j;
+                    tokens.push(tok(TokKind::Ident, text, start_line, start, i));
+                    continue;
+                }
+                tokens.push(tok(TokKind::Char, String::new(), start_line, start, i));
                 continue;
             }
             if prefix_ok && text.contains('r') && j < n && chars[j] == '#' {
@@ -212,15 +262,12 @@ pub fn lex(src: &str) -> (Vec<Token>, Vec<Comment>) {
                 }
                 if k < n && chars[k] == '"' {
                     i = lex_raw_string(&chars, k + 1, hashes, &mut line);
-                    tokens.push(Token {
-                        kind: TokKind::Str,
-                        text: String::new(),
-                        line: start_line,
-                    });
+                    tokens.push(tok(TokKind::Str, String::new(), start_line, start, i));
                     continue;
                 }
                 if text == "r" && hashes == 1 && k < n && is_ident_start(chars[k]) {
-                    // Raw identifier: emit the identifier without r#.
+                    // Raw identifier: emit the bare name, flagged `raw` so
+                    // `r#fn` / `r#type` are never mistaken for keywords.
                     let mut t = String::new();
                     let mut m = k;
                     while m < n && is_ident_continue(chars[m]) {
@@ -232,20 +279,19 @@ pub fn lex(src: &str) -> (Vec<Token>, Vec<Comment>) {
                         kind: TokKind::Ident,
                         text: t,
                         line: start_line,
+                        span: (start as u32, i as u32),
+                        raw: true,
                     });
                     continue;
                 }
             }
             i = j;
-            tokens.push(Token {
-                kind: TokKind::Ident,
-                text,
-                line: start_line,
-            });
+            tokens.push(tok(TokKind::Ident, text, start_line, start, i));
             continue;
         }
-        // Number.
+        // Number, including type suffixes (`7u32`, `2.5f64`, `0xFFu8`).
         if c.is_ascii_digit() {
+            let start = i;
             let start_line = line;
             let mut j = i;
             let mut text = String::new();
@@ -271,19 +317,11 @@ pub fn lex(src: &str) -> (Vec<Token>, Vec<Comment>) {
                 }
             }
             i = j;
-            tokens.push(Token {
-                kind: TokKind::Num,
-                text,
-                line: start_line,
-            });
+            tokens.push(tok(TokKind::Num, text, start_line, start, i));
             continue;
         }
         // Anything else: single punctuation character.
-        tokens.push(Token {
-            kind: TokKind::Punct,
-            text: c.to_string(),
-            line,
-        });
+        tokens.push(tok(TokKind::Punct, c.to_string(), line, i, i + 1));
         i += 1;
     }
 
@@ -296,7 +334,14 @@ fn lex_cooked_string(chars: &[char], mut i: usize, line: &mut u32) -> usize {
     let n = chars.len();
     while i < n {
         match chars[i] {
-            '\\' => i += 2,
+            '\\' => {
+                // The escaped char may itself be a newline (the `"\`
+                // line-continuation) — it still advances the line count.
+                if chars.get(i + 1) == Some(&'\n') {
+                    *line += 1;
+                }
+                i += 2;
+            }
             '"' => return i + 1,
             '\n' => {
                 *line += 1;
@@ -372,6 +417,19 @@ real_ident();
     }
 
     #[test]
+    fn line_numbers_survive_escaped_newline_continuations() {
+        // `"\` at end of line is a string continuation: the escaped
+        // newline must still count toward line numbers.
+        let src = "let a = \"x\\\ny\\\nz\";\nmarker();";
+        let (tokens, _) = lex(src);
+        let marker = tokens
+            .iter()
+            .find(|t| t.is_ident("marker"))
+            .expect("marker");
+        assert_eq!(marker.line, 4);
+    }
+
+    #[test]
     fn comments_are_collected_with_lines() {
         let src = "fn a() {}\n// wlc-lint: allow(panic, reason = \"x\")\nfn b() {}\n";
         let (_, comments) = lex(src);
@@ -398,6 +456,50 @@ real_ident();
     }
 
     #[test]
+    fn raw_identifiers_are_flagged_and_never_keywords() {
+        let (tokens, _) = lex("let r#type = 1; let r#fn = 2; plain();");
+        let raws: Vec<&Token> = tokens.iter().filter(|t| t.raw).collect();
+        assert_eq!(raws.len(), 2, "{raws:?}");
+        assert_eq!(raws[0].text, "type");
+        assert_eq!(raws[1].text, "fn");
+        assert!(!raws[1].is_keyword("fn"), "r#fn is a name, not a keyword");
+        let plain = tokens.iter().find(|t| t.is_ident("plain")).expect("plain");
+        assert!(!plain.raw);
+        assert!(tokens.iter().any(|t| t.is_keyword("let")));
+    }
+
+    #[test]
+    fn byte_char_literals_are_single_tokens() {
+        let (tokens, _) = lex(r#"let a = b'x'; let b = b'\n'; let c = b"bytes"; done();"#);
+        // No stray `b` identifier escapes a byte-char or byte-string.
+        let chars: Vec<&Token> = tokens.iter().filter(|t| t.kind == TokKind::Char).collect();
+        assert_eq!(chars.len(), 2, "{tokens:?}");
+        assert!(tokens.iter().any(|t| t.kind == TokKind::Str));
+        assert!(tokens.iter().any(|t| t.is_ident("done")));
+        // `b` appears only as the let-bound name, never from the literals.
+        let b_idents = tokens.iter().filter(|t| t.is_ident("b")).count();
+        assert_eq!(b_idents, 1, "{tokens:?}");
+    }
+
+    #[test]
+    fn suffixed_numeric_literals_lex_as_single_tokens() {
+        let (tokens, _) = lex("7u32 255u8 1_000i64 2.5f64 1e3f32 0xFFu8 3usize");
+        let nums: Vec<String> = tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(
+            nums,
+            vec!["7u32", "255u8", "1_000i64", "2.5f64", "1e3f32", "0xFFu8", "3usize"]
+        );
+        assert!(
+            !tokens.iter().any(|t| t.kind == TokKind::Ident),
+            "suffixes must not escape as identifiers: {tokens:?}"
+        );
+    }
+
+    #[test]
     fn numbers_lex_as_single_tokens() {
         let (tokens, _) = lex("3_600_000.0 1e3 0..10");
         let nums: Vec<_> = tokens
@@ -406,5 +508,38 @@ real_ident();
             .map(|t| t.text.clone())
             .collect();
         assert_eq!(nums, vec!["3_600_000.0", "1e3", "0", "10"]);
+    }
+
+    #[test]
+    fn spans_cover_every_non_whitespace_char() {
+        let src = r####"
+/* block /* nested */ */
+fn f<'a>(r#type: &'a [u8]) -> u8 {
+    let x = b'\n'; // trailing comment
+    let s = r#"raw "quoted" body"#;
+    r#type[0] + 7u8
+}
+"####;
+        let (tokens, comments) = lex(src);
+        let chars: Vec<char> = src.chars().collect();
+        let mut covered = vec![false; chars.len()];
+        for (s, e) in tokens
+            .iter()
+            .map(|t| t.span)
+            .chain(comments.iter().map(|c| c.span))
+        {
+            for slot in covered[s as usize..e as usize].iter_mut() {
+                assert!(!*slot, "overlapping spans");
+                *slot = true;
+            }
+        }
+        for (idx, &c) in chars.iter().enumerate() {
+            if !covered[idx] {
+                assert!(
+                    c.is_whitespace(),
+                    "uncovered non-whitespace char {c:?} at {idx}"
+                );
+            }
+        }
     }
 }

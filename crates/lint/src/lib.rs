@@ -13,12 +13,26 @@
 //!   randomly-seeded hash containers in the seeded crates.
 //! - **consistency** ([`consistency`]): exit codes, HTTP statuses, and
 //!   `#![forbid(unsafe_code)]` stay in sync with the documentation.
-//! - **alloc-in-hot-path** ([`hotalloc`]): forbids heap allocation inside
-//!   functions marked `#[wlc_hot]` (the batched train/predict hot path).
+//! - **alloc-in-hot-path** / **blocking-in-hot-path** ([`hotpath`]):
+//!   forbids heap allocation and blocking (locks, sleeps, channel waits,
+//!   filesystem/network I/O) in any function *reachable* from a
+//!   `#[wlc_hot]` root, with full call-chain provenance.
+//! - **determinism-taint** ([`taint`]): nondeterminism sources
+//!   (`Instant::now`, hash iteration, env vars, ...) flowing through the
+//!   call graph into durable sinks (`Fs` writes, `write_atomic`,
+//!   `commit_events`, shadow scoring), with `sanitize(...)` annotations
+//!   for the seeded-RNG / sorted-iteration idioms.
+//! - **guard-coverage** ([`guards`]): fields accessed under a struct's
+//!   lock in one method but bare in another.
 //! - **durable-write** ([`durable`]): forbids direct `std::fs` mutations
 //!   (write/rename/sync_all/remove/create) outside the `wlc-fault`
 //!   substrate, so the crash-consistency sweep sees every durable
 //!   transition.
+//!
+//! The interprocedural rules share one infrastructure: [`items`] parses
+//! signatures, typed locals and call sites on top of the token model,
+//! and [`callgraph`] resolves them into a workspace-wide call graph
+//! whose edges carry `file:line` provenance.
 //!
 //! Findings are suppressed per occurrence with
 //! `// wlc-lint: allow(<rule>, reason = "...")` on the same line or the
@@ -31,14 +45,18 @@ use std::fmt;
 use std::io;
 use std::path::{Path, PathBuf};
 
+pub mod callgraph;
 pub mod consistency;
 pub mod determinism;
 pub mod durable;
-pub mod hotalloc;
+pub mod guards;
+pub mod hotpath;
+pub mod items;
 pub mod lexer;
 pub mod locks;
 pub mod model;
 pub mod panics;
+pub mod taint;
 
 /// Which analysis produced a finding.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -53,8 +71,14 @@ pub enum Rule {
     Determinism,
     /// Exit-code / status / doc inconsistency.
     Consistency,
-    /// Heap allocation inside a `#[wlc_hot]` function.
+    /// Heap allocation on the transitive `#[wlc_hot]` call path.
     HotAlloc,
+    /// Blocking call / IO on the transitive `#[wlc_hot]` call path.
+    HotBlocking,
+    /// Nondeterminism source reaching a durable sink via the call graph.
+    DeterminismTaint,
+    /// Lock-protected field accessed without its guard.
+    GuardCoverage,
     /// Durable-state mutation bypassing the `wlc-fault` substrate.
     DurableWrite,
     /// Malformed or unknown `wlc-lint:` annotation.
@@ -71,6 +95,9 @@ impl Rule {
             Rule::Determinism => "determinism",
             Rule::Consistency => "consistency",
             Rule::HotAlloc => "alloc-in-hot-path",
+            Rule::HotBlocking => "blocking-in-hot-path",
+            Rule::DeterminismTaint => "determinism-taint",
+            Rule::GuardCoverage => "guard-coverage",
             Rule::DurableWrite => "durable-write",
             Rule::Annotation => "annotation",
         }
@@ -85,6 +112,9 @@ impl Rule {
             "determinism" => Some(Rule::Determinism),
             "consistency" => Some(Rule::Consistency),
             "alloc-in-hot-path" => Some(Rule::HotAlloc),
+            "blocking-in-hot-path" => Some(Rule::HotBlocking),
+            "determinism-taint" => Some(Rule::DeterminismTaint),
+            "guard-coverage" => Some(Rule::GuardCoverage),
             "durable-write" => Some(Rule::DurableWrite),
             "annotation" => Some(Rule::Annotation),
             _ => None,
@@ -93,13 +123,20 @@ impl Rule {
 }
 
 /// Rules that may be suppressed with an `allow(...)` annotation.
-pub const SUPPRESSIBLE: [&str; 5] = [
+pub const SUPPRESSIBLE: [&str; 8] = [
     "panic",
     "index",
     "determinism",
     "alloc-in-hot-path",
+    "blocking-in-hot-path",
+    "determinism-taint",
+    "guard-coverage",
     "durable-write",
 ];
+
+/// Rules whose taint may be declared clean with a `sanitize(...)`
+/// annotation (a dataflow-level claim, stronger than `allow`).
+pub const SANITIZABLE: [&str; 1] = ["determinism-taint"];
 
 /// One diagnostic.
 #[derive(Debug, Clone)]
@@ -112,6 +149,10 @@ pub struct Finding {
     pub line: u32,
     /// Human-readable description.
     pub message: String,
+    /// Call-chain provenance for interprocedural findings (empty for
+    /// token-local ones): display strings from the entry point down to
+    /// the flagged site / source.
+    pub chain: Vec<String>,
 }
 
 impl fmt::Display for Finding {
@@ -123,7 +164,11 @@ impl fmt::Display for Finding {
             self.line,
             self.rule.name(),
             self.message
-        )
+        )?;
+        for step in &self.chain {
+            write!(f, "\n    via {step}")?;
+        }
+        Ok(())
     }
 }
 
@@ -227,8 +272,22 @@ pub fn analyze(root: &Path, only: Option<Rule>) -> io::Result<Vec<Finding>> {
                         path: file.rel.clone(),
                         line: allow.line,
                         message: err.clone(),
+                        chain: Vec::new(),
                     });
-                } else if !SUPPRESSIBLE.contains(&allow.rule.as_str()) {
+                } else if allow.sanitize && !SANITIZABLE.contains(&allow.rule.as_str()) {
+                    findings.push(Finding {
+                        rule: Rule::Annotation,
+                        path: file.rel.clone(),
+                        line: allow.line,
+                        message: format!(
+                            "sanitize({}) names a rule without dataflow semantics; \
+                             sanitizable rules are {}",
+                            allow.rule,
+                            SANITIZABLE.join(", ")
+                        ),
+                        chain: Vec::new(),
+                    });
+                } else if !allow.sanitize && !SUPPRESSIBLE.contains(&allow.rule.as_str()) {
                     findings.push(Finding {
                         rule: Rule::Annotation,
                         path: file.rel.clone(),
@@ -238,6 +297,7 @@ pub fn analyze(root: &Path, only: Option<Rule>) -> io::Result<Vec<Finding>> {
                             allow.rule,
                             SUPPRESSIBLE.join(", ")
                         ),
+                        chain: Vec::new(),
                     });
                 }
             }
@@ -274,10 +334,22 @@ pub fn analyze(root: &Path, only: Option<Rule>) -> io::Result<Vec<Finding>> {
         findings.extend(consistency::analyze(root, &files));
     }
 
-    if run(Rule::HotAlloc) {
-        // Workspace-wide: any crate may mark functions `#[wlc_hot]`.
-        for file in &files {
-            findings.extend(hotalloc::analyze(file));
+    // The interprocedural rules share one call graph over the workspace.
+    let need_graph = run(Rule::HotAlloc)
+        || run(Rule::HotBlocking)
+        || run(Rule::DeterminismTaint)
+        || run(Rule::GuardCoverage);
+    if need_graph {
+        let graph = callgraph::Graph::build(&files);
+        if run(Rule::HotAlloc) || run(Rule::HotBlocking) {
+            // Workspace-wide: any crate may mark functions `#[wlc_hot]`.
+            findings.extend(hotpath::analyze(&files, &graph));
+        }
+        if run(Rule::DeterminismTaint) {
+            findings.extend(taint::analyze(&files, &graph));
+        }
+        if run(Rule::GuardCoverage) {
+            findings.extend(guards::analyze(&files, &graph));
         }
     }
 

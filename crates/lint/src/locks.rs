@@ -421,6 +421,7 @@ fn acquire(
 ) {
     if method == "lock" && held.iter().any(|g| g.node == node) {
         s.findings.push(Finding {
+            chain: Vec::new(),
             rule: Rule::LockOrder,
             path: file.rel.clone(),
             line,
@@ -668,6 +669,7 @@ fn report_cycles(edges: &BTreeMap<(String, String), String>) -> Vec<Finding> {
         let (path, line) = first_prov.unwrap_or_else(|| (String::from("<workspace>"), 0));
         let names: Vec<&str> = members.iter().copied().collect();
         findings.push(Finding {
+            chain: Vec::new(),
             rule: Rule::LockOrder,
             path,
             line,

@@ -19,6 +19,19 @@ pub const LOCK_TYPES: [&str; 6] = [
 /// mistaken for ordinary method calls, but they are not order nodes.
 pub const CONDVAR_TYPES: [&str; 2] = ["Condvar", "TrackedCondvar"];
 
+/// Any struct field, with its declared type rendered as joined tokens.
+#[derive(Debug, Clone)]
+pub struct FieldDef {
+    /// Owning struct name.
+    pub owner: String,
+    /// Field name.
+    pub field: String,
+    /// Type tokens joined with spaces (`Mutex < Vec < T > >`).
+    pub ty: String,
+    /// Declaration line.
+    pub line: u32,
+}
+
 /// A struct field whose type mentions a lock primitive.
 #[derive(Debug, Clone)]
 pub struct LockField {
@@ -53,6 +66,8 @@ pub struct FuncDef {
     pub name: String,
     /// Enclosing `impl` type, if any.
     pub self_type: Option<String>,
+    /// Token index of the `fn` keyword (signature runs to `body.0`).
+    pub sig_start: usize,
     /// Token index range of the body, `[open_brace, close_brace]`.
     pub body: (usize, usize),
     /// Line of the `fn` keyword.
@@ -71,13 +86,17 @@ pub struct EnumDef {
     pub variants: Vec<(String, u32)>,
 }
 
-/// A parsed `// wlc-lint: allow(rule, reason = "...")` annotation.
+/// A parsed `// wlc-lint: allow(rule, reason = "...")` or
+/// `// wlc-lint: sanitize(rule, reason = "...")` annotation.
 #[derive(Debug, Clone)]
 pub struct Allow {
-    /// Rule name inside `allow(...)`.
+    /// Rule name inside `allow(...)` / `sanitize(...)`.
     pub rule: String,
     /// Line the annotation comment is on.
     pub line: u32,
+    /// True for `sanitize(...)`: the line is declared clean at the
+    /// dataflow level (taint stops here) rather than merely suppressed.
+    pub sanitize: bool,
     /// Grammar error, if the annotation is malformed (e.g. no reason).
     pub error: Option<String>,
 }
@@ -85,6 +104,8 @@ pub struct Allow {
 /// The structural model of one file.
 #[derive(Debug, Default)]
 pub struct FileModel {
+    /// Every struct field, with its declared type.
+    pub fields: Vec<FieldDef>,
     /// Struct fields holding lock primitives.
     pub lock_fields: Vec<LockField>,
     /// `static NAME: ...Mutex...` declarations (lock statics).
@@ -108,9 +129,23 @@ impl FileModel {
     /// Whether a finding of `rule` on `line` is suppressed by an allow
     /// annotation on the same line or the line above.
     pub fn allowed(&self, rule: &str, line: u32) -> bool {
-        self.allows
-            .iter()
-            .any(|a| a.error.is_none() && a.rule == rule && (a.line == line || a.line + 1 == line))
+        self.allows.iter().any(|a| {
+            a.error.is_none()
+                && !a.sanitize
+                && a.rule == rule
+                && (a.line == line || a.line + 1 == line)
+        })
+    }
+
+    /// Whether `line` carries a valid `sanitize(rule, ...)` annotation
+    /// (same line or the line above).
+    pub fn sanitized(&self, rule: &str, line: u32) -> bool {
+        self.allows.iter().any(|a| {
+            a.error.is_none()
+                && a.sanitize
+                && a.rule == rule
+                && (a.line == line || a.line + 1 == line)
+        })
     }
 }
 
@@ -295,7 +330,7 @@ pub fn build(tokens: &[Token], comments: &[Comment]) -> FileModel {
                 i += 1;
                 continue;
             }
-            TokKind::Ident if t.text == "impl" => {
+            TokKind::Ident if t.is_keyword("impl") => {
                 if let Ok(brace) = find_body_brace(tokens, i + 1) {
                     pending_impl = impl_self_type(tokens, i, brace);
                 }
@@ -309,7 +344,7 @@ pub fn build(tokens: &[Token], comments: &[Comment]) -> FileModel {
                 i += 1;
                 continue;
             }
-            TokKind::Ident if t.text == "mod" => {
+            TokKind::Ident if t.is_keyword("mod") => {
                 if pending.is_cfg_test {
                     pending_test_block = true;
                     if let Ok(brace) = find_body_brace(tokens, i + 1) {
@@ -320,17 +355,23 @@ pub fn build(tokens: &[Token], comments: &[Comment]) -> FileModel {
                 i += 1;
                 continue;
             }
-            TokKind::Ident if t.text == "struct" => {
+            TokKind::Ident if t.is_keyword("struct") => {
                 if let Some(name) = tokens.get(i + 1).filter(|t| t.kind == TokKind::Ident) {
                     if let Ok(brace) = find_body_brace(tokens, i + 2) {
-                        collect_lock_fields(tokens, &name.text, brace, &mut model.lock_fields);
+                        collect_fields(
+                            tokens,
+                            &name.text,
+                            brace,
+                            &mut model.fields,
+                            &mut model.lock_fields,
+                        );
                     }
                 }
                 pending = Attrs::default();
                 i += 1;
                 continue;
             }
-            TokKind::Ident if t.text == "enum" => {
+            TokKind::Ident if t.is_keyword("enum") => {
                 if let Some(name) = tokens.get(i + 1).filter(|t| t.kind == TokKind::Ident) {
                     if let Ok(brace) = find_body_brace(tokens, i + 2) {
                         let def = collect_enum(tokens, &name.text, brace);
@@ -341,13 +382,13 @@ pub fn build(tokens: &[Token], comments: &[Comment]) -> FileModel {
                 i += 1;
                 continue;
             }
-            TokKind::Ident if t.text == "static" => {
+            TokKind::Ident if t.is_keyword("static") => {
                 collect_lock_static(tokens, i, &mut model.lock_statics);
                 pending = Attrs::default();
                 i += 1;
                 continue;
             }
-            TokKind::Ident if t.text == "fn" => {
+            TokKind::Ident if t.is_keyword("fn") => {
                 let name = match tokens.get(i + 1) {
                     Some(nt) if nt.kind == TokKind::Ident => nt.text.clone(),
                     _ => {
@@ -372,6 +413,7 @@ pub fn build(tokens: &[Token], comments: &[Comment]) -> FileModel {
                         qual,
                         name,
                         self_type,
+                        sig_start: i,
                         body: (open, close),
                         line: t.line,
                         is_test,
@@ -397,7 +439,13 @@ pub fn build(tokens: &[Token], comments: &[Comment]) -> FileModel {
     model
 }
 
-fn collect_lock_fields(tokens: &[Token], owner: &str, brace: usize, out: &mut Vec<LockField>) {
+fn collect_fields(
+    tokens: &[Token],
+    owner: &str,
+    brace: usize,
+    fields: &mut Vec<FieldDef>,
+    locks: &mut Vec<LockField>,
+) {
     let close = matching_brace(tokens, brace);
     let mut i = brace + 1;
     let mut depth = 0i64; // depth relative to the struct body
@@ -419,24 +467,35 @@ fn collect_lock_fields(tokens: &[Token], owner: &str, brace: usize, out: &mut Ve
             let mut j = i + 2;
             let mut td = 0i64;
             let mut kind: Option<String> = None;
+            let mut ty = String::new();
             while j < close {
-                let ty = &tokens[j];
-                if ty.is_punct('<') || ty.is_punct('(') || ty.is_punct('[') {
+                let tt = &tokens[j];
+                if tt.is_punct('<') || tt.is_punct('(') || tt.is_punct('[') {
                     td += 1;
-                } else if ty.is_punct('>') || ty.is_punct(')') || ty.is_punct(']') {
+                } else if tt.is_punct('>') || tt.is_punct(')') || tt.is_punct(']') {
                     td -= 1;
-                } else if ty.is_punct(',') && td <= 0 {
+                } else if tt.is_punct(',') && td <= 0 {
                     break;
-                } else if ty.kind == TokKind::Ident
+                } else if tt.kind == TokKind::Ident
                     && kind.is_none()
-                    && LOCK_TYPES.contains(&ty.text.as_str())
+                    && LOCK_TYPES.contains(&tt.text.as_str())
                 {
-                    kind = Some(ty.text.clone());
+                    kind = Some(tt.text.clone());
                 }
+                if !ty.is_empty() {
+                    ty.push(' ');
+                }
+                ty.push_str(&tt.text);
                 j += 1;
             }
+            fields.push(FieldDef {
+                owner: owner.to_string(),
+                field: field.clone(),
+                ty,
+                line,
+            });
             if let Some(kind) = kind {
-                out.push(LockField {
+                locks.push(LockField {
                     owner: owner.to_string(),
                     field,
                     kind,
@@ -521,9 +580,13 @@ fn collect_lock_static(tokens: &[Token], i: usize, out: &mut Vec<(String, u32)>)
 fn parse_allows(comments: &[Comment]) -> Vec<Allow> {
     let mut out = Vec::new();
     for c in comments {
-        // Only a comment *dedicated* to the directive counts; prose that
-        // mentions `wlc-lint:` mid-sentence (or doc comments, whose text
-        // starts with `!` or `/`) is ignored.
+        // Only a line comment *dedicated* to the directive counts; prose
+        // that mentions `wlc-lint:` mid-sentence (or doc comments, whose
+        // text starts with `!` or `/`) is ignored, and block comments
+        // carry no text at all.
+        if c.block {
+            continue;
+        }
         let Some(rest) = c.text.trim_start().strip_prefix("wlc-lint:") else {
             continue;
         };
@@ -531,16 +594,25 @@ fn parse_allows(comments: &[Comment]) -> Vec<Allow> {
         if directive.starts_with("hot-path") {
             continue; // reserved marker, not an allow
         }
-        let Some(rest) = directive.strip_prefix("allow") else {
-            out.push(Allow {
-                rule: String::new(),
-                line: c.line,
-                error: Some(format!(
-                    "unknown wlc-lint directive `{}`; expected `allow(rule, reason = \"...\")`",
-                    directive
-                )),
-            });
-            continue;
+        let (rest, sanitize) = match (
+            directive.strip_prefix("allow"),
+            directive.strip_prefix("sanitize"),
+        ) {
+            (Some(r), _) => (r, false),
+            (None, Some(r)) => (r, true),
+            (None, None) => {
+                out.push(Allow {
+                    rule: String::new(),
+                    line: c.line,
+                    sanitize: false,
+                    error: Some(format!(
+                        "unknown wlc-lint directive `{}`; expected `allow(rule, reason = \
+                         \"...\")` or `sanitize(rule, reason = \"...\")`",
+                        directive
+                    )),
+                });
+                continue;
+            }
         };
         let rest = rest.trim();
         let inner = rest
@@ -550,6 +622,7 @@ fn parse_allows(comments: &[Comment]) -> Vec<Allow> {
             out.push(Allow {
                 rule: String::new(),
                 line: c.line,
+                sanitize,
                 error: Some("malformed allow: missing parentheses".into()),
             });
             continue;
@@ -567,11 +640,12 @@ fn parse_allows(comments: &[Comment]) -> Vec<Allow> {
                 .split('"')
                 .nth(1)
                 .is_some_and(|s| !s.trim().is_empty());
+        let kw = if sanitize { "sanitize" } else { "allow" };
         let error = if rule.is_empty() {
-            Some("malformed allow: missing rule name".into())
+            Some(format!("malformed {kw}: missing rule name"))
         } else if !reason_text_ok {
             Some(format!(
-                "allow({rule}) requires a non-empty reason: allow({rule}, reason = \"...\")"
+                "{kw}({rule}) requires a non-empty reason: {kw}({rule}, reason = \"...\")"
             ))
         } else {
             None
@@ -579,6 +653,7 @@ fn parse_allows(comments: &[Comment]) -> Vec<Allow> {
         out.push(Allow {
             rule,
             line: c.line,
+            sanitize,
             error,
         });
     }
@@ -685,5 +760,54 @@ y.unwrap();
         assert!(m.allowed("panic", 3));
         assert!(!m.allowed("panic", 5)); // reason missing -> invalid
         assert!(!m.allowed("determinism", 3));
+    }
+
+    #[test]
+    fn sanitize_annotations_parse_and_are_distinct_from_allows() {
+        let src = r#"
+// wlc-lint: sanitize(determinism-taint, reason = "keys sorted before iteration")
+for k in keys {}
+// wlc-lint: sanitize(determinism-taint)
+bad();
+"#;
+        let m = model_of(src);
+        assert_eq!(m.allows.len(), 2);
+        assert!(m.allows[0].sanitize && m.allows[0].error.is_none());
+        assert!(m.allows[1].error.is_some(), "reason is mandatory");
+        assert!(m.sanitized("determinism-taint", 3));
+        assert!(!m.allowed("determinism-taint", 3), "sanitize is not allow");
+        assert!(!m.sanitized("determinism-taint", 5));
+    }
+
+    #[test]
+    fn all_fields_are_collected_with_types() {
+        let src = r#"
+pub struct Replica<T> {
+    slot: ModelSlot,
+    breaker: CircuitBreaker,
+    queue: Mutex<Vec<T>>,
+    hits: u64,
+}
+"#;
+        let m = model_of(src);
+        assert_eq!(m.fields.len(), 4, "{:?}", m.fields);
+        assert_eq!(m.fields[2].field, "queue");
+        assert!(m.fields[2].ty.starts_with("Mutex"));
+        assert_eq!(m.fields[3].ty, "u64");
+        assert_eq!(m.lock_fields.len(), 1);
+    }
+
+    #[test]
+    fn raw_identifier_items_are_not_keywords() {
+        // `r#fn` and `r#struct` are names; only the real keywords below
+        // should produce a function / struct.
+        let src = r#"
+let r#fn = 1;
+let r#struct = 2;
+fn real() {}
+"#;
+        let m = model_of(src);
+        assert_eq!(m.functions.len(), 1);
+        assert_eq!(m.functions[0].name, "real");
     }
 }

@@ -66,6 +66,7 @@ pub fn analyze(file: &SourceFile) -> Vec<Finding> {
                     && toks.get(i + 1).is_some_and(|n| n.is_punct('('));
                 if is_call && !file.model.allowed("panic", t.line) {
                     findings.push(Finding {
+                        chain: Vec::new(),
                         rule: Rule::Panic,
                         path: file.rel.clone(),
                         line: t.line,
@@ -81,6 +82,7 @@ pub fn analyze(file: &SourceFile) -> Vec<Finding> {
                 let is_macro = toks.get(i + 1).is_some_and(|n| n.is_punct('!'));
                 if is_macro && !file.model.allowed("panic", t.line) {
                     findings.push(Finding {
+                        chain: Vec::new(),
                         rule: Rule::Panic,
                         path: file.rel.clone(),
                         line: t.line,
@@ -101,6 +103,7 @@ pub fn analyze(file: &SourceFile) -> Vec<Finding> {
                 };
                 if indexing && !file.model.allowed("index", t.line) {
                     findings.push(Finding {
+                        chain: Vec::new(),
                         rule: Rule::Index,
                         path: file.rel.clone(),
                         line: t.line,

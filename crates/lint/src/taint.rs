@@ -1,0 +1,393 @@
+//! Determinism taint: nondeterminism sources flowing through the call
+//! graph into durable sinks.
+//!
+//! The reproduction's determinism contract says surfaces, checkpoints,
+//! `events.log`, and shadow scores are byte-identical for a fixed seed
+//! at any worker count. The token-local `determinism` rule polices the
+//! seeded crates' own bodies; this analysis closes the laundering gap —
+//! a wall-clock read in one helper flowing through three calls into a
+//! checkpoint write.
+//!
+//! **Sources** (per function body): `Instant::now` / `SystemTime::now`,
+//! `RandomState`, iteration over `HashMap`/`HashSet` receivers of known
+//! declared type (`.iter()`, `.keys()`, `.values()`, `.drain()`,
+//! `.retain()`, ...), `thread::current`, and `env::var*`.
+//!
+//! **Sinks** (per function body): calls to `write_atomic` /
+//! `commit_events`, `Fs`/`FsHandle` write methods (`write`, `rename`,
+//! `remove_file`, `create_dir_all`, `sync`), and calls into wlc-learn's
+//! shadow-score computation.
+//!
+//! A function is *tainted* if it contains a live source or calls a
+//! tainted function (modeling tainted return values); the relation is
+//! propagated caller-ward to fixpoint. A finding fires at every sink
+//! call inside a tainted function, with the full sink→…→source chain.
+//!
+//! **Sanitizers**: `// wlc-lint: sanitize(determinism-taint, reason =
+//! "...")` declares a line clean at the dataflow level — on a source
+//! line it kills the source (the seeded-RNG idiom: a `SystemTime` read
+//! folded into a logged-but-unused field), on a call line it stops
+//! propagation through that edge (the sorted-iteration idiom: the
+//! callee's nondeterminism provably cannot escape, e.g. results are
+//! collected into a `BTreeMap` before use). An ordinary
+//! `allow(determinism-taint, ...)` at the sink line suppresses one
+//! finding without claiming the data is clean.
+
+use std::collections::BTreeMap;
+
+use crate::callgraph::Graph;
+use crate::items::{self, CallKind};
+use crate::lexer::TokKind;
+use crate::{Finding, Rule, SourceFile};
+
+/// Receiver base types whose iteration order is nondeterministic.
+const HASH_TYPES: [&str; 2] = ["HashMap", "HashSet"];
+
+/// Iteration-order-sensitive methods on hash containers.
+const ITER_METHODS: [&str; 8] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "retain",
+];
+
+/// Receiver base types whose write methods are durable sinks.
+const FS_TYPES: [&str; 2] = ["Fs", "FsHandle"];
+
+/// Durable-write methods on [`FS_TYPES`] receivers.
+const FS_SINK_METHODS: [&str; 5] = ["write", "rename", "remove_file", "create_dir_all", "sync"];
+
+/// Free functions that serialize durable state.
+const FREE_SINKS: [&str; 2] = ["write_atomic", "commit_events"];
+
+/// `env::` reads whose results vary per machine/run.
+const ENV_SOURCES: [&str; 4] = ["var", "var_os", "vars", "vars_os"];
+
+/// One nondeterminism source occurrence.
+struct Source {
+    line: u32,
+    desc: String,
+}
+
+/// One durable-sink call occurrence.
+struct Sink {
+    line: u32,
+    desc: String,
+}
+
+/// Why a function is tainted: its own source, or a call to a tainted
+/// callee (edge line + callee node).
+#[derive(Clone)]
+enum Witness {
+    Source { line: u32, desc: String },
+    Call { line: u32, callee: usize },
+}
+
+/// Scans one function body for live (non-sanitized) sources.
+fn sources_in(file: &SourceFile, node: &crate::callgraph::Node) -> Vec<Source> {
+    let def = &file.model.functions[node.def];
+    let toks = &file.tokens;
+    let mut typed: BTreeMap<String, String> = BTreeMap::new();
+    for (n, t) in &node.sig.params {
+        typed.insert(n.clone(), t.clone());
+    }
+    for (n, t) in items::typed_locals(toks, def) {
+        typed.insert(n, t);
+    }
+    let mut out = Vec::new();
+    let (open, close) = def.body;
+    for i in open..=close.min(toks.len().saturating_sub(1)) {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let as_path = toks.get(i + 1).is_some_and(|n| n.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|n| n.is_punct(':'));
+        let desc = if matches!(t.text.as_str(), "Instant" | "SystemTime")
+            && as_path
+            && toks.get(i + 3).is_some_and(|n| n.is_ident("now"))
+        {
+            Some(format!("{}::now", t.text))
+        } else if t.text == "RandomState" {
+            Some("RandomState".to_string())
+        } else if t.text == "thread"
+            && as_path
+            && toks.get(i + 3).is_some_and(|n| n.is_ident("current"))
+        {
+            Some("thread::current".to_string())
+        } else if t.text == "env"
+            && as_path
+            && toks
+                .get(i + 3)
+                .is_some_and(|n| ENV_SOURCES.contains(&n.text.as_str()))
+        {
+            Some(format!("env::{}", toks[i + 3].text))
+        } else if ITER_METHODS.contains(&t.text.as_str())
+            && i > 1
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            match toks.get(i.wrapping_sub(2)) {
+                Some(r)
+                    if r.kind == TokKind::Ident
+                        && typed
+                            .get(&r.text)
+                            .is_some_and(|ty| HASH_TYPES.contains(&ty.as_str())) =>
+                {
+                    Some(format!("{}.{}() (hash iteration order)", r.text, t.text))
+                }
+                _ => None,
+            }
+        } else {
+            None
+        };
+        if let Some(desc) = desc {
+            if !file.model.sanitized("determinism-taint", t.line) {
+                out.push(Source { line: t.line, desc });
+            }
+        }
+    }
+    out
+}
+
+/// Scans one function's call sites for durable sinks.
+fn sinks_in(files: &[SourceFile], graph: &Graph, n: usize) -> Vec<Sink> {
+    let node = &graph.nodes[n];
+    let mut out = Vec::new();
+    for (site, edge) in node.sites.iter().zip(&node.edges) {
+        let desc = match &site.kind {
+            CallKind::Free if FREE_SINKS.contains(&site.callee.as_str()) => {
+                Some(format!("{}(..)", site.callee))
+            }
+            CallKind::Method(ty)
+                if FS_TYPES.contains(&ty.as_str())
+                    && FS_SINK_METHODS.contains(&site.callee.as_str()) =>
+            {
+                Some(format!("Fs::{}", site.callee))
+            }
+            _ => edge.targets.iter().find_map(|&t| {
+                let callee = &graph.nodes[t];
+                let rel = &files[callee.file].rel;
+                (rel.starts_with("crates/learn/src/") && callee.qual.ends_with("score"))
+                    .then(|| format!("shadow score `{}`", callee.qual))
+            }),
+        };
+        if let Some(desc) = desc {
+            out.push(Sink {
+                line: site.line,
+                desc,
+            });
+        }
+    }
+    out
+}
+
+/// Runs the taint analysis over the whole workspace graph.
+pub fn analyze(files: &[SourceFile], graph: &Graph) -> Vec<Finding> {
+    // Seed: functions with their own live sources.
+    let mut witness: BTreeMap<usize, Witness> = BTreeMap::new();
+    let mut work: Vec<usize> = Vec::new();
+    for (i, node) in graph.nodes.iter().enumerate() {
+        let file = &files[node.file];
+        if let Some(src) = sources_in(file, node).into_iter().next() {
+            witness.insert(
+                i,
+                Witness::Source {
+                    line: src.line,
+                    desc: src.desc,
+                },
+            );
+            work.push(i);
+        }
+    }
+    // Reverse adjacency: callee → (caller, call line), minus sanitized
+    // edges (a sanitize annotation on the call line stops propagation).
+    let mut rev: BTreeMap<usize, Vec<(usize, u32)>> = BTreeMap::new();
+    for (caller, node) in graph.nodes.iter().enumerate() {
+        let file = &files[node.file];
+        for edge in &node.edges {
+            if file.model.sanitized("determinism-taint", edge.line) {
+                continue;
+            }
+            for &callee in &edge.targets {
+                rev.entry(callee).or_default().push((caller, edge.line));
+            }
+        }
+    }
+    // Propagate caller-ward to fixpoint.
+    while let Some(callee) = work.pop() {
+        let Some(callers) = rev.get(&callee) else {
+            continue;
+        };
+        for &(caller, line) in callers.clone().iter() {
+            if let std::collections::btree_map::Entry::Vacant(e) = witness.entry(caller) {
+                e.insert(Witness::Call { line, callee });
+                work.push(caller);
+            }
+        }
+    }
+
+    // Findings: every sink call inside a tainted function.
+    let mut findings = Vec::new();
+    for (&n, _) in witness.iter() {
+        let node = &graph.nodes[n];
+        let file = &files[node.file];
+        let def = &file.model.functions[node.def];
+        // Chain: the tainted function, then each step down to the source.
+        let mut chain = vec![format!("{} ({}:{})", node.qual, file.rel, def.line)];
+        let mut cur = n;
+        let source_desc = loop {
+            match witness.get(&cur).cloned() {
+                Some(Witness::Call { line, callee }) => {
+                    let cf = &files[graph.nodes[cur].file];
+                    chain.push(format!(
+                        "{} (called at {}:{})",
+                        graph.nodes[callee].qual, cf.rel, line
+                    ));
+                    cur = callee;
+                }
+                Some(Witness::Source { line, desc }) => {
+                    let cf = &files[graph.nodes[cur].file];
+                    chain.push(format!("source `{}` at {}:{}", desc, cf.rel, line));
+                    break desc;
+                }
+                None => break "?".to_string(),
+            }
+        };
+        for sink in sinks_in(files, graph, n) {
+            if file.model.allowed("determinism-taint", sink.line) {
+                continue;
+            }
+            findings.push(Finding {
+                rule: Rule::DeterminismTaint,
+                path: file.rel.clone(),
+                line: sink.line,
+                message: format!(
+                    "durable sink `{}` reached by nondeterministic data from `{}`; make the \
+                     input deterministic, annotate the source/call with \
+                     `// wlc-lint: sanitize(determinism-taint, reason = \"...\")`, or suppress \
+                     with `allow(determinism-taint, ...)`",
+                    sink.desc, source_desc
+                ),
+                chain: chain.clone(),
+            });
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source_from_str;
+
+    fn run(srcs: &[(&str, &str)]) -> Vec<Finding> {
+        let files: Vec<SourceFile> = srcs.iter().map(|(p, s)| source_from_str(p, s)).collect();
+        let graph = Graph::build(&files);
+        analyze(&files, &graph)
+    }
+
+    #[test]
+    fn source_flowing_through_a_helper_into_a_sink_is_flagged() {
+        let learn = r#"
+pub fn stamp() -> u64 {
+    SystemTime::now().as_secs()
+}
+pub fn checkpoint(fs: &FsHandle) {
+    let t = stamp();
+    write_atomic(fs, t);
+}
+"#;
+        let findings = run(&[("crates/learn/src/state.rs", learn)]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        let f = &findings[0];
+        assert_eq!(f.rule, Rule::DeterminismTaint);
+        assert_eq!(f.line, 7);
+        assert!(f.message.contains("write_atomic"), "{}", f.message);
+        assert!(f.message.contains("SystemTime::now"), "{}", f.message);
+        assert_eq!(f.chain.len(), 3, "{:?}", f.chain);
+        assert!(f.chain[2].contains("source `SystemTime::now`"));
+    }
+
+    #[test]
+    fn untainted_sinks_are_clean() {
+        let src = "pub fn save(fs: &FsHandle, x: u64) { write_atomic(fs, x); }";
+        assert!(run(&[("crates/learn/src/state.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn hash_iteration_on_typed_receiver_is_a_source() {
+        let src = r#"
+pub fn emit(fs: &FsHandle, m: &HashMap) {
+    for k in m.keys() {
+        write_atomic(fs, k);
+    }
+}
+"#;
+        let findings = run(&[("crates/learn/src/x.rs", src)]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("hash iteration order"));
+    }
+
+    #[test]
+    fn sanitize_on_the_source_line_kills_the_source() {
+        let src = r#"
+pub fn checkpoint(fs: &FsHandle) {
+    // wlc-lint: sanitize(determinism-taint, reason = "wall time logged, never serialized")
+    let t = SystemTime::now();
+    write_atomic(fs, 0);
+}
+"#;
+        assert!(run(&[("crates/learn/src/x.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn sanitize_on_the_call_line_stops_propagation() {
+        let src = r#"
+pub fn stamp() -> u64 { SystemTime::now().as_secs() }
+pub fn checkpoint(fs: &FsHandle) {
+    // wlc-lint: sanitize(determinism-taint, reason = "stamp feeds the log line only")
+    let t = stamp();
+    write_atomic(fs, 0);
+}
+"#;
+        assert!(run(&[("crates/learn/src/x.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn allow_at_the_sink_suppresses_one_finding() {
+        let src = r#"
+pub fn checkpoint(fs: &FsHandle) {
+    let t = SystemTime::now();
+    // wlc-lint: allow(determinism-taint, reason = "bench artifact, excluded from sweeps")
+    write_atomic(fs, t);
+}
+"#;
+        assert!(run(&[("crates/learn/src/x.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn fs_method_sinks_and_learn_score_sinks_are_recognized() {
+        let learn = "pub struct Sup; impl Sup { pub fn score(&self) -> f64 { 0.0 } }";
+        let serve = r#"
+pub fn persist(fs: &FsHandle, s: &Sup) {
+    let t = Instant::now();
+    fs.rename(a, b);
+    s.score();
+}
+"#;
+        let findings = run(&[
+            ("crates/learn/src/supervisor.rs", learn),
+            ("crates/serve/src/x.rs", serve),
+        ]);
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings.iter().any(|f| f.message.contains("Fs::rename")));
+        assert!(findings
+            .iter()
+            .any(|f| f.message.contains("shadow score `Sup::score`")));
+    }
+}

@@ -1,0 +1,31 @@
+//! Fixture: a struct whose `stats` field is read under its mutex in one
+//! method but bare in another. Must trip the `guard-coverage` rule (and
+//! only that rule), citing the guarded site as provenance.
+
+#![forbid(unsafe_code)]
+
+use wlc_exec::TrackedMutex;
+
+/// Per-replica bookkeeping: `window` holds the rolling latency window,
+/// `stats` the derived summary the window updates must stay in sync
+/// with.
+pub struct LatencyBook {
+    window: TrackedMutex<Vec<u64>>,
+    stats: u64,
+}
+
+impl LatencyBook {
+    /// Recomputes the summary with the window pinned — the invariant
+    /// is that `stats` agrees with the window contents.
+    pub fn summarize(&self) -> u64 {
+        let guard = self.window.lock();
+        let total = self.stats + guard.len() as u64;
+        total
+    }
+
+    /// Reads the summary without the window lock: the seeded bug — a
+    /// reload can be mid-update, and this observes the torn invariant.
+    pub fn peek(&self) -> u64 {
+        self.stats
+    }
+}

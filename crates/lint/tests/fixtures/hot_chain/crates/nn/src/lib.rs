@@ -1,0 +1,27 @@
+//! Fixture: a `#[wlc_hot]` function whose *callee's callee* blocks.
+//! Must trip the `blocking-in-hot-path` rule (and only that rule), with
+//! the full call chain in the finding — the old body-scan could never
+//! see past the root's own body.
+
+#![forbid(unsafe_code)]
+
+use wlc_hot::wlc_hot;
+
+/// Hot root: clean body, but the helper it calls is not.
+#[wlc_hot]
+pub fn hot_forward(xs: &mut [f64]) {
+    scale_in_place(xs);
+}
+
+/// Mid-chain helper: still clean.
+pub fn scale_in_place(xs: &mut [f64]) {
+    throttle();
+    for x in xs.iter_mut() {
+        *x *= 0.5;
+    }
+}
+
+/// Leaf: sleeps on the hot path — the seeded bug.
+pub fn throttle() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}

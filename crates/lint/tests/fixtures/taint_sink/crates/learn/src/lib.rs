@@ -1,0 +1,31 @@
+//! Fixture: a wall-clock read laundered through a helper into a
+//! durable write. Must trip the `determinism-taint` rule (and only that
+//! rule) — the token-local `determinism` rule does not police
+//! `crates/learn`, and the source and sink live in different functions,
+//! so only the interprocedural pass can connect them.
+
+#![forbid(unsafe_code)]
+
+use std::time::SystemTime;
+use wlc_fault::{write_atomic, FsHandle};
+
+/// Helper that launders the wall clock into an innocent-looking value.
+pub fn freshness_stamp() -> u64 {
+    stamp_seconds()
+}
+
+/// The actual nondeterminism source.
+pub fn stamp_seconds() -> u64 {
+    SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// Serializes supervisor state — with a wall-clock stamp in the bytes:
+/// the seeded bug. Byte-identical replays are impossible.
+pub fn commit_state(fs: &FsHandle, dir: &std::path::Path) -> std::io::Result<()> {
+    let stamp = freshness_stamp();
+    let record = format!("round=0 stamp={stamp}");
+    write_atomic(fs, "fixture.state.write", &dir.join("state.v1"), record.as_bytes())
+}

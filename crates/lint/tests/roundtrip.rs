@@ -1,0 +1,97 @@
+//! Lex → re-emit round-trip property test over every `.rs` file in the
+//! workspace: token and comment spans must tile the source exactly
+//! (every non-whitespace char covered once, nothing overlapping), the
+//! text recovered through the spans must reconstruct the source modulo
+//! whitespace, and every token's claimed line must agree with a char
+//! count of the preceding source. This pins the lexer against
+//! regressions from the raw-identifier / byte-literal / suffixed-number
+//! support the interprocedural rules depend on.
+
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    // CARGO_MANIFEST_DIR = <root>/crates/lint
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint has a workspace root two levels up")
+        .to_path_buf()
+}
+
+#[test]
+fn every_workspace_file_round_trips_through_the_lexer() {
+    let root = workspace_root();
+    let files = wlc_lint::load_workspace(&root).expect("workspace loads");
+    assert!(
+        files.len() > 20,
+        "workspace walk looks broken: {} files",
+        files.len()
+    );
+    for file in &files {
+        let chars: Vec<char> = file.text.chars().collect();
+        // line_at[i] = 1-based line number of char offset i.
+        let mut line_at = Vec::with_capacity(chars.len() + 1);
+        let mut ln = 1u32;
+        for &c in &chars {
+            line_at.push(ln);
+            if c == '\n' {
+                ln += 1;
+            }
+        }
+        line_at.push(ln);
+        let mut covered = vec![false; chars.len()];
+        let mut spans: Vec<(u32, u32, u32)> = Vec::new(); // (start, end, line)
+        for t in &file.tokens {
+            spans.push((t.span.0, t.span.1, t.line));
+        }
+        for c in wlc_lint::lexer::lex(&file.text).1 {
+            spans.push((c.span.0, c.span.1, c.line));
+        }
+        for &(s, e, line) in &spans {
+            assert!(
+                s < e && (e as usize) <= chars.len(),
+                "{}: bad span [{s},{e})",
+                file.rel
+            );
+            for slot in covered[s as usize..e as usize].iter_mut() {
+                assert!(!*slot, "{}: overlapping span at [{s},{e})", file.rel);
+                *slot = true;
+            }
+            // The claimed 1-based line must equal the newline count
+            // before the span start.
+            let expect = line_at[s as usize];
+            assert_eq!(
+                line,
+                expect,
+                "{}: span [{s},{e}) `{}` claims line {line}, source says {expect}",
+                file.rel,
+                chars[s as usize..e as usize].iter().collect::<String>()
+            );
+        }
+        // Everything not covered must be whitespace.
+        for (i, &done) in covered.iter().enumerate() {
+            assert!(
+                done || chars[i].is_whitespace(),
+                "{}: non-whitespace char `{}` at offset {i} (line {}) escaped the lexer",
+                file.rel,
+                chars[i],
+                line_at[i]
+            );
+        }
+        // Re-emit: concatenating the spans in order reconstructs the
+        // source with whitespace squeezed out.
+        let mut sorted = spans.clone();
+        sorted.sort_unstable();
+        let reemitted: String = sorted
+            .iter()
+            .flat_map(|&(s, e, _)| chars[s as usize..e as usize].iter())
+            .collect();
+        let squeezed: String = chars.iter().filter(|c| !c.is_whitespace()).collect();
+        assert_eq!(
+            reemitted.replace(char::is_whitespace, ""),
+            squeezed,
+            "{}: re-emitted tokens diverge from source",
+            file.rel
+        );
+    }
+}

@@ -114,6 +114,91 @@ fn durable_raw_fixture_reports_the_bypassing_writes() {
 }
 
 #[test]
+fn hot_chain_fixture_reports_transitive_blocking_with_the_call_chain() {
+    let findings = run(&fixture("hot_chain"));
+    let blocking: Vec<&Finding> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::HotBlocking)
+        .collect();
+    assert_eq!(blocking.len(), 1, "{findings:?}");
+    let f = blocking[0];
+    assert!(f.message.contains("thread::sleep"), "{}", f.message);
+    assert_eq!(f.path, "crates/nn/src/lib.rs");
+    assert!(f.line > 0);
+    // Provenance: root -> mid -> leaf, with call-site lines.
+    assert_eq!(f.chain.len(), 3, "{:?}", f.chain);
+    assert!(f.chain[0].starts_with("hot_forward ("), "{:?}", f.chain);
+    assert!(
+        f.chain[1].starts_with("scale_in_place (called at"),
+        "{:?}",
+        f.chain
+    );
+    assert!(
+        f.chain[2].starts_with("throttle (called at"),
+        "{:?}",
+        f.chain
+    );
+}
+
+#[test]
+fn taint_sink_fixture_reports_the_laundered_clock_at_the_durable_write() {
+    let findings = run(&fixture("taint_sink"));
+    let taint: Vec<&Finding> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::DeterminismTaint)
+        .collect();
+    assert_eq!(taint.len(), 1, "{findings:?}");
+    let f = taint[0];
+    assert!(f.message.contains("write_atomic"), "{}", f.message);
+    assert!(f.message.contains("SystemTime::now"), "{}", f.message);
+    assert_eq!(f.path, "crates/learn/src/lib.rs");
+    assert!(f.line > 0);
+    // Chain walks sink fn -> helper -> helper -> source site.
+    assert_eq!(f.chain.len(), 4, "{:?}", f.chain);
+    assert!(f.chain[0].starts_with("commit_state ("), "{:?}", f.chain);
+    assert!(
+        f.chain[1].starts_with("freshness_stamp (called at"),
+        "{:?}",
+        f.chain
+    );
+    assert!(
+        f.chain[2].starts_with("stamp_seconds (called at"),
+        "{:?}",
+        f.chain
+    );
+    assert!(
+        f.chain[3].contains("source `SystemTime::now`"),
+        "{:?}",
+        f.chain
+    );
+}
+
+#[test]
+fn guard_gap_fixture_reports_the_bare_access_with_the_guarded_site() {
+    let findings = run(&fixture("guard_gap"));
+    let gaps: Vec<&Finding> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::GuardCoverage)
+        .collect();
+    assert_eq!(gaps.len(), 1, "{findings:?}");
+    let f = gaps[0];
+    assert!(f.message.contains("LatencyBook.stats"), "{}", f.message);
+    assert!(
+        f.message.contains("LatencyBook::summarize"),
+        "{}",
+        f.message
+    );
+    assert_eq!(f.path, "crates/serve/src/lib.rs");
+    assert!(f.line > 0);
+    assert_eq!(f.chain.len(), 1, "{:?}", f.chain);
+    assert!(
+        f.chain[0].contains("guarded access in LatencyBook::summarize"),
+        "{:?}",
+        f.chain
+    );
+}
+
+#[test]
 fn fixtures_fire_nothing_outside_their_seeded_rule() {
     // Each fixture is constructed to trip exactly one rule; incidental
     // findings from the other analyses would mean the fixture trees (or
@@ -125,6 +210,9 @@ fn fixtures_fire_nothing_outside_their_seeded_rule() {
         ("unmapped_variant", Rule::Consistency),
         ("alloc_hot", Rule::HotAlloc),
         ("durable_raw", Rule::DurableWrite),
+        ("hot_chain", Rule::HotBlocking),
+        ("taint_sink", Rule::DeterminismTaint),
+        ("guard_gap", Rule::GuardCoverage),
     ] {
         let stray: Vec<Finding> = run(&fixture(name))
             .into_iter()

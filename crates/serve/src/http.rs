@@ -92,6 +92,7 @@ fn read_head(
     stream: &mut TcpStream,
     deadline: Option<Duration>,
 ) -> Result<(Vec<u8>, Vec<u8>), ServeError> {
+    // wlc-lint: sanitize(determinism-taint, reason = "deadline arithmetic only; the clock never escapes into the returned bytes")
     let start = std::time::Instant::now();
     let mut buf = Vec::with_capacity(512);
     let mut chunk = [0u8; 512];

@@ -29,7 +29,6 @@ use std::fmt;
 use std::str::FromStr;
 
 use wlc_data::{Dataset, Sample};
-use wlc_exec::RunReport;
 use wlc_math::distributions::Distribution;
 use wlc_math::rng::{Seed, Xoshiro256};
 
@@ -345,7 +344,7 @@ pub struct StreamConfig {
 ///     max_retries: 2,
 ///     jobs: 1,
 /// };
-/// let (ds, faults, _report) = stream_window(&cfg, 0, 2)?;
+/// let (ds, faults) = stream_window(&cfg, 0, 2)?;
 /// assert_eq!(ds.len(), 2);
 /// assert!(faults.is_clean());
 /// # Ok::<(), wlc_sim::SimError>(())
@@ -354,7 +353,7 @@ pub fn stream_window(
     cfg: &StreamConfig,
     start_tick: u64,
     ticks: usize,
-) -> Result<(Dataset, FaultSummary, RunReport), SimError> {
+) -> Result<(Dataset, FaultSummary), SimError> {
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     cfg.faults.validate()?;
@@ -414,8 +413,7 @@ pub fn stream_window(
         }
         Ok(Some((config.as_vector(), y)))
     };
-    let (rows, report) =
-        wlc_exec::try_map_indexed_retry_timed(cfg.jobs, ticks, cfg.max_retries, task)?;
+    let rows = wlc_exec::try_map_indexed_retry(cfg.jobs, ticks, cfg.max_retries, task)?;
 
     let mut ds = Dataset::new(
         INPUT_NAMES.iter().map(|s| s.to_string()).collect(),
@@ -435,7 +433,7 @@ pub fn stream_window(
         spikes: spikes.into_inner(),
         quarantined,
     };
-    Ok((ds, summary, report))
+    Ok((ds, summary))
 }
 
 /// Samples the tick's server configuration from the collect ranges.
@@ -585,7 +583,7 @@ mod tests {
     fn certain_dropout_quarantines_absolute_ticks() {
         let mut cfg = stream(3, 1);
         cfg.faults = "dropout=1.0".parse().unwrap();
-        let (ds, summary, _) = stream_window(&cfg, 10, 2).unwrap();
+        let (ds, summary) = stream_window(&cfg, 10, 2).unwrap();
         assert!(ds.is_empty());
         assert_eq!(summary.quarantined, vec![10, 11]);
         // Every attempt (initial + 2 retries) on both ticks dropped.
@@ -596,8 +594,8 @@ mod tests {
     fn faults_degrade_but_drift_still_applies() {
         let mut cfg = stream(5, 2);
         cfg.faults = "spike=1.0,spike_scale=1.0".parse().unwrap();
-        let (noisy, summary, _) = stream_window(&cfg, 0, 2).unwrap();
-        let (clean, _, _) = stream_window(&stream(5, 2), 0, 2).unwrap();
+        let (noisy, summary) = stream_window(&cfg, 0, 2).unwrap();
+        let (clean, _) = stream_window(&stream(5, 2), 0, 2).unwrap();
         assert_eq!(summary.spikes, 2 * OUTPUT_NAMES.len());
         for (n, c) in noisy.samples().iter().zip(clean.samples()) {
             assert_eq!(n.x(), c.x(), "spikes must not touch the configuration");
